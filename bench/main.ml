@@ -1,0 +1,1021 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (§IV) as plain-text series, plus the ablations DESIGN.md
+   calls out and Bechamel micro-benchmarks of the core algorithms.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, reduced seeds
+     dune exec bench/main.exe -- fig7 --full  # one figure, paper-scale
+     dune exec bench/main.exe -- micro        # Bechamel micro-benches
+
+   See DESIGN.md ("Per-experiment index") and EXPERIMENTS.md
+   (paper-vs-measured record). *)
+
+module T = Scmp_util.Texttab
+
+let pr fmt = Printf.printf fmt
+
+(* With --csv DIR, every printed table is also written as a CSV file
+   named after its title. *)
+let csv_dir : string option ref = ref None
+
+let slugify s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    (String.lowercase_ascii s)
+
+let print_table ?title tab =
+  T.print ?title tab;
+  match (!csv_dir, title) with
+  | Some dir, Some title ->
+    let path = Filename.concat dir (slugify title ^ ".csv") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (T.to_csv tab))
+  | _ -> ()
+
+let section title =
+  pr "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: tree delay / tree cost vs group size, three constraint
+   levels, on 100-node Waxman graphs. DCDM vs KMB vs SPT (and the
+   candidate-set ablation with --ablate). *)
+
+let fig7_group_sizes = [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+
+type fig7_algo = {
+  name : string;
+  build :
+    Netgraph.Apsp.t -> root:int -> members:int list -> bound:Mtree.Bound.t ->
+    Mtree.Tree.t;
+}
+
+let fig7_algos ~ablate =
+  let dcdm ?candidates () =
+    {
+      name =
+        (match candidates with
+        | Some Mtree.Dcdm.Least_cost_only -> "DCDM/lc"
+        | Some Mtree.Dcdm.Shortest_delay_only -> "DCDM/sl"
+        | _ -> "DCDM");
+      build =
+        (fun apsp ~root ~members ~bound ->
+          Mtree.Dcdm.build ?candidates apsp ~root ~bound ~members);
+    }
+  in
+  let kmb =
+    {
+      name = "KMB";
+      build =
+        (fun apsp ~root ~members ~bound:_ -> Mtree.Kmb.build apsp ~root ~members);
+    }
+  in
+  let spt =
+    {
+      name = "SPT";
+      build =
+        (fun apsp ~root ~members ~bound:_ -> Mtree.Spt.build apsp ~root ~members);
+    }
+  in
+  if ablate then
+    [
+      dcdm ();
+      dcdm ~candidates:Mtree.Dcdm.Least_cost_only ();
+      dcdm ~candidates:Mtree.Dcdm.Shortest_delay_only ();
+      kmb;
+      spt;
+    ]
+  else [ dcdm (); kmb; spt ]
+
+let fig7 ~seeds ~ablate () =
+  section "Fig 7 — multicast tree quality (100-node Waxman, alpha=0.25, beta=0.2)";
+  pr "averaged over %d seeds; members joined in random order\n" seeds;
+  let algos = fig7_algos ~ablate in
+  List.iter
+    (fun bound ->
+      let columns =
+        T.column ~align:T.Left "group size"
+        :: List.map (fun a -> T.column a.name) algos
+      in
+      let delay_tab = T.create columns in
+      let cost_tab = T.create columns in
+      List.iter
+        (fun size ->
+          let sums_d = Array.make (List.length algos) 0.0 in
+          let sums_c = Array.make (List.length algos) 0.0 in
+          for seed = 1 to seeds do
+            let spec = Topology.Waxman.generate ~seed ~n:100 () in
+            let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+            let root = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+            let rng = Scmp_util.Prng.create (seed * 7919) in
+            let members =
+              Scmp_util.Prng.sample rng size 100
+              |> List.filter (fun x -> x <> root)
+            in
+            List.iteri
+              (fun i a ->
+                let tree = a.build apsp ~root ~members ~bound in
+                sums_d.(i) <- sums_d.(i) +. Mtree.Eval.tree_delay tree;
+                sums_c.(i) <- sums_c.(i) +. Mtree.Eval.tree_cost tree)
+              algos
+          done;
+          let avg s = s /. float_of_int seeds in
+          T.add_float_row delay_tab ~decimals:0 (string_of_int size)
+            (Array.to_list (Array.map avg sums_d));
+          T.add_float_row cost_tab ~decimals:0 (string_of_int size)
+            (Array.to_list (Array.map avg sums_c)))
+        fig7_group_sizes;
+      let level = Mtree.Bound.to_string bound in
+      print_table ~title:(Printf.sprintf "Fig 7 tree delay, %s constraint" level)
+        delay_tab;
+      print_table ~title:(Printf.sprintf "Fig 7 tree cost, %s constraint" level)
+        cost_tab)
+    Mtree.Bound.all_levels
+
+(* ------------------------------------------------------------------ *)
+(* Figs 8 and 9: network-wide protocol comparison. One source at
+   1 pkt/s for 30 s; group size 8..40; ARPANET + two random
+   topologies. *)
+
+let fig89_group_sizes = [ 8; 12; 16; 20; 24; 28; 32; 36; 40 ]
+
+type net_topology = Arpanet_t | Random_deg3 | Random_deg5
+
+let topology_name = function
+  | Arpanet_t -> "ARPANET (48 nodes)"
+  | Random_deg3 -> "random, 50 nodes, avg degree 3"
+  | Random_deg5 -> "random, 50 nodes, avg degree 5"
+
+let make_spec topo seed =
+  match topo with
+  | Arpanet_t -> Topology.Arpanet.generate ~seed
+  | Random_deg3 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:3.0
+  | Random_deg5 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:5.0
+
+(* One averaged experiment cell: protocol x topology x group size. *)
+let run_cell protocol topo ~size ~seeds ~pick =
+  let acc = Scmp_util.Stats.create () in
+  for seed = 1 to seeds do
+    let spec = make_spec topo seed in
+    let g = spec.Topology.Spec.graph in
+    let n = Netgraph.Graph.node_count g in
+    let apsp = Netgraph.Apsp.compute g in
+    let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+    let rng = Scmp_util.Prng.create ((seed * 104729) + size) in
+    let members =
+      Scmp_util.Prng.sample rng (min size (n - 1)) n
+      |> List.filter (fun x -> x <> center)
+    in
+    let source = List.hd members in
+    let sc = Protocols.Runner.make ~spec ~center ~source ~members () in
+    let r = Protocols.Runner.run protocol sc in
+    if r.Protocols.Runner.missed > 0 || r.duplicates > 0 || r.spurious > 0 then
+      pr "!! %s %s size=%d seed=%d: missed=%d dup=%d spur=%d\n"
+        (Protocols.Runner.protocol_name protocol)
+        (topology_name topo) size seed r.missed r.duplicates r.spurious;
+    Scmp_util.Stats.add acc (pick r)
+  done;
+  Scmp_util.Stats.mean acc
+
+let protocol_figure ~title ~seeds ~pick ~decimals () =
+  List.iter
+    (fun topo ->
+      let tab =
+        T.create
+          (T.column ~align:T.Left "group size"
+          :: List.map
+               (fun p -> T.column (Protocols.Runner.protocol_name p))
+               Protocols.Runner.all_protocols)
+      in
+      List.iter
+        (fun size ->
+          let row =
+            List.map
+              (fun p -> run_cell p topo ~size ~seeds ~pick)
+              Protocols.Runner.all_protocols
+          in
+          T.add_float_row tab ~decimals (string_of_int size) row)
+        fig89_group_sizes;
+      print_table ~title:(Printf.sprintf "%s — %s" title (topology_name topo)) tab)
+    [ Arpanet_t; Random_deg3; Random_deg5 ]
+
+let fig8 ~seeds () =
+  section "Fig 8 — data overhead and protocol overhead vs group size";
+  pr "1 source, 1 pkt/s, 30 s; averaged over %d seeds (link-cost units)\n" seeds;
+  protocol_figure ~title:"Fig 8(a-c) data overhead" ~seeds
+    ~pick:(fun r -> r.Protocols.Runner.data_overhead)
+    ~decimals:0 ();
+  protocol_figure ~title:"Fig 8(d-f) protocol overhead" ~seeds
+    ~pick:(fun r -> r.Protocols.Runner.protocol_overhead)
+    ~decimals:0 ();
+  protocol_figure ~title:"Fig 8(e,f) log10(protocol overhead)" ~seeds
+    ~pick:(fun r -> log10 (Float.max 1.0 r.Protocols.Runner.protocol_overhead))
+    ~decimals:2 ()
+
+let fig9 ~seeds () =
+  section "Fig 9 — maximum end-to-end delay vs group size (seconds)";
+  protocol_figure ~title:"Fig 9 maximum end-to-end delay" ~seeds
+    ~pick:(fun r -> r.Protocols.Runner.max_delay)
+    ~decimals:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* m-router placement study (§IV.A rules). *)
+
+let placement ~seeds () =
+  section "m-router placement (§IV.A rules 1-3 vs random)";
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "placement";
+        T.column "mean tree cost";
+        T.column "vs rule 1";
+      ]
+  in
+  let spec = Topology.Waxman.generate ~seed:17 ~n:100 () in
+  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+  let score candidate =
+    Scmp.Placement.evaluate apsp ~candidate ~bound:Mtree.Bound.Moderate
+      ~group_size:20 ~trials:(10 * seeds) ~seed:3
+  in
+  let rule1 = score (Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay) in
+  List.iter
+    (fun rule ->
+      let s = score (Scmp.Placement.pick apsp rule) in
+      T.add_row tab
+        [
+          Scmp.Placement.rule_name rule;
+          Printf.sprintf "%.0f" s;
+          Printf.sprintf "%+.1f%%" (100.0 *. ((s /. rule1) -. 1.0));
+        ])
+    Scmp.Placement.all_rules;
+  let rng = Scmp_util.Prng.create 7 in
+  let rand_acc = Scmp_util.Stats.create () in
+  for _ = 1 to 10 do
+    Scmp_util.Stats.add rand_acc (score (Scmp_util.Prng.int rng 100))
+  done;
+  let s = Scmp_util.Stats.mean rand_acc in
+  T.add_row tab
+    [
+      "random (mean of 10)";
+      Printf.sprintf "%.0f" s;
+      Printf.sprintf "%+.1f%%" (100.0 *. ((s /. rule1) -. 1.0));
+    ];
+  print_table tab
+
+(* ------------------------------------------------------------------ *)
+(* Fabric validation/ablation: Beneš routing scale and the many-to-many
+   merge claims of §II.B. *)
+
+let fabric () =
+  section "m-router switching fabric (PN-CCN-DN sandwich, §II.B)";
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "ports";
+        T.column "stages";
+        T.column "2x2 elements";
+        T.column "perms checked";
+        T.column "failures";
+      ]
+  in
+  List.iter
+    (fun bits ->
+      let n = 1 lsl bits in
+      let rng = Scmp_util.Prng.create (1000 + n) in
+      let failures = ref 0 in
+      let trials = 50 in
+      let cfg = ref (Fabric.Benes.identity n) in
+      for _ = 1 to trials do
+        let p = Array.init n (fun i -> i) in
+        Scmp_util.Prng.shuffle rng p;
+        cfg := Fabric.Benes.route p;
+        if Fabric.Benes.eval !cfg <> p then incr failures
+      done;
+      T.add_row tab
+        [
+          string_of_int n;
+          string_of_int (Fabric.Benes.depth !cfg);
+          string_of_int (Fabric.Benes.element_count !cfg);
+          string_of_int trials;
+          string_of_int !failures;
+        ])
+    [ 2; 3; 4; 5; 6; 7; 8 ];
+  print_table ~title:"Beneš permutation routing (looping algorithm)" tab;
+  (* Group churn on a 64-port fabric, verifying isolation after every
+     step. *)
+  let f = Fabric.Sandwich.create ~ports:64 in
+  let rng = Scmp_util.Prng.create 31337 in
+  let steps = 500 and violations = ref 0 and opened = ref 0 and merged = ref 0 in
+  for step = 1 to steps do
+    let gid = 1 + Scmp_util.Prng.int rng 8 in
+    (match Scmp_util.Prng.int rng 4 with
+    | 0 ->
+      (match Fabric.Sandwich.open_group f ~gid ~output:(32 + gid) with
+      | Ok () -> incr opened
+      | Error _ -> ())
+    | 1 ->
+      if List.mem gid (Fabric.Sandwich.groups f) then begin
+        match
+          Fabric.Sandwich.add_source f ~gid ~input:(Scmp_util.Prng.int rng 32)
+        with
+        | Ok () -> incr merged
+        | Error _ -> ()
+      end
+    | 2 ->
+      if List.mem gid (Fabric.Sandwich.groups f) then begin
+        match Fabric.Sandwich.sources f gid with
+        | [] -> ()
+        | input :: _ -> Fabric.Sandwich.remove_source f ~gid ~input
+      end
+    | _ -> if step mod 7 = 0 then Fabric.Sandwich.close_group f gid);
+    match Fabric.Sandwich.self_check f with
+    | Ok () -> ()
+    | Error _ -> incr violations
+  done;
+  pr
+    "\ngroup churn: %d steps (%d opens, %d source merges) on 64 ports — %d \
+     isolation/routing violations\n"
+    steps !opened !merged !violations;
+  (* the ref [10] self-routing copy network: exactly-the-interval
+     delivery at every width *)
+  let cn = Fabric.Copynet.create 256 in
+  let ctab =
+    T.create
+      [
+        T.column ~align:T.Left "copies";
+        T.column "elements used";
+        T.column "checked";
+        T.column "failures";
+      ]
+  in
+  List.iter
+    (fun width ->
+      let rng = Scmp_util.Prng.create (3000 + width) in
+      let failures = ref 0 and used = ref 0 in
+      let trials = 40 in
+      for _ = 1 to trials do
+        let lo =
+          if width = 256 then 0 else Scmp_util.Prng.int rng (256 - width + 1)
+        in
+        let hi = lo + width - 1 in
+        let plan = Fabric.Copynet.route cn ~lo ~hi in
+        used := !used + Fabric.Copynet.elements_used plan;
+        let out = Fabric.Copynet.eval cn plan in
+        Array.iteri
+          (fun i got -> if got <> (i >= lo && i <= hi) then incr failures)
+          out
+      done;
+      T.add_row ctab
+        [
+          string_of_int width;
+          string_of_int (!used / trials);
+          string_of_int trials;
+          string_of_int !failures;
+        ])
+    [ 1; 4; 16; 64; 256 ];
+  print_table ~title:"self-routing copy network (256 ports, interval splitting)" ctab
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: BRANCH packets vs always-full-TREE distribution (§III.E's
+   "if the change is small, using a TREE packet containing the whole
+   tree structure is too expensive"). *)
+
+let branch_ablation ~seeds () =
+  section "ablation — BRANCH vs full-TREE distribution (SCMP protocol overhead)";
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "group size";
+        T.column "BRANCH+TREE";
+        T.column "always TREE";
+        T.column "saving";
+      ]
+  in
+  List.iter
+    (fun size ->
+      let overhead distribution =
+        let acc = Scmp_util.Stats.create () in
+        for seed = 1 to seeds do
+          let spec = make_spec Random_deg3 seed in
+          let g = spec.Topology.Spec.graph in
+          let n = Netgraph.Graph.node_count g in
+          let apsp = Netgraph.Apsp.compute g in
+          let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+          let rng = Scmp_util.Prng.create ((seed * 499) + size) in
+          let members =
+            Scmp_util.Prng.sample rng (min size (n - 1)) n
+            |> List.filter (fun x -> x <> center)
+          in
+          let source = List.hd members in
+          let sc =
+            {
+              (Protocols.Runner.make ~spec ~center ~source ~members ()) with
+              Protocols.Runner.scmp_distribution = distribution;
+            }
+          in
+          let r = Protocols.Runner.run Protocols.Runner.Scmp sc in
+          Scmp_util.Stats.add acc r.Protocols.Runner.protocol_overhead
+        done;
+        Scmp_util.Stats.mean acc
+      in
+      let incr = overhead Protocols.Scmp_proto.Incremental in
+      let full = overhead Protocols.Scmp_proto.Always_full_tree in
+      T.add_row tab
+        [
+          string_of_int size;
+          Printf.sprintf "%.0f" incr;
+          Printf.sprintf "%.0f" full;
+          Printf.sprintf "%.1f%%" (100.0 *. (1.0 -. (incr /. full)));
+        ])
+    [ 8; 16; 24; 32; 40 ];
+  print_table ~title:"random 50-node topology (avg degree 3)" tab
+
+(* ------------------------------------------------------------------ *)
+(* Hot-standby m-router failover (concluding remarks, point 4):
+   steady-state cost of the standby and behaviour through a failure. *)
+
+let failover () =
+  section "m-router hot standby (concluding remarks)";
+  let spec = Topology.Waxman.generate ~seed:77 ~n:40 () in
+  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+  let primary = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let standby0 = Scmp.Placement.pick apsp Scmp.Placement.Max_degree in
+  let standby = if standby0 = primary then (primary + 1) mod 40 else standby0 in
+  let members =
+    List.filter (fun x -> x <> primary && x <> standby) [ 4; 12; 19; 27; 33 ]
+  in
+  (* A genuinely off-tree source: its packets are encapsulated to the
+     m-router (§III.F), so the m-router's death actually interrupts
+     delivery. DCDM is invariant under uniform delay scaling, so the
+     unscaled tree predicts the scaled one. *)
+  let source =
+    let tree =
+      Mtree.Dcdm.build apsp ~root:primary ~bound:Mtree.Bound.Tightest ~members
+    in
+    List.find
+      (fun x -> (not (Mtree.Tree.on_tree tree x)) && x <> standby)
+      (List.init 40 Fun.id)
+  in
+  let run_case ~with_standby ~fail =
+    let g =
+      Netgraph.Graph.map_links spec.Topology.Spec.graph ~f:(fun l ->
+          (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
+    in
+    let e = Eventsim.Engine.create () in
+    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
+    let delivery = Protocols.Delivery.create e in
+    let p =
+      if with_standby then
+        Protocols.Scmp_proto.create ~delivery ~standby ~heartbeat_interval:0.5
+          ~takeover_after:1.5 net ~mrouter:primary ()
+      else Protocols.Scmp_proto.create ~delivery net ~mrouter:primary ()
+    in
+    List.iteri
+      (fun i m ->
+        Eventsim.Engine.schedule_at e ~time:(0.1 +. (0.2 *. float_of_int i))
+          (fun () -> Protocols.Scmp_proto.host_join p ~group:1 m))
+      members;
+    if fail then
+      Eventsim.Engine.schedule_at e ~time:10.0 (fun () ->
+          Protocols.Scmp_proto.fail_primary p);
+    let src = source in
+    let expected = members in
+    for seq = 0 to 29 do
+      let at = 5.0 +. float_of_int seq in
+      Eventsim.Engine.schedule_at e ~time:at (fun () ->
+          Protocols.Delivery.expect delivery ~seq ~members:expected ~sent_at:at;
+          Protocols.Scmp_proto.send_data p ~group:1 ~src ~seq)
+    done;
+    Eventsim.Engine.run ~until:40.0 e;
+    ( Eventsim.Netsim.control_overhead net,
+      Protocols.Delivery.deliveries delivery,
+      Protocols.Delivery.missed delivery,
+      Protocols.Scmp_proto.standby_took_over p )
+  in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "case";
+        T.column "ctl overhead";
+        T.column "delivered";
+        T.column "missed";
+        T.column ~align:T.Left "recovered";
+      ]
+  in
+  let row name (o, d, m, rec_) =
+    T.add_row tab
+      [
+        name;
+        Printf.sprintf "%.0f" o;
+        string_of_int d;
+        string_of_int m;
+        (if rec_ then "yes" else "-");
+      ]
+  in
+  row "no standby, no failure" (run_case ~with_standby:false ~fail:false);
+  row "standby, no failure" (run_case ~with_standby:true ~fail:false);
+  row "no standby, failure@10s" (run_case ~with_standby:false ~fail:true);
+  row "standby, failure@10s" (run_case ~with_standby:true ~fail:true);
+  T.print
+    ~title:
+      "40-node Waxman, 5 members, off-tree source, 30 pkts at 1/s from t=5; failure at t=10 (heartbeat 0.5s, takeover window 1.5s)"
+    tab
+
+(* ------------------------------------------------------------------ *)
+(* Multiple m-routers per domain (§II.A extension): regional homes cut
+   both the control path length and the shared-tree cost. *)
+
+let multi () =
+  section "multiple m-routers per domain (§II.A extension)";
+  let spec = Topology.Waxman.generate ~seed:11 ~n:60 () in
+  let g0 = spec.Topology.Spec.graph in
+  let apsp = Netgraph.Apsp.compute g0 in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "m-routers";
+        T.column "mean tree cost";
+        T.column "join ctl overhead";
+      ]
+  in
+  let west, east =
+    (* split by x coordinate to get two regional anchors *)
+    let coords = spec.Topology.Spec.coords in
+    let by_x = List.init 60 Fun.id |> List.sort (fun a b ->
+        compare (fst coords.(a)) (fst coords.(b))) in
+    (List.nth by_x 15, List.nth by_x 44)
+  in
+  let central = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  (* Two membership patterns: groups spread domain-wide, and regional
+     groups whose members cluster in one half of the map. Regional
+     homes pay off exactly when groups are regional — and the bench
+     shows the domain-wide case too, where a central m-router wins. *)
+  let coords = spec.Topology.Spec.coords in
+  let by_x =
+    List.init 60 Fun.id
+    |> List.sort (fun a b -> compare (fst coords.(a)) (fst coords.(b)))
+  in
+  let halves = (Array.of_list by_x, 30) in
+  let sample_members rng ~regional grp mrouters =
+    let pool =
+      if not regional then List.init 60 Fun.id
+      else begin
+        let arr, half = halves in
+        let side = if grp mod 2 = 0 then Array.sub arr 0 half else Array.sub arr half 30 in
+        Array.to_list side
+      end
+    in
+    let pool = List.filter (fun x -> not (List.mem x mrouters)) pool in
+    let arr = Array.of_list pool in
+    Scmp_util.Prng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 (min 10 (Array.length arr)))
+  in
+  let nearest_assign mrouters grp_members =
+    (* home = m-router with least total delay to the group's members *)
+    fun grp ->
+      let members = List.assoc grp grp_members in
+      List.fold_left
+        (fun best m ->
+          let score m =
+            List.fold_left (fun acc x -> acc +. Netgraph.Apsp.delay apsp m x) 0.0 members
+          in
+          if score m < score best then m else best)
+        (List.hd mrouters) mrouters
+  in
+  let run_config name ~regional mrouters =
+    let g =
+      Netgraph.Graph.map_links g0 ~f:(fun l ->
+          (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
+    in
+    let e = Eventsim.Engine.create () in
+    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
+    let rng = Scmp_util.Prng.create 99 in
+    let groups = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+    let grp_members =
+      List.map (fun grp -> (grp, sample_members rng ~regional grp mrouters)) groups
+    in
+    let m =
+      Protocols.Multi.create
+        ~assign:(nearest_assign mrouters grp_members)
+        net ~mrouters ()
+    in
+    List.iter
+      (fun (grp, members) ->
+        List.iter (fun r -> Protocols.Multi.host_join m ~group:grp r) members)
+      grp_members;
+    Eventsim.Engine.run e;
+    let total_cost =
+      List.fold_left
+        (fun acc grp ->
+          match Protocols.Multi.tree m ~group:grp with
+          | Some t -> acc +. Mtree.Eval.tree_cost t
+          | None -> acc)
+        0.0 groups
+    in
+    T.add_row tab
+      [
+        name;
+        Printf.sprintf "%.0f" (total_cost /. float_of_int (List.length groups));
+        Printf.sprintf "%.0f" (Eventsim.Netsim.control_overhead net);
+      ]
+  in
+  run_config "1 central, domain-wide groups" ~regional:false [ central ];
+  run_config "2 regional, domain-wide groups" ~regional:false [ west; east ];
+  run_config "1 central, regional groups" ~regional:true [ central ];
+  run_config "2 regional, regional groups" ~regional:true [ west; east ];
+  T.print
+    ~title:"60-node Waxman, 8 groups of 10 members; home = nearest m-router"
+    tab
+
+(* ------------------------------------------------------------------ *)
+(* m-router control-plane capacity (§II.B: "capable of handling
+   multiple multicast tasks simultaneously" on multiple processors).
+   JOIN requests arrive in a Poisson stream and queue for a processor;
+   each costs a fixed 10 ms of tree recomputation + distribution. *)
+
+let capacity () =
+  section "m-router processing capacity (§II.B multiprocessor claim)";
+  let spec = Topology.Waxman.generate ~seed:19 ~n:50 () in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "processors";
+        T.column "arrivals/s";
+        T.column "joins served";
+        T.column "mean wait (ms)";
+        T.column "max queue";
+      ]
+  in
+  let service = 0.010 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun rate ->
+          let g =
+            Netgraph.Graph.map_links spec.Topology.Spec.graph ~f:(fun l ->
+                (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
+          in
+          let e = Eventsim.Engine.create () in
+          let net =
+            Eventsim.Netsim.create e g ~classify:Protocols.Message.classify
+          in
+          let station = Eventsim.Server.create e ~servers:k in
+          let p =
+            Protocols.Scmp_proto.create ~cpu:(station, service) net ~mrouter:0 ()
+          in
+          let rng = Scmp_util.Prng.create (k * 1000 + rate) in
+          (* Poisson joins over 10 s: random router, one of 8 groups. *)
+          let rec arrivals at n =
+            if at <= 10.0 then begin
+              Eventsim.Engine.schedule_at e ~time:at (fun () ->
+                  Protocols.Scmp_proto.host_join p
+                    ~group:(1 + (n mod 8))
+                    (1 + Scmp_util.Prng.int rng 49));
+              let gap =
+                -.(1.0 /. float_of_int rate)
+                *. log (1.0 -. Scmp_util.Prng.float rng 1.0)
+              in
+              arrivals (at +. gap) (n + 1)
+            end
+          in
+          arrivals 0.05 0;
+          Eventsim.Engine.run e;
+          let served = Eventsim.Server.completed station in
+          let mean_wait =
+            if served = 0 then 0.0
+            else Eventsim.Server.total_queueing_delay station /. float_of_int served
+          in
+          T.add_row tab
+            [
+              string_of_int k;
+              string_of_int rate;
+              string_of_int served;
+              Printf.sprintf "%.2f" (1000.0 *. mean_wait);
+              string_of_int (Eventsim.Server.max_queue_length station);
+            ])
+        [ 50; 90; 150 ])
+    [ 1; 2; 4 ];
+  T.print
+    ~title:"50-node Waxman, 8 groups, 10 ms service per JOIN, 10 s Poisson stream"
+    tab
+
+(* ------------------------------------------------------------------ *)
+(* Traffic concentration at the center (§I: ST-based cores suffer
+   "traffic jam around the core … packet loss and longer communication
+   delay", while m-routers are "specially designed powerful routers").
+   Many simultaneous sources drive one group; the center forwards every
+   transit packet through its forwarding engine — a single processor
+   for an ordinary core vs the m-router's parallel fabric. *)
+
+let congestion () =
+  section "traffic concentration at the center (§I motivation)";
+  let spec = Topology.Waxman.generate ~seed:23 ~n:40 () in
+  let g0 = spec.Topology.Spec.graph in
+  let apsp = Netgraph.Apsp.compute g0 in
+  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let members =
+    let rng = Scmp_util.Prng.create 5 in
+    Scmp_util.Prng.sample rng 12 40 |> List.filter (fun x -> x <> center)
+  in
+  (* per-packet forwarding time at the center: 10 ms, i.e. one engine
+     sustains 100 pkts/s *)
+  let service = 0.010 in
+  let run_case processors =
+    let g =
+      Netgraph.Graph.map_links g0 ~f:(fun l ->
+          (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
+    in
+    let e = Eventsim.Engine.create () in
+    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
+    let delivery = Protocols.Delivery.create e in
+    let station = Eventsim.Server.create e ~servers:processors in
+    Eventsim.Netsim.set_node_processing net center station ~service_time:service;
+    let p = Protocols.Scmp_proto.create ~delivery net ~mrouter:center () in
+    List.iteri
+      (fun i m ->
+        Eventsim.Engine.schedule_at e ~time:(0.1 +. (0.2 *. float_of_int i))
+          (fun () -> Protocols.Scmp_proto.host_join p ~group:1 m))
+      members;
+    (* every member is also a speaker: 10 packets each, ~165 pkts/s
+       aggregate through the shared tree's root — 1.65x one engine's
+       capacity *)
+    let seq = ref 0 in
+    for round = 0 to 9 do
+      List.iteri
+        (fun i src ->
+          let s = !seq in
+          incr seq;
+          let at =
+            10.0 +. (0.006 *. float_of_int ((round * List.length members) + i))
+          in
+          Eventsim.Engine.schedule_at e ~time:at (fun () ->
+              Protocols.Delivery.expect delivery ~seq:s
+                ~members:(List.filter (fun m -> m <> src) members)
+                ~sent_at:at;
+              Protocols.Scmp_proto.send_data p ~group:1 ~src ~seq:s))
+        members
+    done;
+    Eventsim.Engine.run e;
+    (delivery, station)
+  in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "center";
+        T.column "max delay (ms)";
+        T.column "mean delay (ms)";
+        T.column "max queue";
+        T.column "forwarded";
+      ]
+  in
+  List.iter
+    (fun (name, k) ->
+      let delivery, station = run_case k in
+      T.add_row tab
+        [
+          name;
+          Printf.sprintf "%.1f" (1000.0 *. Protocols.Delivery.max_delay delivery);
+          Printf.sprintf "%.1f" (1000.0 *. Protocols.Delivery.mean_delay delivery);
+          string_of_int (Eventsim.Server.max_queue_length station);
+          string_of_int (Eventsim.Server.completed station);
+        ])
+    [
+      ("ordinary core (1 engine)", 1);
+      ("m-router fabric (4 engines)", 4);
+      ("m-router fabric (16 engines)", 16);
+    ];
+  print_table
+    ~title:
+"40-node Waxman, 12 members all sending (120 pkts, ~165/s aggregate), 10 ms \
+       forwarding per packet at the center"
+    tab
+
+(* ------------------------------------------------------------------ *)
+(* Extension baseline: PIM-SM with SPT switchover vs the paper's
+   shared-tree protocols. First packets ride the unidirectional RP tree
+   (register detour); the switchover buys SPT delay afterwards. *)
+
+let pimsm () =
+  section "extension — PIM-SM with SPT switchover";
+  let spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
+  let g0 = spec.Topology.Spec.graph in
+  let apsp = Netgraph.Apsp.compute g0 in
+  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let rng = Scmp_util.Prng.create 41 in
+  let members =
+    Scmp_util.Prng.sample rng 12 50 |> List.filter (fun x -> x <> center)
+  in
+  (* an off-tree source maximizes the register/encap contrast *)
+  let source =
+    List.find (fun x -> (not (List.mem x members)) && x <> center)
+      (List.init 50 Fun.id)
+  in
+  let scale = 3e-6 in
+  let run_case name instantiate =
+    let g =
+      Netgraph.Graph.map_links g0 ~f:(fun l ->
+          (l.Netgraph.Graph.delay *. scale, l.Netgraph.Graph.cost))
+    in
+    let e = Eventsim.Engine.create () in
+    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
+    let delivery = Protocols.Delivery.create e in
+    let send = instantiate e net delivery in
+    for seq = 0 to 19 do
+      let at = 10.0 +. float_of_int seq in
+      Eventsim.Engine.schedule_at e ~time:at (fun () ->
+          Protocols.Delivery.expect delivery ~seq ~members ~sent_at:at;
+          send ~seq)
+    done;
+    Eventsim.Engine.run e;
+    let delays = Protocols.Delivery.delays delivery in
+    let dmax = List.fold_left Float.max 0.0 delays in
+    let dmin = List.fold_left Float.min infinity delays in
+    (name, dmax, dmin,
+     Eventsim.Netsim.data_overhead net /. 20.0,
+     Protocols.Delivery.missed delivery + Protocols.Delivery.duplicates delivery)
+  in
+  let join_all e join =
+    List.iteri
+      (fun i m ->
+        Eventsim.Engine.schedule_at e ~time:(0.1 +. (0.2 *. float_of_int i))
+          (fun () -> join m))
+      members
+  in
+  let cases =
+    [
+      run_case "PIM-SM (switchover)" (fun e net delivery ->
+          let p = Protocols.Pim_sm.create ~delivery net ~rp:center () in
+          join_all e (fun m -> Protocols.Pim_sm.host_join p ~group:1 m);
+          fun ~seq -> Protocols.Pim_sm.send_data p ~group:1 ~src:source ~seq);
+      run_case "PIM-SM (no switchover)" (fun e net delivery ->
+          let p =
+            Protocols.Pim_sm.create ~delivery ~spt_switchover:false net ~rp:center ()
+          in
+          join_all e (fun m -> Protocols.Pim_sm.host_join p ~group:1 m);
+          fun ~seq -> Protocols.Pim_sm.send_data p ~group:1 ~src:source ~seq);
+      run_case "CBT" (fun e net delivery ->
+          let p = Protocols.Cbt.create ~delivery net ~core:center () in
+          join_all e (fun m -> Protocols.Cbt.host_join p ~group:1 m);
+          fun ~seq -> Protocols.Cbt.send_data p ~group:1 ~src:source ~seq);
+      run_case "SCMP" (fun e net delivery ->
+          let p = Protocols.Scmp_proto.create ~delivery net ~mrouter:center () in
+          join_all e (fun m -> Protocols.Scmp_proto.host_join p ~group:1 m);
+          fun ~seq -> Protocols.Scmp_proto.send_data p ~group:1 ~src:source ~seq);
+    ]
+  in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "protocol";
+        T.column "first-pkt max delay (ms)";
+        T.column "steady min delay (ms)";
+        T.column "data overhead/pkt";
+        T.column "anomalies";
+      ]
+  in
+  List.iter
+    (fun (name, dmax, dmin, per_pkt, bad) ->
+      T.add_row tab
+        [
+          name;
+          Printf.sprintf "%.2f" (1000.0 *. dmax);
+          Printf.sprintf "%.2f" (1000.0 *. dmin);
+          Printf.sprintf "%.0f" per_pkt;
+          string_of_int bad;
+        ])
+    cases;
+  print_table
+    ~title:"50-node random (deg 3), 12 members, off-tree source, 20 pkts at 1/s"
+    tab
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core algorithms. *)
+
+let micro () =
+  section "micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let spec = Topology.Waxman.generate ~seed:5 ~n:100 () in
+  let g = spec.Topology.Spec.graph in
+  let apsp = Netgraph.Apsp.compute g in
+  let rng = Scmp_util.Prng.create 9 in
+  let members =
+    Scmp_util.Prng.sample rng 30 100 |> List.filter (fun x -> x <> 0)
+  in
+  let tree = Mtree.Dcdm.build apsp ~root:0 ~bound:Mtree.Bound.Moderate ~members in
+  let packet =
+    Protocols.Tree_packet.of_tree tree ~at:(List.hd (Mtree.Tree.children tree 0))
+  in
+  let words = Protocols.Tree_packet.encode packet in
+  let perm =
+    let p = Array.init 64 (fun i -> i) in
+    Scmp_util.Prng.shuffle rng p;
+    p
+  in
+  let tests =
+    [
+      Test.make ~name:"dijkstra-100"
+        (Staged.stage (fun () ->
+             ignore
+               (Netgraph.Dijkstra.run g ~metric:Netgraph.Dijkstra.Delay ~source:0)));
+      Test.make ~name:"dcdm-build-30"
+        (Staged.stage (fun () ->
+             ignore (Mtree.Dcdm.build apsp ~root:0 ~bound:Mtree.Bound.Moderate ~members)));
+      Test.make ~name:"kmb-build-30"
+        (Staged.stage (fun () -> ignore (Mtree.Kmb.build apsp ~root:0 ~members)));
+      Test.make ~name:"spt-build-30"
+        (Staged.stage (fun () -> ignore (Mtree.Spt.build apsp ~root:0 ~members)));
+      Test.make ~name:"benes-route-64"
+        (Staged.stage (fun () -> ignore (Fabric.Benes.route perm)));
+      Test.make ~name:"tree-packet-roundtrip"
+        (Staged.stage (fun () -> ignore (Protocols.Tree_packet.decode words)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"scmp" tests) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> pr "%-34s %14.1f ns/run\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe \
+     [fig7|fig8|fig9|placement|fabric|branch|failover|multi|capacity|congestion|pimsm|micro|all] \
+     [--full] [--ablate] [--csv DIR]";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let ablate = List.mem "--ablate" args in
+  (* --csv DIR: also emit every table as CSV into DIR *)
+  let rec find_csv = function
+    | "--csv" :: dir :: _ -> Some dir
+    | _ :: rest -> find_csv rest
+    | [] -> None
+  in
+  (match find_csv args with
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    csv_dir := Some dir
+  | None -> ());
+  let rec strip_flags = function
+    | "--csv" :: _ :: rest -> strip_flags rest
+    | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
+      strip_flags rest
+    | a :: rest -> a :: strip_flags rest
+    | [] -> []
+  in
+  let cmds = strip_flags args in
+  let tree_seeds = if full then 10 else 3 in
+  let net_seeds = if full then 10 else 2 in
+  let run = function
+    | "fig7" -> fig7 ~seeds:tree_seeds ~ablate ()
+    | "fig8" -> fig8 ~seeds:net_seeds ()
+    | "fig9" -> fig9 ~seeds:net_seeds ()
+    | "placement" -> placement ~seeds:(if full then 3 else 1) ()
+    | "fabric" -> fabric ()
+    | "branch" -> branch_ablation ~seeds:net_seeds ()
+    | "failover" -> failover ()
+    | "multi" -> multi ()
+    | "capacity" -> capacity ()
+    | "congestion" -> congestion ()
+    | "pimsm" -> pimsm ()
+    | "micro" -> micro ()
+    | "all" ->
+      fig7 ~seeds:tree_seeds ~ablate ();
+      fig8 ~seeds:net_seeds ();
+      fig9 ~seeds:net_seeds ();
+      placement ~seeds:(if full then 3 else 1) ();
+      fabric ();
+      branch_ablation ~seeds:net_seeds ();
+      failover ();
+      multi ();
+      capacity ();
+      congestion ();
+      pimsm ();
+      micro ()
+    | other ->
+      pr "unknown command %S\n" other;
+      usage ()
+  in
+  match cmds with [] -> run "all" | cs -> List.iter run cs

@@ -1,0 +1,415 @@
+(* scmp_sim — command-line driver for the SCMP reproduction.
+
+   Subcommands:
+     topo       generate/load/save/inspect a topology
+     tree       build and compare multicast trees on a topology
+     run        network-wide protocol simulation (the Fig 8/9 runner)
+     placement  score the m-router placement rules
+
+   Examples:
+     scmp_sim topo --gen waxman --nodes 100 --seed 7 --save net.topo
+     scmp_sim tree --load net.topo --group-size 20 --algo dcdm --bound moderate
+     scmp_sim run --gen random3 --group-size 16 --protocol all
+     scmp_sim placement --gen waxman --nodes 60 *)
+
+open Cmdliner
+
+(* ---------- shared topology selection ---------- *)
+
+type gen = Waxman | Random3 | Random5 | Arpanet_g
+
+let gen_conv =
+  let parse = function
+    | "waxman" -> Ok Waxman
+    | "random3" -> Ok Random3
+    | "random5" -> Ok Random5
+    | "arpanet" -> Ok Arpanet_g
+    | s -> Error (`Msg (Printf.sprintf "unknown generator %S" s))
+  in
+  let print fmt g =
+    Format.pp_print_string fmt
+      (match g with
+      | Waxman -> "waxman"
+      | Random3 -> "random3"
+      | Random5 -> "random5"
+      | Arpanet_g -> "arpanet")
+  in
+  Arg.conv (parse, print)
+
+let gen_arg =
+  Arg.(
+    value
+    & opt gen_conv Waxman
+    & info [ "gen" ] ~docv:"GEN" ~doc:"Generator: waxman, random3, random5, arpanet.")
+
+let nodes_arg =
+  Arg.(value & opt int 100 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Node count.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE" ~doc:"Load a saved topology instead of generating.")
+
+let make_spec gen nodes seed load =
+  match load with
+  | Some path -> Topology.Io.load ~path
+  | None -> (
+    try
+      Ok
+        (match gen with
+        | Waxman -> Topology.Waxman.generate ~seed ~n:nodes ()
+        | Random3 -> Topology.Flat_random.generate ~seed ~n:nodes ~avg_degree:3.0
+        | Random5 -> Topology.Flat_random.generate ~seed ~n:nodes ~avg_degree:5.0
+        | Arpanet_g -> Topology.Arpanet.generate ~seed)
+    with Invalid_argument m -> Error m)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+
+(* ---------- topo ---------- *)
+
+let topo_cmd =
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the topology to a file.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write a Graphviz rendering.")
+  in
+  let run gen nodes seed load save dot =
+    let spec = or_die (make_spec gen nodes seed load) in
+    let g = spec.Topology.Spec.graph in
+    let apsp = Netgraph.Apsp.compute g in
+    Printf.printf "%s: %d nodes, %d links, mean degree %.2f, diameter %.0f\n"
+      spec.name (Netgraph.Graph.node_count g) (Netgraph.Graph.link_count g)
+      (Netgraph.Graph.mean_degree g) (Netgraph.Apsp.diameter apsp);
+    List.iter
+      (fun rule ->
+        Printf.printf "placement %-18s -> node %d\n" (Scmp.Placement.rule_name rule)
+          (Scmp.Placement.pick apsp rule))
+      Scmp.Placement.all_rules;
+    (match save with
+    | Some path ->
+      or_die (Topology.Io.save spec ~path);
+      Printf.printf "saved to %s\n" path
+    | None -> ());
+    match dot with
+    | Some path ->
+      or_die
+        (Netgraph.Dot.write_file path
+           (Netgraph.Dot.render ~name:spec.name ~coords:spec.coords g));
+      Printf.printf "dot written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate, load, save or inspect a topology.")
+    Term.(const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ save $ dot)
+
+(* ---------- tree ---------- *)
+
+let algo_conv =
+  Arg.conv
+    ( (function
+      | "dcdm" -> Ok `Dcdm
+      | "kmb" -> Ok `Kmb
+      | "spt" -> Ok `Spt
+      | "all" -> Ok `All
+      | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))),
+      fun fmt a ->
+        Format.pp_print_string fmt
+          (match a with `Dcdm -> "dcdm" | `Kmb -> "kmb" | `Spt -> "spt" | `All -> "all")
+    )
+
+let bound_conv =
+  Arg.conv
+    ( (function
+      | "tightest" -> Ok Mtree.Bound.Tightest
+      | "moderate" -> Ok Mtree.Bound.Moderate
+      | "loosest" -> Ok Mtree.Bound.Loosest
+      | s -> (
+        match float_of_string_opt s with
+        | Some f when f >= 1.0 -> Ok (Mtree.Bound.Factor f)
+        | _ -> Error (`Msg (Printf.sprintf "bad bound %S" s)))),
+      fun fmt b -> Format.pp_print_string fmt (Mtree.Bound.to_string b) )
+
+let tree_cmd =
+  let algo =
+    Arg.(
+      value & opt algo_conv `All
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"dcdm, kmb, spt or all.")
+  in
+  let bound =
+    Arg.(
+      value
+      & opt bound_conv Mtree.Bound.Tightest
+      & info [ "bound" ] ~docv:"BOUND"
+          ~doc:"Delay constraint: tightest, moderate, loosest or a factor >= 1.")
+  in
+  let group_size =
+    Arg.(
+      value & opt int 10
+      & info [ "group-size"; "k" ] ~docv:"K" ~doc:"Number of random members.")
+  in
+  let members =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "members" ] ~docv:"A,B,C" ~doc:"Explicit member routers.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Render the (last) tree over the topology.")
+  in
+  let run gen nodes seed load algo bound group_size members dot =
+    let spec = or_die (make_spec gen nodes seed load) in
+    let g = spec.Topology.Spec.graph in
+    let n = Netgraph.Graph.node_count g in
+    let apsp = Netgraph.Apsp.compute g in
+    let root = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+    let members =
+      match members with
+      | Some ms ->
+        List.iter
+          (fun m ->
+            if m < 0 || m >= n then or_die (Error (Printf.sprintf "member %d out of range" m)))
+          ms;
+        ms
+      | None ->
+        let rng = Scmp_util.Prng.create (seed + 17) in
+        Scmp_util.Prng.sample rng (min group_size (n - 1)) n
+        |> List.filter (fun x -> x <> root)
+    in
+    Printf.printf "root (m-router): %d; members: [%s]\n" root
+      (String.concat "; " (List.map string_of_int members));
+    let build = function
+      | `Dcdm -> ("DCDM", Mtree.Dcdm.build apsp ~root ~bound ~members)
+      | `Kmb -> ("KMB", Mtree.Kmb.build apsp ~root ~members)
+      | `Spt -> ("SPT", Mtree.Spt.build apsp ~root ~members)
+      | `All -> assert false
+    in
+    let algos = match algo with `All -> [ `Dcdm; `Kmb; `Spt ] | a -> [ a ] in
+    let last = ref None in
+    Printf.printf "%-6s %12s %12s %8s\n" "algo" "tree cost" "tree delay" "routers";
+    List.iter
+      (fun a ->
+        let name, tree = build a in
+        last := Some tree;
+        Printf.printf "%-6s %12.0f %12.0f %8d\n" name (Mtree.Eval.tree_cost tree)
+          (Mtree.Eval.tree_delay tree) (Mtree.Tree.size tree))
+      algos;
+    match (dot, !last) with
+    | Some path, Some tree ->
+      let doc =
+        Netgraph.Dot.render ~name:spec.name ~coords:spec.coords
+          ~highlight:(Mtree.Tree.edges tree) ~members:(Mtree.Tree.members tree)
+          ~root g
+      in
+      or_die (Netgraph.Dot.write_file path doc);
+      Printf.printf "dot written to %s\n" path
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Build multicast trees and report quality metrics.")
+    Term.(
+      const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ algo $ bound
+      $ group_size $ members $ dot)
+
+(* ---------- run ---------- *)
+
+let protocol_conv =
+  Arg.conv
+    ( (function
+      | "scmp" -> Ok (`One Protocols.Runner.Scmp)
+      | "cbt" -> Ok (`One Protocols.Runner.Cbt)
+      | "dvmrp" -> Ok (`One Protocols.Runner.Dvmrp)
+      | "mospf" -> Ok (`One Protocols.Runner.Mospf)
+      | "all" -> Ok `All
+      | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))),
+      fun fmt p ->
+        Format.pp_print_string fmt
+          (match p with
+          | `All -> "all"
+          | `One p -> String.lowercase_ascii (Protocols.Runner.protocol_name p)) )
+
+let run_cmd =
+  let protocol =
+    Arg.(
+      value & opt protocol_conv `All
+      & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"scmp, cbt, dvmrp, mospf or all.")
+  in
+  let group_size =
+    Arg.(
+      value & opt int 16
+      & info [ "group-size"; "k" ] ~docv:"K" ~doc:"Number of random members.")
+  in
+  let packets =
+    Arg.(value & opt int 30 & info [ "packets" ] ~docv:"N" ~doc:"Data packets to send.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Write an NS-2-style packet trace.")
+  in
+  let run gen nodes seed load protocol group_size packets trace =
+    let spec = or_die (make_spec gen nodes seed load) in
+    let g = spec.Topology.Spec.graph in
+    let n = Netgraph.Graph.node_count g in
+    let apsp = Netgraph.Apsp.compute g in
+    let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+    let rng = Scmp_util.Prng.create (seed + 23) in
+    let members =
+      Scmp_util.Prng.sample rng (min group_size (n - 1)) n
+      |> List.filter (fun x -> x <> center)
+    in
+    let source = List.hd members in
+    let sc =
+      {
+        (Protocols.Runner.make ~spec ~center ~source ~members ()) with
+        Protocols.Runner.data_count = packets;
+        trace_path = trace;
+      }
+    in
+    let protos =
+      match protocol with `All -> Protocols.Runner.all_protocols | `One p -> [ p ]
+    in
+    Printf.printf
+      "%s: %d members (source %d, m-router/core %d), %d packets at 1/s\n\n"
+      spec.name (List.length members) source center packets;
+    Printf.printf "%-6s %14s %16s %10s %10s %s\n" "proto" "data overhead"
+      "protocol overhead" "max delay" "delivered" "anomalies";
+    List.iter
+      (fun p ->
+        let r = Protocols.Runner.run p sc in
+        Printf.printf "%-6s %14.0f %16.0f %9.4fs %10d %s\n"
+          (Protocols.Runner.protocol_name p)
+          r.Protocols.Runner.data_overhead r.protocol_overhead r.max_delay
+          r.deliveries
+          (if r.duplicates + r.spurious + r.missed = 0 then "none"
+           else
+             Printf.sprintf "dup=%d spur=%d miss=%d" r.duplicates r.spurious
+               r.missed))
+      protos
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Packet-level protocol comparison on one scenario.")
+    Term.(
+      const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ protocol
+      $ group_size $ packets $ trace)
+
+(* ---------- trace-stats ---------- *)
+
+let trace_stats_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file from run --trace.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc:"How many top links/kinds.")
+  in
+  let run file top =
+    let ic =
+      try open_in file
+      with Sys_error e -> or_die (Error e)
+    in
+    let links = Hashtbl.create 64 in
+    let kinds = Hashtbl.create 16 in
+    let control = ref 0 and data = ref 0 and total = ref 0 in
+    let t_min = ref infinity and t_max = ref neg_infinity in
+    let bump tbl key =
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+    in
+    (try
+       while true do
+         let line = input_line ic in
+         match String.split_on_char ' ' line with
+         | time :: src :: dst :: cls :: descr :: _ ->
+           incr total;
+           (match float_of_string_opt time with
+           | Some t ->
+             if t < !t_min then t_min := t;
+             if t > !t_max then t_max := t
+           | None -> ());
+           (match cls with
+           | "C" -> incr control
+           | "D" -> incr data
+           | _ -> ());
+           (match (int_of_string_opt src, int_of_string_opt dst) with
+           | Some a, Some b -> bump links (min a b, max a b)
+           | _ -> ());
+           bump kinds descr
+         | _ -> ()
+       done
+     with End_of_file -> close_in ic);
+    Printf.printf "%d crossings (%d control, %d data) over %.4f s\n" !total
+      !control !data
+      (if !t_max >= !t_min then !t_max -. !t_min else 0.0);
+    let ranked tbl =
+      Hashtbl.fold (fun k v acc -> (v, k) :: acc) tbl []
+      |> List.sort (fun a b -> compare b a)
+    in
+    Printf.printf "\nbusiest links:\n";
+    List.iteri
+      (fun i (count, (a, b)) ->
+        if i < top then Printf.printf "  %d-%d  %d crossings\n" a b count)
+      (ranked links);
+    Printf.printf "\nmessage kinds:\n";
+    List.iteri
+      (fun i (count, kind) ->
+        if i < top then Printf.printf "  %-14s %d\n" kind count)
+      (ranked kinds)
+  in
+  Cmd.v
+    (Cmd.info "trace-stats" ~doc:"Summarize a packet trace produced by run --trace.")
+    Term.(const run $ file $ top)
+
+(* ---------- placement ---------- *)
+
+let placement_cmd =
+  let group_size =
+    Arg.(value & opt int 15 & info [ "group-size"; "k" ] ~docv:"K" ~doc:"Group size.")
+  in
+  let trials =
+    Arg.(value & opt int 30 & info [ "trials" ] ~docv:"T" ~doc:"Member sets per candidate.")
+  in
+  let run gen nodes seed load group_size trials =
+    let spec = or_die (make_spec gen nodes seed load) in
+    let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+    Printf.printf "%-22s %-6s %s\n" "rule" "node" "mean DCDM tree cost";
+    List.iter
+      (fun rule ->
+        let node = Scmp.Placement.pick apsp rule in
+        let score =
+          Scmp.Placement.evaluate apsp ~candidate:node ~bound:Mtree.Bound.Moderate
+            ~group_size ~trials ~seed
+        in
+        Printf.printf "%-22s %-6d %.0f\n" (Scmp.Placement.rule_name rule) node score)
+      Scmp.Placement.all_rules
+  in
+  Cmd.v
+    (Cmd.info "placement" ~doc:"Score the §IV.A m-router placement rules.")
+    Term.(const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ group_size $ trials)
+
+let () =
+  let doc = "Service-centric multicast (SCMP) simulator" in
+  let info = Cmd.info "scmp_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topo_cmd; tree_cmd; run_cmd; placement_cmd; trace_stats_cmd ]))

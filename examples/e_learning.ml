@@ -1,0 +1,66 @@
+(* E-learning: a lecture with student churn (one of the paper's §I
+   motivating applications).
+
+   An instructor streams one packet per second for ten minutes while
+   students drop in and out of the session (Poisson arrivals,
+   exponential attendance spans). The dynamic shared tree follows the
+   membership; at the end the m-router's accounting shows the session
+   history.
+
+   Run with:  dune exec examples/e_learning.exe *)
+
+let () =
+  let spec = Scmp.Arpanet.generate ~seed:12 in
+  let d = Scmp.Domain.create ~spec () in
+  let n = Scmp.Graph.node_count spec.Scmp.Topology_spec.graph in
+  let instructor = 47 (* MIT *) in
+  let group = Result.get_ok (Scmp.Domain.create_group d) in
+  Printf.printf "lecture group 0x%X on the ARPANET; instructor at %s\n" group
+    Scmp.Arpanet.site_names.(instructor);
+
+  (* the instructor is in the session from the start *)
+  Scmp.Domain.join d ~group instructor;
+  Scmp.Domain.run d;
+
+  (* students churn: one arrival every ~20 s on average, staying ~3
+     minutes; the pool is every other site *)
+  let candidates =
+    List.filter (fun x -> x <> instructor && x <> Scmp.Domain.mrouter d)
+      (List.init n Fun.id)
+  in
+  let churn =
+    Scmp.Churn.start (Scmp.Domain.engine d)
+      ~rng:(Scmp.Prng.create 2026)
+      ~candidates
+      ~join:(fun x -> Scmp.Domain.join d ~group x)
+      ~leave:(fun x -> Scmp.Domain.leave d ~group x)
+      ~mean_interarrival:20.0 ~mean_holding:180.0 ~horizon:600.0
+  in
+
+  (* the stream: 1 packet per second for 10 minutes *)
+  for k = 0 to 599 do
+    Scmp.Engine.schedule_at (Scmp.Domain.engine d)
+      ~time:(1.0 +. float_of_int k)
+      (fun () -> Scmp.Domain.send d ~group ~src:instructor)
+  done;
+  Scmp.Domain.run d;
+
+  Printf.printf "students over the session: %d joined, %d left, %d still on\n"
+    (Scmp.Churn.joins churn) (Scmp.Churn.leaves churn)
+    (List.length (Scmp.Churn.current_members churn));
+  Printf.printf "deliveries %d, duplicates %d, max latency %.4f s\n"
+    (Scmp.Domain.deliveries d) (Scmp.Domain.duplicates d)
+    (Scmp.Domain.max_delay d);
+  Printf.printf "data overhead %.0f, protocol overhead %.0f\n"
+    (Scmp.Domain.data_overhead d) (Scmp.Domain.protocol_overhead d);
+
+  (* the m-router's accounting database recorded the whole session *)
+  let svc = Scmp.Domain.service d in
+  Printf.printf "m-router accounting: %d membership joins, %d data packets\n"
+    (Scmp.Service.join_count svc ~group)
+    (Scmp.Service.data_count svc ~group);
+  match Scmp.Domain.tree d ~group with
+  | Some t ->
+    Printf.printf "final tree: %d routers for %d members (cost %.0f)\n"
+      (Scmp.Tree.size t) (Scmp.Tree.member_count t) (Scmp.Tree_eval.tree_cost t)
+  | None -> print_endline "no tree left"

@@ -1,0 +1,28 @@
+(* Where should the ISP put its m-router? (§IV.A's placement rules.)
+
+   Scores each placement heuristic — and a few random placements — by
+   the mean DCDM tree cost over many random member sets, on a Waxman
+   topology.
+
+   Run with:  dune exec examples/placement_study.exe *)
+
+let () =
+  let spec = Scmp.Waxman.generate ~seed:99 ~n:60 () in
+  let apsp = Scmp.Apsp.compute spec.Scmp.Topology_spec.graph in
+  let score candidate =
+    Scmp.Placement.evaluate apsp ~candidate ~bound:Scmp.Bound.Moderate
+      ~group_size:15 ~trials:40 ~seed:1
+  in
+  Printf.printf "placement study: 60-node Waxman, groups of 15, 40 trials each\n\n";
+  Printf.printf "%-22s %-6s %s\n" "rule" "node" "mean DCDM tree cost";
+  List.iter
+    (fun rule ->
+      let node = Scmp.Placement.pick apsp rule in
+      Printf.printf "%-22s %-6d %.0f\n" (Scmp.Placement.rule_name rule) node
+        (score node))
+    Scmp.Placement.all_rules;
+  let rng = Scmp.Prng.create 123 in
+  for _ = 1 to 4 do
+    let node = Scmp.Prng.int rng 60 in
+    Printf.printf "%-22s %-6d %.0f\n" "random" node (score node)
+  done

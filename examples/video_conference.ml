@@ -1,0 +1,91 @@
+(* Many-to-many: an audio/video conference (the paper's motivating
+   workload for the m-router's CCN, §II.B).
+
+   Several participants both send and receive in one group. All the
+   sources' flows are merged by the m-router's sandwich fabric onto the
+   single shared tree; participants churn (join late, leave early) and
+   the tree follows.
+
+   Run with:  dune exec examples/video_conference.exe *)
+
+let () =
+  let spec = Scmp.Waxman.generate ~seed:7 ~n:40 () in
+  let d = Scmp.Domain.create ~spec ~fabric_ports:32 () in
+  let mrouter = Scmp.Domain.mrouter d in
+  Printf.printf "conference domain: 40 routers, m-router at %d\n" mrouter;
+
+  let group = Result.get_ok (Scmp.Domain.create_group d) in
+
+  (* Five conference sites; each is a member (receives) and a speaker
+     (sends). They join over the first simulated second. *)
+  let sites = [ 2; 9; 16; 23; 31 ] in
+  List.iteri
+    (fun i site ->
+      Scmp.Engine.schedule_at (Scmp.Domain.engine d)
+        ~time:(0.2 *. float_of_int i)
+        (fun () -> Scmp.Domain.join d ~group site))
+    sites;
+  Scmp.Domain.run d;
+
+  let tree = Option.get (Scmp.Domain.tree d ~group) in
+  Printf.printf "shared tree after joins: %d routers, %d members, cost %.0f\n"
+    (Scmp.Tree.size tree)
+    (Scmp.Tree.member_count tree)
+    (Scmp.Tree_eval.tree_cost tree);
+
+  (* A round-robin of speakers: 10 rounds, every site sends one
+     packet per round (think: one video frame burst each). *)
+  for round = 0 to 9 do
+    List.iteri
+      (fun i site ->
+        Scmp.Engine.schedule_at (Scmp.Domain.engine d)
+          ~time:(2.0 +. (0.1 *. float_of_int ((round * 5) + i)))
+          (fun () -> Scmp.Domain.send d ~group ~src:site))
+      sites
+  done;
+  Scmp.Domain.run d;
+
+  (* The fabric merged five sources into the group's single output
+     port; show the plan. *)
+  let plan = Scmp.Sandwich.plan (Scmp.Domain.fabric d) in
+  let merge = List.assoc group plan.Scmp.Sandwich.merges in
+  Printf.printf
+    "fabric: %d sources merged through a %d-node CCN tree to output port %d\n"
+    (List.length (Scmp.Sandwich.sources (Scmp.Domain.fabric d) group))
+    (List.length merge)
+    (Scmp.Sandwich.output_port (Scmp.Domain.fabric d) group);
+  (match Scmp.Domain.fabric_check d with
+  | Ok () -> print_endline "fabric self-check: ok"
+  | Error e -> Printf.printf "fabric self-check FAILED: %s\n" e);
+
+  Printf.printf
+    "conference traffic: %d deliveries (each packet reaches the other 4 sites), \
+     %d duplicates, max latency %.4f s\n"
+    (Scmp.Domain.deliveries d)
+    (Scmp.Domain.duplicates d)
+    (Scmp.Domain.max_delay d);
+
+  (* Two sites hang up; the tree is pruned (§III.C) and the remaining
+     speakers keep talking. *)
+  Scmp.Domain.leave d ~group 2;
+  Scmp.Domain.leave d ~group 31;
+  Scmp.Domain.run d;
+  let tree = Option.get (Scmp.Domain.tree d ~group) in
+  Printf.printf "after two departures: tree has %d routers, %d members\n"
+    (Scmp.Tree.size tree)
+    (Scmp.Tree.member_count tree);
+
+  List.iter (fun site -> Scmp.Domain.send d ~group ~src:site) [ 9; 16; 23 ];
+  Scmp.Domain.run d;
+  Printf.printf "final deliveries %d, duplicates %d\n"
+    (Scmp.Domain.deliveries d)
+    (Scmp.Domain.duplicates d);
+
+  (* The m-router's accounting database saw it all (§II.C). *)
+  let svc = Scmp.Domain.service d in
+  Printf.printf
+    "m-router accounting: %d joins, %d data packets logged, current members [%s]\n"
+    (Scmp.Service.join_count svc ~group)
+    (Scmp.Service.data_count svc ~group)
+    (String.concat "; "
+       (List.map string_of_int (Scmp.Service.current_members svc ~group)))

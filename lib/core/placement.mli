@@ -1,0 +1,39 @@
+(** m-router placement heuristics (§IV.A).
+
+    The paper observes that no single location wins under every member
+    set and join order, and offers three rules that "achieve good
+    performance in most cases":
+
+    + rule 1 — the node with the least average unicast delay to all
+      other nodes;
+    + rule 2 — a node with a large degree;
+    + rule 3 — a node lying on a path whose delay equals the graph
+      diameter (we take the midpoint of such a path).
+
+    {!evaluate} scores any candidate empirically by building DCDM trees
+    for sampled member sets, which is how the placement bench compares
+    the rules against random placement. *)
+
+type rule =
+  | Min_avg_delay  (** rule 1 *)
+  | Max_degree  (** rule 2 *)
+  | Diameter_midpoint  (** rule 3 *)
+
+val all_rules : rule list
+
+val rule_name : rule -> string
+
+val pick : Netgraph.Apsp.t -> rule -> Netgraph.Graph.node
+(** Deterministic: ties break toward the smaller node id. *)
+
+val evaluate :
+  Netgraph.Apsp.t ->
+  candidate:Netgraph.Graph.node ->
+  bound:Mtree.Bound.t ->
+  group_size:int ->
+  trials:int ->
+  seed:int ->
+  float
+(** Mean DCDM tree cost over [trials] random member sets of
+    [group_size] joined in random order with the candidate as
+    m-router. Lower is better. *)

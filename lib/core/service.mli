@@ -1,0 +1,76 @@
+(** The m-router's service layer (§II.C).
+
+    "The m-router is the sole entity for managing the multicast groups
+    and multicast sessions": it issues and revokes multicast addresses,
+    publishes existing groups, starts and tears down sessions with
+    service-defined lifetimes, and keeps per-group accounting of every
+    membership on-off and traffic event "for accounting/billing
+    purposes" — queryable by outsiders. All of that state lives in this
+    module's database.
+
+    Time is supplied by the caller ([now] arguments), so the service
+    works equally under the event engine or wall-clock drivers. *)
+
+type addr = int
+(** Multicast group address (an opaque id from the m-router's pool). *)
+
+type session_id = int
+
+type event =
+  | Member_joined of Netgraph.Graph.node
+  | Member_left of Netgraph.Graph.node
+  | Data_forwarded of { src : Netgraph.Graph.node; seq : int }
+  | Session_started of session_id
+  | Session_ended of session_id
+
+type t
+
+val create : ?first_addr:addr -> ?pool_size:int -> unit -> t
+(** Default pool: 256 addresses starting at 0xE0000100 (224.0.1.0). *)
+
+(** {2 Group address management} *)
+
+val allocate_group : t -> now:float -> (addr, string) result
+(** Issue a fresh multicast address; [Error] when the pool is
+    exhausted. *)
+
+val revoke_group : t -> addr -> (unit, string) result
+(** Revoke an abandoned group's address (it returns to the pool; its
+    accounting log is retained). Errors on unknown or active-session
+    groups. *)
+
+val group_exists : t -> addr -> bool
+
+val published_groups : t -> addr list
+(** Addresses currently issued, ascending — what the m-router
+    "publishes" for prospective members. *)
+
+(** {2 Session management} *)
+
+val start_session :
+  t -> group:addr -> lifetime:float option -> now:float -> (session_id, string) result
+(** Open a session on a group; [lifetime], when given, sets the expiry
+    {!expire} enforces. Errors on unknown groups. *)
+
+val end_session : t -> session_id -> now:float -> (unit, string) result
+
+val active_sessions : t -> group:addr -> session_id list
+
+val expire : t -> now:float -> session_id list
+(** Tear down every session whose lifetime has elapsed; returns the
+    sessions closed. The m-router calls this periodically. *)
+
+(** {2 Accounting and queries} *)
+
+val record : t -> group:addr -> now:float -> event -> unit
+(** Append to the group's log. Unknown groups are ignored (a revoked
+    group may still have in-flight traffic). *)
+
+val log : t -> group:addr -> (float * event) list
+(** The group's events, oldest first. Survives revocation. *)
+
+val join_count : t -> group:addr -> int
+val data_count : t -> group:addr -> int
+
+val current_members : t -> group:addr -> Netgraph.Graph.node list
+(** Nodes whose joins outnumber their leaves, ascending. *)

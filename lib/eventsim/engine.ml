@@ -1,0 +1,66 @@
+type event = { thunk : unit -> unit; background : bool }
+
+type t = {
+  mutable clock : float;
+  queue : event Scmp_util.Heap.t;
+  mutable foreground : int;
+}
+
+let create () =
+  { clock = 0.0; queue = Scmp_util.Heap.create ~capacity:256 (); foreground = 0 }
+
+let now t = t.clock
+
+let enqueue t ~time ~background thunk =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Scmp_util.Heap.add t.queue ~key:time { thunk; background };
+  if not background then t.foreground <- t.foreground + 1
+
+let schedule_at t ?(background = false) ~time thunk = enqueue t ~time ~background thunk
+
+let schedule t ?(background = false) ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~background ~time:(t.clock +. delay) thunk
+
+let every t ~interval ?until ?(background = false) thunk =
+  if interval <= 0.0 then invalid_arg "Engine.every: non-positive interval";
+  let rec tick () =
+    thunk ();
+    let next = t.clock +. interval in
+    match until with
+    | Some stop when next > stop -> ()
+    | _ -> enqueue t ~time:next ~background tick
+  in
+  enqueue t ~time:(t.clock +. interval) ~background tick
+
+let pending t = Scmp_util.Heap.length t.queue
+let pending_foreground t = t.foreground
+
+let step t =
+  match Scmp_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- time;
+    if not ev.background then t.foreground <- t.foreground - 1;
+    ev.thunk ();
+    true
+
+(* Without [until]: run to quiescence — until no foreground event
+   remains (background-only residue, like periodic IGMP queries, does
+   not keep the simulation alive). With [until]: run every event, of
+   either kind, scheduled within the window. *)
+let run ?until t =
+  let continue () =
+    match Scmp_util.Heap.min_key t.queue with
+    | None -> false
+    | Some next ->
+      (match until with
+      | Some stop -> next <= stop
+      | None -> t.foreground > 0)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some stop when stop > t.clock -> t.clock <- stop
+  | _ -> ()

@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    A time-ordered queue of thunks. Events scheduled for the same
+    instant execute in scheduling order (FIFO), which makes whole-run
+    behaviour deterministic — a property the reproduction relies on for
+    seed-stable experiment output. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; [0.] before the first event runs. *)
+
+val schedule : t -> ?background:bool -> delay:float -> (unit -> unit) -> unit
+(** Enqueue an event [delay] after the current time. [background]
+    events (state-expiry housekeeping and the like) execute in time
+    order like any other but do not keep {!run} alive — see {!run}.
+    @raise Invalid_argument on negative delay. *)
+
+val schedule_at : t -> ?background:bool -> time:float -> (unit -> unit) -> unit
+(** Enqueue at an absolute time, not before the current time.
+    @raise Invalid_argument if [time < now t]. *)
+
+val every :
+  t -> interval:float -> ?until:float -> ?background:bool -> (unit -> unit) -> unit
+(** Recurring event starting one [interval] from now, stopping after
+    [until] (absolute, inclusive) if given. [background] events (e.g.
+    periodic IGMP queries) do not keep {!run} alive — see {!run}.
+    @raise Invalid_argument on non-positive interval. *)
+
+val pending : t -> int
+(** Events currently queued. *)
+
+val pending_foreground : t -> int
+(** Non-background events currently queued. *)
+
+val run : ?until:float -> t -> unit
+(** Without [until]: execute events in time order until no foreground
+    event remains (quiescence — periodic background work alone does not
+    keep the run alive). With [until]: execute every event, background
+    included, scheduled up to [until]; later events remain queued and
+    the clock settles at [until]. *)
+
+val step : t -> bool
+(** Execute exactly the next event; [false] if none. *)

@@ -1,0 +1,140 @@
+type node = Netgraph.Graph.node
+
+type pkt_class = [ `Data | `Control ]
+
+type 'm t = {
+  engine : Engine.t;
+  graph : Netgraph.Graph.t;
+  routes : Routes.t;
+  classify : 'm -> pkt_class;
+  handlers : ('m t -> from:node -> 'm -> unit) option array;
+  mutable data_overhead : float;
+  mutable control_overhead : float;
+  mutable data_tx : int;
+  mutable control_tx : int;
+  per_link : (node * node, int) Hashtbl.t;
+  mutable hooks : (src:node -> dst:node -> 'm -> unit) list;
+  mutable loss : (float * Scmp_util.Prng.t) option;
+  mutable dropped : int;
+  (* per-node forwarding engine: deliveries queue for a processor
+     before the protocol handler runs *)
+  processing : (node, Server.t * float) Hashtbl.t;
+}
+
+let create engine graph ~classify =
+  {
+    engine;
+    graph;
+    routes = Routes.compute graph;
+    classify;
+    handlers = Array.make (Netgraph.Graph.node_count graph) None;
+    data_overhead = 0.0;
+    control_overhead = 0.0;
+    data_tx = 0;
+    control_tx = 0;
+    per_link = Hashtbl.create 64;
+    hooks = [];
+    loss = None;
+    dropped = 0;
+    processing = Hashtbl.create 4;
+  }
+
+let engine t = t.engine
+let graph t = t.graph
+let routes t = t.routes
+let classify_of t msg = t.classify msg
+
+let set_handler t x h = t.handlers.(x) <- Some h
+
+let set_node_processing t x station ~service_time =
+  if service_time < 0.0 then
+    invalid_arg "Netsim.set_node_processing: negative service time";
+  Hashtbl.replace t.processing x (station, service_time)
+
+let clear_node_processing t x = Hashtbl.remove t.processing x
+
+let set_loss t ~rate ~seed =
+  if rate < 0.0 || rate >= 1.0 then
+    invalid_arg "Netsim.set_loss: rate must be in [0, 1)";
+  t.loss <- (if rate = 0.0 then None else Some (rate, Scmp_util.Prng.create seed))
+
+let dropped t = t.dropped
+
+(* A crossing consumed the link (and is charged) even when the packet
+   then dies; loss is decided per crossing. *)
+let lost t =
+  match t.loss with
+  | None -> false
+  | Some (rate, rng) ->
+    let dead = Scmp_util.Prng.chance rng rate in
+    if dead then t.dropped <- t.dropped + 1;
+    dead
+
+let deliver t ?(background = false) ~at ~from dst msg =
+  Engine.schedule_at t.engine ~background ~time:at (fun () ->
+      let invoke () =
+        match t.handlers.(dst) with
+        | Some h -> h t ~from msg
+        | None -> ()
+      in
+      match Hashtbl.find_opt t.processing dst with
+      | None -> invoke ()
+      | Some (station, service_time) ->
+        Server.submit station ~service_time invoke)
+
+let charge t ~src ~dst msg =
+  let cost = Netgraph.Graph.link_cost t.graph src dst in
+  (match t.classify msg with
+  | `Data ->
+    t.data_overhead <- t.data_overhead +. cost;
+    t.data_tx <- t.data_tx + 1
+  | `Control ->
+    t.control_overhead <- t.control_overhead +. cost;
+    t.control_tx <- t.control_tx + 1);
+  let key = (min src dst, max src dst) in
+  Hashtbl.replace t.per_link key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_link key));
+  List.iter (fun h -> h ~src ~dst msg) t.hooks
+
+let transmit t ?background ~src ~dst msg =
+  if not (Netgraph.Graph.has_link t.graph src dst) then
+    invalid_arg "Netsim.transmit: nodes are not adjacent";
+  charge t ~src ~dst msg;
+  if not (lost t) then begin
+    let delay = Netgraph.Graph.link_delay t.graph src dst in
+    deliver t ?background ~at:(Engine.now t.engine +. delay) ~from:src dst msg
+  end
+
+let unicast t ?background ~src ~dst msg =
+  if src = dst then deliver t ?background ~at:(Engine.now t.engine) ~from:src dst msg
+  else
+    match Routes.path t.routes ~src ~dst with
+    | None -> ()
+    | Some p ->
+      (* Charge every hop now; schedule a single delivery at the path's
+         total delay. Per-hop timing is not observable above IP, so this
+         is equivalent to hop-by-hop forwarding and far cheaper. *)
+      let edges = Netgraph.Path.edges p in
+      let rec hop = function
+        | [] -> true
+        | (a, b) :: rest ->
+          charge t ~src:a ~dst:b msg;
+          if lost t then false else hop rest
+      in
+      let survived = hop edges in
+      if survived then begin
+        let delay = Netgraph.Path.delay t.graph p in
+        deliver t ?background ~at:(Engine.now t.engine +. delay) ~from:src dst msg
+      end
+
+let loopback t x msg = deliver t ~at:(Engine.now t.engine) ~from:x x msg
+
+let data_overhead t = t.data_overhead
+let control_overhead t = t.control_overhead
+let data_transmissions t = t.data_tx
+let control_transmissions t = t.control_tx
+
+let link_crossings t (a, b) =
+  Option.value ~default:0 (Hashtbl.find_opt t.per_link (min a b, max a b))
+
+let on_transmit t h = t.hooks <- t.hooks @ [ h ]

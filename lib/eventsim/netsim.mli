@@ -1,0 +1,100 @@
+(** Packet-level network simulation over the event engine.
+
+    Nodes exchange messages of an arbitrary type ['m]. Two primitives
+    are offered:
+
+    - {!transmit}: one hop across an existing link, arriving after the
+      link delay and charging the link cost to the message's class —
+      this is how multicast protocols move packets (they own their
+      forwarding logic);
+    - {!unicast}: plain IP forwarding below the multicast layer; the
+      message travels hop-by-hop along converged unicast routes,
+      charging every traversed link, and only the destination's handler
+      sees it (intermediate routers forward transparently). Used for
+      JOIN/LEAVE requests to the m-router and for encapsulated data
+      from off-tree sources.
+
+    Overheads follow the paper's metric (§IV.B): a packet crossing a
+    link contributes that link's cost, accumulated separately for
+    [`Data] and [`Control] packets. *)
+
+type node = Netgraph.Graph.node
+
+type pkt_class = [ `Data | `Control ]
+
+type 'm t
+
+val create : Engine.t -> Netgraph.Graph.t -> classify:('m -> pkt_class) -> 'm t
+(** Builds converged unicast routes internally (one Dijkstra per
+    node). *)
+
+val engine : 'm t -> Engine.t
+val graph : 'm t -> Netgraph.Graph.t
+val routes : 'm t -> Routes.t
+
+val classify_of : 'm t -> 'm -> pkt_class
+(** Apply the simulation's classifier to a message (used by tracing). *)
+
+val set_handler : 'm t -> node -> ('m t -> from:node -> 'm -> unit) -> unit
+(** Install the protocol agent of one node. [from] is the neighbour the
+    packet arrived from for {!transmit}, or the original source for
+    {!unicast}. Without a handler, arriving packets are dropped. *)
+
+val transmit : 'm t -> ?background:bool -> src:node -> dst:node -> 'm -> unit
+(** One-hop send across the link [src]-[dst]. A [background] packet is
+    charged and delivered like any other but its delivery event does
+    not keep {!Engine.run} alive (periodic keep-alive traffic).
+    @raise Invalid_argument if the nodes are not adjacent. *)
+
+val unicast : 'm t -> ?background:bool -> src:node -> dst:node -> 'm -> unit
+(** Routed multi-hop send; delivery after the total path delay, cost
+    charged per traversed link. [src = dst] delivers locally after zero
+    delay. Drops the packet silently if no route exists. *)
+
+val loopback : 'm t -> node -> 'm -> unit
+(** Deliver to the node's own handler at the current instant + 0 (an
+    intra-router hand-off; no link crossed, nothing charged). *)
+
+(** {2 Accounting} *)
+
+val data_overhead : 'm t -> float
+(** Sum of link costs crossed by [`Data] packets so far. *)
+
+val control_overhead : 'm t -> float
+(** Same for [`Control] packets (the paper's "protocol overhead"). *)
+
+val data_transmissions : 'm t -> int
+(** Number of link crossings by data packets. *)
+
+val control_transmissions : 'm t -> int
+
+val link_crossings : 'm t -> (node * node) -> int
+(** Crossings of one undirected link (both directions pooled). *)
+
+val on_transmit : 'm t -> (src:node -> dst:node -> 'm -> unit) -> unit
+(** Register a trace hook called on every link crossing (after
+    accounting, before delivery is scheduled). Hooks stack. *)
+
+(** {2 Node processing capacity} *)
+
+val set_node_processing : 'm t -> node -> Server.t -> service_time:float -> unit
+(** Route every packet delivered to this node through a processing
+    station first: the protocol handler runs only after the packet has
+    queued for and held a processor for [service_time]. Models a
+    router's forwarding engine — in this reproduction, the §I traffic
+    concentration at shared-tree cores versus the m-router's parallel
+    fabric. @raise Invalid_argument on negative service time. *)
+
+val clear_node_processing : 'm t -> node -> unit
+
+(** {2 Failure injection} *)
+
+val set_loss : 'm t -> rate:float -> seed:int -> unit
+(** Bernoulli packet loss per link crossing: each crossing is charged
+    (the bits were sent) and then killed with probability [rate]. A
+    multi-hop unicast dies at the first lost hop, charging only the
+    hops it travelled. [rate = 0.] disables loss.
+    @raise Invalid_argument unless [0 <= rate < 1]. *)
+
+val dropped : 'm t -> int
+(** Packets killed by loss injection so far. *)

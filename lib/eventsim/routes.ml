@@ -1,0 +1,21 @@
+type t = { results : Netgraph.Dijkstra.result array }
+
+let compute g =
+  let n = Netgraph.Graph.node_count g in
+  {
+    results =
+      Array.init n (fun s -> Netgraph.Dijkstra.run g ~metric:Netgraph.Dijkstra.Delay ~source:s);
+  }
+
+let path t ~src ~dst = Netgraph.Dijkstra.path t.results.(src) dst
+
+let next_hop t ~src ~dst =
+  if src = dst then None
+  else
+    match path t ~src ~dst with
+    | Some (_ :: hop :: _) -> Some hop
+    | Some _ | None -> None
+
+let distance t ~src ~dst = Netgraph.Dijkstra.dist t.results.(src) dst
+
+let spt t ~src = t.results.(src)

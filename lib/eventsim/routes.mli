@@ -1,0 +1,27 @@
+(** Unicast next-hop forwarding tables.
+
+    Each domain in the paper runs a link-state unicast routing protocol
+    alongside the multicast protocol (§II.D); this module is its
+    steady-state result — the converged next-hop tables — computed from
+    shortest-delay paths. All hop-by-hop and tunnelled unicast traffic
+    in the simulator forwards through these tables. *)
+
+type t
+
+val compute : Netgraph.Graph.t -> t
+(** One Dijkstra (delay metric) per node. Ties resolve
+    deterministically (Dijkstra's fixed relaxation order). *)
+
+val next_hop : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.Graph.node option
+(** The neighbour to forward to; [None] if [dst] is unreachable.
+    [next_hop ~src ~dst:src] is [None]. *)
+
+val distance : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> float
+(** Converged shortest-delay distance ([infinity] if unreachable). *)
+
+val path : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.Path.t option
+(** The concrete forwarding path [src; ...; dst]. *)
+
+val spt : t -> src:Netgraph.Graph.node -> Netgraph.Dijkstra.result
+(** The shortest-delay tree rooted at [src] (the structure MOSPF
+    routers derive their per-source forwarding from). *)

@@ -1,0 +1,35 @@
+type t = { mutable entries : string list; (* newest first *) mutable count : int }
+
+let attach net ~describe =
+  let t = { entries = []; count = 0 } in
+  let engine = Netsim.engine net in
+  Netsim.on_transmit net (fun ~src ~dst msg ->
+      let cls =
+        match Netsim.classify_of net msg with `Control -> 'C' | `Data -> 'D'
+      in
+      let line =
+        Printf.sprintf "%.6f %d %d %c %s" (Engine.now engine) src dst cls
+          (describe msg)
+      in
+      t.entries <- line :: t.entries;
+      t.count <- t.count + 1);
+  t
+
+let line_count t = t.count
+let lines t = List.rev t.entries
+
+let to_string t =
+  String.concat "" (List.rev_map (fun l -> l ^ "\n") t.entries)
+
+let save t ~path =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string t));
+    Ok ()
+  with Sys_error e -> Error e
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0

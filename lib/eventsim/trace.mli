@@ -1,0 +1,32 @@
+(** Packet trace capture — the NS-2 trace-file analogue.
+
+    Attach a trace to a network simulation and every link crossing is
+    recorded as one line:
+
+    {v
+    <time> <src> <dst> <C|D> <description>
+    v}
+
+    with [C]/[D] the control/data class and the description produced by
+    the caller (e.g. [Protocols.Message.describe]). Traces make
+    simulations debuggable the way NS-2 runs were: replayable,
+    grep-able records of exactly what crossed which link when. *)
+
+type t
+
+val attach : 'm Netsim.t -> describe:('m -> string) -> t
+(** Starts recording every subsequent crossing (registers an
+    {!Netsim.on_transmit} hook; earlier traffic is not recorded). *)
+
+val line_count : t -> int
+
+val lines : t -> string list
+(** Recorded lines, oldest first. *)
+
+val to_string : t -> string
+(** All lines, newline-terminated. *)
+
+val save : t -> path:string -> (unit, string) result
+
+val clear : t -> unit
+(** Forget everything recorded so far (the hook stays active). *)

@@ -1,0 +1,117 @@
+(* A Beneš network on n ports is, recursively, an input stage of n/2
+   elements, two n/2 sub-networks (upper, lower), and an output stage of
+   n/2 elements. An element is 2x2: "through" or "crossed".
+
+   Input element i takes terminals 2i and 2i+1; its top lead feeds the
+   upper sub-network at position i, its bottom lead the lower one.
+   Through sends 2i up / 2i+1 down; crossed the opposite. The output
+   stage mirrors this. *)
+
+type config =
+  | Leaf of bool  (* one 2x2 element; true = crossed *)
+  | Node of {
+      in_cross : bool array;  (* input-stage elements, true = crossed *)
+      out_cross : bool array;
+      upper : config;
+      lower : config;
+    }
+
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+let check_perm perm =
+  let n = Array.length perm in
+  if n < 2 || not (is_pow2 n) then
+    invalid_arg "Benes.route: size must be a power of two >= 2";
+  let seen = Array.make n false in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then invalid_arg "Benes.route: not a permutation";
+      seen.(x) <- true)
+    perm
+
+(* Looping algorithm. Decide for every input terminal whether it routes
+   through the upper sub-network, subject to: partners (a, a xor 1) split
+   across sub-networks, and likewise output partners. Constraints form
+   even cycles, so 2-coloring by chain-chasing always succeeds. *)
+let rec solve perm =
+  let n = Array.length perm in
+  if n = 2 then Leaf (perm.(0) = 1)
+  else begin
+    let inv = Array.make n 0 in
+    Array.iteri (fun i x -> inv.(x) <- i) perm;
+    let in_up = Array.make n (-1) in
+    (* -1 unknown / 0 lower / 1 upper *)
+    let out_up = Array.make n (-1) in
+    let rec chase_in a v =
+      if in_up.(a) = -1 then begin
+        in_up.(a) <- v;
+        in_up.(a lxor 1) <- 1 - v;
+        chase_out perm.(a) v;
+        chase_out perm.(a lxor 1) (1 - v)
+      end
+    and chase_out b v =
+      if out_up.(b) = -1 then begin
+        out_up.(b) <- v;
+        out_up.(b lxor 1) <- 1 - v;
+        chase_in inv.(b lxor 1) (1 - v)
+      end
+    in
+    for a = 0 to n - 1 do
+      if in_up.(a) = -1 then chase_in a 1
+    done;
+    let half = n / 2 in
+    let in_cross = Array.init half (fun i -> in_up.(2 * i) = 0) in
+    let out_cross = Array.init half (fun j -> out_up.(2 * j) = 0) in
+    (* Sub-permutations: terminal a entering sub-network s at position
+       a/2 must exit it at position perm.(a)/2. *)
+    let perm_u = Array.make half 0 and perm_l = Array.make half 0 in
+    for a = 0 to n - 1 do
+      let sub = if in_up.(a) = 1 then perm_u else perm_l in
+      sub.(a / 2) <- perm.(a) / 2
+    done;
+    Node { in_cross; out_cross; upper = solve perm_u; lower = solve perm_l }
+  end
+
+let route perm =
+  check_perm perm;
+  solve (Array.copy perm)
+
+let rec eval = function
+  | Leaf crossed -> if crossed then [| 1; 0 |] else [| 0; 1 |]
+  | Node { in_cross; out_cross; upper; lower } ->
+    let half = Array.length in_cross in
+    let n = 2 * half in
+    let up = eval upper and low = eval lower in
+    let result = Array.make n 0 in
+    for a = 0 to n - 1 do
+      let elt = a / 2 and top = a land 1 = 0 in
+      let goes_up = if in_cross.(elt) then not top else top in
+      let sub_out = if goes_up then up.(elt) else low.(elt) in
+      (* Output element [sub_out] receives the signal on its top lead
+         from the upper sub-network, bottom lead from the lower. *)
+      let from_top = goes_up in
+      let out_terminal =
+        if out_cross.(sub_out) = from_top then (2 * sub_out) + 1 else 2 * sub_out
+      in
+      result.(a) <- out_terminal
+    done;
+    result
+
+let ports = function
+  | Leaf _ -> 2
+  | Node { in_cross; _ } -> 2 * Array.length in_cross
+
+let rec depth = function Leaf _ -> 1 | Node { upper; _ } -> 2 + depth upper
+
+let rec element_count = function
+  | Leaf _ -> 1
+  | Node { in_cross; upper; lower; _ } ->
+    (2 * Array.length in_cross) + element_count upper + element_count lower
+
+let rec crossed_count = function
+  | Leaf crossed -> if crossed then 1 else 0
+  | Node { in_cross; out_cross; upper; lower } ->
+    let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in
+    count in_cross + count out_cross + crossed_count upper + crossed_count lower
+
+let identity n = route (Array.init n (fun i -> i))

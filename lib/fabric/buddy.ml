@@ -1,0 +1,102 @@
+type block = { offset : int; size : int }
+
+type t = {
+  n : int;
+  levels : int;  (* log2 n *)
+  free_lists : (int, unit) Hashtbl.t array;  (* level -> offsets *)
+  live : (int, int) Hashtbl.t;  (* offset -> size of allocated block *)
+}
+
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop k acc = if k = 1 then acc else loop (k / 2) (acc + 1) in
+  loop n 0
+
+let pow2_ceil k =
+  let rec loop p = if p >= k then p else loop (2 * p) in
+  loop 1
+
+let create n =
+  if not (is_pow2 n) then invalid_arg "Buddy.create: size must be a power of two";
+  let levels = log2 n in
+  let t =
+    {
+      n;
+      levels;
+      free_lists = Array.init (levels + 1) (fun _ -> Hashtbl.create 8);
+      live = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace t.free_lists.(levels) 0 ();
+  t
+
+let capacity t = t.n
+
+let pop_free t level =
+  let chosen = Hashtbl.fold (fun off () acc ->
+      match acc with Some o when o <= off -> acc | _ -> Some off)
+      t.free_lists.(level) None
+  in
+  match chosen with
+  | None -> None
+  | Some off ->
+    Hashtbl.remove t.free_lists.(level) off;
+    Some off
+
+(* Split a free block from [level] down to [target] level, returning the
+   offset of the target-sized block and parking the split-off halves. *)
+let rec acquire t target level =
+  if level > t.levels then None
+  else
+    match pop_free t level with
+    | Some off ->
+      let rec split off level =
+        if level = target then off
+        else begin
+          let level' = level - 1 in
+          let half = 1 lsl level' in
+          Hashtbl.replace t.free_lists.(level') (off + half) ();
+          split off level'
+        end
+      in
+      Some (split off level)
+    | None -> acquire t target (level + 1)
+
+let alloc t k =
+  if k <= 0 then invalid_arg "Buddy.alloc: non-positive request";
+  if k > t.n then invalid_arg "Buddy.alloc: request exceeds capacity";
+  let size = pow2_ceil k in
+  let target = log2 size in
+  match acquire t target target with
+  | None -> None
+  | Some offset ->
+    Hashtbl.replace t.live offset size;
+    Some { offset; size }
+
+let free t { offset; size } =
+  (match Hashtbl.find_opt t.live offset with
+  | Some s when s = size -> ()
+  | _ -> invalid_arg "Buddy.free: block is not currently allocated");
+  Hashtbl.remove t.live offset;
+  (* Coalesce with the buddy while it is free. *)
+  let rec merge off level =
+    if level < t.levels then begin
+      let size = 1 lsl level in
+      let buddy = off lxor size in
+      if Hashtbl.mem t.free_lists.(level) buddy then begin
+        Hashtbl.remove t.free_lists.(level) buddy;
+        merge (min off buddy) (level + 1)
+      end
+      else Hashtbl.replace t.free_lists.(level) off ()
+    end
+    else Hashtbl.replace t.free_lists.(level) off ()
+  in
+  merge offset (log2 size)
+
+let allocated t =
+  Hashtbl.fold (fun offset size acc -> { offset; size } :: acc) t.live []
+  |> List.sort (fun a b -> compare a.offset b.offset)
+
+let free_columns t =
+  t.n - List.fold_left (fun acc b -> acc + b.size) 0 (allocated t)

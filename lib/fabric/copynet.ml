@@ -1,0 +1,78 @@
+type t = { n : int; levels : int }
+
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop k acc = if k <= 1 then acc else loop (k / 2) (acc + 1) in
+  loop n 0
+
+let create n =
+  if n < 2 || not (is_pow2 n) then
+    invalid_arg "Copynet.create: ports must be a power of two >= 2";
+  { n; levels = log2 n }
+
+let ports t = t.n
+let stages t = t.levels
+
+(* The fan-out tree: node (level, index) covers outputs
+   [index * 2^level, (index+1) * 2^level). The plan records, for each
+   traversed node, whether the packet went low, high, or split — i.e.
+   the interval-splitting decision the tag encodes. *)
+type decision = Low | High | Split
+
+type plan = {
+  net : t;
+  lo : int;
+  hi : int;
+  decisions : (int * int * decision) list;  (* (level, index, decision) *)
+}
+
+let route t ~lo ~hi =
+  if lo < 0 || hi >= t.n || lo > hi then
+    invalid_arg "Copynet.route: interval out of range";
+  (* Walk down from the root, splitting the interval per element. *)
+  let decisions = ref [] in
+  let rec walk level index lo hi =
+    if level > 0 then begin
+      let half = 1 lsl (level - 1) in
+      let base = index * (1 lsl level) in
+      let mid = base + half in
+      let d =
+        if hi < mid then Low else if lo >= mid then High else Split
+      in
+      decisions := (level, index, d) :: !decisions;
+      (match d with
+      | Low -> walk (level - 1) (2 * index) lo hi
+      | High -> walk (level - 1) ((2 * index) + 1) lo hi
+      | Split ->
+        walk (level - 1) (2 * index) lo (mid - 1);
+        walk (level - 1) ((2 * index) + 1) mid hi)
+    end
+  in
+  walk t.levels 0 lo hi;
+  { net = t; lo; hi; decisions = List.rev !decisions }
+
+let eval t plan =
+  if plan.net.n <> t.n then invalid_arg "Copynet.eval: foreign plan";
+  let out = Array.make t.n false in
+  (* Replay decisions from the root; a signal reaching level 0 at
+     index i lights output i. *)
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (l, i, d) -> Hashtbl.replace tbl (l, i) d) plan.decisions;
+  let rec replay level index =
+    if level = 0 then out.(index) <- true
+    else
+      match Hashtbl.find_opt tbl (level, index) with
+      | None -> () (* signal never reached this element *)
+      | Some Low -> replay (level - 1) (2 * index)
+      | Some High -> replay (level - 1) ((2 * index) + 1)
+      | Some Split ->
+        replay (level - 1) (2 * index);
+        replay (level - 1) ((2 * index) + 1)
+  in
+  replay t.levels 0;
+  out
+
+let elements_used plan = List.length plan.decisions
+
+let copies plan = plan.hi - plan.lo + 1

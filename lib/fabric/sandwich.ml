@@ -1,0 +1,250 @@
+type gid = int
+
+type group = {
+  mutable srcs : int list;  (* physical input ports, insertion order *)
+  mutable block : Buddy.block option;  (* None while the group is empty *)
+  output : int;
+}
+
+type t = {
+  n : int;
+  buddy : Buddy.t;
+  groups : (gid, group) Hashtbl.t;
+  mutable input_owner : gid option array;
+  mutable output_owner : gid option array;
+}
+
+type plan = {
+  pn : Benes.config;
+  dn : Benes.config;
+  column_of_input : (int * int) list;
+  merges : (gid * Reduction.node list) list;
+  output_of_group : (gid * int) list;
+}
+
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+let create ~ports =
+  if ports < 2 || not (is_pow2 ports) then
+    invalid_arg "Sandwich.create: ports must be a power of two >= 2";
+  {
+    n = ports;
+    buddy = Buddy.create ports;
+    groups = Hashtbl.create 16;
+    input_owner = Array.make ports None;
+    output_owner = Array.make ports None;
+  }
+
+let ports t = t.n
+
+let sorted_gids t =
+  Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort compare
+
+let groups = sorted_gids
+
+let find t gid =
+  match Hashtbl.find_opt t.groups gid with
+  | Some g -> g
+  | None -> raise Not_found
+
+let sources t gid = (find t gid).srcs
+
+let output_port t gid = (find t gid).output
+
+let open_group t ~gid ~output =
+  if Hashtbl.mem t.groups gid then Error (Printf.sprintf "group %d already open" gid)
+  else if output < 0 || output >= t.n then Error "output port out of range"
+  else
+    match t.output_owner.(output) with
+    | Some g -> Error (Printf.sprintf "output port taken by group %d" g)
+    | None ->
+      t.output_owner.(output) <- Some gid;
+      Hashtbl.replace t.groups gid { srcs = []; block = None; output };
+      Ok ()
+
+let release_block t g =
+  match g.block with
+  | Some b ->
+    Buddy.free t.buddy b;
+    g.block <- None
+  | None -> ()
+
+let close_group t gid =
+  match Hashtbl.find_opt t.groups gid with
+  | None -> ()
+  | Some g ->
+    List.iter (fun i -> t.input_owner.(i) <- None) g.srcs;
+    release_block t g;
+    t.output_owner.(g.output) <- None;
+    Hashtbl.remove t.groups gid
+
+(* Resize the group's block to fit [want] sources. Freeing before
+   reallocating is safe: plans are recomputed from scratch, so there is
+   no in-flight state to preserve, and it maximizes the chance the
+   allocator can satisfy the request. *)
+let fit_block t g want =
+  let needed = if want = 0 then 0 else Buddy.pow2_ceil want in
+  match g.block with
+  | Some b when b.size = needed -> Ok ()
+  | current ->
+    (match current with Some b -> Buddy.free t.buddy b | None -> ());
+    if needed = 0 then begin
+      g.block <- None;
+      Ok ()
+    end
+    else begin
+      match Buddy.alloc t.buddy needed with
+      | Some b ->
+        g.block <- Some b;
+        Ok ()
+      | None ->
+        (* Roll back: try to re-acquire the old size so the group keeps
+           working at its previous capacity. *)
+        (match current with
+        | Some old -> g.block <- Buddy.alloc t.buddy old.size
+        | None -> g.block <- None);
+        Error "fabric exhausted: no buddy block available"
+    end
+
+let add_source t ~gid ~input =
+  match Hashtbl.find_opt t.groups gid with
+  | None -> Error (Printf.sprintf "unknown group %d" gid)
+  | Some g ->
+    if input < 0 || input >= t.n then Error "input port out of range"
+    else begin
+      match t.input_owner.(input) with
+      | Some owner -> Error (Printf.sprintf "input port in use by group %d" owner)
+      | None ->
+        let want = List.length g.srcs + 1 in
+        (match fit_block t g want with
+        | Error _ as e -> e
+        | Ok () ->
+          g.srcs <- g.srcs @ [ input ];
+          t.input_owner.(input) <- Some gid;
+          Ok ())
+    end
+
+let remove_source t ~gid ~input =
+  match Hashtbl.find_opt t.groups gid with
+  | None -> ()
+  | Some g ->
+    if List.mem input g.srcs then begin
+      g.srcs <- List.filter (fun i -> i <> input) g.srcs;
+      t.input_owner.(input) <- None;
+      (* Shrinking cannot fail: the smaller power of two always fits
+         where the bigger one was. *)
+      match fit_block t g (List.length g.srcs) with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Sandwich.remove_source: unexpected: " ^ e)
+    end
+
+(* Complete a partial injective assignment into a full permutation by
+   pairing unassigned domain and codomain points in ascending order. *)
+let complete_permutation n assigned =
+  let perm = Array.make n (-1) in
+  let taken = Array.make n false in
+  List.iter
+    (fun (i, c) ->
+      perm.(i) <- c;
+      taken.(c) <- true)
+    assigned;
+  let free_cols = ref [] in
+  for c = n - 1 downto 0 do
+    if not taken.(c) then free_cols := c :: !free_cols
+  done;
+  for i = 0 to n - 1 do
+    if perm.(i) = -1 then begin
+      match !free_cols with
+      | c :: rest ->
+        perm.(i) <- c;
+        free_cols := rest
+      | [] -> assert false
+    end
+  done;
+  perm
+
+let plan t =
+  let gids = sorted_gids t in
+  let column_of_input =
+    List.concat_map
+      (fun gid ->
+        let g = find t gid in
+        match g.block with
+        | None -> []
+        | Some b -> List.mapi (fun i input -> (input, b.offset + i)) g.srcs)
+      gids
+  in
+  let pn_perm = complete_permutation t.n column_of_input in
+  let merges =
+    List.filter_map
+      (fun gid ->
+        let g = find t gid in
+        match g.block with
+        | None -> None
+        | Some b -> Some (gid, Reduction.merge_tree b))
+      gids
+  in
+  let dn_assigned =
+    List.filter_map
+      (fun gid ->
+        let g = find t gid in
+        match g.block with
+        | None -> None
+        | Some b -> Some (Reduction.output_column b, g.output))
+      gids
+  in
+  let dn_perm = complete_permutation t.n dn_assigned in
+  let output_of_group = List.map (fun gid -> (gid, (find t gid).output)) gids in
+  {
+    pn = Benes.route pn_perm;
+    dn = Benes.route dn_perm;
+    column_of_input;
+    merges;
+    output_of_group;
+  }
+
+let self_check t =
+  let p = plan t in
+  let errors = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* 1. PN realizes the intended input->column mapping. *)
+  let realized = Benes.eval p.pn in
+  List.iter
+    (fun (input, col) ->
+      if realized.(input) <> col then
+        fail "PN routes input %d to column %d, wanted %d" input realized.(input) col)
+    p.column_of_input;
+  (* 2. Sources inside blocks; blocks pairwise disjoint. *)
+  let blocks =
+    List.filter_map
+      (fun gid -> Option.map (fun b -> (gid, b)) (find t gid).block)
+      (sorted_gids t)
+  in
+  let rec pairwise = function
+    | [] -> ()
+    | (ga, a) :: rest ->
+      List.iter
+        (fun (gb, b) ->
+          if not (Reduction.disjoint a b) then
+            fail "merge trees of groups %d and %d intersect" ga gb)
+        rest;
+      pairwise rest
+  in
+  pairwise blocks;
+  List.iter
+    (fun (gid, (b : Buddy.block)) ->
+      let g = find t gid in
+      if List.length g.srcs > b.size then
+        fail "group %d has %d sources in a block of %d" gid (List.length g.srcs) b.size)
+    blocks;
+  (* 3. DN carries each merged signal to the right output port. *)
+  let dn_out = Benes.eval p.dn in
+  List.iter
+    (fun (gid, (b : Buddy.block)) ->
+      let g = find t gid in
+      let col = Reduction.output_column b in
+      if dn_out.(col) <> g.output then
+        fail "DN routes group %d merge (column %d) to port %d, wanted %d" gid col
+          dn_out.(col) g.output)
+    blocks;
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,77 @@
+(** The m-router's complete switching fabric: PN — CCN — DN (§II.B,
+    Fig 3).
+
+    Front to back:
+
+    - the {b PN} (a Beneš network) permutes physical input ports so
+      that each multicast group's source signals land on the contiguous
+      buddy block of columns the group owns — "keeping inputs in some
+      order for the CCN";
+    - the {b CCN} merges each block through its private reversed binary
+      tree into one signal per group (see {!Reduction});
+    - the {b DN} (another Beneš network) permutes each merged signal to
+      the output port the m-router assigned to the group — the root of
+      that group's multicast tree in the Internet, and the layer that
+      "performs load-balance".
+
+    The fabric is a circuit model: group membership changes recompute
+    the switch {!plan}; {!self_check} verifies on every plan the two
+    §II.B claims — any admissible source pattern is routable
+    (rearrangeably non-blocking) and sources of different groups are
+    never connected. *)
+
+type t
+
+type gid = int
+
+type plan = {
+  pn : Benes.config;
+  dn : Benes.config;
+  column_of_input : (int * int) list;
+      (** (physical input port, CCN column) for every in-use input. *)
+  merges : (gid * Reduction.node list) list;
+      (** Each group's reversed merge tree (leaves first, root last). *)
+  output_of_group : (gid * int) list;
+}
+
+val create : ports:int -> t
+(** [ports] must be a power of two >= 2 (same port count on both
+    sides). @raise Invalid_argument otherwise. *)
+
+val ports : t -> int
+
+val open_group : t -> gid:gid -> output:int -> (unit, string) result
+(** Register a group and bind it to a free output port. Errors: gid
+    already open, output out of range or taken. *)
+
+val close_group : t -> gid -> unit
+(** Release the group's sources, block and output port. Unknown gids
+    are ignored. *)
+
+val add_source : t -> gid:gid -> input:int -> (unit, string) result
+(** Connect a physical input port as a source of the group, growing the
+    group's buddy block if needed. Errors: unknown gid, input out of
+    range, input already in use (by any group), or fabric exhausted. *)
+
+val remove_source : t -> gid:gid -> input:int -> unit
+(** Disconnect a source. The block shrinks to the smallest buddy size
+    that still fits the remaining sources (freeing columns early keeps
+    long-running m-routers from fragmenting). *)
+
+val groups : t -> gid list
+val sources : t -> gid -> int list
+(** @raise Not_found on unknown gid. *)
+
+val output_port : t -> gid -> int
+(** @raise Not_found on unknown gid. *)
+
+val plan : t -> plan
+(** Compute the current switch settings. Deterministic for a given
+    fabric state. *)
+
+val self_check : t -> (unit, string) result
+(** Recompute the plan and verify: PN and DN configurations realize
+    their permutations (checked through {!Benes.eval}); every source
+    lands inside its group's block; merge trees of distinct groups are
+    disjoint; the DN delivers each merged signal to its group's output
+    port. *)

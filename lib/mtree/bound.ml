@@ -1,0 +1,22 @@
+type t = Tightest | Moderate | Loosest | Factor of float
+
+let factor = function
+  | Tightest -> 1.0
+  | Moderate -> 1.5
+  | Loosest -> infinity
+  | Factor f ->
+    if f < 1.0 then invalid_arg "Bound.factor: multiplier below 1.0 is infeasible";
+    f
+
+let limit t ~max_unicast_delay =
+  match t with
+  | Loosest -> infinity
+  | _ -> factor t *. max_unicast_delay
+
+let to_string = function
+  | Tightest -> "tightest"
+  | Moderate -> "moderate"
+  | Loosest -> "loosest"
+  | Factor f -> Printf.sprintf "factor-%g" f
+
+let all_levels = [ Tightest; Moderate; Loosest ]

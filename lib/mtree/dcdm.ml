@@ -1,0 +1,153 @@
+type candidate_set = Both | Least_cost_only | Shortest_delay_only
+
+type t = {
+  apsp : Netgraph.Apsp.t;
+  tree : Tree.t;
+  bound : Bound.t;
+  candidates : candidate_set;
+  mutable max_ul : float;  (* largest member unicast delay, 0 if none *)
+  mutable last_graft : Netgraph.Path.t option;
+}
+
+let create ?(candidates = Both) apsp ~root ~bound () =
+  let g = Netgraph.Apsp.graph apsp in
+  {
+    apsp;
+    tree = Tree.create g ~root;
+    bound;
+    candidates;
+    max_ul = 0.0;
+    last_graft = None;
+  }
+
+let tree t = t.tree
+let bound t = t.bound
+
+let current_limit t =
+  if t.max_ul = 0.0 && Tree.member_count t.tree = 0 then infinity
+  else Bound.limit t.bound ~max_unicast_delay:t.max_ul
+
+let last_graft t = t.last_graft
+
+(* Is the (undirected) edge a-b already a tree link? *)
+let on_tree_edge tree a b =
+  Tree.on_tree tree a && Tree.on_tree tree b
+  && (Tree.parent tree a = Some b || Tree.parent tree b = Some a)
+
+(* Cost a graft path would add: links not already carried by the tree. *)
+let added_cost t path =
+  let g = Tree.graph t.tree in
+  List.fold_left
+    (fun acc (a, b) ->
+      if on_tree_edge t.tree a b then acc else acc +. Netgraph.Graph.link_cost g a b)
+    0.0
+    (Netgraph.Path.edges path)
+
+(* Candidate graft paths for joining [s]: for each on-tree router [v],
+   P_lc(v, s) and/or P_sl(v, s), in tree-order v -> s. *)
+let candidate_paths t s =
+  let lc v = Netgraph.Apsp.lc_path t.apsp v s in
+  let sl v = Netgraph.Apsp.sl_path t.apsp v s in
+  let picks v =
+    match t.candidates with
+    | Both -> [ lc v; sl v ]
+    | Least_cost_only -> [ lc v ]
+    | Shortest_delay_only -> [ sl v ]
+  in
+  Tree.nodes t.tree |> List.concat_map (fun v -> List.filter_map Fun.id (picks v))
+
+let repair_limit_violations t limit =
+  if Float.is_finite limit then begin
+    let g = Tree.graph t.tree in
+    let root = Tree.root t.tree in
+    (* Each pass re-grafts at most every member once; delays only shrink
+       toward unicast optimum, so n passes certainly suffice. *)
+    let rec passes remaining =
+      if remaining > 0 then begin
+        let d = Tree.delays t.tree in
+        let violators =
+          List.filter (fun m -> d.(m) > limit +. 1e-9) (Tree.members t.tree)
+        in
+        if violators <> [] then begin
+          List.iter
+            (fun m ->
+              match Netgraph.Apsp.sl_path t.apsp root m with
+              | Some p -> Tree.graft_path t.tree p
+              | None -> ())
+            violators;
+          passes (remaining - 1)
+        end
+      end
+    in
+    passes (Netgraph.Graph.node_count g)
+  end
+
+let join t s =
+  let root = Tree.root t.tree in
+  t.last_graft <- None;
+  if Tree.on_tree t.tree s then begin
+    (* Already a relay (or the root): just mark membership (§III.B: the
+       DR only informs the m-router; the tree is unchanged). *)
+    Tree.set_member t.tree s;
+    if s <> root then t.max_ul <- Float.max t.max_ul (Netgraph.Apsp.delay t.apsp root s)
+  end
+  else begin
+    let ul = Netgraph.Apsp.delay t.apsp root s in
+    if not (Float.is_finite ul) then
+      invalid_arg "Dcdm.join: member unreachable from the m-router";
+    let new_max_ul = Float.max t.max_ul ul in
+    let limit = Bound.limit t.bound ~max_unicast_delay:new_max_ul in
+    let d = Tree.delays t.tree in
+    (* Feasibility of a candidate: the new member's multicast delay —
+       graft node's multicast delay plus path delay — within the limit. *)
+    let g = Tree.graph t.tree in
+    let consider best path =
+      match path with
+      | [] -> best
+      | v :: _ ->
+        let pd = Netgraph.Path.delay g path in
+        let ml = d.(v) +. pd in
+        if ml > limit +. 1e-9 then best
+        else begin
+          let ac = added_cost t path in
+          match best with
+          | Some (bac, bml, _) when bac < ac || (bac = ac && bml <= ml) -> best
+          | _ -> Some (ac, ml, path)
+        end
+    in
+    let best = List.fold_left consider None (candidate_paths t s) in
+    let chosen =
+      match best with
+      | Some (_, _, p) -> p
+      | None ->
+        (* Unreachable only if limit < ul, which Bound.limit rules out
+           (factor >= 1); fall back defensively to the shortest-delay
+           path from the root. *)
+        (match Netgraph.Apsp.sl_path t.apsp root s with
+        | Some p -> p
+        | None -> invalid_arg "Dcdm.join: member unreachable from the m-router")
+    in
+    Tree.graft_path t.tree chosen;
+    Tree.set_member t.tree s;
+    t.max_ul <- new_max_ul;
+    t.last_graft <- Some chosen;
+    repair_limit_violations t limit
+  end
+
+let leave t s =
+  if Tree.is_member t.tree s then begin
+    Tree.unset_member t.tree s;
+    Tree.prune_upward t.tree s;
+    (* The dynamic bound follows the surviving membership. *)
+    let root = Tree.root t.tree in
+    t.max_ul <-
+      List.fold_left
+        (fun acc m ->
+          if m = root then acc else Float.max acc (Netgraph.Apsp.delay t.apsp root m))
+        0.0 (Tree.members t.tree)
+  end
+
+let build ?candidates apsp ~root ~bound ~members =
+  let t = create ?candidates apsp ~root ~bound () in
+  List.iter (join t) members;
+  tree t

@@ -1,0 +1,94 @@
+module G = Netgraph.Graph
+
+let build apsp ~root ~members =
+  let g = Netgraph.Apsp.graph apsp in
+  let terminals =
+    root :: List.filter (fun m -> m <> root) (List.sort_uniq compare members)
+  in
+  let k = List.length terminals in
+  let term = Array.of_list terminals in
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite (Netgraph.Apsp.cost apsp root x)) then
+        invalid_arg "Kmb.build: terminal unreachable from root")
+    term;
+  (* Steps 1-2: MST of the terminal distance graph. *)
+  let weight i j = Netgraph.Apsp.cost apsp term.(i) term.(j) in
+  let mst1 = Netgraph.Mst.prim_dense ~n:k ~weight in
+  (* Step 3: expand MST edges into concrete least-cost paths; collect
+     the union of their links. *)
+  let module Edgeset = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let edge a b = (min a b, max a b) in
+  let subgraph_edges = ref Edgeset.empty in
+  List.iter
+    (fun (i, j) ->
+      match Netgraph.Apsp.lc_path apsp term.(i) term.(j) with
+      | None -> assert false (* reachability checked above *)
+      | Some p ->
+        List.iter
+          (fun (a, b) -> subgraph_edges := Edgeset.add (edge a b) !subgraph_edges)
+          (Netgraph.Path.edges p))
+    mst1;
+  (* Step 4: MST (Kruskal by cost) restricted to the collected links. *)
+  let sorted =
+    Edgeset.elements !subgraph_edges
+    |> List.map (fun (a, b) -> (G.link_cost g a b, a, b))
+    |> List.sort compare
+  in
+  let uf = Scmp_util.Unionfind.create (G.node_count g) in
+  let mst2 =
+    List.filter_map
+      (fun (_, a, b) -> if Scmp_util.Unionfind.union uf a b then Some (a, b) else None)
+      sorted
+  in
+  (* Step 5 + rooting: orient the edge set from the root, then repeatedly
+     drop non-terminal leaves (pruning the oriented tree bottom-up). *)
+  let n = G.node_count g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    mst2;
+  let tree = Tree.create g ~root in
+  let rec orient x =
+    List.iter
+      (fun y ->
+        if not (Tree.on_tree tree y) then begin
+          Tree.attach tree ~parent:x y;
+          orient y
+        end)
+      adj.(x)
+  in
+  orient root;
+  let is_terminal = Array.make n false in
+  Array.iter (fun x -> is_terminal.(x) <- true) term;
+  List.iter
+    (fun m -> if Tree.on_tree tree m then Tree.set_member tree m)
+    (List.tl terminals);
+  (* Any member that fell outside the oriented component would indicate a
+     broken MST; guard loudly. *)
+  List.iter
+    (fun m ->
+      if not (Tree.on_tree tree m) then
+        invalid_arg "Kmb.build: internal error, member not spanned")
+    (List.tl terminals);
+  let leaves () =
+    List.filter
+      (fun x ->
+        x <> root && Tree.children tree x = [] && not is_terminal.(x))
+      (Tree.nodes tree)
+  in
+  let rec prune () =
+    match leaves () with
+    | [] -> ()
+    | ls ->
+      List.iter (Tree.prune_upward tree) ls;
+      prune ()
+  in
+  prune ();
+  tree

@@ -1,0 +1,19 @@
+(** KMB Steiner-tree heuristic (Kou, Markowsky & Berman 1981, ref [19]).
+
+    The paper's cost-only baseline: "achieves best approximation ratio
+    on tree cost, but it does not consider tree delay". The classic
+    five steps, on link {e cost}:
+
+    + complete distance graph over the terminals (root + members),
+      weighted by least-cost-path cost;
+    + MST of that distance graph;
+    + expand each MST edge into its underlying least-cost path, union
+      the paths into a subgraph;
+    + MST of the subgraph;
+    + repeatedly delete non-terminal leaves.
+
+    The result is returned rooted at the m-router for evaluation. *)
+
+val build : Netgraph.Apsp.t -> root:Tree.node -> members:Tree.node list -> Tree.t
+(** @raise Invalid_argument if any member is unreachable from the
+    root. *)

@@ -1,0 +1,230 @@
+type node = Netgraph.Graph.node
+
+type t = {
+  graph : Netgraph.Graph.t;
+  root : node;
+  parent : int array;  (* -1 for root and off-tree nodes *)
+  on : bool array;
+  children : node list array;
+  member : bool array;
+  mutable count : int;
+}
+
+let create graph ~root =
+  let n = Netgraph.Graph.node_count graph in
+  if root < 0 || root >= n then invalid_arg "Tree.create: root out of range";
+  let t =
+    {
+      graph;
+      root;
+      parent = Array.make n (-1);
+      on = Array.make n false;
+      children = Array.make n [];
+      member = Array.make n false;
+      count = 1;
+    }
+  in
+  t.on.(root) <- true;
+  t
+
+let graph t = t.graph
+let root t = t.root
+let on_tree t x = t.on.(x)
+let size t = t.count
+
+let require_on t x name =
+  if not t.on.(x) then
+    invalid_arg (Printf.sprintf "Tree.%s: node %d is not on the tree" name x)
+
+let nodes t =
+  let acc = ref [] in
+  for x = Array.length t.on - 1 downto 0 do
+    if t.on.(x) then acc := x :: !acc
+  done;
+  !acc
+
+let parent t x =
+  require_on t x "parent";
+  if x = t.root then None else Some t.parent.(x)
+
+let children t x =
+  require_on t x "children";
+  t.children.(x)
+
+let edges t =
+  List.filter_map
+    (fun x -> if x = t.root then None else Some (t.parent.(x), x))
+    (nodes t)
+
+let is_member t x = t.member.(x)
+
+let members t = List.filter (fun x -> t.member.(x)) (nodes t)
+
+let member_count t = List.length (members t)
+
+let set_member t x =
+  require_on t x "set_member";
+  t.member.(x) <- true
+
+let unset_member t x = t.member.(x) <- false
+
+let attach t ~parent:p x =
+  require_on t p "attach";
+  if t.on.(x) then invalid_arg "Tree.attach: node already on tree";
+  if not (Netgraph.Graph.has_link t.graph p x) then
+    invalid_arg "Tree.attach: no such graph link";
+  t.on.(x) <- true;
+  t.parent.(x) <- p;
+  t.children.(p) <- t.children.(p) @ [ x ];
+  t.count <- t.count + 1
+
+let is_ancestor t a b =
+  require_on t a "is_ancestor";
+  require_on t b "is_ancestor";
+  let rec up x = x = a || (x <> t.root && up t.parent.(x)) in
+  up b
+
+let remove_child t p x =
+  t.children.(p) <- List.filter (fun c -> c <> x) t.children.(p)
+
+let detach_leaf t x =
+  require_on t x "detach_leaf";
+  if x = t.root then invalid_arg "Tree.detach_leaf: cannot detach root";
+  if t.children.(x) <> [] then invalid_arg "Tree.detach_leaf: node has children";
+  remove_child t t.parent.(x) x;
+  t.on.(x) <- false;
+  t.parent.(x) <- -1;
+  t.member.(x) <- false;
+  t.count <- t.count - 1
+
+let prune_upward t x =
+  let rec loop x =
+    if
+      t.on.(x) && x <> t.root && t.children.(x) = [] && not t.member.(x)
+    then begin
+      let p = t.parent.(x) in
+      detach_leaf t x;
+      loop p
+    end
+  in
+  if x >= 0 && x < Array.length t.on then loop x
+
+(* Move [x] (with its whole subtree) under [new_parent]; caller must have
+   ruled out cycles. The former upstream chain is then pruned as §III.D
+   prescribes for loop elimination. *)
+let reparent t x ~new_parent =
+  let old = t.parent.(x) in
+  remove_child t old x;
+  t.parent.(x) <- new_parent;
+  t.children.(new_parent) <- t.children.(new_parent) @ [ x ];
+  prune_upward t old
+
+let graft_path t path =
+  (match path with
+  | [] -> invalid_arg "Tree.graft_path: empty path"
+  | head :: _ -> require_on t head "graft_path");
+  List.iter
+    (fun (a, b) ->
+      if not (Netgraph.Graph.has_link t.graph a b) then
+        invalid_arg "Tree.graft_path: path edge is not a graph link")
+    (Netgraph.Path.edges path);
+  let rec walk attach_at = function
+    | [] -> ()
+    | b :: rest ->
+      if not t.on.(b) then begin
+        attach t ~parent:attach_at b;
+        walk b rest
+      end
+      else if b = attach_at then walk attach_at rest
+      else if is_ancestor t b attach_at then
+        (* Re-parenting [b] under [attach_at] would close a cycle: the
+           new path climbed back into its own ancestry. Use the existing
+           tree connectivity instead and continue the graft from [b]. *)
+        walk b rest
+      else begin
+        reparent t b ~new_parent:attach_at;
+        walk b rest
+      end
+  in
+  match path with
+  | head :: rest -> walk head rest
+  | [] -> ()
+
+let delays t =
+  let n = Netgraph.Graph.node_count t.graph in
+  let d = Array.make n infinity in
+  let rec visit x acc =
+    d.(x) <- acc;
+    List.iter
+      (fun c -> visit c (acc +. Netgraph.Graph.link_delay t.graph x c))
+      t.children.(x)
+  in
+  visit t.root 0.0;
+  d
+
+let depth t x =
+  require_on t x "depth";
+  let rec up x acc = if x = t.root then acc else up t.parent.(x) (acc + 1) in
+  up x 0
+
+let validate t =
+  let n = Netgraph.Graph.node_count t.graph in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (* Parent/children coherence and edge existence. *)
+  for x = 0 to n - 1 do
+    if t.on.(x) then begin
+      if x <> t.root then begin
+        let p = t.parent.(x) in
+        if p < 0 || p >= n || not t.on.(p) then note "node %d has off-tree parent" x
+        else begin
+          if not (List.mem x t.children.(p)) then
+            note "node %d missing from children of %d" x p;
+          if not (Netgraph.Graph.has_link t.graph p x) then
+            note "tree edge %d-%d is not a graph link" p x
+        end
+      end;
+      List.iter
+        (fun c ->
+          if not (t.on.(c) && t.parent.(c) = x) then
+            note "child %d of %d has inconsistent parent" c x)
+        t.children.(x)
+    end
+    else begin
+      if t.member.(x) then note "member %d is off-tree" x;
+      if t.children.(x) <> [] then note "off-tree node %d has children" x;
+      if t.parent.(x) <> -1 then note "off-tree node %d has a parent" x
+    end
+  done;
+  (* Reachability of the root (also excludes cycles). *)
+  let ok_count = ref 0 in
+  let rec count x =
+    incr ok_count;
+    List.iter count t.children.(x)
+  in
+  count t.root;
+  if !ok_count <> t.count then
+    note "size mismatch: %d reachable from root, %d recorded" !ok_count t.count;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let copy t =
+  {
+    graph = t.graph;
+    root = t.root;
+    parent = Array.copy t.parent;
+    on = Array.copy t.on;
+    children = Array.copy t.children;
+    member = Array.copy t.member;
+    count = t.count;
+  }
+
+let pp fmt t =
+  let rec visit indent x =
+    Format.fprintf fmt "%s%d%s@." indent x (if t.member.(x) then " *" else "");
+    List.iter (visit (indent ^ "  ")) t.children.(x)
+  in
+  Format.fprintf fmt "tree rooted at %d (%d nodes, %d members)@." t.root t.count
+    (member_count t);
+  visit "" t.root

@@ -1,0 +1,45 @@
+type t = {
+  g : Graph.t;
+  by_delay : Dijkstra.result array;  (* index = source *)
+  by_cost : Dijkstra.result array;
+}
+
+let compute g =
+  let n = Graph.node_count g in
+  let run metric = Array.init n (fun s -> Dijkstra.run g ~metric ~source:s) in
+  { g; by_delay = run Dijkstra.Delay; by_cost = run Dijkstra.Cost }
+
+let graph t = t.g
+
+let delay t a b = Dijkstra.dist t.by_delay.(a) b
+let cost t a b = Dijkstra.dist t.by_cost.(a) b
+
+let sl_path t a b = Dijkstra.path t.by_delay.(a) b
+let lc_path t a b = Dijkstra.path t.by_cost.(a) b
+
+let other_metric_along t pick_path measure a b =
+  match pick_path t a b with
+  | None -> infinity
+  | Some p -> measure t.g p
+
+let delay_of_lc t a b = other_metric_along t lc_path Path.delay a b
+let cost_of_sl t a b = other_metric_along t sl_path Path.cost a b
+
+let diameter t =
+  Array.fold_left
+    (fun acc r -> Float.max acc (Dijkstra.eccentricity r))
+    0.0 t.by_delay
+
+let mean_delay_from t x =
+  let n = Graph.node_count t.g in
+  let total = ref 0.0 and count = ref 0 in
+  for y = 0 to n - 1 do
+    if y <> x then begin
+      let d = delay t x y in
+      if d < infinity then begin
+        total := !total +. d;
+        incr count
+      end
+    end
+  done;
+  if !count = 0 then 0.0 else !total /. float_of_int !count

@@ -1,0 +1,45 @@
+(** All-pairs shortest paths under both metrics.
+
+    The m-router "possesses all the information on the network" (§I) and
+    the DCDM join step consults, for every on-tree router, both the
+    least-cost path [P_lc] and the shortest-delay path [P_sl] to the
+    joining node, "computed in advance" (§III.D). This module is that
+    precomputation: one Dijkstra per node per metric, cached.
+
+    For a path chosen under one metric, the {e other} metric along the
+    same concrete node sequence is exposed too (e.g. the delay of the
+    least-cost path), which is what the DCDM feasibility test needs. *)
+
+type t
+
+val compute : Graph.t -> t
+(** O(n (m + n log n)) per metric. *)
+
+val graph : t -> Graph.t
+
+val delay : t -> Graph.node -> Graph.node -> float
+(** Shortest-path delay (the paper's {e unicast delay} between the two
+    nodes); [infinity] if disconnected; [0.] on the diagonal. *)
+
+val cost : t -> Graph.node -> Graph.node -> float
+(** Least-cost-path cost. *)
+
+val sl_path : t -> Graph.node -> Graph.node -> Path.t option
+(** Shortest-delay path [P_sl] from the first to the second node. *)
+
+val lc_path : t -> Graph.node -> Graph.node -> Path.t option
+(** Least-cost path [P_lc]. *)
+
+val delay_of_lc : t -> Graph.node -> Graph.node -> float
+(** Delay accumulated along [P_lc]; [infinity] if disconnected. *)
+
+val cost_of_sl : t -> Graph.node -> Graph.node -> float
+(** Cost accumulated along [P_sl]. *)
+
+val diameter : t -> float
+(** Largest finite inter-node delay (the graph "diameter" used by
+    m-router placement rule 3). *)
+
+val mean_delay_from : t -> Graph.node -> float
+(** Mean unicast delay from one node to all others (placement rule 1);
+    [0.] on a one-node graph. Unreachable pairs are excluded. *)

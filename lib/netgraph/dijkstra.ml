@@ -1,0 +1,60 @@
+type metric = Delay | Cost
+
+let weight g metric a b =
+  match metric with Delay -> Graph.link_delay g a b | Cost -> Graph.link_cost g a b
+
+type result = {
+  src : Graph.node;
+  dist : float array;
+  pred : int array;  (* -1 = none *)
+}
+
+let run g ~metric ~source =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra.run: source out of range";
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Scmp_util.Heap.create ~capacity:n () in
+  dist.(source) <- 0.0;
+  Scmp_util.Heap.add heap ~key:0.0 source;
+  let rec drain () =
+    match Scmp_util.Heap.pop heap with
+    | None -> ()
+    | Some (d, x) ->
+      if not settled.(x) then begin
+        settled.(x) <- true;
+        Graph.iter_neighbors g x (fun y ~delay ~cost ->
+            let w = match metric with Delay -> delay | Cost -> cost in
+            let nd = d +. w in
+            if nd < dist.(y) then begin
+              dist.(y) <- nd;
+              pred.(y) <- x;
+              Scmp_util.Heap.add heap ~key:nd y
+            end)
+      end;
+      drain ()
+  in
+  drain ();
+  { src = source; dist; pred }
+
+let source r = r.src
+let dist r x = r.dist.(x)
+let reachable r x = r.dist.(x) < infinity
+
+let parent r x = if r.pred.(x) = -1 then None else Some r.pred.(x)
+
+let path r x =
+  if not (reachable r x) then None
+  else begin
+    let rec walk acc y = if y = r.src then y :: acc else walk (y :: acc) r.pred.(y) in
+    Some (walk [] x)
+  end
+
+let path_exn r x =
+  match path r x with Some p -> p | None -> raise Not_found
+
+let eccentricity r =
+  Array.fold_left
+    (fun acc d -> if d < infinity && d > acc then d else acc)
+    0.0 r.dist

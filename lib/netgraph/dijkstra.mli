@@ -1,0 +1,36 @@
+(** Single-source shortest paths (Dijkstra).
+
+    The paper distinguishes for every node pair the shortest-{e delay}
+    path [P_sl] and the least-{e cost} path [P_lc] (§III.A); both are
+    instances of Dijkstra under a different link weight, selected by
+    {!metric}. *)
+
+type metric = Delay | Cost
+
+val weight : Graph.t -> metric -> Graph.node -> Graph.node -> float
+(** The selected link weight between two adjacent nodes. *)
+
+type result
+(** Shortest-path tree from one source under one metric. *)
+
+val run : Graph.t -> metric:metric -> source:Graph.node -> result
+
+val source : result -> Graph.node
+val dist : result -> Graph.node -> float
+(** Shortest distance from the source; [infinity] if unreachable. *)
+
+val reachable : result -> Graph.node -> bool
+
+val parent : result -> Graph.node -> Graph.node option
+(** Predecessor on the shortest path; [None] for the source and
+    unreachable nodes. *)
+
+val path : result -> Graph.node -> Path.t option
+(** Path from source to the node inclusive; [None] if unreachable;
+    [Some [source]] for the source itself. *)
+
+val path_exn : result -> Graph.node -> Path.t
+(** @raise Not_found if the node is unreachable. *)
+
+val eccentricity : result -> float
+(** Largest finite distance from the source. *)

@@ -1,0 +1,119 @@
+type node = int
+
+type link = { u : node; v : node; delay : float; cost : float }
+
+(* Adjacency lists store (neighbor, delay, cost); each undirected link
+   appears in both endpoint lists and once in [all_links] (u < v). *)
+type t = {
+  n : int;
+  adj : (node * float * float) list array;
+  mutable all_links : link list;  (* reverse insertion order *)
+  mutable m : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { n; adj = Array.make n []; all_links = []; m = 0 }
+
+let node_count t = t.n
+let link_count t = t.m
+
+let check_node t x name =
+  if x < 0 || x >= t.n then
+    invalid_arg (Printf.sprintf "Graph.%s: node %d out of range [0,%d)" name x t.n)
+
+let has_link t a b =
+  check_node t a "has_link";
+  check_node t b "has_link";
+  List.exists (fun (w, _, _) -> w = b) t.adj.(a)
+
+let add_link t a b ~delay ~cost =
+  check_node t a "add_link";
+  check_node t b "add_link";
+  if a = b then invalid_arg "Graph.add_link: self-loop";
+  if delay <= 0.0 || cost <= 0.0 then
+    invalid_arg "Graph.add_link: delay and cost must be positive";
+  if has_link t a b then invalid_arg "Graph.add_link: duplicate link";
+  t.adj.(a) <- t.adj.(a) @ [ (b, delay, cost) ];
+  t.adj.(b) <- t.adj.(b) @ [ (a, delay, cost) ];
+  let u = min a b and v = max a b in
+  t.all_links <- { u; v; delay; cost } :: t.all_links;
+  t.m <- t.m + 1
+
+let link_between t a b =
+  check_node t a "link_between";
+  check_node t b "link_between";
+  match List.find_opt (fun (w, _, _) -> w = b) t.adj.(a) with
+  | None -> None
+  | Some (_, delay, cost) -> Some { u = min a b; v = max a b; delay; cost }
+
+let link_delay t a b =
+  match link_between t a b with Some l -> l.delay | None -> raise Not_found
+
+let link_cost t a b =
+  match link_between t a b with Some l -> l.cost | None -> raise Not_found
+
+let neighbors t x =
+  check_node t x "neighbors";
+  List.map (fun (w, _, _) -> w) t.adj.(x)
+
+let degree t x =
+  check_node t x "degree";
+  List.length t.adj.(x)
+
+let iter_neighbors t x f =
+  check_node t x "iter_neighbors";
+  List.iter (fun (w, delay, cost) -> f w ~delay ~cost) t.adj.(x)
+
+let fold_neighbors t x ~init ~f =
+  check_node t x "fold_neighbors";
+  List.fold_left (fun acc (w, delay, cost) -> f acc w ~delay ~cost) init t.adj.(x)
+
+let links t = List.rev t.all_links
+
+let iter_links t f = List.iter f (links t)
+
+let mean_degree t =
+  if t.n = 0 then 0.0 else 2.0 *. float_of_int t.m /. float_of_int t.n
+
+let components t =
+  let seen = Array.make t.n false in
+  let comps = ref [] in
+  for start = 0 to t.n - 1 do
+    if not seen.(start) then begin
+      let comp = ref [] in
+      let queue = Queue.create () in
+      Queue.add start queue;
+      seen.(start) <- true;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        comp := x :: !comp;
+        List.iter
+          (fun (w, _, _) ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          t.adj.(x)
+      done;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected t = t.n <= 1 || List.length (components t) = 1
+
+let copy t =
+  { n = t.n; adj = Array.copy t.adj; all_links = t.all_links; m = t.m }
+
+let map_links t ~f =
+  let g = create t.n in
+  iter_links t (fun l ->
+      let delay, cost = f l in
+      add_link g l.u l.v ~delay ~cost);
+  g
+
+let pp fmt t =
+  Format.fprintf fmt "graph: %d nodes, %d links@." t.n t.m;
+  iter_links t (fun l ->
+      Format.fprintf fmt "  %d -- %d  delay=%.3f cost=%.3f@." l.u l.v l.delay l.cost)

@@ -1,0 +1,78 @@
+(** Undirected network graphs with per-link delay and cost.
+
+    This is the network model of the paper (§I, Fig 1a): nodes are
+    routers, links carry two symmetric parameters — {e link delay} (sum of
+    queueing, transmission and propagation delay) and {e link cost}
+    (utilization-derived price of using the link). Both are the same in
+    either direction.
+
+    Nodes are dense integers [0 .. node_count - 1]. Parallel links and
+    self-loops are rejected: neither occurs in the paper's topologies and
+    excluding them keeps path algebra unambiguous. *)
+
+type node = int
+
+type link = {
+  u : node;
+  v : node;  (** Endpoints with [u < v]. *)
+  delay : float;  (** Symmetric link delay, > 0. *)
+  cost : float;  (** Symmetric link cost, > 0. *)
+}
+
+type t
+
+val create : int -> t
+(** [create n] is a graph on nodes [0..n-1] with no links.
+    @raise Invalid_argument if [n < 0]. *)
+
+val node_count : t -> int
+val link_count : t -> int
+
+val add_link : t -> node -> node -> delay:float -> cost:float -> unit
+(** Adds an undirected link.
+    @raise Invalid_argument on self-loops, duplicate links, out-of-range
+    nodes, or non-positive delay/cost. *)
+
+val has_link : t -> node -> node -> bool
+
+val link_between : t -> node -> node -> link option
+(** The link joining two nodes, if present (in either orientation). *)
+
+val link_delay : t -> node -> node -> float
+(** @raise Not_found if the nodes are not adjacent. *)
+
+val link_cost : t -> node -> node -> float
+(** @raise Not_found if the nodes are not adjacent. *)
+
+val neighbors : t -> node -> node list
+(** Adjacent nodes, in insertion order. *)
+
+val degree : t -> node -> int
+
+val iter_neighbors : t -> node -> (node -> delay:float -> cost:float -> unit) -> unit
+
+val fold_neighbors :
+  t -> node -> init:'a -> f:('a -> node -> delay:float -> cost:float -> 'a) -> 'a
+
+val links : t -> link list
+(** Every link once, with [u < v], in insertion order. *)
+
+val iter_links : t -> (link -> unit) -> unit
+
+val mean_degree : t -> float
+
+val is_connected : t -> bool
+(** True for the empty and one-node graphs. *)
+
+val components : t -> node list list
+(** Connected components; nodes ascending inside each component,
+    components ordered by smallest node. *)
+
+val copy : t -> t
+
+val map_links : t -> f:(link -> float * float) -> t
+(** [map_links g ~f] is a graph with identical structure whose
+    (delay, cost) pairs are rewritten by [f]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump: one line per link. *)

@@ -1,0 +1,53 @@
+let prim_dense ~n ~weight =
+  if n <= 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best = Array.make n infinity in
+    let best_from = Array.make n (-1) in
+    let edges = ref [] in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best.(v) <- weight 0 v;
+      best_from.(v) <- 0
+    done;
+    for _ = 1 to n - 1 do
+      (* Pick the cheapest fringe vertex. *)
+      let pick = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!pick = -1 || best.(v) < best.(!pick)) then pick := v
+      done;
+      let v = !pick in
+      if not (Float.is_finite best.(v)) then
+        invalid_arg "Mst.prim_dense: weight function returned non-finite value";
+      in_tree.(v) <- true;
+      let u = best_from.(v) in
+      edges := (min u v, max u v) :: !edges;
+      for w = 0 to n - 1 do
+        if not in_tree.(w) then begin
+          let c = weight v w in
+          if c < best.(w) then begin
+            best.(w) <- c;
+            best_from.(w) <- v
+          end
+        end
+      done
+    done;
+    List.rev !edges
+  end
+
+let kruskal g ~metric ~within =
+  let n = Graph.node_count g in
+  let member = Array.make n false in
+  List.iter (fun x -> member.(x) <- true) within;
+  let candidate =
+    Graph.links g
+    |> List.filter (fun (l : Graph.link) -> member.(l.u) && member.(l.v))
+    |> List.map (fun (l : Graph.link) ->
+           let w = match metric with Dijkstra.Delay -> l.delay | Dijkstra.Cost -> l.cost in
+           (w, l.u, l.v))
+    |> List.sort compare
+  in
+  let uf = Scmp_util.Unionfind.create n in
+  List.filter_map
+    (fun (_, u, v) -> if Scmp_util.Unionfind.union uf u v then Some (u, v) else None)
+    candidate

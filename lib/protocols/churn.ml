@@ -1,0 +1,78 @@
+module Intset = Set.Make (Int)
+
+type t = {
+  engine : Eventsim.Engine.t;
+  rng : Scmp_util.Prng.t;
+  candidates : Message.node array;
+  join : Message.node -> unit;
+  leave : Message.node -> unit;
+  mean_interarrival : float;
+  mean_holding : float;
+  horizon : float;
+  mutable members : Intset.t;
+  mutable joins : int;
+  mutable leaves : int;
+}
+
+let exponential rng mean =
+  let u = Scmp_util.Prng.float rng 1.0 in
+  -.mean *. log (1.0 -. u)
+
+let depart t x () =
+  if Intset.mem x t.members then begin
+    t.members <- Intset.remove x t.members;
+    t.leaves <- t.leaves + 1;
+    t.leave x
+  end
+
+let arrival t () =
+  let outside =
+    Array.to_list t.candidates
+    |> List.filter (fun x -> not (Intset.mem x t.members))
+  in
+  match outside with
+  | [] -> () (* pool exhausted: skip this arrival *)
+  | pool ->
+    let x = Scmp_util.Prng.pick t.rng (Array.of_list pool) in
+    t.members <- Intset.add x t.members;
+    t.joins <- t.joins + 1;
+    t.join x;
+    Eventsim.Engine.schedule t.engine
+      ~delay:(exponential t.rng t.mean_holding)
+      (depart t x)
+
+let rec schedule_arrivals t =
+  let next =
+    Eventsim.Engine.now t.engine +. exponential t.rng t.mean_interarrival
+  in
+  if next <= t.horizon then
+    Eventsim.Engine.schedule_at t.engine ~time:next (fun () ->
+        arrival t ();
+        schedule_arrivals t)
+
+let start engine ~rng ~candidates ~join ~leave ~mean_interarrival ~mean_holding
+    ~horizon =
+  if mean_interarrival <= 0.0 || mean_holding <= 0.0 then
+    invalid_arg "Churn.start: means must be positive";
+  if candidates = [] then invalid_arg "Churn.start: empty candidate pool";
+  let t =
+    {
+      engine;
+      rng;
+      candidates = Array.of_list candidates;
+      join;
+      leave;
+      mean_interarrival;
+      mean_holding;
+      horizon;
+      members = Intset.empty;
+      joins = 0;
+      leaves = 0;
+    }
+  in
+  schedule_arrivals t;
+  t
+
+let joins t = t.joins
+let leaves t = t.leaves
+let current_members t = Intset.elements t.members

@@ -1,0 +1,36 @@
+(** Membership churn workloads.
+
+    The paper's tree is a {e dynamic} shared tree — members come and go
+    throughout a session. This module drives any protocol's join/leave
+    hooks with a standard churn model: Poisson arrivals (exponential
+    inter-arrival times) of joins from a candidate pool, each joined
+    member holding its membership for an exponentially distributed
+    time before leaving. Used by tests and examples to exercise the
+    JOIN/BRANCH/TREE/PRUNE machinery far beyond static member sets. *)
+
+type t
+
+val start :
+  Eventsim.Engine.t ->
+  rng:Scmp_util.Prng.t ->
+  candidates:Message.node list ->
+  join:(Message.node -> unit) ->
+  leave:(Message.node -> unit) ->
+  mean_interarrival:float ->
+  mean_holding:float ->
+  horizon:float ->
+  t
+(** Schedules the whole churn process on the engine, starting now:
+    arrivals stop at [horizon] (absolute time); pending departures
+    still fire. Each arrival joins a uniformly random candidate not
+    currently a member (skipped silently if everyone is in). Departures
+    only target current members.
+    @raise Invalid_argument on non-positive means or an empty pool. *)
+
+val joins : t -> int
+(** Joins performed so far. *)
+
+val leaves : t -> int
+
+val current_members : t -> Message.node list
+(** Members at the current simulation instant, ascending. *)

@@ -1,0 +1,59 @@
+type packet = {
+  sent_at : float;
+  members : (Message.node, unit) Hashtbl.t;
+  received : (Message.node, unit) Hashtbl.t;
+}
+
+type t = {
+  engine : Eventsim.Engine.t;
+  packets : (int, packet) Hashtbl.t;
+  mutable deliveries : int;
+  mutable duplicates : int;
+  mutable spurious : int;
+  stats : Scmp_util.Stats.t;
+  mutable all_delays : float list;
+}
+
+let create engine =
+  {
+    engine;
+    packets = Hashtbl.create 64;
+    deliveries = 0;
+    duplicates = 0;
+    spurious = 0;
+    stats = Scmp_util.Stats.create ();
+    all_delays = [];
+  }
+
+let expect t ~seq ~members ~sent_at =
+  let m = Hashtbl.create (List.length members) in
+  List.iter (fun x -> Hashtbl.replace m x ()) members;
+  Hashtbl.replace t.packets seq { sent_at; members = m; received = Hashtbl.create 8 }
+
+let record t ~seq ~at_router =
+  match Hashtbl.find_opt t.packets seq with
+  | None -> t.spurious <- t.spurious + 1
+  | Some p ->
+    if not (Hashtbl.mem p.members at_router) then t.spurious <- t.spurious + 1
+    else if Hashtbl.mem p.received at_router then t.duplicates <- t.duplicates + 1
+    else begin
+      Hashtbl.replace p.received at_router ();
+      t.deliveries <- t.deliveries + 1;
+      let delay = Eventsim.Engine.now t.engine -. p.sent_at in
+      Scmp_util.Stats.add t.stats delay;
+      t.all_delays <- delay :: t.all_delays
+    end
+
+let deliveries t = t.deliveries
+let duplicates t = t.duplicates
+let spurious t = t.spurious
+
+let missed t =
+  Hashtbl.fold
+    (fun _ p acc -> acc + (Hashtbl.length p.members - Hashtbl.length p.received))
+    t.packets 0
+
+let max_delay t = if Scmp_util.Stats.count t.stats = 0 then 0.0 else Scmp_util.Stats.max t.stats
+let mean_delay t = Scmp_util.Stats.mean t.stats
+
+let delays t = t.all_delays

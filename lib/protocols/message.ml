@@ -1,0 +1,91 @@
+type node = Netgraph.Graph.node
+type group = int
+
+type t =
+  | Data of { group : group; src : node; seq : int }
+  | Encap of { group : group; src : node; seq : int }
+  | Scmp_join of { group : group; dr : node }
+  | Scmp_leave of { group : group; dr : node }
+  | Scmp_tree of { group : group; packet : Tree_packet.t }
+  | Scmp_branch of { group : group; path : node list }
+  | Scmp_prune of { group : group; from : node }
+  | Scmp_invalidate of { group : group }
+  | Scmp_replicate of { group : group; dr : node; joined : bool }
+  | Scmp_heartbeat of { from : node; seq : int }
+  | Scmp_heartbeat_ack of { seq : int }
+  | Pim_join of { group : group; src : node option; from : node }
+  | Pim_prune of { group : group; src : node option; rpt : bool; from : node }
+  | Cbt_join of { group : group; joiner : node; path : node list }
+  | Cbt_join_ack of { group : group; path : node list }
+  | Cbt_quit of { group : group; from : node }
+  | Dvmrp_prune of { group : group; src : node; from : node }
+  | Dvmrp_graft of { group : group; src : node; from : node }
+  | Mospf_lsa of { group : group; router : node; joined : bool; seq : int }
+
+let classify = function
+  | Data _ | Encap _ -> `Data
+  | Scmp_join _ | Scmp_leave _ | Scmp_tree _ | Scmp_branch _ | Scmp_prune _
+  | Scmp_invalidate _ | Scmp_replicate _ | Scmp_heartbeat _ | Scmp_heartbeat_ack _
+  | Pim_join _ | Pim_prune _ | Cbt_join _ | Cbt_join_ack _ | Cbt_quit _
+  | Dvmrp_prune _ | Dvmrp_graft _ | Mospf_lsa _ ->
+    `Control
+
+let group_of = function
+  | Data { group; _ }
+  | Encap { group; _ }
+  | Scmp_join { group; _ }
+  | Scmp_leave { group; _ }
+  | Scmp_tree { group; _ }
+  | Scmp_branch { group; _ }
+  | Scmp_prune { group; _ }
+  | Scmp_invalidate { group }
+  | Scmp_replicate { group; _ }
+  | Pim_join { group; _ }
+  | Pim_prune { group; _ }
+  | Cbt_join { group; _ }
+  | Cbt_join_ack { group; _ }
+  | Cbt_quit { group; _ }
+  | Dvmrp_prune { group; _ }
+  | Dvmrp_graft { group; _ }
+  | Mospf_lsa { group; _ } ->
+    group
+  | Scmp_heartbeat _ | Scmp_heartbeat_ack _ -> -1
+
+let describe = function
+  | Data { group; src; seq } -> Printf.sprintf "DATA g%d s%d#%d" group src seq
+  | Encap { group; src; seq } -> Printf.sprintf "ENCAP g%d s%d#%d" group src seq
+  | Scmp_join { group; dr } -> Printf.sprintf "SCMP-JOIN g%d dr%d" group dr
+  | Scmp_leave { group; dr } -> Printf.sprintf "SCMP-LEAVE g%d dr%d" group dr
+  | Scmp_tree { group; packet } ->
+    Printf.sprintf "SCMP-TREE g%d len%d" group (Tree_packet.size packet)
+  | Scmp_branch { group; path } ->
+    Printf.sprintf "SCMP-BRANCH g%d [%s]" group
+      (String.concat "," (List.map string_of_int path))
+  | Scmp_prune { group; from } -> Printf.sprintf "SCMP-PRUNE g%d from%d" group from
+  | Scmp_invalidate { group } -> Printf.sprintf "SCMP-INVAL g%d" group
+  | Scmp_replicate { group; dr; joined } ->
+    Printf.sprintf "SCMP-REPL g%d dr%d %s" group dr (if joined then "join" else "leave")
+  | Scmp_heartbeat { from; seq } -> Printf.sprintf "SCMP-HB from%d #%d" from seq
+  | Scmp_heartbeat_ack { seq } -> Printf.sprintf "SCMP-HB-ACK #%d" seq
+  | Pim_join { group; src; from } ->
+    Printf.sprintf "PIM-JOIN g%d %s from%d" group
+      (match src with None -> "(*)" | Some s -> Printf.sprintf "(S=%d)" s)
+      from
+  | Pim_prune { group; src; rpt; from } ->
+    Printf.sprintf "PIM-PRUNE g%d %s%s from%d" group
+      (match src with None -> "(*)" | Some s -> Printf.sprintf "(S=%d)" s)
+      (if rpt then ",rpt" else "")
+      from
+  | Cbt_join { group; joiner; _ } -> Printf.sprintf "CBT-JOIN g%d j%d" group joiner
+  | Cbt_join_ack { group; path } ->
+    Printf.sprintf "CBT-ACK g%d [%s]" group
+      (String.concat "," (List.map string_of_int path))
+  | Cbt_quit { group; from } -> Printf.sprintf "CBT-QUIT g%d from%d" group from
+  | Dvmrp_prune { group; src; from } ->
+    Printf.sprintf "DVMRP-PRUNE g%d s%d from%d" group src from
+  | Dvmrp_graft { group; src; from } ->
+    Printf.sprintf "DVMRP-GRAFT g%d s%d from%d" group src from
+  | Mospf_lsa { group; router; joined; seq } ->
+    Printf.sprintf "MOSPF-LSA g%d r%d %s #%d" group router
+      (if joined then "join" else "leave")
+      seq

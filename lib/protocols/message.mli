@@ -1,0 +1,65 @@
+(** Wire messages of every simulated protocol.
+
+    One shared sum type lets all four protocols run over the same
+    [Netsim] instantiation and share the overhead accounting: the
+    classifier maps multicast payload traffic to [`Data] and everything
+    else (joins, prunes, tree distribution, LSAs, acks) to [`Control],
+    matching the paper's data-overhead / protocol-overhead split. *)
+
+type node = Netgraph.Graph.node
+type group = int
+
+type t =
+  (* ---- data plane (all protocols) ---- *)
+  | Data of { group : group; src : node; seq : int }
+      (** Native multicast payload travelling on a tree. *)
+  | Encap of { group : group; src : node; seq : int }
+      (** Payload encapsulated in unicast toward the m-router/core
+          (§III.F: off-tree sources). *)
+  (* ---- SCMP (§III) ---- *)
+  | Scmp_join of { group : group; dr : node }
+  | Scmp_leave of { group : group; dr : node }
+  | Scmp_tree of { group : group; packet : Tree_packet.t }
+  | Scmp_branch of { group : group; path : node list }
+      (** Remaining path, current hop first (§III.E). *)
+  | Scmp_prune of { group : group; from : node }
+  | Scmp_invalidate of { group : group }
+      (** Unicast from the m-router to a router that loop-elimination
+          re-parenting removed from the tree: drop your routing entry.
+          (The paper leaves such routers with stale state; see
+          DESIGN.md "Known deviations".) *)
+  | Scmp_replicate of { group : group; dr : node; joined : bool }
+      (** Primary -> standby m-router: membership replication for the
+          hot-standby of the paper's concluding remarks. *)
+  | Scmp_heartbeat of { from : node; seq : int }
+      (** Standby -> primary liveness probe. *)
+  | Scmp_heartbeat_ack of { seq : int }
+  (* ---- PIM-SM (extension baseline) ---- *)
+  | Pim_join of { group : group; src : node option; from : node }
+      (** Hop-by-hop join: [src = None] toward the RP (star-G),
+          [Some s] toward the source ((S,G), the SPT switchover). *)
+  | Pim_prune of { group : group; src : node option; rpt : bool; from : node }
+      (** [src = None]: leave the star-G tree. [Some s, rpt = true]:
+          stop source [s]'s packets on the RP tree ((S,G,rpt)).
+          [Some s, rpt = false]: leave the source's SPT. *)
+  (* ---- CBT ---- *)
+  | Cbt_join of { group : group; joiner : node; path : node list }
+      (** Hop-by-hop toward the core; [path] accumulates the route for
+          the returning ack. *)
+  | Cbt_join_ack of { group : group; path : node list }
+      (** Travels the reverse path from the graft node to the joiner,
+          installing tree state. *)
+  | Cbt_quit of { group : group; from : node }
+  (* ---- DVMRP ---- *)
+  | Dvmrp_prune of { group : group; src : node; from : node }
+  | Dvmrp_graft of { group : group; src : node; from : node }
+  (* ---- MOSPF ---- *)
+  | Mospf_lsa of { group : group; router : node; joined : bool; seq : int }
+      (** Group-membership LSA, flooded domain-wide. *)
+
+val classify : t -> [ `Data | `Control ]
+
+val group_of : t -> group
+
+val describe : t -> string
+(** Short human-readable tag for traces, e.g. ["DATA g5 s3#12"]. *)

@@ -1,0 +1,156 @@
+type protocol = Scmp | Cbt | Dvmrp | Mospf
+
+let protocol_name = function
+  | Scmp -> "SCMP"
+  | Cbt -> "CBT"
+  | Dvmrp -> "DVMRP"
+  | Mospf -> "MOSPF"
+
+let all_protocols = [ Scmp; Cbt; Dvmrp; Mospf ]
+
+type scenario = {
+  spec : Topology.Spec.t;
+  center : Message.node;
+  source : Message.node;
+  members : Message.node list;
+  join_start : float;
+  join_spacing : float;
+  data_start : float;
+  data_interval : float;
+  data_count : int;
+  dvmrp_prune_timeout : float;
+  scmp_bound : Mtree.Bound.t;
+  scmp_distribution : Scmp_proto.distribution;
+  delay_scale : float;
+  leavers : (float * Message.node) list;
+  trace_path : string option;
+}
+
+let make ~spec ~center ~source ~members () =
+  let join_start = 0.1 and join_spacing = 0.5 in
+  let last_join = join_start +. (join_spacing *. float_of_int (List.length members)) in
+  {
+    spec;
+    center;
+    source;
+    members;
+    join_start;
+    join_spacing;
+    data_start = last_join +. 3.0;
+    data_interval = 1.0;
+    data_count = 30;
+    dvmrp_prune_timeout = 10.0;
+    scmp_bound = Mtree.Bound.Tightest;
+    scmp_distribution = Scmp_proto.Incremental;
+    delay_scale = 3e-6;
+    leavers = [];
+    trace_path = None;
+  }
+
+type result = {
+  data_overhead : float;
+  protocol_overhead : float;
+  max_delay : float;
+  mean_delay : float;
+  data_transmissions : int;
+  control_transmissions : int;
+  deliveries : int;
+  duplicates : int;
+  spurious : int;
+  missed : int;
+  packets_sent : int;
+}
+
+(* Hooks shared by the four protocol drivers. *)
+type driver = {
+  join : group:Message.group -> Message.node -> unit;
+  leave : group:Message.group -> Message.node -> unit;
+  send : group:Message.group -> src:Message.node -> seq:int -> unit;
+}
+
+let instantiate protocol net delivery ~center ~scmp_bound ~scmp_distribution
+    ~dvmrp_prune_timeout =
+  match protocol with
+  | Scmp ->
+    let p =
+      Scmp_proto.create ~delivery ~bound:scmp_bound
+        ~distribution:scmp_distribution net ~mrouter:center ()
+    in
+    {
+      join = Scmp_proto.host_join p;
+      leave = Scmp_proto.host_leave p;
+      send = Scmp_proto.send_data p;
+    }
+  | Cbt ->
+    let p = Cbt.create ~delivery net ~core:center () in
+    { join = Cbt.host_join p; leave = Cbt.host_leave p; send = Cbt.send_data p }
+  | Dvmrp ->
+    let p = Dvmrp.create ~delivery ~prune_timeout:dvmrp_prune_timeout net () in
+    { join = Dvmrp.host_join p; leave = Dvmrp.host_leave p; send = Dvmrp.send_data p }
+  | Mospf ->
+    let p = Mospf.create ~delivery net () in
+    { join = Mospf.host_join p; leave = Mospf.host_leave p; send = Mospf.send_data p }
+
+let run protocol s =
+  let group = 1 in
+  (* Scale topology delays into simulated seconds; costs stay in the
+     paper's link-cost units. *)
+  let g =
+    Netgraph.Graph.map_links s.spec.Topology.Spec.graph ~f:(fun l ->
+        (l.Netgraph.Graph.delay *. s.delay_scale, l.Netgraph.Graph.cost))
+  in
+  let engine = Eventsim.Engine.create () in
+  let net = Eventsim.Netsim.create engine g ~classify:Message.classify in
+  let delivery = Delivery.create engine in
+  let trace =
+    Option.map (fun _ -> Eventsim.Trace.attach net ~describe:Message.describe)
+      s.trace_path
+  in
+  let d =
+    instantiate protocol net delivery ~center:s.center ~scmp_bound:s.scmp_bound
+      ~scmp_distribution:s.scmp_distribution
+      ~dvmrp_prune_timeout:s.dvmrp_prune_timeout
+  in
+  (* Membership: staggered joins, optional departures. *)
+  List.iteri
+    (fun i m ->
+      let at = s.join_start +. (s.join_spacing *. float_of_int i) in
+      Eventsim.Engine.schedule_at engine ~time:at (fun () -> d.join ~group m))
+    s.members;
+  List.iter
+    (fun (at, m) ->
+      Eventsim.Engine.schedule_at engine ~time:at (fun () -> d.leave ~group m))
+    s.leavers;
+  (* Who is expected to receive packet [seq] sent at time [t]: members
+     that have joined (all joins precede data_start) and not yet left,
+     the source excluded (its subnet gets the packet locally). *)
+  let expected_at t =
+    List.filter
+      (fun m ->
+        m <> s.source
+        && not (List.exists (fun (lt, lm) -> lm = m && lt <= t) s.leavers))
+      s.members
+  in
+  for seq = 0 to s.data_count - 1 do
+    let at = s.data_start +. (s.data_interval *. float_of_int seq) in
+    Eventsim.Engine.schedule_at engine ~time:at (fun () ->
+        Delivery.expect delivery ~seq ~members:(expected_at at) ~sent_at:at;
+        d.send ~group ~src:s.source ~seq)
+  done;
+  Eventsim.Engine.run engine;
+  (match (trace, s.trace_path) with
+  | Some tr, Some path -> ignore (Eventsim.Trace.save tr ~path)
+  | _ -> ());
+  {
+    data_overhead = Eventsim.Netsim.data_overhead net;
+    protocol_overhead = Eventsim.Netsim.control_overhead net;
+    max_delay = Delivery.max_delay delivery;
+    mean_delay = Delivery.mean_delay delivery;
+    data_transmissions = Eventsim.Netsim.data_transmissions net;
+    control_transmissions = Eventsim.Netsim.control_transmissions net;
+    deliveries = Delivery.deliveries delivery;
+    duplicates = Delivery.duplicates delivery;
+    spurious = Delivery.spurious delivery;
+    missed = Delivery.missed delivery;
+    packets_sent = s.data_count;
+  }

@@ -1,0 +1,73 @@
+(** Network-wide experiment runner (the §IV.B methodology).
+
+    One run = one topology, one group, one source "sending one
+    multicast packet per second", 30 seconds of traffic, metrics:
+
+    - {e data overhead}: link-cost units consumed by data packets;
+    - {e protocol overhead}: link-cost units consumed by protocol
+      packets;
+    - {e maximum end-to-end delay}: worst source-to-member delivery
+      delay (seconds).
+
+    Members join before traffic starts (staggered so control flows do
+    not collide), exactly as tree-building precedes measurement in the
+    paper. Correctness counters (duplicates, spurious and missed
+    deliveries) come along for the tests. *)
+
+type protocol = Scmp | Cbt | Dvmrp | Mospf
+
+val protocol_name : protocol -> string
+val all_protocols : protocol list
+
+type scenario = {
+  spec : Topology.Spec.t;
+  center : Message.node;  (** m-router (SCMP) / core (CBT); unused by the SPT protocols. *)
+  source : Message.node;
+  members : Message.node list;
+  join_start : float;
+  join_spacing : float;
+  data_start : float;  (** must leave room for all joins to converge *)
+  data_interval : float;
+  data_count : int;
+  dvmrp_prune_timeout : float;
+  scmp_bound : Mtree.Bound.t;
+  scmp_distribution : Scmp_proto.distribution;
+      (** BRANCH/TREE policy (ablation); default [Incremental]. *)
+  delay_scale : float;
+      (** Converts topology delay units (grid distance) to simulated
+          seconds. *)
+  leavers : (float * Message.node) list;
+      (** Optional mid-run departures (time, member); departed members
+          are dropped from subsequent packets' expected sets. *)
+  trace_path : string option;
+      (** When set, every link crossing of the run is written to this
+          file as an NS-2-style trace (see {!Eventsim.Trace}). *)
+}
+
+val make :
+  spec:Topology.Spec.t ->
+  center:Message.node ->
+  source:Message.node ->
+  members:Message.node list ->
+  unit ->
+  scenario
+(** Paper defaults: joins from t=0.1 spaced 0.5 s; 30 data packets at
+    1/s starting 3 s after the last join; DVMRP prune lifetime 10 s;
+    SCMP tightest bound; delay scale 3e-6 s per grid unit. *)
+
+type result = {
+  data_overhead : float;
+  protocol_overhead : float;
+  max_delay : float;
+  mean_delay : float;
+  data_transmissions : int;
+  control_transmissions : int;
+  deliveries : int;
+  duplicates : int;
+  spurious : int;
+  missed : int;
+  packets_sent : int;
+}
+
+val run : protocol -> scenario -> result
+(** Deterministic: same protocol + scenario => same result. *)

@@ -1,0 +1,491 @@
+module N = Eventsim.Netsim
+
+type node = Message.node
+
+type distribution = Incremental | Always_full_tree
+
+type entry = {
+  mutable upstream : node option;
+  mutable downstream : node list;
+  mutable member : bool;
+}
+
+(* Hot-standby state (paper's concluding remark 4): the secondary
+   m-router mirrors the primary's group state from replication messages
+   and probes it with heartbeats; when acks stop it takes over. *)
+type standby = {
+  sb_node : node;
+  heartbeat_interval : float;
+  takeover_after : float;  (* silence that triggers takeover *)
+  (* Mirrored membership, in original join order per group. *)
+  mirror : (Message.group, node list ref) Hashtbl.t;
+  mutable last_ack : float;
+  mutable hb_seq : int;
+}
+
+type t = {
+  net : Message.t N.t;
+  primary : node;
+  mutable active : node;  (* the m-router currently in charge *)
+  mutable primary_failed : bool;
+  standby : standby option;
+  mutable apsp : Netgraph.Apsp.t;  (* replaced at takeover: dead primary excised *)
+  bound : Mtree.Bound.t;
+  distribution : distribution;
+  cpu : (Eventsim.Server.t * float) option;
+      (* control-plane processing station + per-request service time *)
+  dcdm : (Message.group, Mtree.Dcdm.t) Hashtbl.t;  (* active m-router state *)
+  entries : (node * Message.group, entry) Hashtbl.t;
+  pending_iface : (node * Message.group, unit) Hashtbl.t;
+  delivery : Delivery.t option;
+}
+
+let mrouter t = t.active
+let active_mrouter t = t.active
+let standby_took_over t = t.active <> t.primary
+
+let entry_opt t x group = Hashtbl.find_opt t.entries (x, group)
+
+let get_or_create_entry t x group =
+  match entry_opt t x group with
+  | Some e -> e
+  | None ->
+    let member = Hashtbl.mem t.pending_iface (x, group) in
+    Hashtbl.remove t.pending_iface (x, group);
+    let e = { upstream = None; downstream = []; member } in
+    Hashtbl.replace t.entries (x, group) e;
+    e
+
+let drop_entry t x group = Hashtbl.remove t.entries (x, group)
+
+let group_state t group =
+  match Hashtbl.find_opt t.dcdm group with
+  | Some d -> d
+  | None ->
+    let d = Mtree.Dcdm.create t.apsp ~root:t.active ~bound:t.bound () in
+    Hashtbl.replace t.dcdm group d;
+    (* The root's own routing entry exists from group creation on. *)
+    ignore (get_or_create_entry t t.active group);
+    d
+
+let record_delivery t group x seq =
+  ignore group;
+  match t.delivery with
+  | Some d -> Delivery.record d ~seq ~at_router:x
+  | None -> ()
+
+(* ---- data plane (§III.F) ---- *)
+
+let forward_set e =
+  (match e.upstream with Some u -> [ u ] | None -> []) @ e.downstream
+
+let handle_data t x ~from msg group seq =
+  match entry_opt t x group with
+  | None -> ()
+  | Some e ->
+    let f = forward_set e in
+    if List.mem from f then begin
+      List.iter (fun y -> if y <> from then N.transmit t.net ~src:x ~dst:y msg) f;
+      if e.member then record_delivery t group x seq
+    end
+(* else: not from the F set — drop (§III.F). *)
+
+let originate_data t group ~src ~seq =
+  let msg = Message.Data { group; src; seq } in
+  match entry_opt t src group with
+  | Some e when forward_set e <> [] || src = t.active ->
+    List.iter (fun y -> N.transmit t.net ~src ~dst:y msg) (forward_set e)
+    (* The origin's own subnet receives the packet locally; the runner
+       never counts the source among expected receivers. *)
+  | Some _ | None ->
+    N.unicast t.net ~src ~dst:t.active (Message.Encap { group; src; seq })
+
+let handle_encap t group src seq =
+  (* Only the (active) m-router decapsulates (§III.F). *)
+  match entry_opt t t.active group with
+  | None -> ()
+  | Some e ->
+    let msg = Message.Data { group; src; seq } in
+    List.iter (fun y -> N.transmit t.net ~src:t.active ~dst:y msg) e.downstream;
+    if e.member then record_delivery t group t.active seq
+
+(* ---- tree distribution (§III.E) ---- *)
+
+(* Root-to-node tree path, root excluded: the BRANCH packet "from the
+   current router to the new group member" the m-router emits. *)
+let tree_path_from_root tree dr =
+  let rec climb x acc =
+    match Mtree.Tree.parent tree x with
+    | None -> acc
+    | Some p -> climb p (x :: acc)
+  in
+  climb dr []
+
+let edge_set tree = List.sort compare (Mtree.Tree.edges tree)
+
+let distribute_branch t group tree dr =
+  match tree_path_from_root tree dr with
+  | [] -> ()
+  | first :: _ as path ->
+    let root_entry = get_or_create_entry t t.active group in
+    if not (List.mem first root_entry.downstream) then
+      root_entry.downstream <- root_entry.downstream @ [ first ];
+    N.transmit t.net ~src:t.active ~dst:first (Message.Scmp_branch { group; path })
+
+let distribute_tree t group tree removed_nodes =
+  let root_entry = get_or_create_entry t t.active group in
+  let children = Mtree.Tree.children tree t.active in
+  root_entry.downstream <- children;
+  List.iter
+    (fun c ->
+      let packet = Tree_packet.of_tree tree ~at:c in
+      N.transmit t.net ~src:t.active ~dst:c (Message.Scmp_tree { group; packet }))
+    children;
+  List.iter
+    (fun x ->
+      if x <> t.active then
+        N.unicast t.net ~src:t.active ~dst:x (Message.Scmp_invalidate { group }))
+    removed_nodes
+
+(* ---- hot standby (concluding remarks, point 4) ---- *)
+
+let replicate t group dr joined =
+  match t.standby with
+  | None -> ()
+  | Some sb ->
+    N.unicast t.net ~src:t.active ~dst:sb.sb_node
+      (Message.Scmp_replicate { group; dr; joined })
+
+let mirror_apply sb group dr joined =
+  let members =
+    match Hashtbl.find_opt sb.mirror group with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace sb.mirror group r;
+      r
+  in
+  if joined then begin
+    if not (List.mem dr !members) then members := !members @ [ dr ]
+  end
+  else members := List.filter (fun m -> m <> dr) !members
+
+(* The standby becomes the m-router: it rebuilds every group's tree
+   rooted at itself from the mirrored membership (replayed in original
+   join order), distributes the new trees, and invalidates the routers
+   of the old trees that the new ones no longer use. The dead primary
+   is excised from the topology first — the domain's link-state routing
+   has flooded its disappearance by detection time — so no rebuilt tree
+   relays through it. Members the failure partitioned away (the primary
+   was their only path) are skipped until connectivity returns. *)
+let takeover t sb =
+  if not (standby_took_over t) then begin
+    t.active <- sb.sb_node;
+    let g = N.graph t.net in
+    let without_primary = Netgraph.Graph.create (Netgraph.Graph.node_count g) in
+    Netgraph.Graph.iter_links g (fun l ->
+        if l.Netgraph.Graph.u <> t.primary && l.Netgraph.Graph.v <> t.primary then
+          Netgraph.Graph.add_link without_primary l.Netgraph.Graph.u
+            l.Netgraph.Graph.v ~delay:l.Netgraph.Graph.delay
+            ~cost:l.Netgraph.Graph.cost);
+    t.apsp <- Netgraph.Apsp.compute without_primary;
+    let old_nodes group =
+      match Hashtbl.find_opt t.dcdm group with
+      | Some d -> Mtree.Tree.nodes (Mtree.Dcdm.tree d)
+      | None -> []
+    in
+    let groups =
+      Hashtbl.fold (fun group _ acc -> group :: acc) sb.mirror []
+      |> List.sort compare
+    in
+    List.iter
+      (fun group ->
+        let before = old_nodes group in
+        let d = Mtree.Dcdm.create t.apsp ~root:sb.sb_node ~bound:t.bound () in
+        Hashtbl.replace t.dcdm group d;
+        ignore (get_or_create_entry t sb.sb_node group);
+        let members =
+          match Hashtbl.find_opt sb.mirror group with Some r -> !r | None -> []
+        in
+        List.iter
+          (fun m ->
+            try Mtree.Dcdm.join d m
+            with Invalid_argument _ -> () (* partitioned by the failure *))
+          members;
+        let tree = Mtree.Dcdm.tree d in
+        let after = Mtree.Tree.nodes tree in
+        let stale = List.filter (fun x -> not (List.mem x after)) before in
+        distribute_tree t group tree stale)
+      groups
+  end
+
+let maybe_takeover t sb =
+  let now = Eventsim.Engine.now (N.engine t.net) in
+  if (not (standby_took_over t)) && now -. sb.last_ack > sb.takeover_after then
+    takeover t sb
+
+let fail_primary t =
+  t.primary_failed <- true;
+  match t.standby with
+  | None -> ()
+  | Some sb ->
+    (* The silence will be noticed within the takeover window; pin a
+       foreground event there so a run-to-quiescence driver observes
+       the recovery without needing an explicit time horizon. *)
+    Eventsim.Engine.schedule (N.engine t.net)
+      ~delay:(sb.takeover_after +. (2.0 *. sb.heartbeat_interval))
+      (fun () -> maybe_takeover t sb)
+
+(* ---- m-router control plane ---- *)
+
+let handle_join_at_mrouter t group dr =
+  let d = group_state t group in
+  let tree = Mtree.Dcdm.tree d in
+  let before_edges = edge_set tree in
+  let before_nodes = Mtree.Tree.nodes tree in
+  Mtree.Dcdm.join d dr;
+  replicate t group dr true;
+  if dr = t.active then (get_or_create_entry t t.active group).member <- true
+  else begin
+    let after_edges = edge_set tree in
+    let after_nodes = Mtree.Tree.nodes tree in
+    let removed_edges =
+      List.filter (fun e -> not (List.mem e after_edges)) before_edges
+    in
+    let grew = after_edges <> before_edges in
+    let removed_nodes =
+      List.filter (fun x -> not (List.mem x after_nodes)) before_nodes
+    in
+    match t.distribution with
+    | Always_full_tree -> if grew then distribute_tree t group tree removed_nodes
+    | Incremental ->
+      if removed_edges = [] then begin
+        if grew then distribute_branch t group tree dr
+        (* else: dr was already an on-tree relay; its DR marked the
+           interface locally, nothing to distribute (§III.B). *)
+      end
+      else distribute_tree t group tree removed_nodes
+  end
+
+let handle_leave_at_mrouter t group dr =
+  replicate t group dr false;
+  match Hashtbl.find_opt t.dcdm group with
+  | None -> ()
+  | Some d -> Mtree.Dcdm.leave d dr
+
+(* ---- i-router control plane ---- *)
+
+let handle_tree_packet t x ~from group packet =
+  let e = get_or_create_entry t x group in
+  e.upstream <- Some from;
+  let children = List.map fst (Tree_packet.split packet) in
+  e.downstream <- children;
+  List.iter
+    (fun (c, sub) ->
+      N.transmit t.net ~src:x ~dst:c (Message.Scmp_tree { group; packet = sub }))
+    (Tree_packet.split packet)
+
+let handle_branch t x ~from group path =
+  match path with
+  | head :: rest when head = x ->
+    let e = get_or_create_entry t x group in
+    e.upstream <- Some from;
+    (match rest with
+    | [] ->
+      (* The new member's DR: attach the marked interface (§III.B). *)
+      if Hashtbl.mem t.pending_iface (x, group) then begin
+        Hashtbl.remove t.pending_iface (x, group);
+        e.member <- true
+      end
+    | next :: _ ->
+      if not (List.mem next e.downstream) then e.downstream <- e.downstream @ [ next ];
+      N.transmit t.net ~src:x ~dst:next (Message.Scmp_branch { group; path = rest }))
+  | _ ->
+    (* Malformed or misrouted BRANCH: drop. *)
+    ()
+
+let handle_prune t x group ~from =
+  match entry_opt t x group with
+  | None -> ()
+  | Some e ->
+    e.downstream <- List.filter (fun y -> y <> from) e.downstream;
+    if e.downstream = [] && (not e.member) && x <> t.active then begin
+      match e.upstream with
+      | Some up ->
+        drop_entry t x group;
+        N.transmit t.net ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
+      | None -> drop_entry t x group
+    end
+
+(* Control requests optionally pass through the m-router's processing
+   station (its network processors); without one they run instantly. *)
+let mrouter_work t job =
+  match t.cpu with
+  | None -> job ()
+  | Some (station, service_time) -> Eventsim.Server.submit station ~service_time job
+
+let handle_message t x ~from msg =
+  (* A failed primary is deaf: everything addressed to it is lost,
+     including heartbeats — which is precisely how the standby finds
+     out. *)
+  if x = t.primary && t.primary_failed then ()
+  else
+    match msg with
+    | Message.Data { group; seq; _ } -> handle_data t x ~from msg group seq
+    | Message.Encap { group; src; seq } ->
+      if x = t.active then handle_encap t group src seq
+    | Message.Scmp_join { group; dr } ->
+      if x = t.active then mrouter_work t (fun () -> handle_join_at_mrouter t group dr)
+    | Message.Scmp_leave { group; dr } ->
+      if x = t.active then mrouter_work t (fun () -> handle_leave_at_mrouter t group dr)
+    | Message.Scmp_tree { group; packet } -> handle_tree_packet t x ~from group packet
+    | Message.Scmp_branch { group; path } -> handle_branch t x ~from group path
+    | Message.Scmp_prune { group; from = p } -> handle_prune t x group ~from:p
+    | Message.Scmp_invalidate { group } ->
+      (match entry_opt t x group with
+      | Some e when not e.member -> drop_entry t x group
+      | Some _ | None -> ())
+    | Message.Scmp_replicate { group; dr; joined } ->
+      (match t.standby with
+      | Some sb when x = sb.sb_node -> mirror_apply sb group dr joined
+      | Some _ | None -> ())
+    | Message.Scmp_heartbeat { from = probe; seq } ->
+      if x = t.primary then
+        N.unicast t.net ~background:true ~src:x ~dst:probe
+          (Message.Scmp_heartbeat_ack { seq })
+    | Message.Scmp_heartbeat_ack _ ->
+      (match t.standby with
+      | Some sb when x = sb.sb_node ->
+        sb.last_ack <- Eventsim.Engine.now (N.engine t.net)
+      | Some _ | None -> ())
+    | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _ | Message.Cbt_quit _
+    | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
+      (* Foreign-protocol traffic: never generated in an SCMP domain. *)
+      ()
+
+let create ?delivery ?(bound = Mtree.Bound.Tightest)
+    ?(distribution = Incremental) ?standby ?(heartbeat_interval = 1.0)
+    ?(takeover_after = 3.0) ?(install_handlers = true) ?cpu net ~mrouter () =
+  let g = N.graph net in
+  let engine = N.engine net in
+  let standby_state =
+    Option.map
+      (fun sb_node ->
+        {
+          sb_node;
+          heartbeat_interval;
+          takeover_after;
+          mirror = Hashtbl.create 8;
+          last_ack = Eventsim.Engine.now engine;
+          hb_seq = 0;
+        })
+      standby
+  in
+  let t =
+    {
+      net;
+      primary = mrouter;
+      active = mrouter;
+      primary_failed = false;
+      standby = standby_state;
+      cpu;
+      apsp = Netgraph.Apsp.compute g;
+      bound;
+      distribution;
+      dcdm = Hashtbl.create 8;
+      entries = Hashtbl.create 64;
+      pending_iface = Hashtbl.create 16;
+      delivery;
+    }
+  in
+  if install_handlers then
+    for x = 0 to Netgraph.Graph.node_count g - 1 do
+      N.set_handler net x (fun _net ~from msg -> handle_message t x ~from msg)
+    done;
+  (match t.standby with
+  | None -> ()
+  | Some sb ->
+    (* Keep-alive probes forever (background: they never block a
+       run-to-quiescence). Each tick also re-examines the ack age. *)
+    Eventsim.Engine.every engine ~interval:sb.heartbeat_interval ~background:true
+      (fun () ->
+        if not (standby_took_over t) then begin
+          sb.hb_seq <- sb.hb_seq + 1;
+          N.unicast t.net ~background:true ~src:sb.sb_node ~dst:t.primary
+            (Message.Scmp_heartbeat { from = sb.sb_node; seq = sb.hb_seq });
+          maybe_takeover t sb
+        end));
+  t
+
+let handle = handle_message
+
+(* ---- host-side events (the IGMP boundary, §III.B/C) ---- *)
+
+let host_join t ~group x =
+  (match entry_opt t x group with
+  | Some e -> e.member <- true
+  | None -> Hashtbl.replace t.pending_iface (x, group) ());
+  N.unicast t.net ~src:x ~dst:t.active (Message.Scmp_join { group; dr = x })
+
+let host_leave t ~group x =
+  (match entry_opt t x group with
+  | None -> Hashtbl.remove t.pending_iface (x, group)
+  | Some e ->
+    e.member <- false;
+    if e.downstream = [] && x <> t.active then begin
+      match e.upstream with
+      | Some up ->
+        drop_entry t x group;
+        N.transmit t.net ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
+      | None -> drop_entry t x group
+    end);
+  N.unicast t.net ~src:x ~dst:t.active (Message.Scmp_leave { group; dr = x })
+
+let send_data t ~group ~src ~seq = originate_data t group ~src ~seq
+
+(* ---- introspection ---- *)
+
+let mrouter_tree t ~group =
+  Option.map Mtree.Dcdm.tree (Hashtbl.find_opt t.dcdm group)
+
+let router_state t x ~group =
+  Option.map (fun e -> (e.upstream, e.downstream, e.member)) (entry_opt t x group)
+
+let network_tree_consistent t ~group =
+  match mrouter_tree t ~group with
+  | None ->
+    let stray =
+      Hashtbl.fold
+        (fun (x, g) _ acc -> if g = group then x :: acc else acc)
+        t.entries []
+    in
+    if stray = [] then Ok ()
+    else Error "routers hold entries for a group unknown to the m-router"
+  | Some tree ->
+    let problems = ref [] in
+    let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+    let on_tree = Mtree.Tree.nodes tree in
+    List.iter
+      (fun x ->
+        match entry_opt t x group with
+        | None -> note "on-tree router %d has no entry" x
+        | Some e ->
+          let want_up = Mtree.Tree.parent tree x in
+          if e.upstream <> want_up then note "router %d upstream mismatch" x;
+          let want_down = List.sort compare (Mtree.Tree.children tree x) in
+          if List.sort compare e.downstream <> want_down then
+            note "router %d downstream mismatch" x;
+          if e.member <> Mtree.Tree.is_member tree x then
+            note "router %d member flag mismatch" x)
+      on_tree;
+    Hashtbl.iter
+      (fun (x, g) _ ->
+        (* A dead primary's leftover entries are unreachable state, not
+           an inconsistency the live network can observe. *)
+        let dead_primary = x = t.primary && t.primary_failed in
+        if g = group && (not (Mtree.Tree.on_tree tree x)) && not dead_primary then
+          note "off-tree router %d still holds an entry" x)
+      t.entries;
+    (match !problems with
+    | [] -> Ok ()
+    | ps -> Error (String.concat "; " (List.rev ps)))

@@ -1,0 +1,115 @@
+(** The SCMP protocol agents — m-router and i-routers (§II.D, §III).
+
+    One [t] drives the whole domain: it installs a handler on every
+    node of the network simulation and keeps two kinds of state,
+
+    - at the {b m-router}: per-group DCDM tree state built from the
+      global topology (the m-router "has all the group membership and
+      global network topology information"), and
+    - at every {b i-router}: plain multicast routing entries
+      (group id, upstream, downstream, member-interface flag) —
+      "other routers only need to perform minimum functions".
+
+    Protocol flows implemented exactly as in the paper:
+
+    - JOIN/LEAVE requests unicast from the designated router to the
+      m-router (§III.B/C);
+    - tree updates distributed with self-routing BRANCH packets for
+      pure-growth changes and recursive TREE packets when loop
+      elimination restructured the tree (§III.E); routers that
+      restructuring removed receive a unicast invalidation (a small
+      departure from the paper, which leaves them stale — see
+      DESIGN.md);
+    - hop-by-hop PRUNE cascades on leave (§III.C);
+    - bidirectional data forwarding with the F-set rule, and unicast
+      encapsulation to the m-router for off-tree sources (§III.F). *)
+
+type node = Message.node
+
+type distribution =
+  | Incremental
+      (** The paper's scheme: BRANCH packets for pure-growth updates,
+          full TREE packets only when loop elimination restructured the
+          tree (§III.E: "if the change is small, using a TREE packet
+          containing the whole tree structure is too expensive"). *)
+  | Always_full_tree
+      (** Ablation: distribute the whole tree on every change; the
+          bench quantifies what BRANCH packets save. *)
+
+type t
+
+val create :
+  ?delivery:Delivery.t ->
+  ?bound:Mtree.Bound.t ->
+  ?distribution:distribution ->
+  ?standby:node ->
+  ?heartbeat_interval:float ->
+  ?takeover_after:float ->
+  ?install_handlers:bool ->
+  ?cpu:Eventsim.Server.t * float ->
+  Message.t Eventsim.Netsim.t ->
+  mrouter:node ->
+  unit ->
+  t
+(** Installs handlers on every node. [bound] is the QoS delay
+    constraint DCDM enforces (default [Tightest]). The all-pairs
+    shortest-path tables the m-router needs are computed here, once.
+
+    [standby] enables the hot-standby of the paper's concluding
+    remarks: the named node mirrors the primary's membership state
+    (replication messages on every JOIN/LEAVE) and probes it with
+    heartbeats every [heartbeat_interval] (default 1.); after
+    [takeover_after] (default 3.) of silence it rebuilds every group's
+    tree rooted at itself and takes over. All of that traffic is
+    simulated and charged as protocol overhead.
+
+    [cpu] models the m-router's control-plane computing capacity
+    (§II.B): a processing station and a per-request service time.
+    JOIN/LEAVE requests then queue for a processor before the tree is
+    recomputed and distributed — the capacity bench saturates this. *)
+
+val mrouter : t -> node
+(** The m-router currently in charge (the standby after takeover). *)
+
+val active_mrouter : t -> node
+(** Alias of {!mrouter}. *)
+
+val standby_took_over : t -> bool
+
+val fail_primary : t -> unit
+(** Silence the primary m-router: it stops processing and answering
+    everything (JOINs, encapsulated data, heartbeats). With a standby
+    configured, recovery follows automatically within the detection
+    window; without one, the domain simply loses its m-router. *)
+
+val handle : t -> node -> from:node -> Message.t -> unit
+(** Process one message as router [node] would. Exposed so a
+    higher-level dispatcher (e.g. {!Multi}, one agent set per m-router)
+    can own the network handlers; pass [~install_handlers:false] to
+    {!create} in that case. *)
+
+val host_join : t -> group:Message.group -> node -> unit
+(** A host in the router's subnet reported membership (IGMP): mark the
+    interface and send JOIN to the m-router. Scheduled work — effects
+    unfold as simulation events. *)
+
+val host_leave : t -> group:Message.group -> node -> unit
+
+val send_data : t -> group:Message.group -> src:node -> seq:int -> unit
+(** The router's subnet originates one data packet now. *)
+
+(** {2 Introspection (tests, examples)} *)
+
+val mrouter_tree : t -> group:Message.group -> Mtree.Tree.t option
+(** The m-router's current tree for the group (its own view). *)
+
+val router_state :
+  t -> node -> group:Message.group -> (node option * node list * bool) option
+(** [(upstream, downstream, member)] of the router's routing entry, if
+    it has one. The m-router's entry has [upstream = None]. *)
+
+val network_tree_consistent : t -> group:Message.group -> (unit, string) result
+(** Quiesced-state check: every edge of the m-router's tree is mirrored
+    by matching upstream/downstream entries in the network, and no
+    router outside the tree holds an entry. Run only after the event
+    queue has drained. *)

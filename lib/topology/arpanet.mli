@@ -1,0 +1,17 @@
+(** The ARPANET benchmark topology (Fig 8a/9a of the paper).
+
+    A fixed 48-node, 70-link graph following the classic ARPANET maps
+    used throughout the multicast-routing literature: a sparse
+    continental mesh with mean degree ~2.9 and diameter ~10 hops. Node
+    coordinates approximate the historical site geography, scaled onto
+    the standard 32767-grid so the same weight model applies as for the
+    random generators: cost = Manhattan distance, delay uniform in
+    (0, cost] (drawn from [seed]; the structure itself is fixed). *)
+
+val node_count : int
+val site_names : string array
+(** Historical site label of each node (for pretty traces). *)
+
+val generate : seed:int -> Spec.t
+(** Same structure on every call; only the delay draw depends on
+    [seed]. *)

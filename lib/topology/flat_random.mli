@@ -1,0 +1,14 @@
+(** Flat random topologies with a target mean degree.
+
+    Stand-in for the GT-ITM flat random graphs of the paper's Fig 8/9
+    setup ("network size 50, average node degrees 3 and 5"). The
+    construction first draws a uniform random spanning tree (so the graph
+    is connected by construction), then adds uniformly random extra links
+    until the requested mean degree is reached. Link weights follow the
+    same geometric model as the Waxman generator: cost = Manhattan
+    distance, delay uniform in (0, cost]. *)
+
+val generate : seed:int -> n:int -> avg_degree:float -> Spec.t
+(** @raise Invalid_argument if [n < 2], if [avg_degree < 2 (n-1) / n]
+    (fewer links than a spanning tree), or if the target exceeds the
+    complete graph. *)

@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+type t = { columns : column array; mutable rows : string list list }
+
+let create columns = { columns = Array.of_list columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> Array.length t.columns then
+    invalid_arg "Texttab.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let add_float_row t ?(decimals = 2) label xs =
+  add_row t (label :: List.map (fun x -> Printf.sprintf "%.*f" decimals x) xs)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.map (fun c -> String.length c.header) t.columns in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols && String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    rows;
+  let render_cells cells =
+    cells
+    |> List.mapi (fun i cell -> pad t.columns.(i).align widths.(i) cell)
+    |> String.concat "  "
+  in
+  let header = render_cells (Array.to_list (Array.map (fun c -> c.header) t.columns)) in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_cells rows)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_cell cells) ^ "\n" in
+  let header = Array.to_list (Array.map (fun c -> c.header) t.columns) in
+  (* [rows] is stored newest-first; rev_map restores insertion order. *)
+  String.concat "" (line header :: List.rev_map line t.rows)
+
+let print ?title t =
+  print_newline ();
+  (match title with
+  | Some s ->
+    print_endline s;
+    print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_endline (render t)

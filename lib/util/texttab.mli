@@ -1,0 +1,35 @@
+(** Aligned plain-text tables.
+
+    The benchmark harness prints every reproduced figure as a table of
+    series (one row per x value, one column per algorithm/protocol), in
+    the same spirit as the paper's plots. This module owns the column
+    sizing and numeric formatting so all figures render consistently. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+val column : ?align:align -> string -> column
+(** [column h] is a column titled [h]; numeric columns default to
+    [Right]. *)
+
+type t
+
+val create : column list -> t
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_float_row : t -> ?decimals:int -> string -> float list -> unit
+(** [add_float_row t label xs] adds a row whose first cell is [label] and
+    remaining cells format [xs] with [decimals] (default 2) digits. *)
+
+val render : t -> string
+(** Multi-line rendering with a header rule; no trailing newline. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header row first); cells containing
+    commas or quotes are quoted. Ends with a newline. *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the table (with an optional underlined title
+    and a leading blank line) to stdout. *)

