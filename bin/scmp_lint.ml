@@ -1,0 +1,26 @@
+(* scmp_lint — the repo's custom static-analysis pass.
+
+   Usage: scmp_lint [DIR ...]   (default: lib bin)
+
+   Scans the given directories with Check.Lint and prints every
+   violation compiler-style; exits 1 if any rule fired. Run via the
+   build alias: [dune build @lint]. *)
+
+let () =
+  let roots =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib"; "bin" ] | ds -> ds
+  in
+  let missing =
+    List.filter (fun d -> not (Sys.file_exists d && Sys.is_directory d)) roots
+  in
+  List.iter (Printf.eprintf "scmp_lint: no such directory: %s\n") missing;
+  if missing <> [] then exit 2;
+  let violations = Check.Lint.scan_tree roots in
+  List.iter (fun v -> print_endline (Check.Lint.to_string v)) violations;
+  if violations = [] then
+    Printf.printf "scmp_lint: clean (%s; rules: %s)\n" (String.concat " " roots)
+      (String.concat ", " Check.Lint.all_rules)
+  else begin
+    Printf.printf "scmp_lint: %d violation(s)\n" (List.length violations);
+    exit 1
+  end

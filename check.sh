@@ -1,0 +1,18 @@
+#!/bin/sh
+# The repo's full gate: compile everything (all libraries build with
+# warnings-as-errors), run the custom lint pass, then the test suite.
+# See docs/ANALYSIS.md for what the lint and the invariant verifier
+# enforce.
+set -e
+cd "$(dirname "$0")"
+
+echo "== dune build"
+dune build
+
+echo "== dune build @lint"
+dune build @lint
+
+echo "== dune runtest"
+dune runtest
+
+echo "check.sh: all gates passed"

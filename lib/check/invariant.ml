@@ -1,0 +1,305 @@
+type violation = { rule : string; detail : string }
+
+exception Violation of string
+
+let v rule fmt = Printf.ksprintf (fun detail -> { rule; detail }) fmt
+
+let report_to_string = function
+  | [] -> "ok"
+  | vs ->
+    String.concat "; "
+      (List.map (fun { rule; detail } -> Printf.sprintf "[%s] %s" rule detail) vs)
+
+(* ---- tree views ---- *)
+
+type tree_view = {
+  graph : Netgraph.Graph.t;
+  root : int;
+  parent : (int * int) list;
+  children : (int * int list) list;
+  members : int list;
+}
+
+let view tree =
+  let nodes = Mtree.Tree.nodes tree in
+  {
+    graph = Mtree.Tree.graph tree;
+    root = Mtree.Tree.root tree;
+    parent =
+      List.filter_map
+        (fun x ->
+          match Mtree.Tree.parent tree x with
+          | None -> None
+          | Some p -> Some (x, p))
+        nodes;
+    children = List.map (fun x -> (x, Mtree.Tree.children tree x)) nodes;
+    members = Mtree.Tree.members tree;
+  }
+
+let pair_compare (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let sort_edges es = List.sort_uniq pair_compare es
+
+module Intset = Set.Make (Int)
+
+let on_tree_set view = Intset.of_list (List.map fst view.children)
+
+(* ---- I1: tree well-formedness ---- *)
+
+let check_tree view =
+  let out = ref [] in
+  let note x = out := x :: !out in
+  let on = on_tree_set view in
+  if not (Intset.mem view.root on) then
+    note (v "tree-wf" "root %d is not an on-tree node" view.root);
+  (* Every non-root node has exactly one parent record. *)
+  let parent_tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (c, p) ->
+      if Hashtbl.mem parent_tbl c then
+        note (v "tree-wf" "node %d has two parent records" c)
+      else Hashtbl.replace parent_tbl c p;
+      if c = view.root then note (v "tree-wf" "root %d has a parent (%d)" c p);
+      if not (Intset.mem p on) then
+        note (v "tree-wf" "node %d hangs off off-tree parent %d" c p);
+      if not (Netgraph.Graph.has_link view.graph p c) then
+        note (v "tree-wf" "tree edge %d-%d is not a graph link" p c))
+    view.parent;
+  Intset.iter
+    (fun x ->
+      if x <> view.root && not (Hashtbl.mem parent_tbl x) then
+        note (v "tree-wf" "non-root node %d has no parent (orphan)" x))
+    on;
+  (* Children lists mirror the parent map exactly. *)
+  let child_edges =
+    List.concat_map (fun (x, cs) -> List.map (fun c -> (c, x)) cs) view.children
+  in
+  List.iter
+    (fun (c, x) ->
+      match Hashtbl.find_opt parent_tbl c with
+      | Some p when p = x -> ()
+      | Some p ->
+        note (v "tree-wf" "node %d listed as child of %d but its parent is %d" c x p)
+      | None -> note (v "tree-wf" "node %d listed as child of %d without a parent record" c x))
+    child_edges;
+  if
+    sort_edges child_edges <> sort_edges view.parent
+    && List.length child_edges <> List.length view.parent
+  then
+    note
+      (v "tree-wf" "children lists carry %d edges, parent map %d"
+         (List.length child_edges) (List.length view.parent));
+  (* Root reachability over children links — also excludes cycles. *)
+  let kids x = match List.assoc_opt x view.children with Some cs -> cs | None -> [] in
+  let visited = ref Intset.empty in
+  let cycle = ref false in
+  let rec walk x =
+    if Intset.mem x !visited then cycle := true
+    else begin
+      visited := Intset.add x !visited;
+      List.iter walk (kids x)
+    end
+  in
+  if Intset.mem view.root on then walk view.root;
+  if !cycle then note (v "tree-wf" "cycle reachable from root %d" view.root);
+  Intset.iter
+    (fun x ->
+      if not (Intset.mem x !visited) then
+        note (v "tree-wf" "node %d unreachable from the root (cycle or orphan)" x))
+    on;
+  (* Members live on the tree. *)
+  List.iter
+    (fun m ->
+      if not (Intset.mem m on) then note (v "tree-wf" "member %d is off-tree" m))
+    view.members;
+  List.rev !out
+
+(* ---- I2: delay-bound compliance ---- *)
+
+let delay_eps = 1e-9
+
+let check_delay_bound view ~limit =
+  if not (Float.is_finite limit) then []
+  else begin
+    let out = ref [] in
+    let delay = Hashtbl.create 64 in
+    Hashtbl.replace delay view.root 0.0;
+    let kids x = match List.assoc_opt x view.children with Some cs -> cs | None -> [] in
+    let rec walk x =
+      let dx = match Hashtbl.find_opt delay x with Some d -> d | None -> 0.0 in
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem delay c) then begin
+            Hashtbl.replace delay c (dx +. Netgraph.Graph.link_delay view.graph x c);
+            walk c
+          end)
+        (kids x)
+    in
+    walk view.root;
+    List.iter
+      (fun m ->
+        match Hashtbl.find_opt delay m with
+        | None -> out := v "delay-bound" "member %d unreachable from root" m :: !out
+        | Some d ->
+          if d > limit +. delay_eps then
+            out :=
+              v "delay-bound" "member %d multicast delay %.6g exceeds bound %.6g" m d
+                limit
+              :: !out)
+      view.members;
+    List.rev !out
+  end
+
+(* ---- I3: SCMP entry / tree coherence ---- *)
+
+type entry_view = {
+  router : int;
+  upstream : int option;
+  downstream : int list;
+  member : bool;
+}
+
+type snapshot = {
+  group : int;
+  mrouter : int;
+  tree : tree_view option;
+  limit : float;
+  entries : entry_view list;
+}
+
+let sorted_ints xs = List.sort_uniq Int.compare xs
+
+let check_coherence snap =
+  let out = ref [] in
+  let note x = out := x :: !out in
+  let g = snap.group in
+  (match snap.tree with
+  | None ->
+    List.iter
+      (fun e ->
+        note
+          (v "entry-coherence" "group %d: router %d holds an entry but the m-router has no tree"
+             g e.router))
+      snap.entries
+  | Some view ->
+    let on = on_tree_set view in
+    let by_router = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        if Hashtbl.mem by_router e.router then
+          note (v "entry-coherence" "group %d: router %d has duplicate entries" g e.router)
+        else Hashtbl.replace by_router e.router e)
+      snap.entries;
+    let kids x = match List.assoc_opt x view.children with Some cs -> cs | None -> [] in
+    Intset.iter
+      (fun x ->
+        match Hashtbl.find_opt by_router x with
+        | None ->
+          note (v "entry-coherence" "group %d: on-tree router %d has no forwarding entry" g x)
+        | Some e ->
+          let want_up =
+            if x = view.root then None else List.assoc_opt x view.parent
+          in
+          if e.upstream <> want_up then
+            note
+              (v "entry-coherence" "group %d: router %d upstream %s, tree says %s" g x
+                 (match e.upstream with None -> "none" | Some u -> string_of_int u)
+                 (match want_up with None -> "none" | Some u -> string_of_int u));
+          if sorted_ints e.downstream <> sorted_ints (kids x) then
+            note
+              (v "entry-coherence" "group %d: router %d downstream {%s}, tree says {%s}" g x
+                 (String.concat "," (List.map string_of_int (sorted_ints e.downstream)))
+                 (String.concat "," (List.map string_of_int (sorted_ints (kids x)))));
+          if e.member <> List.mem x view.members then
+            note
+              (v "entry-coherence" "group %d: router %d member flag %b, tree says %b" g x
+                 e.member (List.mem x view.members)))
+      on;
+    List.iter
+      (fun e ->
+        if not (Intset.mem e.router on) then
+          note
+            (v "entry-coherence" "group %d: off-tree router %d still holds a stale entry" g
+               e.router))
+      snap.entries;
+    (* Edge-set reconstruction: the union of the distributed entries must
+       rebuild exactly the m-router's tree edge set, from both the
+       upstream and the downstream side (§III: the i-routers' derived
+       state is the tree). *)
+    let tree_edges = sort_edges view.parent in
+    let up_edges =
+      List.filter_map
+        (fun e -> Option.map (fun u -> (e.router, u)) e.upstream)
+        snap.entries
+      |> sort_edges
+    in
+    let down_edges =
+      List.concat_map (fun e -> List.map (fun d -> (d, e.router)) e.downstream)
+        snap.entries
+      |> sort_edges
+    in
+    if up_edges <> tree_edges then
+      note
+        (v "entry-coherence" "group %d: upstream entries rebuild %d edges, tree has %d" g
+           (List.length up_edges) (List.length tree_edges));
+    if down_edges <> tree_edges then
+      note
+        (v "entry-coherence" "group %d: downstream entries rebuild %d edges, tree has %d" g
+           (List.length down_edges) (List.length tree_edges)));
+  List.rev !out
+
+(* ---- I4: packet conservation ---- *)
+
+type delivery_counters = {
+  expected : int;
+  delivered : int;
+  duplicates : int;
+  spurious : int;
+  missed : int;
+}
+
+let check_delivery c =
+  let out = ref [] in
+  let note x = out := x :: !out in
+  if c.duplicates <> 0 then
+    note (v "packet-conservation" "%d duplicate deliveries" c.duplicates);
+  if c.spurious <> 0 then
+    note (v "packet-conservation" "%d deliveries to non-members" c.spurious);
+  if c.missed <> 0 then
+    note (v "packet-conservation" "%d expected deliveries never happened" c.missed);
+  if c.delivered <> c.expected then
+    note
+      (v "packet-conservation" "%d deliveries recorded, %d expected" c.delivered
+         c.expected);
+  List.rev !out
+
+(* ---- I5: switching-fabric routing validity ---- *)
+
+let check_fabric fabric =
+  match Fabric.Sandwich.self_check fabric with
+  | Ok () -> []
+  | Error e -> [ v "fabric-routing" "%s" e ]
+
+(* ---- aggregation ---- *)
+
+let verify_snapshot snap =
+  match snap.tree with
+  | None -> check_coherence snap
+  | Some view ->
+    check_tree view
+    @ check_delay_bound view ~limit:snap.limit
+    @ check_coherence snap
+
+let verify_all ?delivery ?fabric snapshots =
+  let vs =
+    List.concat_map verify_snapshot snapshots
+    @ (match delivery with None -> [] | Some c -> check_delivery c)
+    @ (match fabric with None -> [] | Some f -> check_fabric f)
+  in
+  match vs with [] -> Ok () | _ -> Error (report_to_string vs)
+
+let verify_all_exn ?delivery ?fabric ~where snapshots =
+  match verify_all ?delivery ?fabric snapshots with
+  | Ok () -> ()
+  | Error e -> raise (Violation (Printf.sprintf "%s: %s" where e))

@@ -1,0 +1,280 @@
+type violation = { path : string; line : int; rule : string; message : string }
+
+let to_string { path; line; rule; message } =
+  Printf.sprintf "%s:%d: [%s] %s" path line rule message
+
+(* ---- source preprocessing ----
+
+   Rules match on code only: comments and string literals are blanked
+   out (length-preserving, so line/column arithmetic survives). Handles
+   nested [(* *)] comments, ["..."] strings with escapes, and character
+   literals — while leaving type variables ['a] alone. *)
+
+let blank_non_code src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        incr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr comment_depth;
+        blank !i;
+        blank (!i + 1);
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      comment_depth := 1;
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      (* keep the delimiters, blank the payload *)
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if src.[!i] = '"' then begin
+          closed := true;
+          incr i
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if c = '\'' then begin
+      (* char literal iff it closes within a couple of characters;
+         otherwise it is a type variable / primed identifier *)
+      if !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then begin
+        blank (!i + 1);
+        i := !i + 3
+      end
+      else if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && !j <= !i + 4 && src.[!j] <> '\'' do incr j done;
+        if !j < n && src.[!j] = '\'' then begin
+          for k = !i + 1 to !j - 1 do blank k done;
+          i := !j + 1
+        end
+        else incr i
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let lines s = String.split_on_char '\n' s
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' | '.' -> true
+  | _ -> false
+
+(* Occurrences of [pat] in [line] at identifier boundaries. *)
+let contains_token line pat =
+  let n = String.length line and m = String.length pat in
+  let rec scan i =
+    if i + m > n then false
+    else if
+      String.sub line i m = pat
+      && (i = 0 || not (is_ident_char line.[i - 1]))
+      && (i + m = n || not (is_ident_char line.[i + m]))
+    then true
+    else scan (i + 1)
+  in
+  m > 0 && scan 0
+
+(* [contains_prefix line pat] — [pat] present at a left identifier
+   boundary, whatever follows (used for [Hashtbl.find] vs [_opt]:
+   the token check above would not match [Hashtbl.find] inside
+   [Hashtbl.find_opt], which is exactly what we want there; this one
+   is for rules that must see the bare prefix). *)
+let find_token line pat =
+  let n = String.length line and m = String.length pat in
+  let rec scan i acc =
+    if i + m > n then List.rev acc
+    else if String.sub line i m = pat && (i = 0 || not (is_ident_char line.[i - 1]))
+    then scan (i + 1) ((i, i + m) :: acc)
+    else scan (i + 1) acc
+  in
+  if m = 0 then [] else scan 0 []
+
+(* ---- rule definitions ---- *)
+
+let rule_poly_compare = "poly-compare"
+let rule_hashtbl_find = "hashtbl-find"
+let rule_failwith = "failwith-hot-path"
+let rule_mli = "mli-coverage"
+let rule_dune_flags = "dune-strict-flags"
+
+let all_rules =
+  [ rule_poly_compare; rule_hashtbl_find; rule_failwith; rule_mli; rule_dune_flags ]
+
+(* Suppression: a raw line containing [lint: allow <rule>] (normally
+   inside a comment) exempts that line from that rule. *)
+let allowed_on raw_line rule =
+  let marker = "lint: allow " ^ rule in
+  let n = String.length raw_line and m = String.length marker in
+  let rec scan i =
+    if i + m > n then false else String.sub raw_line i m = marker || scan (i + 1)
+  in
+  scan 0
+
+let poly_compare_patterns =
+  (* Sorting/dedup/set-functor idioms that reach for the polymorphic
+     comparator. Node, edge and message values must be ordered with
+     [Int.compare] or a dedicated comparator (see docs/ANALYSIS.md). *)
+  [
+    "List.sort compare";
+    "List.sort_uniq compare";
+    "List.stable_sort compare";
+    "List.sort Stdlib.compare";
+    "List.sort_uniq Stdlib.compare";
+    "List.stable_sort Stdlib.compare";
+    "let compare = compare";
+    "let compare = Stdlib.compare";
+    "Stdlib.compare";
+  ]
+
+let in_protocols path =
+  let needle = "protocols" in
+  let n = String.length path and m = String.length needle in
+  let rec scan i =
+    if i + m > n then false else String.sub path i m = needle || scan (i + 1)
+  in
+  scan 0
+
+let scan_ml ~path src =
+  let raw = lines src in
+  let code = lines (blank_non_code src) in
+  let out = ref [] in
+  List.iteri
+    (fun idx code_line ->
+      let lineno = idx + 1 in
+      let raw_line = List.nth raw idx in
+      let emit rule message =
+        if not (allowed_on raw_line rule) then
+          out := { path; line = lineno; rule; message } :: !out
+      in
+      List.iter
+        (fun pat ->
+          if contains_token code_line pat then
+            emit rule_poly_compare
+              (Printf.sprintf
+                 "polymorphic comparator (%s); use Int.compare or a dedicated \
+                  comparator"
+                 pat))
+        poly_compare_patterns;
+      List.iter
+        (fun (i, j) ->
+          let bare =
+            j >= String.length code_line || not (is_ident_char code_line.[j])
+          in
+          ignore i;
+          if bare then
+            emit rule_hashtbl_find
+              "Hashtbl.find raises on absent keys; use Hashtbl.find_opt")
+        (find_token code_line "Hashtbl.find");
+      if in_protocols path && contains_token code_line "failwith" then
+        emit rule_failwith
+          "failwith in a protocol hot path; return a result or use a typed \
+           invalid_arg at the API boundary")
+    code;
+  List.rev !out
+
+let scan_dune ~path src =
+  let has_warn_error =
+    List.exists (fun l -> find_token l "-warn-error" <> []) (lines src)
+  in
+  if has_warn_error then []
+  else
+    [
+      {
+        path;
+        line = 1;
+        rule = rule_dune_flags;
+        message = "library dune file lacks the strict warnings-as-errors flags";
+      };
+    ]
+
+(* ---- filesystem walk ---- *)
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+let rec walk p acc =
+  if is_dir p then
+    Array.fold_left
+      (fun acc name ->
+        if name = "" || name.[0] = '.' || name = "_build" then acc
+        else walk (Filename.concat p name) acc)
+      acc (Sys.readdir p)
+  else p :: acc
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let has_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let under_lib path =
+  path = "lib"
+  || has_suffix (Filename.dirname path) "lib"
+  || String.length path >= 4 && String.sub path 0 4 = "lib/"
+  ||
+  let needle = "/lib/" in
+  let n = String.length path and m = String.length needle in
+  let rec scan i =
+    if i + m > n then false else String.sub path i m = needle || scan (i + 1)
+  in
+  scan 0
+
+let scan_tree roots =
+  let files = List.concat_map (fun r -> walk r []) roots in
+  let files = List.sort String.compare files in
+  let out = ref [] in
+  List.iter
+    (fun p ->
+      if has_suffix p ".ml" then begin
+        out := !out @ scan_ml ~path:p (read_file p);
+        (* mli-coverage: every library module carries an interface *)
+        let mli = p ^ "i" in
+        if under_lib p && not (Sys.file_exists mli) then
+          out :=
+            !out
+            @ [
+                {
+                  path = p;
+                  line = 1;
+                  rule = rule_mli;
+                  message = "library module has no .mli interface";
+                };
+              ]
+      end
+      else if Filename.basename p = "dune" && under_lib p then
+        out := !out @ scan_dune ~path:p (read_file p))
+    files;
+  !out

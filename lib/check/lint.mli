@@ -1,0 +1,53 @@
+(** Repo-specific static analysis (the [@lint] alias).
+
+    A deliberately small, dependency-free lint pass over the OCaml
+    sources, enforcing the rules catalogued in [docs/ANALYSIS.md]:
+
+    - {b poly-compare} — no polymorphic [compare] in sorting/dedup/set
+      idioms on node, edge or message values; use [Int.compare] or a
+      dedicated comparator. Polymorphic compare on the simulator's
+      structured types is both a performance trap and a correctness
+      trap (it follows mutable structure).
+    - {b hashtbl-find} — no exception-raising [Hashtbl.find]; use
+      [Hashtbl.find_opt] and handle absence.
+    - {b failwith-hot-path} — no [failwith] inside [lib/protocols]:
+      protocol handlers run inside the event loop and must degrade by
+      dropping, not by tearing the simulation down.
+    - {b mli-coverage} — every [lib/**/*.ml] has a matching [.mli].
+    - {b dune-strict-flags} — every library [dune] file carries the
+      curated warnings-as-errors flag set.
+
+    Matching happens on comment- and string-stripped source, so prose
+    and literals never trip a rule. A raw line containing
+    [lint: allow <rule>] (conventionally in a trailing comment) is
+    exempt from that rule on that line. *)
+
+type violation = { path : string; line : int; rule : string; message : string }
+
+val to_string : violation -> string
+(** [path:line: [rule] message] — compiler-style, clickable. *)
+
+val all_rules : string list
+
+val rule_poly_compare : string
+val rule_hashtbl_find : string
+val rule_failwith : string
+val rule_mli : string
+val rule_dune_flags : string
+
+val blank_non_code : string -> string
+(** Length-preserving comment/string/char-literal blanking (exposed for
+    the lint's own tests). *)
+
+val scan_ml : path:string -> string -> violation list
+(** Apply the source rules to one [.ml] file's contents. The
+    [failwith-hot-path] rule only fires when [path] is under a
+    [protocols] directory. *)
+
+val scan_dune : path:string -> string -> violation list
+(** Apply the [dune-strict-flags] rule to one library [dune] file. *)
+
+val scan_tree : string list -> violation list
+(** Walk the given root directories (skipping [_build] and dotfiles)
+    and apply every rule in scope: source rules to [*.ml], interface
+    coverage and dune-flag rules to files under [lib]. *)

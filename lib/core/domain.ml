@@ -3,7 +3,6 @@ type node = Netgraph.Graph.node
 type group_rt = {
   mutable next_seq : int;
   mutable sources : node list;  (* routers registered as fabric inputs *)
-  output_port : int;
 }
 
 type t = {
@@ -102,7 +101,7 @@ let create_group t =
         | Ok _ -> ()
         | Error _ -> ());
         Hashtbl.replace t.groups addr
-          { next_seq = 0; sources = []; output_port = output };
+          { next_seq = 0; sources = [] };
         Ok addr
     end
 
@@ -156,6 +155,10 @@ let duplicates t = Protocols.Delivery.duplicates t.delivery
 let max_delay t = Protocols.Delivery.max_delay t.delivery
 
 let fabric_check t = Fabric.Sandwich.self_check t.fabric
+
+let verify t =
+  Check.Invariant.verify_all ~fabric:t.fabric
+    (Protocols.Scmp_proto.snapshots t.proto)
 
 let fail_mrouter t = Protocols.Scmp_proto.fail_primary t.proto
 

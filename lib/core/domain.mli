@@ -87,6 +87,12 @@ val max_delay : t -> float
 val fabric_check : t -> (unit, string) result
 (** Run {!Fabric.Sandwich.self_check} on the live fabric state. *)
 
+val verify : t -> (unit, string) result
+(** The full invariant suite ({!Check.Invariant.verify_all}) over the
+    live domain: every group's tree well-formedness, delay-bound
+    compliance and entry/tree coherence, plus switching-fabric routing
+    validity. Call on a quiesced engine (after {!run}). *)
+
 val fail_mrouter : t -> unit
 (** Kill the primary m-router. With a [standby] configured at
     {!create}, the secondary detects the silence (heartbeats), rebuilds

@@ -55,5 +55,11 @@ module Cpu_station = Eventsim.Server
 module Prng = Scmp_util.Prng
 module Stats = Scmp_util.Stats
 
+(** {2 Correctness tooling (see docs/ANALYSIS.md)} *)
+
 module Invariant = Check.Invariant
+(** Protocol invariant verifier: tree well-formedness, entry/tree
+    coherence, delay bounds, packet conservation, fabric routing. *)
+
 module Lint = Check.Lint
+(** The repo's custom static-analysis pass ([dune build @lint]). *)

@@ -72,7 +72,7 @@ let active_sessions t ~group =
   Hashtbl.fold
     (fun sid s acc -> if s.group = group then sid :: acc else acc)
     t.sessions []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let revoke_group t a =
   if not (group_exists t a) then Error "unknown group"
@@ -85,7 +85,7 @@ let revoke_group t a =
   end
 
 let published_groups t =
-  Hashtbl.fold (fun a () acc -> a :: acc) t.issued [] |> List.sort compare
+  Hashtbl.fold (fun a () acc -> a :: acc) t.issued [] |> List.sort Int.compare
 
 let start_session t ~group ~lifetime ~now =
   if not (group_exists t group) then Error "unknown group"
@@ -114,7 +114,7 @@ let expire t ~now =
         | Some e when e <= now -> sid :: acc
         | Some _ | None -> acc)
       t.sessions []
-    |> List.sort compare
+    |> List.sort Int.compare
   in
   List.iter (fun sid -> ignore (end_session t sid ~now)) expired;
   expired
@@ -146,4 +146,4 @@ let current_members t ~group =
       | Data_forwarded _ | Session_started _ | Session_ended _ -> ())
     (log t ~group);
   Hashtbl.fold (fun x b acc -> if b > 0 then x :: acc else acc) balance []
-  |> List.sort compare
+  |> List.sort Int.compare

@@ -1,5 +1,10 @@
 type node = { level : int; index : int }
 
+let compare_nodes a b =
+  match Int.compare a.level b.level with
+  | 0 -> Int.compare a.index b.index
+  | c -> c
+
 let log2 n =
   let rec loop k acc = if k <= 1 then acc else loop (k / 2) (acc + 1) in
   loop n 0
@@ -22,7 +27,7 @@ let merge_tree (b : Buddy.block) =
     done
   done;
   (* Leaves first, root last. *)
-  List.sort (fun a b -> compare (a.level, a.index) (b.level, b.index)) !nodes
+  List.sort compare_nodes !nodes
 
 let merge_depth (b : Buddy.block) = log2 b.size
 
@@ -38,7 +43,7 @@ let disjoint a b =
     let module S = Set.Make (struct
       type t = node
 
-      let compare = compare
+      let compare = compare_nodes
     end) in
     let set blk = S.of_list (merge_tree blk) in
     S.is_empty (S.inter (set a) (set b))

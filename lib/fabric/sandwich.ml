@@ -10,8 +10,8 @@ type t = {
   n : int;
   buddy : Buddy.t;
   groups : (gid, group) Hashtbl.t;
-  mutable input_owner : gid option array;
-  mutable output_owner : gid option array;
+  input_owner : gid option array;
+  output_owner : gid option array;
 }
 
 type plan = {
@@ -38,7 +38,7 @@ let create ~ports =
 let ports t = t.n
 
 let sorted_gids t =
-  Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort compare
+  Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort Int.compare
 
 let groups = sorted_gids
 

@@ -138,13 +138,19 @@ let leave t s =
   if Tree.is_member t.tree s then begin
     Tree.unset_member t.tree s;
     Tree.prune_upward t.tree s;
-    (* The dynamic bound follows the surviving membership. *)
+    (* The dynamic bound follows the surviving membership — and may
+       tighten when the departed member was the farthest one. Members
+       whose grafts were only feasible under the old, looser bound are
+       re-grafted via their shortest-delay paths, restoring the
+       invariant that every member's multicast delay stays within the
+       current bound (checked by Check.Invariant.check_delay_bound). *)
     let root = Tree.root t.tree in
     t.max_ul <-
       List.fold_left
         (fun acc m ->
           if m = root then acc else Float.max acc (Netgraph.Apsp.delay t.apsp root m))
-        0.0 (Tree.members t.tree)
+        0.0 (Tree.members t.tree);
+    repair_limit_violations t (current_limit t)
   end
 
 let build ?candidates apsp ~root ~bound ~members =

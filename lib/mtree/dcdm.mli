@@ -56,7 +56,11 @@ val join : t -> Tree.node -> unit
     from the root. *)
 
 val leave : t -> Tree.node -> unit
-(** Remove a member and prune per §III.C/D. No-op for non-members. *)
+(** Remove a member and prune per §III.C/D. No-op for non-members.
+    When the departed member was the farthest one the dynamic bound
+    tightens, and any member whose graft only fit the old bound is
+    re-grafted via its shortest-delay path so the delay invariant
+    survives churn (compare {!join}'s repair pass). *)
 
 val last_graft : t -> Netgraph.Path.t option
 (** The path grafted by the most recent {!join} (tree-order: from graft

@@ -3,7 +3,7 @@ module G = Netgraph.Graph
 let build apsp ~root ~members =
   let g = Netgraph.Apsp.graph apsp in
   let terminals =
-    root :: List.filter (fun m -> m <> root) (List.sort_uniq compare members)
+    root :: List.filter (fun m -> m <> root) (List.sort_uniq Int.compare members)
   in
   let k = List.length terminals in
   let term = Array.of_list terminals in
@@ -20,7 +20,8 @@ let build apsp ~root ~members =
   let module Edgeset = Set.Make (struct
     type t = int * int
 
-    let compare = compare
+    let compare (a1, b1) (a2, b2) =
+      match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
   end) in
   let edge a b = (min a b, max a b) in
   let subgraph_edges = ref Edgeset.empty in
@@ -37,7 +38,11 @@ let build apsp ~root ~members =
   let sorted =
     Edgeset.elements !subgraph_edges
     |> List.map (fun (a, b) -> (G.link_cost g a b, a, b))
-    |> List.sort compare
+    |> List.sort (fun (w1, a1, b1) (w2, a2, b2) ->
+           match Float.compare w1 w2 with
+           | 0 -> (
+             match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+           | c -> c)
   in
   let uf = Scmp_util.Unionfind.create (G.node_count g) in
   let mst2 =

@@ -20,7 +20,7 @@ let of_dijkstra g res ~members =
       | Some p ->
         graft_shortest tree p;
         Tree.set_member tree m)
-    (List.sort_uniq compare members);
+    (List.sort_uniq Int.compare members);
   tree
 
 let build apsp ~root ~members =
@@ -33,5 +33,5 @@ let build apsp ~root ~members =
       | Some p ->
         graft_shortest tree p;
         Tree.set_member tree m)
-    (List.sort_uniq compare members);
+    (List.sort_uniq Int.compare members);
   tree

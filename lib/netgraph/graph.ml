@@ -96,7 +96,7 @@ let components t =
             end)
           t.adj.(x)
       done;
-      comps := List.sort compare !comp :: !comps
+      comps := List.sort Int.compare !comp :: !comps
     end
   done;
   List.rev !comps

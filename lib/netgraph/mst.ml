@@ -45,7 +45,11 @@ let kruskal g ~metric ~within =
     |> List.map (fun (l : Graph.link) ->
            let w = match metric with Dijkstra.Delay -> l.delay | Dijkstra.Cost -> l.cost in
            (w, l.u, l.v))
-    |> List.sort compare
+    |> List.sort (fun (w1, u1, v1) (w2, u2, v2) ->
+           match Float.compare w1 w2 with
+           | 0 -> (
+             match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
+           | c -> c)
   in
   let uf = Scmp_util.Unionfind.create n in
   List.filter_map

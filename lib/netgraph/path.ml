@@ -12,7 +12,7 @@ let is_valid g path =
   | [] -> false
   | nodes ->
     let distinct =
-      let sorted = List.sort compare nodes in
+      let sorted = List.sort Int.compare nodes in
       let rec no_dup = function
         | a :: (b :: _ as rest) -> a <> b && no_dup rest
         | [ _ ] | [] -> true

@@ -193,4 +193,4 @@ let on_tree t ~group =
   Hashtbl.fold
     (fun (x, g) _ acc -> if g = group then x :: acc else acc)
     t.entries []
-  |> List.sort compare
+  |> List.sort Int.compare

@@ -140,7 +140,7 @@ let host_join t ~group x =
       | Some up ->
         N.transmit t.net ~src:x ~dst:up (Message.Dvmrp_graft { group; src; from = x })
       | None -> ())
-    (List.sort_uniq compare pruned_sources)
+    (List.sort_uniq Int.compare pruned_sources)
 
 let host_leave t ~group x = Hashtbl.remove t.member (x, group)
 

@@ -20,7 +20,7 @@ let groups t =
   Hashtbl.fold
     (fun g s acc -> if Intset.is_empty s then acc else g :: acc)
     t.table []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let query_round t =
   t.queries <- t.queries + 1;

@@ -26,7 +26,7 @@ let create ?delivery ?bound ?assign net ~mrouters () =
   (match mrouters with
   | [] -> invalid_arg "Multi.create: need at least one m-router"
   | ms ->
-    if List.length (List.sort_uniq compare ms) <> List.length ms then
+    if List.length (List.sort_uniq Int.compare ms) <> List.length ms then
       invalid_arg "Multi.create: duplicate m-router");
   let k = List.length mrouters in
   let arr = Array.of_list mrouters in

@@ -329,12 +329,12 @@ let on_rp_tree t ~group =
   Hashtbl.fold
     (fun (x, g) _ acc -> if g = group then x :: acc else acc)
     t.rpt []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let on_spt t ~group ~src =
   Hashtbl.fold
     (fun (x, g, s) _ acc -> if g = group && s = src then x :: acc else acc)
     t.spt []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let switched_over t ~group ~src x = Hashtbl.mem t.switched (x, group, src)

@@ -61,11 +61,15 @@ type result = {
   packets_sent : int;
 }
 
-(* Hooks shared by the four protocol drivers. *)
+(* Hooks shared by the four protocol drivers. [snapshots] feeds the
+   invariant verifier; only SCMP exposes distributed tree state, the
+   baselines contribute an empty list (their runs are still covered by
+   the packet-conservation check). *)
 type driver = {
   join : group:Message.group -> Message.node -> unit;
   leave : group:Message.group -> Message.node -> unit;
   send : group:Message.group -> src:Message.node -> seq:int -> unit;
+  snapshots : unit -> Check.Invariant.snapshot list;
 }
 
 let instantiate protocol net delivery ~center ~scmp_bound ~scmp_distribution
@@ -80,18 +84,34 @@ let instantiate protocol net delivery ~center ~scmp_bound ~scmp_distribution
       join = Scmp_proto.host_join p;
       leave = Scmp_proto.host_leave p;
       send = Scmp_proto.send_data p;
+      snapshots = (fun () -> Scmp_proto.snapshots p);
     }
   | Cbt ->
     let p = Cbt.create ~delivery net ~core:center () in
-    { join = Cbt.host_join p; leave = Cbt.host_leave p; send = Cbt.send_data p }
+    {
+      join = Cbt.host_join p;
+      leave = Cbt.host_leave p;
+      send = Cbt.send_data p;
+      snapshots = (fun () -> []);
+    }
   | Dvmrp ->
     let p = Dvmrp.create ~delivery ~prune_timeout:dvmrp_prune_timeout net () in
-    { join = Dvmrp.host_join p; leave = Dvmrp.host_leave p; send = Dvmrp.send_data p }
+    {
+      join = Dvmrp.host_join p;
+      leave = Dvmrp.host_leave p;
+      send = Dvmrp.send_data p;
+      snapshots = (fun () -> []);
+    }
   | Mospf ->
     let p = Mospf.create ~delivery net () in
-    { join = Mospf.host_join p; leave = Mospf.host_leave p; send = Mospf.send_data p }
+    {
+      join = Mospf.host_join p;
+      leave = Mospf.host_leave p;
+      send = Mospf.send_data p;
+      snapshots = (fun () -> []);
+    }
 
-let run protocol s =
+let run ?(check = false) protocol s =
   let group = 1 in
   (* Scale topology delays into simulated seconds; costs stay in the
      paper's link-cost units. *)
@@ -131,6 +151,13 @@ let run protocol s =
         && not (List.exists (fun (lt, lm) -> lm = m && lt <= t) s.leavers))
       s.members
   in
+  (* First invariant checkpoint: membership has converged, no packet is
+     in flight yet (joins end well before [data_start]; leavers are
+     mid-run events by construction). Scheduled before the data events
+     so the equal-key FIFO order of the engine runs it first. *)
+  if check then
+    Eventsim.Engine.schedule_at engine ~time:s.data_start (fun () ->
+        Check.Invariant.verify_all_exn ~where:"runner pre-data" (d.snapshots ()));
   for seq = 0 to s.data_count - 1 do
     let at = s.data_start +. (s.data_interval *. float_of_int seq) in
     Eventsim.Engine.schedule_at engine ~time:at (fun () ->
@@ -138,6 +165,26 @@ let run protocol s =
         d.send ~group ~src:s.source ~seq)
   done;
   Eventsim.Engine.run engine;
+  (* Final checkpoint on the quiesced network: distributed state still
+     coheres after every leave/PRUNE cascade, and packet conservation
+     holds over the whole run. *)
+  if check then begin
+    let expected = ref 0 in
+    for seq = 0 to s.data_count - 1 do
+      let at = s.data_start +. (s.data_interval *. float_of_int seq) in
+      expected := !expected + List.length (expected_at at)
+    done;
+    Check.Invariant.verify_all_exn ~where:"runner quiescent"
+      ~delivery:
+        {
+          Check.Invariant.expected = !expected;
+          delivered = Delivery.deliveries delivery;
+          duplicates = Delivery.duplicates delivery;
+          spurious = Delivery.spurious delivery;
+          missed = Delivery.missed delivery;
+        }
+      (d.snapshots ())
+  end;
   (match (trace, s.trace_path) with
   | Some tr, Some path -> ignore (Eventsim.Trace.save tr ~path)
   | _ -> ());

@@ -69,5 +69,14 @@ type result = {
   packets_sent : int;
 }
 
-val run : protocol -> scenario -> result
-(** Deterministic: same protocol + scenario => same result. *)
+val run : ?check:bool -> protocol -> scenario -> result
+(** Deterministic: same protocol + scenario => same result.
+
+    With [~check:true] the run is instrumented with the protocol
+    invariant verifier ({!Check.Invariant}): once after membership has
+    converged (at [data_start], before the first packet) and once on
+    the quiesced network after the run, every group's distributed state
+    is verified — tree well-formedness, delay-bound compliance and
+    entry/tree coherence for SCMP — and packet conservation is checked
+    over the whole run for every protocol. Any failure raises
+    {!Check.Invariant.Violation} with the offending rule and detail. *)

@@ -121,7 +121,10 @@ let tree_path_from_root tree dr =
   in
   climb dr []
 
-let edge_set tree = List.sort compare (Mtree.Tree.edges tree)
+let compare_edge (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+let edge_set tree = List.sort compare_edge (Mtree.Tree.edges tree)
 
 let distribute_branch t group tree dr =
   match tree_path_from_root tree dr with
@@ -196,7 +199,7 @@ let takeover t sb =
     in
     let groups =
       Hashtbl.fold (fun group _ acc -> group :: acc) sb.mirror []
-      |> List.sort compare
+      |> List.sort Int.compare
     in
     List.iter
       (fun group ->
@@ -271,7 +274,28 @@ let handle_leave_at_mrouter t group dr =
   replicate t group dr false;
   match Hashtbl.find_opt t.dcdm group with
   | None -> ()
-  | Some d -> Mtree.Dcdm.leave d dr
+  | Some d ->
+    let tree = Mtree.Dcdm.tree d in
+    let before_edges = edge_set tree in
+    let before_nodes = Mtree.Tree.nodes tree in
+    Mtree.Dcdm.leave d dr;
+    (* A pure prune needs no distribution: the DR's hop-by-hop PRUNE
+       cascade (§III.C) removes exactly the dangling entries. But when
+       the departure tightened the delay bound and DCDM re-grafted
+       members to honour it, the tree gained edges the cascade knows
+       nothing about — distribute the restructured tree, as on a
+       loop-eliminating join. *)
+    let after_edges = edge_set tree in
+    let grew =
+      List.exists (fun e -> not (List.mem e before_edges)) after_edges
+    in
+    if grew then begin
+      let after_nodes = Mtree.Tree.nodes tree in
+      let removed_nodes =
+        List.filter (fun x -> not (List.mem x after_nodes)) before_nodes
+      in
+      distribute_tree t group tree removed_nodes
+    end
 
 (* ---- i-router control plane ---- *)
 
@@ -472,8 +496,8 @@ let network_tree_consistent t ~group =
         | Some e ->
           let want_up = Mtree.Tree.parent tree x in
           if e.upstream <> want_up then note "router %d upstream mismatch" x;
-          let want_down = List.sort compare (Mtree.Tree.children tree x) in
-          if List.sort compare e.downstream <> want_down then
+          let want_down = List.sort Int.compare (Mtree.Tree.children tree x) in
+          if List.sort Int.compare e.downstream <> want_down then
             note "router %d downstream mismatch" x;
           if e.member <> Mtree.Tree.is_member tree x then
             note "router %d member flag mismatch" x)
@@ -489,3 +513,44 @@ let network_tree_consistent t ~group =
     (match !problems with
     | [] -> Ok ()
     | ps -> Error (String.concat "; " (List.rev ps)))
+
+(* ---- invariant snapshots (lib/check bridge) ---- *)
+
+let groups t =
+  Hashtbl.fold (fun g _ acc -> g :: acc) t.dcdm [] |> List.sort Int.compare
+
+let snapshot t ~group =
+  let entries =
+    Hashtbl.fold
+      (fun (x, g) e acc ->
+        (* A dead primary's leftover entries are unreachable state the
+           live network cannot observe; the verifier skips them. *)
+        if g = group && not (x = t.primary && t.primary_failed) then
+          {
+            Check.Invariant.router = x;
+            upstream = e.upstream;
+            downstream = e.downstream;
+            member = e.member;
+          }
+          :: acc
+        else acc)
+      t.entries []
+    |> List.sort (fun a b ->
+           Int.compare a.Check.Invariant.router b.Check.Invariant.router)
+  in
+  let limit =
+    match Hashtbl.find_opt t.dcdm group with
+    | Some d -> Mtree.Dcdm.current_limit d
+    | None -> infinity
+  in
+  {
+    Check.Invariant.group;
+    mrouter = t.active;
+    tree = Option.map Check.Invariant.view (mrouter_tree t ~group);
+    limit;
+    entries;
+  }
+
+let snapshots t = List.map (fun group -> snapshot t ~group) (groups t)
+
+let verify t = Check.Invariant.verify_all (snapshots t)

@@ -113,3 +113,21 @@ val network_tree_consistent : t -> group:Message.group -> (unit, string) result
     by matching upstream/downstream entries in the network, and no
     router outside the tree holds an entry. Run only after the event
     queue has drained. *)
+
+(** {2 Invariant snapshots (the [lib/check] bridge)} *)
+
+val groups : t -> Message.group list
+(** Groups the (active) m-router holds tree state for, ascending. *)
+
+val snapshot : t -> group:Message.group -> Check.Invariant.snapshot
+(** Capture one group's central tree, its current absolute delay bound
+    and every live i-router entry (a failed primary's unreachable
+    leftovers excluded) for the invariant verifier. *)
+
+val snapshots : t -> Check.Invariant.snapshot list
+(** One {!snapshot} per known group. *)
+
+val verify : t -> (unit, string) result
+(** [Check.Invariant.verify_all] over {!snapshots}: tree
+    well-formedness, delay-bound compliance and entry/tree coherence
+    for every group. Meaningful only on a quiesced event queue. *)

@@ -6,7 +6,7 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
-  mutable capacity_hint : int;
+  capacity_hint : int;
 }
 
 let create ?(capacity = 16) () =

@@ -32,7 +32,7 @@ let of_list xs =
 let mean_l xs = mean (of_list xs)
 let stddev_l xs = stddev (of_list xs)
 
-let sorted xs = List.sort compare xs
+let sorted xs = List.sort Float.compare xs
 
 let median_l xs =
   match sorted xs with

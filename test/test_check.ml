@@ -1,0 +1,395 @@
+(* Seeded-mutation tests for the correctness layer (lib/check).
+
+   Method: start from a healthy view of a small known network, corrupt
+   it in exactly one way (cycle, orphan child, stale forwarding entry,
+   duplicate delivery, ...) and assert the matching invariant — and a
+   precise diagnostic — fires. Same drill for the lint: feed each rule
+   a minimal offending source and a minimal clean one. Finally the lint
+   CLI itself is exercised end-to-end to prove [dune build @lint] turns
+   a seeded violation into a non-zero exit. *)
+
+module I = Check.Invariant
+module L = Check.Lint
+module G = Netgraph.Graph
+module Runner = Protocols.Runner
+module Prng = Scmp_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let has_rule r vs = List.exists (fun (x : I.violation) -> x.I.rule = r) vs
+
+let diagnostic_mentions sub vs =
+  List.exists (fun (x : I.violation) -> contains x.I.detail sub) vs
+
+(* ---------------- fixture: a healthy group ----------------
+
+   Diamond network 0-(1,2), 1-3, 2-4 plus an off-tree stub 2-5; the
+   m-router at 0 serves members 3 and 4 (multicast delay 2.0 each). *)
+
+let network () =
+  let g = G.create 6 in
+  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
+  G.add_link g 0 2 ~delay:1.0 ~cost:1.0;
+  G.add_link g 1 3 ~delay:1.0 ~cost:1.0;
+  G.add_link g 2 4 ~delay:1.0 ~cost:1.0;
+  G.add_link g 2 5 ~delay:1.0 ~cost:1.0;
+  g
+
+let healthy_tree () =
+  {
+    I.graph = network ();
+    root = 0;
+    parent = [ (1, 0); (2, 0); (3, 1); (4, 2) ];
+    children = [ (0, [ 1; 2 ]); (1, [ 3 ]); (2, [ 4 ]); (3, []); (4, []) ];
+    members = [ 3; 4 ];
+  }
+
+let healthy_entries () =
+  [
+    { I.router = 0; upstream = None; downstream = [ 1; 2 ]; member = false };
+    { I.router = 1; upstream = Some 0; downstream = [ 3 ]; member = false };
+    { I.router = 2; upstream = Some 0; downstream = [ 4 ]; member = false };
+    { I.router = 3; upstream = Some 1; downstream = []; member = true };
+    { I.router = 4; upstream = Some 2; downstream = []; member = true };
+  ]
+
+let healthy_snapshot () =
+  {
+    I.group = 1;
+    mrouter = 0;
+    tree = Some (healthy_tree ());
+    limit = 2.0;
+    entries = healthy_entries ();
+  }
+
+(* ---------------- I1: tree well-formedness ---------------- *)
+
+let test_healthy_passes () =
+  checki "no violations on the healthy snapshot" 0
+    (List.length (I.verify_snapshot (healthy_snapshot ())));
+  checkb "verify_all ok" true (I.verify_all [ healthy_snapshot () ] = Ok ())
+
+let test_cycle_flagged () =
+  (* Detach the 3<->4 pair from the root and make them each other's
+     parent: a cycle unreachable from the root. *)
+  let t =
+    {
+      (healthy_tree ()) with
+      I.parent = [ (1, 0); (2, 0); (3, 4); (4, 3) ];
+      children = [ (0, [ 1; 2 ]); (1, []); (2, []); (3, [ 4 ]); (4, [ 3 ]) ];
+    }
+  in
+  let vs = I.check_tree t in
+  checkb "tree-wf fires" true (has_rule "tree-wf" vs);
+  checkb "diagnostic names the detached nodes" true
+    (diagnostic_mentions "3" vs && diagnostic_mentions "4" vs)
+
+let test_reachable_cycle_flagged () =
+  (* Root's own child list points back at a node that also claims a
+     deeper position: 1 is both child of 0 and of 3 (two parents). *)
+  let t =
+    {
+      (healthy_tree ()) with
+      I.parent = [ (1, 0); (2, 0); (3, 1); (4, 2); (1, 3) ];
+      children = [ (0, [ 1; 2 ]); (1, [ 3 ]); (2, [ 4 ]); (3, [ 1 ]); (4, []) ];
+    }
+  in
+  let vs = I.check_tree t in
+  checkb "tree-wf fires" true (has_rule "tree-wf" vs);
+  checkb "diagnostic: two parent records" true
+    (diagnostic_mentions "two parent records" vs)
+
+let test_orphan_child_flagged () =
+  (* 1 lists 3 as downstream but 3 has no parent record. *)
+  let t =
+    { (healthy_tree ()) with I.parent = [ (1, 0); (2, 0); (4, 2) ] }
+  in
+  let vs = I.check_tree t in
+  checkb "tree-wf fires" true (has_rule "tree-wf" vs);
+  checkb "diagnostic: missing parent record" true
+    (diagnostic_mentions "without a parent record" vs)
+
+let test_nonlink_tree_edge_flagged () =
+  (* Re-parent 4 under 1: 1-4 is not a link of the diamond. *)
+  let t =
+    {
+      (healthy_tree ()) with
+      I.parent = [ (1, 0); (2, 0); (3, 1); (4, 1) ];
+      children = [ (0, [ 1; 2 ]); (1, [ 3; 4 ]); (2, []); (3, []); (4, []) ];
+    }
+  in
+  let vs = I.check_tree t in
+  checkb "tree-wf fires" true (has_rule "tree-wf" vs);
+  checkb "diagnostic: not a graph link" true
+    (diagnostic_mentions "not a graph link" vs)
+
+(* ---------------- I2: delay bound ---------------- *)
+
+let test_delay_bound () =
+  let t = healthy_tree () in
+  checki "within bound: clean" 0 (List.length (I.check_delay_bound t ~limit:2.0));
+  checki "unconstrained: clean" 0
+    (List.length (I.check_delay_bound t ~limit:infinity));
+  let vs = I.check_delay_bound t ~limit:1.5 in
+  checkb "delay-bound fires" true (has_rule "delay-bound" vs);
+  checki "both members flagged" 2 (List.length vs);
+  checkb "diagnostic carries the bound" true (diagnostic_mentions "1.5" vs)
+
+(* ---------------- I3: entry/tree coherence ---------------- *)
+
+let test_stale_entry_flagged () =
+  (* Off-tree router 5 kept a forwarding entry a PRUNE should have
+     removed. *)
+  let s =
+    {
+      (healthy_snapshot ()) with
+      I.entries =
+        healthy_entries ()
+        @ [ { I.router = 5; upstream = Some 2; downstream = []; member = false } ];
+    }
+  in
+  let vs = I.check_coherence s in
+  checkb "entry-coherence fires" true (has_rule "entry-coherence" vs);
+  checkb "diagnostic: stale entry at router 5" true
+    (diagnostic_mentions "off-tree router 5" vs && diagnostic_mentions "stale" vs)
+
+let test_missing_downstream_flagged () =
+  (* Router 1 lost its downstream record for member 3: the union of
+     downstream links no longer rebuilds the m-router's edge set. *)
+  let s =
+    {
+      (healthy_snapshot ()) with
+      I.entries =
+        List.map
+          (fun (e : I.entry_view) ->
+            if e.I.router = 1 then { e with I.downstream = [] } else e)
+          (healthy_entries ());
+    }
+  in
+  let vs = I.check_coherence s in
+  checkb "entry-coherence fires" true (has_rule "entry-coherence" vs);
+  checkb "diagnostic names router 1" true (diagnostic_mentions "router 1" vs)
+
+let test_wrong_upstream_flagged () =
+  (* Router 4 points at 1 while the tree says its parent is 2. *)
+  let s =
+    {
+      (healthy_snapshot ()) with
+      I.entries =
+        List.map
+          (fun (e : I.entry_view) ->
+            if e.I.router = 4 then { e with I.upstream = Some 1 } else e)
+          (healthy_entries ());
+    }
+  in
+  let vs = I.check_coherence s in
+  checkb "entry-coherence fires" true (has_rule "entry-coherence" vs);
+  checkb "diagnostic shows both parents" true (diagnostic_mentions "upstream" vs)
+
+let test_verify_all_reports_rule_names () =
+  let s = { (healthy_snapshot ()) with I.limit = 1.5 } in
+  match I.verify_all [ s ] with
+  | Ok () -> Alcotest.fail "expected a violation report"
+  | Error report -> checkb "report names the rule" true (contains report "delay-bound")
+
+(* ---------------- I4: packet conservation ---------------- *)
+
+let test_delivery_counters () =
+  let clean =
+    { I.expected = 10; delivered = 10; duplicates = 0; spurious = 0; missed = 0 }
+  in
+  checki "clean counters pass" 0 (List.length (I.check_delivery clean));
+  let dup = { clean with I.delivered = 11; duplicates = 1 } in
+  let vs = I.check_delivery dup in
+  checkb "packet-conservation fires" true (has_rule "packet-conservation" vs);
+  checkb "diagnostic: duplicate" true (diagnostic_mentions "duplicate" vs);
+  let missed = { clean with I.delivered = 9; missed = 1 } in
+  checkb "missed delivery flagged" true
+    (has_rule "packet-conservation" (I.check_delivery missed))
+
+(* ---------------- lint: rule-by-rule ---------------- *)
+
+let lint_rules vs =
+  List.sort_uniq String.compare (List.map (fun (x : L.violation) -> x.L.rule) vs)
+
+let test_lint_poly_compare () =
+  let vs = L.scan_ml ~path:"lib/mtree/x.ml" "let xs = List.sort compare ys\n" in
+  Alcotest.check
+    Alcotest.(list string)
+    "poly-compare fires"
+    [ L.rule_poly_compare ]
+    (lint_rules vs);
+  checki "at line 1" 1 (List.hd vs).L.line;
+  checki "Int.compare is fine" 0
+    (List.length (L.scan_ml ~path:"lib/mtree/x.ml" "let xs = List.sort Int.compare ys\n"))
+
+let test_lint_hashtbl_find () =
+  let vs = L.scan_ml ~path:"lib/core/x.ml" "let v = Hashtbl.find tbl k\n" in
+  Alcotest.check
+    Alcotest.(list string)
+    "hashtbl-find fires"
+    [ L.rule_hashtbl_find ]
+    (lint_rules vs);
+  checki "find_opt is fine" 0
+    (List.length (L.scan_ml ~path:"lib/core/x.ml" "let v = Hashtbl.find_opt tbl k\n"))
+
+let test_lint_failwith_scope () =
+  let src = "let f () = failwith \"boom\"\n" in
+  checkb "failwith flagged under lib/protocols" true
+    (has_rule L.rule_failwith
+       (List.map
+          (fun (x : L.violation) -> { I.rule = x.L.rule; detail = x.L.message })
+          (L.scan_ml ~path:"lib/protocols/x.ml" src)));
+  checki "failwith allowed outside the hot path" 0
+    (List.length (L.scan_ml ~path:"lib/mtree/x.ml" src))
+
+let test_lint_suppression_and_literals () =
+  checki "lint: allow marker suppresses" 0
+    (List.length
+       (L.scan_ml ~path:"lib/mtree/x.ml"
+          "let xs = List.sort compare ys (* lint: allow poly-compare *)\n"));
+  checki "comments and strings never trip rules" 0
+    (List.length
+       (L.scan_ml ~path:"lib/protocols/x.ml"
+          "(* List.sort compare; Hashtbl.find; failwith *)\nlet s = \"failwith\"\n"))
+
+let test_lint_blanking () =
+  let src = "let x = 'a' (* note (* nested *) *) ^ \"Hashtbl.find\"" in
+  let blanked = L.blank_non_code src in
+  checki "length preserved" (String.length src) (String.length blanked);
+  checkb "comment content gone" false (contains blanked "nested");
+  checkb "string content gone" false (contains blanked "Hashtbl");
+  checkb "code survives" true (contains blanked "let x =")
+
+let test_lint_dune_flags () =
+  let vs = L.scan_dune ~path:"lib/mtree/dune" "(library\n (name mtree))\n" in
+  Alcotest.check
+    Alcotest.(list string)
+    "dune-strict-flags fires"
+    [ L.rule_dune_flags ]
+    (lint_rules vs);
+  checki "strict file passes" 0
+    (List.length
+       (L.scan_dune ~path:"lib/mtree/dune"
+          "(library\n (name mtree)\n (flags (:standard -w +a-4-9-40-41-42-44-45-70 -warn-error +8+26+27+32+33)))\n"))
+
+(* ---------------- lint: the CLI end-to-end ----------------
+
+   The @lint alias runs bin/scmp_lint.exe over lib/ and bin/; here the
+   same executable is pointed at seeded directories to prove the exit
+   codes the alias relies on: 1 on violation, 0 on clean, 2 on a
+   missing root. *)
+
+let lint_exe = Filename.concat (Filename.concat ".." "bin") "scmp_lint.exe"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let fresh_dir name =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) name in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root)));
+  ignore (Sys.command (Printf.sprintf "mkdir -p %s" (Filename.quote (Filename.concat root "lib"))));
+  root
+
+let run_lint_on dir =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote lint_exe) (Filename.quote dir))
+
+let test_cli_seeded_violation_fails () =
+  checkb "lint executable built" true (Sys.file_exists lint_exe);
+  let root = fresh_dir "scmp_lint_seed_bad" in
+  write_file
+    (Filename.concat (Filename.concat root "lib") "bad.ml")
+    "let xs = List.sort compare ys\n";
+  checki "exit 1 on seeded violation" 1 (run_lint_on root)
+
+let test_cli_clean_tree_passes () =
+  let root = fresh_dir "scmp_lint_seed_good" in
+  let lib = Filename.concat root "lib" in
+  write_file (Filename.concat lib "good.ml") "let answer = 42\n";
+  write_file (Filename.concat lib "good.mli") "val answer : int\n";
+  checki "exit 0 on clean tree" 0 (run_lint_on root);
+  checki "exit 2 on missing root" 2
+    (run_lint_on (Filename.concat root "no_such_dir"))
+
+(* ---------------- the verifier under live churn ----------------
+
+   A full SCMP run with mid-traffic departures and [~check:true]: the
+   pre-data and quiescent checkpoints must hold even while PRUNEs and
+   bound-tightening re-grafts restructure the tree (the case the
+   leave-repair pass in Mtree.Dcdm exists for). *)
+
+let test_runner_churn_with_checks () =
+  let spec = Topology.Waxman.generate ~seed:11 ~n:40 () in
+  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let rng = Prng.create 5 in
+  let members = Prng.sample rng 12 40 |> List.filter (fun x -> x <> center) in
+  let base = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
+  let leavers =
+    match List.rev members with
+    | a :: b :: _ ->
+      [ (base.Runner.data_start +. 5.2, a); (base.Runner.data_start +. 12.7, b) ]
+    | _ -> []
+  in
+  checki "churn scenario has leavers" 2 (List.length leavers);
+  let sc = { base with Runner.leavers } in
+  let r = Runner.run ~check:true Runner.Scmp sc in
+  checki "missed" 0 r.Runner.missed;
+  checki "dups" 0 r.Runner.duplicates;
+  checki "spurious" 0 r.Runner.spurious
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "invariant-tree",
+        [
+          Alcotest.test_case "healthy snapshot passes" `Quick test_healthy_passes;
+          Alcotest.test_case "cycle flagged" `Quick test_cycle_flagged;
+          Alcotest.test_case "double parent flagged" `Quick test_reachable_cycle_flagged;
+          Alcotest.test_case "orphan child flagged" `Quick test_orphan_child_flagged;
+          Alcotest.test_case "non-link tree edge flagged" `Quick
+            test_nonlink_tree_edge_flagged;
+        ] );
+      ( "invariant-delay",
+        [ Alcotest.test_case "delay bound" `Quick test_delay_bound ] );
+      ( "invariant-coherence",
+        [
+          Alcotest.test_case "stale forwarding entry flagged" `Quick
+            test_stale_entry_flagged;
+          Alcotest.test_case "missing downstream flagged" `Quick
+            test_missing_downstream_flagged;
+          Alcotest.test_case "wrong upstream flagged" `Quick test_wrong_upstream_flagged;
+          Alcotest.test_case "verify_all report" `Quick test_verify_all_reports_rule_names;
+        ] );
+      ( "invariant-delivery",
+        [ Alcotest.test_case "packet conservation" `Quick test_delivery_counters ] );
+      ( "lint-rules",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_lint_poly_compare;
+          Alcotest.test_case "hashtbl-find" `Quick test_lint_hashtbl_find;
+          Alcotest.test_case "failwith scope" `Quick test_lint_failwith_scope;
+          Alcotest.test_case "suppression and literals" `Quick
+            test_lint_suppression_and_literals;
+          Alcotest.test_case "blanking" `Quick test_lint_blanking;
+          Alcotest.test_case "dune strict flags" `Quick test_lint_dune_flags;
+        ] );
+      ( "lint-cli",
+        [
+          Alcotest.test_case "seeded violation fails the build" `Quick
+            test_cli_seeded_violation_fails;
+          Alcotest.test_case "clean tree passes" `Quick test_cli_clean_tree_passes;
+        ] );
+      ( "live-churn",
+        [
+          Alcotest.test_case "SCMP churn run under full checks" `Quick
+            test_runner_churn_with_checks;
+        ] );
+    ]

@@ -41,6 +41,11 @@ let setup () =
   in
   (e, net, delivery, p)
 
+let check_invariants where p =
+  match P.verify p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invariant violated: %s" where e
+
 let join_all e p members =
   List.iter
     (fun r ->
@@ -68,6 +73,7 @@ let test_takeover_rebuilds_tree () =
   (match P.network_tree_consistent p ~group:1 with
   | Ok () -> ()
   | Error err -> Alcotest.failf "post-takeover inconsistent: %s" err);
+  check_invariants "post-takeover" p;
   match P.mrouter_tree p ~group:1 with
   | None -> Alcotest.fail "no tree after takeover"
   | Some tree ->
@@ -96,6 +102,7 @@ let test_service_continues_after_takeover () =
   (match P.router_state p 3 ~group:1 with
   | Some (_, _, true) -> ()
   | _ -> Alcotest.fail "post-failover join did not connect");
+  check_invariants "post-failover join" p;
   checki "clean" 0
     (Delivery.duplicates delivery + Delivery.spurious delivery
    + Delivery.missed delivery)

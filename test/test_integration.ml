@@ -11,6 +11,12 @@ module Prng = Scmp_util.Prng
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
+(* Every simulated run in this file executes with the invariant
+   verifier armed: Check.Invariant checkpoints fire just before the
+   data phase and again at quiescence, raising on any tree/entry/
+   delay/delivery violation (see lib/check and docs/ANALYSIS.md). *)
+let run = Runner.run ~check:true
+
 (* ---------------- Fig 7 properties ---------------- *)
 
 let tree_setup seed k =
@@ -78,7 +84,7 @@ let network_results seed size =
   let rng = Prng.create (seed * 31 + size) in
   let members = Prng.sample rng size 50 |> List.filter (fun x -> x <> center) in
   let sc = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
-  List.map (fun p -> (p, Runner.run p sc)) Runner.all_protocols
+  List.map (fun p -> (p, run p sc)) Runner.all_protocols
 
 let avg_over_seeds size pick =
   let per_protocol = Hashtbl.create 4 in
@@ -147,7 +153,7 @@ let test_all_protocols_exactly_once_across_topologies () =
       let sc = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
       List.iter
         (fun p ->
-          let r = Runner.run p sc in
+          let r = run p sc in
           let name =
             Runner.protocol_name p ^ " on " ^ spec.Topology.Spec.name
           in
@@ -179,7 +185,7 @@ let test_soak_200_nodes () =
   in
   List.iter
     (fun p ->
-      let r = Runner.run p sc in
+      let r = run p sc in
       let name = Runner.protocol_name p in
       checki (name ^ " missed") 0 r.Runner.missed;
       checki (name ^ " dups") 0 r.Runner.duplicates;
@@ -210,6 +216,9 @@ let test_domain_conference_workload () =
   Scmp.Domain.leave d ~group:g 2;
   Scmp.Domain.leave d ~group:g 31;
   Scmp.Domain.run d;
+  (match Scmp.Domain.verify d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-churn invariant violated: %s" e);
   List.iter (fun s -> Scmp.Domain.send d ~group:g ~src:s) [ 9; 16; 23 ];
   Scmp.Domain.run d;
   checki "post-churn deliveries" (60 + 6) (Scmp.Domain.deliveries d);
@@ -235,6 +244,9 @@ let test_domain_matches_mrouter_tree_invariants () =
       Scmp.Domain.run d
     end
   done;
+  (match Scmp.Domain.verify d with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "churn invariant violated: %s" e);
   match Scmp.Domain.tree d ~group:g with
   | None -> checki "no members means no tree needed" 0 (List.length !members)
   | Some t ->
