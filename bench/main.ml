@@ -156,8 +156,10 @@ let make_spec topo seed =
   | Random_deg3 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:3.0
   | Random_deg5 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:5.0
 
-(* One averaged experiment cell: protocol x topology x group size. *)
-let run_cell protocol topo ~size ~seeds ~pick =
+(* One averaged experiment cell: protocol x topology x group size.
+   Protocols come from the driver registry, so the comparison includes
+   every registered driver (pim-sm along the paper's four). *)
+let run_cell driver topo ~size ~seeds ~pick =
   let acc = Scmp_util.Stats.create () in
   for seed = 1 to seeds do
     let spec = make_spec topo seed in
@@ -172,31 +174,28 @@ let run_cell protocol topo ~size ~seeds ~pick =
     in
     let source = List.hd members in
     let sc = Protocols.Runner.make ~spec ~center ~source ~members () in
-    let r = Protocols.Runner.run protocol sc in
+    let r = Protocols.Runner.run driver sc in
     if r.Protocols.Runner.missed > 0 || r.duplicates > 0 || r.spurious > 0 then
       pr "!! %s %s size=%d seed=%d: missed=%d dup=%d spur=%d\n"
-        (Protocols.Runner.protocol_name protocol)
+        (Protocols.Driver.display driver)
         (topology_name topo) size seed r.missed r.duplicates r.spurious;
     Scmp_util.Stats.add acc (pick r)
   done;
   Scmp_util.Stats.mean acc
 
 let protocol_figure ~title ~seeds ~pick ~decimals () =
+  let drivers = Protocols.Driver.all () in
   List.iter
     (fun topo ->
       let tab =
         T.create
           (T.column ~align:T.Left "group size"
-          :: List.map
-               (fun p -> T.column (Protocols.Runner.protocol_name p))
-               Protocols.Runner.all_protocols)
+          :: List.map (fun d -> T.column (Protocols.Driver.display d)) drivers)
       in
       List.iter
         (fun size ->
           let row =
-            List.map
-              (fun p -> run_cell p topo ~size ~seeds ~pick)
-              Protocols.Runner.all_protocols
+            List.map (fun d -> run_cell d topo ~size ~seeds ~pick) drivers
           in
           T.add_float_row tab ~decimals (string_of_int size) row)
         fig89_group_sizes;
@@ -412,12 +411,12 @@ let branch_ablation ~seeds () =
           in
           let source = List.hd members in
           let sc =
-            {
-              (Protocols.Runner.make ~spec ~center ~source ~members ()) with
-              Protocols.Runner.scmp_distribution = distribution;
-            }
+            Protocols.Runner.make ~scmp_distribution:distribution ~spec ~center
+              ~source ~members ()
           in
-          let r = Protocols.Runner.run Protocols.Runner.Scmp sc in
+          let r =
+            Protocols.Runner.run (Protocols.Driver.find_exn "scmp") sc
+          in
           Scmp_util.Stats.add acc r.Protocols.Runner.protocol_overhead
         done;
         Scmp_util.Stats.mean acc
@@ -893,9 +892,13 @@ let pimsm () =
     tab
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks of the core algorithms. *)
+(* Bechamel micro-benchmarks of the core algorithms, plus one
+   end-to-end runner throughput measurement. With --json PATH the
+   results are also written as a scmp-report/1 document (BENCH.json —
+   the perf baseline future PRs diff against). All numbers here are
+   wall-clock by nature, so the report flags every metric [wallclock]. *)
 
-let micro () =
+let micro ?json ~full () =
   section "micro-benchmarks (Bechamel)";
   let open Bechamel in
   let spec = Topology.Waxman.generate ~seed:5 ~n:100 () in
@@ -935,7 +938,12 @@ let micro () =
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  (* reduced scale by default (the check.sh smoke step); --full restores
+     the longer measurement window *)
+  let cfg =
+    if full then Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ()
+    else Benchmark.cfg ~limit:50 ~quota:(Time.second 0.1) ()
+  in
   let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"scmp" tests) in
   let results =
     Analyze.all
@@ -950,9 +958,72 @@ let micro () =
       in
       rows := (name, est) :: !rows)
     results;
-  List.iter
-    (fun (name, est) -> pr "%-34s %14.1f ns/run\n" name est)
-    (List.sort compare !rows)
+  let rows = List.sort compare !rows in
+  List.iter (fun (name, est) -> pr "%-34s %14.1f ns/run\n" name est) rows;
+  (* End-to-end throughput: one full SCMP runner scenario, timed. *)
+  let e2e_driver = Protocols.Driver.find_exn "scmp" in
+  let e2e_spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
+  let e2e_apsp = Netgraph.Apsp.compute e2e_spec.Topology.Spec.graph in
+  let center = Scmp.Placement.pick e2e_apsp Scmp.Placement.Min_avg_delay in
+  let e2e_members =
+    Scmp_util.Prng.sample (Scmp_util.Prng.create 23) 16 50
+    |> List.filter (fun x -> x <> center)
+  in
+  let sc =
+    Protocols.Runner.make ~spec:e2e_spec ~center
+      ~source:(List.hd e2e_members) ~members:e2e_members ()
+  in
+  let e2e_report = Obs.Report.create ~name:"bench-e2e" () in
+  let r, e2e_wall =
+    Obs.Clock.time (fun () ->
+        Protocols.Runner.run ~report:e2e_report e2e_driver sc)
+  in
+  let events =
+    match
+      Obs.Json.(
+        match Obs.Metrics.to_json (Obs.Report.metrics e2e_report) with
+        | Obj kvs -> List.assoc_opt "engine/events_executed" kvs
+        | _ -> None)
+    with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> 0
+  in
+  pr "\nend-to-end (scmp, 50-node random deg 3, 16 members, 30 pkts):\n";
+  pr "%-34s %14.3f ms\n" "wall time" (1000.0 *. e2e_wall);
+  pr "%-34s %14.0f events/s\n" "engine throughput"
+    (float_of_int events /. e2e_wall);
+  pr "%-34s %14d delivered\n" "deliveries" r.Protocols.Runner.deliveries;
+  match json with
+  | None -> ()
+  | Some path ->
+    let rep = Obs.Report.create ~name:"bench-micro" () in
+    Obs.Report.set_meta rep "kind" (Obs.Json.String "micro");
+    Obs.Report.set_meta rep "full" (Obs.Json.Bool full);
+    let m = Obs.Report.metrics rep in
+    let wall_gauge name v =
+      Obs.Metrics.set (Obs.Metrics.gauge ~wallclock:true m name) v
+    in
+    List.iter
+      (fun (name, est) ->
+        (* bechamel names tests "scmp/<name>" *)
+        let key =
+          match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name
+        in
+        wall_gauge (Printf.sprintf "micro/%s/ns_per_run" key) est)
+      rows;
+    wall_gauge "e2e/scmp/wall_s" e2e_wall;
+    wall_gauge "e2e/scmp/events_per_s" (float_of_int events /. e2e_wall);
+    wall_gauge "e2e/scmp/deliveries_per_s"
+      (float_of_int r.Protocols.Runner.deliveries /. e2e_wall);
+    Obs.Metrics.set_counter
+      (Obs.Metrics.counter m "e2e/scmp/deliveries")
+      r.Protocols.Runner.deliveries;
+    Obs.Metrics.set_counter (Obs.Metrics.counter m "e2e/scmp/events") events;
+    (match Obs.Report.write ~pretty:true rep ~path with
+    | Ok () -> pr "\nbench report written to %s\n" path
+    | Error msg -> pr "\n!! could not write %s: %s\n" path msg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -960,7 +1031,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [fig7|fig8|fig9|placement|fabric|branch|failover|multi|capacity|congestion|pimsm|micro|all] \
-     [--full] [--ablate] [--csv DIR]";
+     [--full] [--ablate] [--csv DIR] [--json PATH]";
   exit 1
 
 let () =
@@ -968,18 +1039,21 @@ let () =
   let full = List.mem "--full" args in
   let ablate = List.mem "--ablate" args in
   (* --csv DIR: also emit every table as CSV into DIR *)
-  let rec find_csv = function
-    | "--csv" :: dir :: _ -> Some dir
-    | _ :: rest -> find_csv rest
+  let rec find_opt_arg flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> find_opt_arg flag rest
     | [] -> None
   in
-  (match find_csv args with
+  (match find_opt_arg "--csv" args with
   | Some dir ->
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     csv_dir := Some dir
   | None -> ());
+  (* --json PATH: write the micro/e2e results as a scmp-report/1 file *)
+  let json = find_opt_arg "--json" args in
   let rec strip_flags = function
     | "--csv" :: _ :: rest -> strip_flags rest
+    | "--json" :: _ :: rest -> strip_flags rest
     | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
       strip_flags rest
     | a :: rest -> a :: strip_flags rest
@@ -1000,7 +1074,7 @@ let () =
     | "capacity" -> capacity ()
     | "congestion" -> congestion ()
     | "pimsm" -> pimsm ()
-    | "micro" -> micro ()
+    | "micro" -> micro ?json ~full ()
     | "all" ->
       fig7 ~seeds:tree_seeds ~ablate ();
       fig8 ~seeds:net_seeds ();
@@ -1013,7 +1087,7 @@ let () =
       capacity ();
       congestion ();
       pimsm ();
-      micro ()
+      micro ?json ~full ()
     | other ->
       pr "unknown command %S\n" other;
       usage ()

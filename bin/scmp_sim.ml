@@ -230,26 +230,27 @@ let tree_cmd =
 
 (* ---------- run ---------- *)
 
+(* Protocols come from the driver registry, so a newly registered
+   driver (e.g. pim-sm) is selectable by name with no CLI change. *)
 let protocol_conv =
   Arg.conv
     ( (function
-      | "scmp" -> Ok (`One Protocols.Runner.Scmp)
-      | "cbt" -> Ok (`One Protocols.Runner.Cbt)
-      | "dvmrp" -> Ok (`One Protocols.Runner.Dvmrp)
-      | "mospf" -> Ok (`One Protocols.Runner.Mospf)
       | "all" -> Ok `All
-      | s -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))),
+      | s -> (
+        match Protocols.Driver.find s with
+        | Ok d -> Ok (`One d)
+        | Error msg -> Error (`Msg msg))),
       fun fmt p ->
         Format.pp_print_string fmt
-          (match p with
-          | `All -> "all"
-          | `One p -> String.lowercase_ascii (Protocols.Runner.protocol_name p)) )
+          (match p with `All -> "all" | `One d -> Protocols.Driver.name d) )
 
 let run_cmd =
   let protocol =
-    Arg.(
-      value & opt protocol_conv `All
-      & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc:"scmp, cbt, dvmrp, mospf or all.")
+    let doc =
+      Printf.sprintf "Protocol: %s or all."
+        (String.concat ", " (Protocols.Driver.names ()))
+    in
+    Arg.(value & opt protocol_conv `All & info [ "protocol"; "p" ] ~docv:"PROTO" ~doc)
   in
   let group_size =
     Arg.(
@@ -265,7 +266,24 @@ let run_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE" ~doc:"Write an NS-2-style packet trace.")
   in
-  let run gen nodes seed load protocol group_size packets trace =
+  let trace_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-limit" ] ~docv:"N"
+          ~doc:"Keep only the newest $(docv) trace lines (ring buffer).")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON run report (scmp-report/1) per protocol; with \
+             --protocol all the protocol name is appended to the file stem.")
+  in
+  let run gen nodes seed load protocol group_size packets trace trace_limit
+      report =
     let spec = or_die (make_spec gen nodes seed load) in
     let g = spec.Topology.Spec.graph in
     let n = Netgraph.Graph.node_count g in
@@ -278,38 +296,54 @@ let run_cmd =
     in
     let source = List.hd members in
     let sc =
-      {
-        (Protocols.Runner.make ~spec ~center ~source ~members ()) with
-        Protocols.Runner.data_count = packets;
-        trace_path = trace;
-      }
+      Protocols.Runner.make ~data_count:packets ?trace_path:trace ?trace_limit
+        ~spec ~center ~source ~members ()
     in
-    let protos =
-      match protocol with `All -> Protocols.Runner.all_protocols | `One p -> [ p ]
+    let drivers =
+      match protocol with `All -> Protocols.Driver.all () | `One d -> [ d ]
+    in
+    let report_path_for name =
+      match report with
+      | None -> None
+      | Some path when List.length drivers = 1 -> Some path
+      | Some path ->
+        let stem, ext =
+          match Filename.chop_suffix_opt ~suffix:".json" path with
+          | Some stem -> (stem, ".json")
+          | None -> (path, "")
+        in
+        Some (Printf.sprintf "%s-%s%s" stem name ext)
     in
     Printf.printf
       "%s: %d members (source %d, m-router/core %d), %d packets at 1/s\n\n"
       spec.name (List.length members) source center packets;
-    Printf.printf "%-6s %14s %16s %10s %10s %s\n" "proto" "data overhead"
+    Printf.printf "%-7s %14s %16s %10s %10s %s\n" "proto" "data overhead"
       "protocol overhead" "max delay" "delivered" "anomalies";
     List.iter
-      (fun p ->
-        let r = Protocols.Runner.run p sc in
-        Printf.printf "%-6s %14.0f %16.0f %9.4fs %10d %s\n"
-          (Protocols.Runner.protocol_name p)
+      (fun d ->
+        let name = Protocols.Driver.name d in
+        let rep = Option.map (fun _ -> Obs.Report.create ~name ()) report in
+        let r = Protocols.Runner.run ?report:rep d sc in
+        Printf.printf "%-7s %14.0f %16.0f %9.4fs %10d %s\n"
+          (Protocols.Driver.display d)
           r.Protocols.Runner.data_overhead r.protocol_overhead r.max_delay
           r.deliveries
           (if r.duplicates + r.spurious + r.missed = 0 then "none"
            else
              Printf.sprintf "dup=%d spur=%d miss=%d" r.duplicates r.spurious
-               r.missed))
-      protos
+               r.missed);
+        match (rep, report_path_for name) with
+        | Some rep, Some path ->
+          or_die (Obs.Report.write ~pretty:true rep ~path);
+          Printf.printf "  report written to %s\n" path
+        | _ -> ())
+      drivers
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Packet-level protocol comparison on one scenario.")
     Term.(
       const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ protocol
-      $ group_size $ packets $ trace)
+      $ group_size $ packets $ trace $ trace_limit $ report)
 
 (* ---------- trace-stats ---------- *)
 

@@ -15,4 +15,13 @@ dune build @lint
 echo "== dune runtest"
 dune runtest
 
+# Bench smoke: the reduced-quota micro run must still produce a
+# schema-valid BENCH report (the committed BENCH.json is refreshed
+# with --full; see EXPERIMENTS.md).
+echo "== bench smoke (micro --json)"
+dune exec bench/main.exe -- micro --json /tmp/bench_smoke.json > /dev/null
+grep -q '"schema": "scmp-report/1"' /tmp/bench_smoke.json
+grep -q 'micro/dijkstra-100/ns_per_run' /tmp/bench_smoke.json
+grep -q 'e2e/scmp/deliveries' /tmp/bench_smoke.json
+
 echo "check.sh: all gates passed"

@@ -1,5 +1,6 @@
-(* All four protocols, one scenario: a miniature of the paper's
-   network-wide evaluation (Figs 8 and 9).
+(* Every registered protocol, one scenario: a miniature of the paper's
+   network-wide evaluation (Figs 8 and 9), plus PIM-SM from the
+   driver registry.
 
    Run with:  dune exec examples/protocol_faceoff.exe *)
 
@@ -21,14 +22,14 @@ let () =
   Printf.printf "%-7s %14s %16s %10s %11s\n" "proto" "data overhead"
     "protocol overhead" "max delay" "deliveries";
   List.iter
-    (fun p ->
-      let r = Scmp.Runner.run p scenario in
+    (fun d ->
+      let r = Scmp.Runner.run d scenario in
       Printf.printf "%-7s %14.0f %16.0f %9.4fs %6d/%d dup=%d\n"
-        (Scmp.Runner.protocol_name p)
+        (Scmp.Driver.display d)
         r.Scmp.Runner.data_overhead r.protocol_overhead r.max_delay r.deliveries
         (r.packets_sent * (List.length members - 1))
         r.duplicates)
-    Scmp.Runner.all_protocols;
+    (Scmp.Driver.all ());
   print_newline ();
   print_endline
     "expected shape (paper Figs 8-9): SCMP lowest data overhead; DVMRP much";

@@ -45,6 +45,7 @@ module Copynet = Fabric.Copynet
 module Message = Protocols.Message
 module Tree_packet = Protocols.Tree_packet
 module Igmp = Protocols.Igmp
+module Driver = Protocols.Driver
 module Runner = Protocols.Runner
 module Multi_mrouter = Protocols.Multi
 module Pim_sm = Protocols.Pim_sm
@@ -57,3 +58,8 @@ module Stats = Scmp_util.Stats
 
 module Invariant = Check.Invariant
 module Lint = Check.Lint
+
+module Metrics = Obs.Metrics
+module Report = Obs.Report
+module Series = Obs.Series
+module Json = Obs.Json

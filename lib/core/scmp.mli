@@ -45,6 +45,7 @@ module Copynet = Fabric.Copynet
 module Message = Protocols.Message
 module Tree_packet = Protocols.Tree_packet
 module Igmp = Protocols.Igmp
+module Driver = Protocols.Driver
 module Runner = Protocols.Runner
 module Multi_mrouter = Protocols.Multi
 module Pim_sm = Protocols.Pim_sm
@@ -63,3 +64,18 @@ module Invariant = Check.Invariant
 
 module Lint = Check.Lint
 (** The repo's custom static-analysis pass ([dune build @lint]). *)
+
+(** {2 Observability (see docs/ARCHITECTURE.md)} *)
+
+module Metrics = Obs.Metrics
+(** Counter / gauge / histogram registry subsystems publish into. *)
+
+module Report = Obs.Report
+(** Named run report — metrics + metadata + sim-time series — with a
+    stable JSON serialization ([scmp-report/1]). *)
+
+module Series = Obs.Series
+(** Deterministic sim-time sampling. *)
+
+module Json = Obs.Json
+(** The canonical JSON emitter reports are written with. *)

@@ -4,16 +4,26 @@ type t = {
   mutable clock : float;
   queue : event Scmp_util.Heap.t;
   mutable foreground : int;
+  mutable executed : int;
+  mutable heap_hwm : int;
 }
 
 let create () =
-  { clock = 0.0; queue = Scmp_util.Heap.create ~capacity:256 (); foreground = 0 }
+  {
+    clock = 0.0;
+    queue = Scmp_util.Heap.create ~capacity:256 ();
+    foreground = 0;
+    executed = 0;
+    heap_hwm = 0;
+  }
 
 let now t = t.clock
 
 let enqueue t ~time ~background thunk =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   Scmp_util.Heap.add t.queue ~key:time { thunk; background };
+  let len = Scmp_util.Heap.length t.queue in
+  if len > t.heap_hwm then t.heap_hwm <- len;
   if not background then t.foreground <- t.foreground + 1
 
 let schedule_at t ?(background = false) ~time thunk = enqueue t ~time ~background thunk
@@ -35,6 +45,16 @@ let every t ~interval ?until ?(background = false) thunk =
 
 let pending t = Scmp_util.Heap.length t.queue
 let pending_foreground t = t.foreground
+let events_executed t = t.executed
+let heap_high_water t = t.heap_hwm
+
+let observe t m =
+  Obs.Metrics.set_counter
+    (Obs.Metrics.counter m "engine/events_executed")
+    t.executed;
+  Obs.Metrics.set_counter
+    (Obs.Metrics.counter m "engine/heap_high_water")
+    t.heap_hwm
 
 let step t =
   match Scmp_util.Heap.pop t.queue with
@@ -42,6 +62,7 @@ let step t =
   | Some (time, ev) ->
     t.clock <- time;
     if not ev.background then t.foreground <- t.foreground - 1;
+    t.executed <- t.executed + 1;
     ev.thunk ();
     true
 

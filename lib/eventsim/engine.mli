@@ -35,6 +35,19 @@ val pending : t -> int
 val pending_foreground : t -> int
 (** Non-background events currently queued. *)
 
+(** {2 Observability} *)
+
+val events_executed : t -> int
+(** Events executed since creation. *)
+
+val heap_high_water : t -> int
+(** Largest queue length ever reached — the engine's memory
+    high-water mark. *)
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish both counters ([engine/events_executed],
+    [engine/heap_high_water]) into a metric registry. Idempotent. *)
+
 val run : ?until:float -> t -> unit
 (** Without [until]: execute events in time order until no foreground
     event remains (quiescence — periodic background work alone does not

@@ -7,11 +7,14 @@ type 'm t = {
   graph : Netgraph.Graph.t;
   routes : Routes.t;
   classify : 'm -> pkt_class;
+  sizeof : ('m -> int) option;
   handlers : ('m t -> from:node -> 'm -> unit) option array;
   mutable data_overhead : float;
   mutable control_overhead : float;
   mutable data_tx : int;
   mutable control_tx : int;
+  mutable data_bytes : int;
+  mutable control_bytes : int;
   per_link : (node * node, int) Hashtbl.t;
   mutable hooks : (src:node -> dst:node -> 'm -> unit) list;
   mutable loss : (float * Scmp_util.Prng.t) option;
@@ -21,17 +24,20 @@ type 'm t = {
   processing : (node, Server.t * float) Hashtbl.t;
 }
 
-let create engine graph ~classify =
+let create ?sizeof engine graph ~classify =
   {
     engine;
     graph;
     routes = Routes.compute graph;
     classify;
+    sizeof;
     handlers = Array.make (Netgraph.Graph.node_count graph) None;
     data_overhead = 0.0;
     control_overhead = 0.0;
     data_tx = 0;
     control_tx = 0;
+    data_bytes = 0;
+    control_bytes = 0;
     per_link = Hashtbl.create 64;
     hooks = [];
     loss = None;
@@ -84,13 +90,16 @@ let deliver t ?(background = false) ~at ~from dst msg =
 
 let charge t ~src ~dst msg =
   let cost = Netgraph.Graph.link_cost t.graph src dst in
+  let bytes = match t.sizeof with Some f -> f msg | None -> 0 in
   (match t.classify msg with
   | `Data ->
     t.data_overhead <- t.data_overhead +. cost;
-    t.data_tx <- t.data_tx + 1
+    t.data_tx <- t.data_tx + 1;
+    t.data_bytes <- t.data_bytes + bytes
   | `Control ->
     t.control_overhead <- t.control_overhead +. cost;
-    t.control_tx <- t.control_tx + 1);
+    t.control_tx <- t.control_tx + 1;
+    t.control_bytes <- t.control_bytes + bytes);
   let key = (min src dst, max src dst) in
   Hashtbl.replace t.per_link key
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_link key));
@@ -133,8 +142,29 @@ let data_overhead t = t.data_overhead
 let control_overhead t = t.control_overhead
 let data_transmissions t = t.data_tx
 let control_transmissions t = t.control_tx
+let data_bytes t = t.data_bytes
+let control_bytes t = t.control_bytes
 
 let link_crossings t (a, b) =
   Option.value ~default:0 (Hashtbl.find_opt t.per_link (min a b, max a b))
+
+let per_link_crossings t =
+  Hashtbl.fold (fun link n acc -> (link, n) :: acc) t.per_link []
+  |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
+         match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+
+let observe t m =
+  let set_c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
+  let set_g name v = Obs.Metrics.set (Obs.Metrics.gauge m name) v in
+  set_c "net/data/transmissions" t.data_tx;
+  set_c "net/control/transmissions" t.control_tx;
+  set_c "net/data/bytes" t.data_bytes;
+  set_c "net/control/bytes" t.control_bytes;
+  set_c "net/dropped" t.dropped;
+  set_g "net/data/cost" t.data_overhead;
+  set_g "net/control/cost" t.control_overhead;
+  set_c "net/links_used" (Hashtbl.length t.per_link);
+  let max_crossings = Hashtbl.fold (fun _ n acc -> max n acc) t.per_link 0 in
+  set_c "net/max_link_crossings" max_crossings
 
 let on_transmit t h = t.hooks <- t.hooks @ [ h ]

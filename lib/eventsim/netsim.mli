@@ -24,9 +24,12 @@ type pkt_class = [ `Data | `Control ]
 
 type 'm t
 
-val create : Engine.t -> Netgraph.Graph.t -> classify:('m -> pkt_class) -> 'm t
+val create :
+  ?sizeof:('m -> int) -> Engine.t -> Netgraph.Graph.t -> classify:('m -> pkt_class) -> 'm t
 (** Builds converged unicast routes internally (one Dijkstra per
-    node). *)
+    node). [sizeof] gives a message's wire size in bytes; with it, the
+    simulation also keeps per-class byte counters ({!data_bytes},
+    {!control_bytes}) — without it they stay at 0. *)
 
 val engine : 'm t -> Engine.t
 val graph : 'm t -> Netgraph.Graph.t
@@ -68,8 +71,24 @@ val data_transmissions : 'm t -> int
 
 val control_transmissions : 'm t -> int
 
+val data_bytes : 'm t -> int
+(** Bytes crossed by data packets ([sizeof] summed per crossing);
+    0 unless {!create} was given [sizeof]. *)
+
+val control_bytes : 'm t -> int
+
 val link_crossings : 'm t -> (node * node) -> int
 (** Crossings of one undirected link (both directions pooled). *)
+
+val per_link_crossings : 'm t -> ((node * node) * int) list
+(** Every link that carried traffic with its crossing count, ordered by
+    link — per-link utilization for reports. *)
+
+val observe : 'm t -> Obs.Metrics.t -> unit
+(** Publish the accounting into a registry: [net/data/transmissions],
+    [net/control/transmissions], [net/data/bytes], [net/control/bytes],
+    [net/data/cost], [net/control/cost], [net/dropped],
+    [net/links_used], [net/max_link_crossings]. Idempotent. *)
 
 val on_transmit : 'm t -> (src:node -> dst:node -> 'm -> unit) -> unit
 (** Register a trace hook called on every link crossing (after

@@ -37,3 +37,22 @@ val total_queueing_delay : t -> float
 
 val max_queue_length : t -> int
 (** High-water mark of the waiting queue. *)
+
+(** {2 Observability} *)
+
+val on_wait : t -> (float -> unit) -> unit
+(** Install a hook called with each job's queueing delay the moment it
+    enters service (replaces any previous hook). *)
+
+val instrument : t -> Obs.Metrics.t -> prefix:string -> unit
+(** Record every subsequent job's queueing delay into the histogram
+    [<prefix>/wait_s] of the registry (installs an {!on_wait} hook). *)
+
+val observe : t -> Obs.Metrics.t -> prefix:string -> unit
+(** Publish the aggregate statistics: [<prefix>/completed],
+    [<prefix>/max_queue], [<prefix>/total_wait_s]. Idempotent. *)
+
+val sample_queue_depth : t -> Obs.Series.t -> interval:float -> until:float -> unit
+(** Sample the waiting-queue depth into a sim-time series every
+    [interval] seconds up to [until] (background events; they do not
+    keep the run alive). *)

@@ -1,7 +1,14 @@
-type t = { mutable entries : string list; (* newest first *) mutable count : int }
+type t = {
+  entries : string Queue.t;  (* oldest first *)
+  limit : int option;
+  mutable dropped : int;
+}
 
-let attach net ~describe =
-  let t = { entries = []; count = 0 } in
+let attach ?limit net ~describe =
+  (match limit with
+  | Some l when l < 1 -> invalid_arg "Trace.attach: limit must be positive"
+  | _ -> ());
+  let t = { entries = Queue.create (); limit; dropped = 0 } in
   let engine = Netsim.engine net in
   Netsim.on_transmit net (fun ~src ~dst msg ->
       let cls =
@@ -11,15 +18,26 @@ let attach net ~describe =
         Printf.sprintf "%.6f %d %d %c %s" (Engine.now engine) src dst cls
           (describe msg)
       in
-      t.entries <- line :: t.entries;
-      t.count <- t.count + 1);
+      Queue.push line t.entries;
+      match t.limit with
+      | Some l when Queue.length t.entries > l ->
+        ignore (Queue.pop t.entries);
+        t.dropped <- t.dropped + 1
+      | _ -> ());
   t
 
-let line_count t = t.count
-let lines t = List.rev t.entries
+let line_count t = Queue.length t.entries
+let dropped t = t.dropped
+let lines t = List.rev (Queue.fold (fun acc l -> l :: acc) [] t.entries)
 
 let to_string t =
-  String.concat "" (List.rev_map (fun l -> l ^ "\n") t.entries)
+  let b = Buffer.create 1024 in
+  Queue.iter
+    (fun l ->
+      Buffer.add_string b l;
+      Buffer.add_char b '\n')
+    t.entries;
+  Buffer.contents b
 
 let save t ~path =
   try
@@ -31,5 +49,5 @@ let save t ~path =
   with Sys_error e -> Error e
 
 let clear t =
-  t.entries <- [];
-  t.count <- 0
+  Queue.clear t.entries;
+  t.dropped <- 0

@@ -14,11 +14,21 @@
 
 type t
 
-val attach : 'm Netsim.t -> describe:('m -> string) -> t
+val attach : ?limit:int -> 'm Netsim.t -> describe:('m -> string) -> t
 (** Starts recording every subsequent crossing (registers an
-    {!Netsim.on_transmit} hook; earlier traffic is not recorded). *)
+    {!Netsim.on_transmit} hook; earlier traffic is not recorded).
+
+    [limit] bounds memory on long runs: the trace becomes a ring buffer
+    keeping only the newest [limit] lines, counting evictions in
+    {!dropped}. Unbounded without it.
+    @raise Invalid_argument if [limit < 1]. *)
 
 val line_count : t -> int
+(** Lines currently retained (≤ [limit] when one was given). *)
+
+val dropped : t -> int
+(** Oldest lines evicted by the [limit] ring buffer; 0 when
+    unbounded. *)
 
 val lines : t -> string list
 (** Recorded lines, oldest first. *)
@@ -29,4 +39,5 @@ val to_string : t -> string
 val save : t -> path:string -> (unit, string) result
 
 val clear : t -> unit
-(** Forget everything recorded so far (the hook stays active). *)
+(** Forget everything recorded so far, including the dropped count
+    (the hook stays active). *)

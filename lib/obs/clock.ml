@@ -1,0 +1,6 @@
+let now_s () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, now_s () -. t0)

@@ -1,0 +1,13 @@
+(** Wall-clock time for the observability layer.
+
+    Everything measured with this clock is {e wall-clock} data: real
+    time, not simulated time. Metrics derived from it must be
+    registered with [~wallclock:true] so deterministic report
+    comparisons can exclude them (see {!Metrics} and {!Report}). *)
+
+val now_s : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed
+    wall-clock seconds. *)

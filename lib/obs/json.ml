@@ -1,0 +1,108 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One canonical rendering per float value, so equal reports are
+   byte-identical: shortest %.12g form; non-finite values have no JSON
+   representation and become null. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+(* Pretty printer: 2-space indent, deterministic layout. *)
+let rec emit_pretty b ~level v =
+  let pad n = Buffer.add_string b (String.make (2 * n) ' ') in
+  match v with
+  | List (_ :: _ as xs) ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        pad (level + 1);
+        emit_pretty b ~level:(level + 1) x)
+      xs;
+    Buffer.add_char b '\n';
+    pad level;
+    Buffer.add_char b ']'
+  | Obj (_ :: _ as fields) ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, x) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        pad (level + 1);
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\": ";
+        emit_pretty b ~level:(level + 1) x)
+      fields;
+    Buffer.add_char b '\n';
+    pad level;
+    Buffer.add_char b '}'
+  | v -> emit b v
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  if pretty then emit_pretty b ~level:0 v else emit b v;
+  Buffer.contents b
+
+let write_file ?pretty path v =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string ?pretty v);
+        output_char oc '\n');
+    Ok ()
+  with Sys_error e -> Error e

@@ -1,0 +1,24 @@
+(** Minimal JSON document tree with a deterministic printer.
+
+    The observability layer emits machine-readable reports
+    ({!Report}, [BENCH.json]) without external dependencies. Printing
+    is canonical — one rendering per value, object fields in the order
+    given — so equal documents are byte-identical, which the
+    determinism tests rely on. Non-finite floats print as [null]
+    (JSON has no representation for them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] adds 2-space indentation.
+    Both layouts are deterministic. *)
+
+val write_file : ?pretty:bool -> string -> t -> (unit, string) result
+(** Write the document (newline-terminated) to a file. *)

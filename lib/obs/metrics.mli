@@ -1,0 +1,65 @@
+(** Metric registry: named counters, gauges and histograms.
+
+    One registry holds every metric of a run. Registration is
+    idempotent by name — asking twice for the same name returns the
+    same handle — so independent subsystems can publish into a shared
+    registry without coordination. Re-registering a name with a
+    different kind raises [Invalid_argument].
+
+    Metrics measured with the wall clock ({!Clock}) must be registered
+    with [~wallclock:true]; {!to_json} can then exclude them, leaving a
+    report that is byte-identical across same-seed runs (the
+    determinism tests depend on this split). *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Counters} — monotone event counts (packets, events, drops). *)
+
+val counter : ?wallclock:bool -> t -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set_counter : counter -> int -> unit
+(** Publish a snapshot taken elsewhere (e.g. a subsystem's internal
+    tally) — idempotent, unlike {!add}. *)
+
+val counter_value : counter -> int
+
+(** {2 Gauges} — last-value measurements. *)
+
+val gauge : ?wallclock:bool -> t -> string -> gauge
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Keep the running maximum (high-water marks). *)
+
+val gauge_value : gauge -> float
+
+(** {2 Histograms} — value distributions (delays, waits). *)
+
+val default_buckets : float array
+(** Decades from 1 µs to 10 s — suited to the simulation's second-scale
+    delays. *)
+
+val histogram : ?wallclock:bool -> ?buckets:float array -> t -> string -> histogram
+(** [buckets] are upper bounds, strictly increasing; an implicit
+    overflow bucket catches the rest.
+    @raise Invalid_argument on empty or unsorted bounds. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {2 Export} *)
+
+val names : t -> string list
+(** All registered names, sorted. *)
+
+val to_json : ?wallclock:bool -> t -> Json.t
+(** One object field per metric, names sorted (stable schema).
+    [~wallclock:false] omits wallclock-flagged metrics. *)

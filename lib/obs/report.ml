@@ -1,0 +1,42 @@
+let schema = "scmp-report/1"
+
+type t = {
+  name : string;
+  mutable meta : (string * Json.t) list;  (* newest first *)
+  metrics : Metrics.t;
+  mutable series : Series.t list;  (* newest first *)
+}
+
+let create ~name () =
+  { name; meta = []; metrics = Metrics.create (); series = [] }
+
+let metrics t = t.metrics
+
+let set_meta t key v = t.meta <- (key, v) :: List.remove_assoc key t.meta
+
+let add_series t s = t.series <- s :: t.series
+
+let series t = List.rev t.series
+
+let to_json ?(wallclock = true) t =
+  let meta =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) t.meta
+  in
+  let series =
+    List.sort
+      (fun a b -> String.compare (Series.name a) (Series.name b))
+      t.series
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("name", Json.String t.name);
+      ("meta", Json.Obj meta);
+      ("metrics", Metrics.to_json ~wallclock t.metrics);
+      ("series", Json.List (List.map Series.to_json series));
+    ]
+
+let to_string ?wallclock ?pretty t = Json.to_string ?pretty (to_json ?wallclock t)
+
+let write ?wallclock ?pretty t ~path =
+  Json.write_file ?pretty path (to_json ?wallclock t)

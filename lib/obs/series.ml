@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  mutable rev_points : (float * float) list;  (* newest first *)
+  mutable n : int;
+}
+
+let create ~name = { name; rev_points = []; n = 0 }
+
+let sample s ~t v =
+  (match s.rev_points with
+  | (last, _) :: _ when t < last ->
+    invalid_arg "Series.sample: time went backwards"
+  | _ -> ());
+  s.rev_points <- (t, v) :: s.rev_points;
+  s.n <- s.n + 1
+
+let name s = s.name
+let length s = s.n
+let points s = List.rev s.rev_points
+
+let to_json s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ( "points",
+        Json.List
+          (List.rev_map
+             (fun (t, v) -> Json.List [ Json.Float t; Json.Float v ])
+             s.rev_points) );
+    ]

@@ -1,0 +1,149 @@
+type config = {
+  net : Message.t Eventsim.Netsim.t;
+  delivery : Delivery.t;
+  center : Message.node;
+  scmp_bound : Mtree.Bound.t;
+  scmp_distribution : Scmp_proto.distribution;
+  dvmrp_prune_timeout : float;
+}
+
+type instance = {
+  join : group:Message.group -> Message.node -> unit;
+  leave : group:Message.group -> Message.node -> unit;
+  send : group:Message.group -> src:Message.node -> seq:int -> unit;
+  snapshots : unit -> Check.Invariant.snapshot list;
+  verify : unit -> (unit, string) result;
+  observe : Obs.Metrics.t -> unit;
+  teardown : unit -> unit;
+}
+
+module type S = sig
+  val name : string
+  val display : string
+  val setup : config -> instance
+end
+
+type t = (module S)
+
+let name (module D : S) = D.name
+let display (module D : S) = D.display
+let setup (module D : S) cfg = D.setup cfg
+
+(* A baseline with no distributed-state snapshots to verify and no
+   protocol-specific metrics; packet conservation still covers it. *)
+let plain ~join ~leave ~send =
+  {
+    join;
+    leave;
+    send;
+    snapshots = (fun () -> []);
+    verify = (fun () -> Ok ());
+    observe = (fun _ -> ());
+    teardown = (fun () -> ());
+  }
+
+(* ---- the five built-in drivers ---- *)
+
+module Scmp_driver = struct
+  let name = "scmp"
+  let display = "SCMP"
+
+  let setup cfg =
+    let p =
+      Scmp_proto.create ~delivery:cfg.delivery ~bound:cfg.scmp_bound
+        ~distribution:cfg.scmp_distribution cfg.net ~mrouter:cfg.center ()
+    in
+    {
+      join = Scmp_proto.host_join p;
+      leave = Scmp_proto.host_leave p;
+      send = Scmp_proto.send_data p;
+      snapshots = (fun () -> Scmp_proto.snapshots p);
+      verify = (fun () -> Scmp_proto.verify p);
+      observe = (fun m -> Scmp_proto.observe p m);
+      teardown = (fun () -> ());
+    }
+end
+
+module Cbt_driver = struct
+  let name = "cbt"
+  let display = "CBT"
+
+  let setup cfg =
+    let p = Cbt.create ~delivery:cfg.delivery cfg.net ~core:cfg.center () in
+    plain ~join:(Cbt.host_join p) ~leave:(Cbt.host_leave p)
+      ~send:(Cbt.send_data p)
+end
+
+module Dvmrp_driver = struct
+  let name = "dvmrp"
+  let display = "DVMRP"
+
+  let setup cfg =
+    let p =
+      Dvmrp.create ~delivery:cfg.delivery ~prune_timeout:cfg.dvmrp_prune_timeout
+        cfg.net ()
+    in
+    plain ~join:(Dvmrp.host_join p) ~leave:(Dvmrp.host_leave p)
+      ~send:(Dvmrp.send_data p)
+end
+
+module Mospf_driver = struct
+  let name = "mospf"
+  let display = "MOSPF"
+
+  let setup cfg =
+    let p = Mospf.create ~delivery:cfg.delivery cfg.net () in
+    plain ~join:(Mospf.host_join p) ~leave:(Mospf.host_leave p)
+      ~send:(Mospf.send_data p)
+end
+
+module Pim_sm_driver = struct
+  let name = "pim-sm"
+  let display = "PIM-SM"
+
+  let setup cfg =
+    let p = Pim_sm.create ~delivery:cfg.delivery cfg.net ~rp:cfg.center () in
+    plain ~join:(Pim_sm.host_join p) ~leave:(Pim_sm.host_leave p)
+      ~send:(Pim_sm.send_data p)
+end
+
+(* ---- registry ---- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let order : string list ref = ref []  (* registration order, newest first *)
+
+let normalize = String.lowercase_ascii
+
+let register d =
+  let key = normalize (name d) in
+  if key = "" then invalid_arg "Driver.register: empty name";
+  if Hashtbl.mem registry key then
+    invalid_arg (Printf.sprintf "Driver.register: %S already registered" key);
+  Hashtbl.replace registry key d;
+  order := key :: !order
+
+let () =
+  List.iter register
+    [
+      (module Scmp_driver : S);
+      (module Cbt_driver : S);
+      (module Dvmrp_driver : S);
+      (module Mospf_driver : S);
+      (module Pim_sm_driver : S);
+    ]
+
+let names () = List.rev !order
+
+let all () =
+  List.filter_map (fun key -> Hashtbl.find_opt registry key) (names ())
+
+let find key =
+  match Hashtbl.find_opt registry (normalize key) with
+  | Some d -> Ok d
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S (known: %s)" key
+         (String.concat ", " (names ())))
+
+let find_exn key =
+  match find key with Ok d -> d | Error msg -> invalid_arg msg

@@ -1,0 +1,74 @@
+(** First-class protocol drivers and the name-keyed registry.
+
+    A driver packages one multicast protocol behind a uniform
+    signature, so the runner, the CLI, the bench harness and the
+    examples select protocols by {e name} instead of pattern-matching a
+    closed variant — adding a protocol means registering a driver, not
+    editing every caller.
+
+    [setup] instantiates the protocol's agents on a network simulation
+    and returns an {!instance}: the host-facing operations plus the
+    observability and verification hooks the runner wires in. *)
+
+type config = {
+  net : Message.t Eventsim.Netsim.t;
+  delivery : Delivery.t;
+  center : Message.node;
+      (** m-router (SCMP) / core (CBT) / RP (PIM-SM); unused by the SPT
+          protocols. *)
+  scmp_bound : Mtree.Bound.t;
+  scmp_distribution : Scmp_proto.distribution;
+  dvmrp_prune_timeout : float;
+}
+
+type instance = {
+  join : group:Message.group -> Message.node -> unit;
+  leave : group:Message.group -> Message.node -> unit;
+  send : group:Message.group -> src:Message.node -> seq:int -> unit;
+  snapshots : unit -> Check.Invariant.snapshot list;
+      (** Distributed-state snapshots for the invariant verifier; only
+          SCMP exposes tree state, baselines return []. *)
+  verify : unit -> (unit, string) result;
+      (** Protocol self-check on a quiesced network. *)
+  observe : Obs.Metrics.t -> unit;
+      (** Publish protocol-level metrics (e.g. SCMP's TREE/BRANCH
+          counts and tree-compute cost). Idempotent. *)
+  teardown : unit -> unit;
+      (** Release per-run resources. Built-in drivers need none; the
+          hook exists so external drivers can own some. *)
+}
+
+module type S = sig
+  val name : string
+  (** Registry key, lowercase (e.g. ["pim-sm"]). *)
+
+  val display : string
+  (** Table/figure label (e.g. ["PIM-SM"]). *)
+
+  val setup : config -> instance
+end
+
+type t = (module S)
+
+val name : t -> string
+val display : t -> string
+val setup : t -> config -> instance
+
+(** {2 Registry}
+
+    Pre-populated with the five built-ins, in this order: [scmp],
+    [cbt], [dvmrp], [mospf], [pim-sm]. *)
+
+val register : t -> unit
+(** @raise Invalid_argument on an empty or duplicate name. *)
+
+val find : string -> (t, string) result
+(** Case-insensitive lookup; the error names the known protocols. *)
+
+val find_exn : string -> t
+(** @raise Invalid_argument on unknown names ({!find}'s message). *)
+
+val all : unit -> t list
+(** Registration order. *)
+
+val names : unit -> string list

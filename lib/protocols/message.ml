@@ -89,3 +89,24 @@ let describe = function
     Printf.sprintf "MOSPF-LSA g%d r%d %s #%d" group router
       (if joined then "join" else "leave")
       seq
+
+(* Wire sizes in 32-bit words: a 2-word common header (type, group)
+   plus the message's variable part. Data payloads are modelled as the
+   paper's "one multicast packet" — 128 words (512 B); an Encap adds an
+   outer unicast header. TREE and BRANCH packets are the genuinely
+   variable ones (§III.E): their length follows the encoded tree/path. *)
+let wire_words = function
+  | Data _ -> 2 + 128
+  | Encap _ -> 4 + 128
+  | Scmp_tree { packet; _ } -> 2 + Tree_packet.size packet
+  | Scmp_branch { path; _ } -> 2 + List.length path
+  | Scmp_join _ | Scmp_leave _ | Scmp_prune _ | Scmp_invalidate _ -> 3
+  | Scmp_replicate _ -> 4
+  | Scmp_heartbeat _ | Scmp_heartbeat_ack _ -> 3
+  | Pim_join _ | Pim_prune _ -> 4
+  | Cbt_join { path; _ } | Cbt_join_ack { path; _ } -> 3 + List.length path
+  | Cbt_quit _ -> 3
+  | Dvmrp_prune _ | Dvmrp_graft _ -> 4
+  | Mospf_lsa _ -> 5
+
+let wire_bytes msg = 4 * wire_words msg

@@ -63,3 +63,13 @@ val group_of : t -> group
 
 val describe : t -> string
 (** Short human-readable tag for traces, e.g. ["DATA g5 s3#12"]. *)
+
+val wire_words : t -> int
+(** Modelled wire size in 32-bit words: 2-word common header plus the
+    variable part (data payloads count 128 words; TREE/BRANCH packets
+    grow with the encoded tree — the paper's variable-length packets,
+    §III.E). Feeds the per-class byte accounting of
+    {!Eventsim.Netsim}. *)
+
+val wire_bytes : t -> int
+(** [4 * wire_words]. *)

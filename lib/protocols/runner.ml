@@ -1,13 +1,3 @@
-type protocol = Scmp | Cbt | Dvmrp | Mospf
-
-let protocol_name = function
-  | Scmp -> "SCMP"
-  | Cbt -> "CBT"
-  | Dvmrp -> "DVMRP"
-  | Mospf -> "MOSPF"
-
-let all_protocols = [ Scmp; Cbt; Dvmrp; Mospf ]
-
 type scenario = {
   spec : Topology.Spec.t;
   center : Message.node;
@@ -24,11 +14,20 @@ type scenario = {
   delay_scale : float;
   leavers : (float * Message.node) list;
   trace_path : string option;
+  trace_limit : int option;
 }
 
-let make ~spec ~center ~source ~members () =
-  let join_start = 0.1 and join_spacing = 0.5 in
-  let last_join = join_start +. (join_spacing *. float_of_int (List.length members)) in
+let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
+    ?(data_interval = 1.0) ?(data_count = 30) ?(dvmrp_prune_timeout = 10.0)
+    ?(scmp_bound = Mtree.Bound.Tightest)
+    ?(scmp_distribution = Scmp_proto.Incremental) ?(delay_scale = 3e-6)
+    ?(leavers = []) ?trace_path ?trace_limit ~spec ~center ~source ~members () =
+  let last_join =
+    join_start +. (join_spacing *. float_of_int (List.length members))
+  in
+  let data_start =
+    match data_start with Some t -> t | None -> last_join +. 3.0
+  in
   {
     spec;
     center;
@@ -36,15 +35,16 @@ let make ~spec ~center ~source ~members () =
     members;
     join_start;
     join_spacing;
-    data_start = last_join +. 3.0;
-    data_interval = 1.0;
-    data_count = 30;
-    dvmrp_prune_timeout = 10.0;
-    scmp_bound = Mtree.Bound.Tightest;
-    scmp_distribution = Scmp_proto.Incremental;
-    delay_scale = 3e-6;
-    leavers = [];
-    trace_path = None;
+    data_start;
+    data_interval;
+    data_count;
+    dvmrp_prune_timeout;
+    scmp_bound;
+    scmp_distribution;
+    delay_scale;
+    leavers;
+    trace_path;
+    trace_limit;
   }
 
 type result = {
@@ -61,58 +61,51 @@ type result = {
   packets_sent : int;
 }
 
-(* Hooks shared by the four protocol drivers. [snapshots] feeds the
-   invariant verifier; only SCMP exposes distributed tree state, the
-   baselines contribute an empty list (their runs are still covered by
-   the packet-conservation check). *)
-type driver = {
-  join : group:Message.group -> Message.node -> unit;
-  leave : group:Message.group -> Message.node -> unit;
-  send : group:Message.group -> src:Message.node -> seq:int -> unit;
-  snapshots : unit -> Check.Invariant.snapshot list;
-}
+(* Report wiring: metadata before the run, phase boundaries during it,
+   subsystem counters and series once the network has quiesced. All
+   sim-time quantities are deterministic; wall-clock ones are flagged so
+   [Obs.Report.to_string ~wallclock:false] stays byte-stable. *)
 
-let instantiate protocol net delivery ~center ~scmp_bound ~scmp_distribution
-    ~dvmrp_prune_timeout =
-  match protocol with
-  | Scmp ->
-    let p =
-      Scmp_proto.create ~delivery ~bound:scmp_bound
-        ~distribution:scmp_distribution net ~mrouter:center ()
-    in
-    {
-      join = Scmp_proto.host_join p;
-      leave = Scmp_proto.host_leave p;
-      send = Scmp_proto.send_data p;
-      snapshots = (fun () -> Scmp_proto.snapshots p);
-    }
-  | Cbt ->
-    let p = Cbt.create ~delivery net ~core:center () in
-    {
-      join = Cbt.host_join p;
-      leave = Cbt.host_leave p;
-      send = Cbt.send_data p;
-      snapshots = (fun () -> []);
-    }
-  | Dvmrp ->
-    let p = Dvmrp.create ~delivery ~prune_timeout:dvmrp_prune_timeout net () in
-    {
-      join = Dvmrp.host_join p;
-      leave = Dvmrp.host_leave p;
-      send = Dvmrp.send_data p;
-      snapshots = (fun () -> []);
-    }
-  | Mospf ->
-    let p = Mospf.create ~delivery net () in
-    {
-      join = Mospf.host_join p;
-      leave = Mospf.host_leave p;
-      send = Mospf.send_data p;
-      snapshots = (fun () -> []);
-    }
+let report_meta r driver s =
+  Obs.Report.set_meta r "protocol" (Obs.Json.String (Driver.name driver));
+  Obs.Report.set_meta r "topology_nodes"
+    (Obs.Json.Int (Netgraph.Graph.node_count s.spec.Topology.Spec.graph));
+  Obs.Report.set_meta r "members" (Obs.Json.Int (List.length s.members));
+  Obs.Report.set_meta r "data_count" (Obs.Json.Int s.data_count);
+  Obs.Report.set_meta r "leavers" (Obs.Json.Int (List.length s.leavers))
 
-let run ?(check = false) protocol s =
+let report_finish r s ~engine ~net ~delivery ~trace ~(inst : Driver.instance)
+    ~join_wall ~run_wall ~setup_wall =
+  let m = Obs.Report.metrics r in
+  let gauge ?wallclock name v = Obs.Metrics.set (Obs.Metrics.gauge ?wallclock m name) v in
+  let count name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
+  gauge ~wallclock:true "phase/setup/wall_s" setup_wall;
+  gauge ~wallclock:true "phase/join/wall_s" join_wall;
+  gauge ~wallclock:true "phase/data/wall_s" (run_wall -. join_wall);
+  gauge ~wallclock:true "run/total_wall_s" (setup_wall +. run_wall);
+  gauge "phase/join/sim_s" s.data_start;
+  gauge "phase/data/sim_s" (Eventsim.Engine.now engine -. s.data_start);
+  gauge "run/total_sim_s" (Eventsim.Engine.now engine);
+  Eventsim.Engine.observe engine m;
+  Eventsim.Netsim.observe net m;
+  inst.Driver.observe m;
+  count "delivery/deliveries" (Delivery.deliveries delivery);
+  count "delivery/duplicates" (Delivery.duplicates delivery);
+  count "delivery/spurious" (Delivery.spurious delivery);
+  count "delivery/missed" (Delivery.missed delivery);
+  gauge "delivery/max_delay_s" (Delivery.max_delay delivery);
+  gauge "delivery/mean_delay_s" (Delivery.mean_delay delivery);
+  let h = Obs.Metrics.histogram m "delivery/delay_s" in
+  List.iter (Obs.Metrics.observe h) (Delivery.delays delivery);
+  match trace with
+  | None -> ()
+  | Some tr ->
+    count "trace/lines" (Eventsim.Trace.line_count tr);
+    count "trace/dropped" (Eventsim.Trace.dropped tr)
+
+let run ?(check = false) ?report driver s =
   let group = 1 in
+  let wall0 = Obs.Clock.now_s () in
   (* Scale topology delays into simulated seconds; costs stay in the
      paper's link-cost units. *)
   let g =
@@ -120,26 +113,44 @@ let run ?(check = false) protocol s =
         (l.Netgraph.Graph.delay *. s.delay_scale, l.Netgraph.Graph.cost))
   in
   let engine = Eventsim.Engine.create () in
-  let net = Eventsim.Netsim.create engine g ~classify:Message.classify in
+  let net =
+    Eventsim.Netsim.create ~sizeof:Message.wire_bytes engine g
+      ~classify:Message.classify
+  in
   let delivery = Delivery.create engine in
   let trace =
-    Option.map (fun _ -> Eventsim.Trace.attach net ~describe:Message.describe)
+    Option.map
+      (fun _ ->
+        Eventsim.Trace.attach ?limit:s.trace_limit net
+          ~describe:Message.describe)
       s.trace_path
   in
-  let d =
-    instantiate protocol net delivery ~center:s.center ~scmp_bound:s.scmp_bound
-      ~scmp_distribution:s.scmp_distribution
-      ~dvmrp_prune_timeout:s.dvmrp_prune_timeout
+  let inst =
+    Driver.setup driver
+      {
+        Driver.net;
+        delivery;
+        center = s.center;
+        scmp_bound = s.scmp_bound;
+        scmp_distribution = s.scmp_distribution;
+        dvmrp_prune_timeout = s.dvmrp_prune_timeout;
+      }
   in
+  Option.iter (fun r -> report_meta r driver s) report;
+  let setup_wall = Obs.Clock.now_s () -. wall0 in
+  let run0 = Obs.Clock.now_s () in
+  let join_wall = ref 0.0 in
   (* Membership: staggered joins, optional departures. *)
   List.iteri
     (fun i m ->
       let at = s.join_start +. (s.join_spacing *. float_of_int i) in
-      Eventsim.Engine.schedule_at engine ~time:at (fun () -> d.join ~group m))
+      Eventsim.Engine.schedule_at engine ~time:at (fun () ->
+          inst.Driver.join ~group m))
     s.members;
   List.iter
     (fun (at, m) ->
-      Eventsim.Engine.schedule_at engine ~time:at (fun () -> d.leave ~group m))
+      Eventsim.Engine.schedule_at engine ~time:at (fun () ->
+          inst.Driver.leave ~group m))
     s.leavers;
   (* Who is expected to receive packet [seq] sent at time [t]: members
      that have joined (all joins precede data_start) and not yet left,
@@ -151,20 +162,42 @@ let run ?(check = false) protocol s =
         && not (List.exists (fun (lt, lm) -> lm = m && lt <= t) s.leavers))
       s.members
   in
+  (* Join/data phase boundary. Scheduled before the checkpoint and data
+     events at the same instant, so the equal-key FIFO order of the
+     engine records the boundary first. *)
+  Eventsim.Engine.schedule_at engine ~background:true ~time:s.data_start
+    (fun () -> join_wall := Obs.Clock.now_s () -. run0);
   (* First invariant checkpoint: membership has converged, no packet is
      in flight yet (joins end well before [data_start]; leavers are
-     mid-run events by construction). Scheduled before the data events
-     so the equal-key FIFO order of the engine runs it first. *)
+     mid-run events by construction). *)
   if check then
     Eventsim.Engine.schedule_at engine ~time:s.data_start (fun () ->
-        Check.Invariant.verify_all_exn ~where:"runner pre-data" (d.snapshots ()));
+        Check.Invariant.verify_all_exn ~where:"runner pre-data"
+          (inst.Driver.snapshots ()));
   for seq = 0 to s.data_count - 1 do
     let at = s.data_start +. (s.data_interval *. float_of_int seq) in
     Eventsim.Engine.schedule_at engine ~time:at (fun () ->
         Delivery.expect delivery ~seq ~members:(expected_at at) ~sent_at:at;
-        d.send ~group ~src:s.source ~seq)
+        inst.Driver.send ~group ~src:s.source ~seq)
   done;
+  (* Sim-time series for the report, sampled at the data cadence.
+     Scheduled after the data events so a sample at instant [t] sees the
+     send at [t]; background, so sampling never extends the run. *)
+  let cumulative = Obs.Series.create ~name:"delivery/cumulative" in
+  let transmissions = Obs.Series.create ~name:"net/transmissions" in
+  if report <> None then
+    for seq = 0 to s.data_count - 1 do
+      let at = s.data_start +. (s.data_interval *. float_of_int seq) in
+      Eventsim.Engine.schedule_at engine ~background:true ~time:at (fun () ->
+          Obs.Series.sample cumulative ~t:at
+            (float_of_int (Delivery.deliveries delivery));
+          Obs.Series.sample transmissions ~t:at
+            (float_of_int
+               (Eventsim.Netsim.data_transmissions net
+               + Eventsim.Netsim.control_transmissions net)))
+    done;
   Eventsim.Engine.run engine;
+  let run_wall = Obs.Clock.now_s () -. run0 in
   (* Final checkpoint on the quiesced network: distributed state still
      coheres after every leave/PRUNE cascade, and packet conservation
      holds over the whole run. *)
@@ -183,11 +216,32 @@ let run ?(check = false) protocol s =
           spurious = Delivery.spurious delivery;
           missed = Delivery.missed delivery;
         }
-      (d.snapshots ())
+      (inst.Driver.snapshots ())
   end;
+  if check then (
+    match inst.Driver.verify () with
+    | Ok () -> ()
+    | Error msg ->
+      raise (Check.Invariant.Violation ("runner driver verify: " ^ msg)));
   (match (trace, s.trace_path) with
   | Some tr, Some path -> ignore (Eventsim.Trace.save tr ~path)
   | _ -> ());
+  Option.iter
+    (fun r ->
+      (* Close both series at quiescence, then publish everything. *)
+      let t_end = Eventsim.Engine.now engine in
+      Obs.Series.sample cumulative ~t:t_end
+        (float_of_int (Delivery.deliveries delivery));
+      Obs.Series.sample transmissions ~t:t_end
+        (float_of_int
+           (Eventsim.Netsim.data_transmissions net
+           + Eventsim.Netsim.control_transmissions net));
+      Obs.Report.add_series r cumulative;
+      Obs.Report.add_series r transmissions;
+      report_finish r s ~engine ~net ~delivery ~trace ~inst
+        ~join_wall:!join_wall ~run_wall ~setup_wall)
+    report;
+  inst.Driver.teardown ();
   {
     data_overhead = Eventsim.Netsim.data_overhead net;
     protocol_overhead = Eventsim.Netsim.control_overhead net;
@@ -201,3 +255,8 @@ let run ?(check = false) protocol s =
     missed = Delivery.missed delivery;
     packets_sent = s.data_count;
   }
+
+let run_name ?check ?report name s =
+  match Driver.find name with
+  | Ok d -> Ok (run ?check ?report d s)
+  | Error _ as e -> e

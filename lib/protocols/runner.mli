@@ -12,16 +12,15 @@
     Members join before traffic starts (staggered so control flows do
     not collide), exactly as tree-building precedes measurement in the
     paper. Correctness counters (duplicates, spurious and missed
-    deliveries) come along for the tests. *)
+    deliveries) come along for the tests.
 
-type protocol = Scmp | Cbt | Dvmrp | Mospf
-
-val protocol_name : protocol -> string
-val all_protocols : protocol list
+    Protocols are selected through the {!Driver} registry — any
+    registered driver runs here, including ones registered by client
+    code. *)
 
 type scenario = {
   spec : Topology.Spec.t;
-  center : Message.node;  (** m-router (SCMP) / core (CBT); unused by the SPT protocols. *)
+  center : Message.node;  (** m-router (SCMP) / core (CBT) / RP (PIM-SM); unused by the SPT protocols. *)
   source : Message.node;
   members : Message.node list;
   join_start : float;
@@ -42,9 +41,24 @@ type scenario = {
   trace_path : string option;
       (** When set, every link crossing of the run is written to this
           file as an NS-2-style trace (see {!Eventsim.Trace}). *)
+  trace_limit : int option;
+      (** Ring-buffer bound for the trace (newest lines kept); the
+          report records how many lines were evicted. *)
 }
 
 val make :
+  ?join_start:float ->
+  ?join_spacing:float ->
+  ?data_start:float ->
+  ?data_interval:float ->
+  ?data_count:int ->
+  ?dvmrp_prune_timeout:float ->
+  ?scmp_bound:Mtree.Bound.t ->
+  ?scmp_distribution:Scmp_proto.distribution ->
+  ?delay_scale:float ->
+  ?leavers:(float * Message.node) list ->
+  ?trace_path:string ->
+  ?trace_limit:int ->
   spec:Topology.Spec.t ->
   center:Message.node ->
   source:Message.node ->
@@ -52,8 +66,11 @@ val make :
   unit ->
   scenario
 (** Paper defaults: joins from t=0.1 spaced 0.5 s; 30 data packets at
-    1/s starting 3 s after the last join; DVMRP prune lifetime 10 s;
-    SCMP tightest bound; delay scale 3e-6 s per grid unit. *)
+    1/s starting 3 s after the last join (or at [data_start]); DVMRP
+    prune lifetime 10 s; SCMP tightest bound, incremental distribution;
+    delay scale 3e-6 s per grid unit; no leavers, no trace. Every knob
+    is a labelled optional, so ablations override just the knob they
+    study. *)
 
 type result = {
   data_overhead : float;
@@ -69,8 +86,8 @@ type result = {
   packets_sent : int;
 }
 
-val run : ?check:bool -> protocol -> scenario -> result
-(** Deterministic: same protocol + scenario => same result.
+val run : ?check:bool -> ?report:Obs.Report.t -> Driver.t -> scenario -> result
+(** Deterministic: same driver + scenario => same result.
 
     With [~check:true] the run is instrumented with the protocol
     invariant verifier ({!Check.Invariant}): once after membership has
@@ -78,5 +95,23 @@ val run : ?check:bool -> protocol -> scenario -> result
     the quiesced network after the run, every group's distributed state
     is verified — tree well-formedness, delay-bound compliance and
     entry/tree coherence for SCMP — and packet conservation is checked
-    over the whole run for every protocol. Any failure raises
-    {!Check.Invariant.Violation} with the offending rule and detail. *)
+    over the whole run for every protocol; the driver's own [verify]
+    hook runs as well. Any failure raises {!Check.Invariant.Violation}.
+
+    With [~report] the run publishes into the given {!Obs.Report}:
+    run metadata, per-phase sim/wall timings ([phase/...]), engine and
+    network counters ([engine/...], [net/...]), protocol metrics (e.g.
+    [scmp/...]), delivery counters and a delay histogram
+    ([delivery/...]), plus two sim-time series sampled at the data
+    cadence ([delivery/cumulative], [net/transmissions]). Wall-clock
+    metrics are flagged, so the report serialized with
+    [~wallclock:false] is byte-identical across same-scenario runs. *)
+
+val run_name :
+  ?check:bool ->
+  ?report:Obs.Report.t ->
+  string ->
+  scenario ->
+  (result, string) Stdlib.result
+(** {!run} through {!Driver.find} — convenience for name-driven
+    callers (CLI, bench); the error is [find]'s message. *)

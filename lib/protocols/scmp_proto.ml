@@ -38,7 +38,51 @@ type t = {
   entries : (node * Message.group, entry) Hashtbl.t;
   pending_iface : (node * Message.group, unit) Hashtbl.t;
   delivery : Delivery.t option;
+  (* observability: m-router distribution and compute cost (§III.E and
+     the related-work motivation for tracking centralized tree
+     computation) *)
+  mutable tree_pkts : int;        (* TREE packets emitted by the m-router *)
+  mutable branch_pkts : int;      (* BRANCH packets emitted *)
+  mutable invalidations : int;    (* unicast invalidations emitted *)
+  mutable tree_computes : int;    (* DCDM create/join/leave operations *)
+  mutable tree_compute_s : float; (* their accumulated wall-clock cost *)
 }
+
+type stats = {
+  tree_packets : int;
+  branch_packets : int;
+  invalidations : int;
+  tree_computes : int;
+  tree_compute_wall_s : float;
+}
+
+let stats t =
+  {
+    tree_packets = t.tree_pkts;
+    branch_packets = t.branch_pkts;
+    invalidations = t.invalidations;
+    tree_computes = t.tree_computes;
+    tree_compute_wall_s = t.tree_compute_s;
+  }
+
+(* Every DCDM operation at the m-router passes through here, so the
+   report's tree-compute cost covers group creation, joins, leaves and
+   standby-takeover rebuilds alike. *)
+let timed_compute (t : t) f =
+  let v, elapsed = Obs.Clock.time f in
+  t.tree_computes <- t.tree_computes + 1;
+  t.tree_compute_s <- t.tree_compute_s +. elapsed;
+  v
+
+let observe t m =
+  let set_c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
+  set_c "scmp/tree_packets" t.tree_pkts;
+  set_c "scmp/branch_packets" t.branch_pkts;
+  set_c "scmp/invalidations" t.invalidations;
+  set_c "scmp/tree_computes" t.tree_computes;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~wallclock:true m "scmp/tree_compute_wall_s")
+    t.tree_compute_s
 
 let mrouter t = t.active
 let active_mrouter t = t.active
@@ -62,7 +106,10 @@ let group_state t group =
   match Hashtbl.find_opt t.dcdm group with
   | Some d -> d
   | None ->
-    let d = Mtree.Dcdm.create t.apsp ~root:t.active ~bound:t.bound () in
+    let d =
+      timed_compute t (fun () ->
+          Mtree.Dcdm.create t.apsp ~root:t.active ~bound:t.bound ())
+    in
     Hashtbl.replace t.dcdm group d;
     (* The root's own routing entry exists from group creation on. *)
     ignore (get_or_create_entry t t.active group);
@@ -133,6 +180,7 @@ let distribute_branch t group tree dr =
     let root_entry = get_or_create_entry t t.active group in
     if not (List.mem first root_entry.downstream) then
       root_entry.downstream <- root_entry.downstream @ [ first ];
+    t.branch_pkts <- t.branch_pkts + 1;
     N.transmit t.net ~src:t.active ~dst:first (Message.Scmp_branch { group; path })
 
 let distribute_tree t group tree removed_nodes =
@@ -142,12 +190,15 @@ let distribute_tree t group tree removed_nodes =
   List.iter
     (fun c ->
       let packet = Tree_packet.of_tree tree ~at:c in
+      t.tree_pkts <- t.tree_pkts + 1;
       N.transmit t.net ~src:t.active ~dst:c (Message.Scmp_tree { group; packet }))
     children;
   List.iter
     (fun x ->
-      if x <> t.active then
-        N.unicast t.net ~src:t.active ~dst:x (Message.Scmp_invalidate { group }))
+      if x <> t.active then begin
+        t.invalidations <- t.invalidations + 1;
+        N.unicast t.net ~src:t.active ~dst:x (Message.Scmp_invalidate { group })
+      end)
     removed_nodes
 
 (* ---- hot standby (concluding remarks, point 4) ---- *)
@@ -204,7 +255,10 @@ let takeover t sb =
     List.iter
       (fun group ->
         let before = old_nodes group in
-        let d = Mtree.Dcdm.create t.apsp ~root:sb.sb_node ~bound:t.bound () in
+        let d =
+          timed_compute t (fun () ->
+              Mtree.Dcdm.create t.apsp ~root:sb.sb_node ~bound:t.bound ())
+        in
         Hashtbl.replace t.dcdm group d;
         ignore (get_or_create_entry t sb.sb_node group);
         let members =
@@ -212,7 +266,7 @@ let takeover t sb =
         in
         List.iter
           (fun m ->
-            try Mtree.Dcdm.join d m
+            try timed_compute t (fun () -> Mtree.Dcdm.join d m)
             with Invalid_argument _ -> () (* partitioned by the failure *))
           members;
         let tree = Mtree.Dcdm.tree d in
@@ -246,7 +300,7 @@ let handle_join_at_mrouter t group dr =
   let tree = Mtree.Dcdm.tree d in
   let before_edges = edge_set tree in
   let before_nodes = Mtree.Tree.nodes tree in
-  Mtree.Dcdm.join d dr;
+  timed_compute t (fun () -> Mtree.Dcdm.join d dr);
   replicate t group dr true;
   if dr = t.active then (get_or_create_entry t t.active group).member <- true
   else begin
@@ -278,7 +332,7 @@ let handle_leave_at_mrouter t group dr =
     let tree = Mtree.Dcdm.tree d in
     let before_edges = edge_set tree in
     let before_nodes = Mtree.Tree.nodes tree in
-    Mtree.Dcdm.leave d dr;
+    timed_compute t (fun () -> Mtree.Dcdm.leave d dr);
     (* A pure prune needs no distribution: the DR's hop-by-hop PRUNE
        cascade (§III.C) removes exactly the dangling entries. But when
        the departure tightened the delay bound and DCDM re-grafted
@@ -420,6 +474,11 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
       entries = Hashtbl.create 64;
       pending_iface = Hashtbl.create 16;
       delivery;
+      tree_pkts = 0;
+      branch_pkts = 0;
+      invalidations = 0;
+      tree_computes = 0;
+      tree_compute_s = 0.0;
     }
   in
   if install_handlers then

@@ -98,6 +98,30 @@ val host_leave : t -> group:Message.group -> node -> unit
 val send_data : t -> group:Message.group -> src:node -> seq:int -> unit
 (** The router's subnet originates one data packet now. *)
 
+(** {2 Observability} *)
+
+type stats = {
+  tree_packets : int;
+      (** TREE packets the m-router emitted (one per root child of each
+          full-tree distribution, §III.E). *)
+  branch_packets : int;
+      (** Self-routing BRANCH packets emitted for pure-growth joins. *)
+  invalidations : int;
+      (** Unicast invalidations to routers removed by restructuring. *)
+  tree_computes : int;
+      (** DCDM operations at the m-router (create/join/leave, including
+          takeover rebuilds). *)
+  tree_compute_wall_s : float;
+      (** Their accumulated {e wall-clock} cost — a real-time
+          measurement, excluded from deterministic report diffs. *)
+}
+
+val stats : t -> stats
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish {!stats} into a registry under [scmp/...];
+    [scmp/tree_compute_wall_s] is registered as a wallclock metric. *)
+
 (** {2 Introspection (tests, examples)} *)
 
 val mrouter_tree : t -> group:Message.group -> Mtree.Tree.t option

@@ -341,7 +341,7 @@ let test_runner_churn_with_checks () =
   in
   checki "churn scenario has leavers" 2 (List.length leavers);
   let sc = { base with Runner.leavers } in
-  let r = Runner.run ~check:true Runner.Scmp sc in
+  let r = Runner.run ~check:true (Protocols.Driver.find_exn "scmp") sc in
   checki "missed" 0 r.Runner.missed;
   checki "dups" 0 r.Runner.duplicates;
   checki "spurious" 0 r.Runner.spurious

@@ -370,6 +370,35 @@ let test_server_errors () =
     (Invalid_argument "Server.submit: negative service time") (fun () ->
       Server.submit s ~service_time:(-1.0) ignore)
 
+let test_server_observability () =
+  let e = Engine.create () in
+  let s = Server.create e ~servers:1 in
+  let m = Obs.Metrics.create () in
+  Server.instrument s m ~prefix:"srv";
+  let depth = Obs.Series.create ~name:"srv/queue_depth" in
+  Server.sample_queue_depth s depth ~interval:1.0 ~until:6.0;
+  for _ = 1 to 3 do
+    Server.submit s ~service_time:2.0 ignore
+  done;
+  Engine.run e;
+  Server.observe s m ~prefix:"srv";
+  let h = Obs.Metrics.histogram m "srv/wait_s" in
+  checki "every wait recorded" 3 (Obs.Metrics.histogram_count h);
+  checki "completed published" 3
+    (Obs.Metrics.counter_value (Obs.Metrics.counter m "srv/completed"));
+  checki "max queue published" 2
+    (Obs.Metrics.counter_value (Obs.Metrics.counter m "srv/max_queue"));
+  Alcotest.check (Alcotest.float 1e-9) "total wait published" 6.0
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge m "srv/total_wait_s"));
+  (* depth every second; at tied instants the completion (scheduled
+     earlier) runs before the sampler, and background ticks never extend
+     the run past the last completion at t = 6 *)
+  Alcotest.check
+    Alcotest.(list (pair (float 1e-9) (float 1e-9)))
+    "queue depth series"
+    [ (1.0, 2.0); (2.0, 1.0); (3.0, 1.0); (4.0, 0.0); (5.0, 0.0) ]
+    (Obs.Series.points depth)
+
 let test_server_freed_picks_next () =
   let e = Engine.create () in
   let s = Server.create e ~servers:2 in
@@ -412,6 +441,7 @@ let () =
           Alcotest.test_case "parallel" `Quick test_server_parallel;
           Alcotest.test_case "errors" `Quick test_server_errors;
           Alcotest.test_case "freed server picks next" `Quick test_server_freed_picks_next;
+          Alcotest.test_case "observability hooks" `Quick test_server_observability;
         ] );
       ( "netsim",
         [

@@ -10,6 +10,7 @@ module A = Netgraph.Apsp
 module Eval = Mtree.Eval
 module Bound = Mtree.Bound
 module Runner = Protocols.Runner
+module Driver = Protocols.Driver
 module Prng = Scmp_util.Prng
 
 let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
@@ -41,7 +42,7 @@ let test_fig7_cell_golden () =
   Alcotest.check (Alcotest.float 0.5) "SPT delay" 28335.2 (Eval.tree_delay spt)
 
 (* One Fig 8/9 cell: ARPANET seed 1, 12 members, SCMP. *)
-let fig89_cell protocol =
+let fig89_cell driver =
   let spec = Topology.Arpanet.generate ~seed:1 in
   let apsp = A.compute spec.Topology.Spec.graph in
   let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
@@ -50,10 +51,10 @@ let fig89_cell protocol =
     Prng.sample rng 12 48 |> List.filter (fun x -> x <> center)
   in
   let sc = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
-  Runner.run protocol sc
+  Runner.run driver sc
 
 let test_fig89_scmp_golden () =
-  let r = fig89_cell Runner.Scmp in
+  let r = fig89_cell (Driver.find_exn "scmp") in
   checki "deliveries" 330 r.Runner.deliveries;
   checki "anomalies" 0 (r.duplicates + r.spurious + r.missed);
   (* pinned to current behaviour; regenerate with --print *)
@@ -63,10 +64,10 @@ let test_fig89_scmp_golden () =
 
 let test_fig89_all_protocols_agree_on_delivery_count () =
   List.iter
-    (fun p ->
-      let r = fig89_cell p in
-      checki (Runner.protocol_name p ^ " deliveries") 330 r.Runner.deliveries)
-    Runner.all_protocols
+    (fun d ->
+      let r = fig89_cell d in
+      checki (Driver.display d ^ " deliveries") 330 r.Runner.deliveries)
+    (Driver.all ())
 
 let () =
   (* First run prints actuals to ease (re)pinning. *)
@@ -80,7 +81,7 @@ let () =
     show "DCDM loosest" (Mtree.Dcdm.build apsp ~root ~bound:Bound.Loosest ~members);
     show "KMB" (Mtree.Kmb.build apsp ~root ~members);
     show "SPT" (Mtree.Spt.build apsp ~root ~members);
-    let r = fig89_cell Runner.Scmp in
+    let r = fig89_cell (Driver.find_exn "scmp") in
     Printf.printf "SCMP arpanet: data %.1f proto %.1f\n" r.Runner.data_overhead
       r.protocol_overhead;
     exit 0

@@ -6,6 +6,7 @@ module A = Netgraph.Apsp
 module Eval = Mtree.Eval
 module Bound = Mtree.Bound
 module Runner = Protocols.Runner
+module Driver = Protocols.Driver
 module Prng = Scmp_util.Prng
 
 let checkb = Alcotest.check Alcotest.bool
@@ -84,10 +85,11 @@ let network_results seed size =
   let rng = Prng.create (seed * 31 + size) in
   let members = Prng.sample rng size 50 |> List.filter (fun x -> x <> center) in
   let sc = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
-  List.map (fun p -> (p, run p sc)) Runner.all_protocols
+  List.map (fun d -> (Driver.name d, run d sc)) (Driver.all ())
 
+(* Averages keyed by driver name: [avg "scmp"], [avg "pim-sm"], ... *)
 let avg_over_seeds size pick =
-  let per_protocol = Hashtbl.create 4 in
+  let per_protocol = Hashtbl.create 8 in
   let seeds = [ 2; 3; 4 ] in
   List.iter
     (fun seed ->
@@ -103,42 +105,42 @@ let test_fig8_data_overhead_ordering () =
   (* "SCMP always has the lowest data overhead … DVMRP has much higher
      data overhead." *)
   let avg = avg_over_seeds 20 (fun r -> r.Runner.data_overhead) in
-  checkb "SCMP < CBT" true (avg Runner.Scmp < avg Runner.Cbt);
-  checkb "SCMP < MOSPF" true (avg Runner.Scmp < avg Runner.Mospf);
-  checkb "SCMP < DVMRP" true (avg Runner.Scmp < avg Runner.Dvmrp);
+  checkb "SCMP < CBT" true (avg "scmp" < avg "cbt");
+  checkb "SCMP < MOSPF" true (avg "scmp" < avg "mospf");
+  checkb "SCMP < DVMRP" true (avg "scmp" < avg "dvmrp");
   checkb "DVMRP much higher (>20% above CBT)" true
-    (avg Runner.Dvmrp > avg Runner.Cbt *. 1.2)
+    (avg "dvmrp" > avg "cbt" *. 1.2)
 
 let test_fig8_protocol_overhead_ordering () =
   (* "MOSPF has the steepest curve … CBT and SCMP have the least
      protocol overhead", with CBT slightly below SCMP. *)
   let avg = avg_over_seeds 20 (fun r -> r.Runner.protocol_overhead) in
   checkb "MOSPF dominates everyone" true
-    (avg Runner.Mospf > avg Runner.Scmp
-    && avg Runner.Mospf > avg Runner.Cbt
-    && avg Runner.Mospf > avg Runner.Dvmrp);
-  checkb "CBT below SCMP" true (avg Runner.Cbt < avg Runner.Scmp);
-  checkb "SCMP below DVMRP" true (avg Runner.Scmp < avg Runner.Dvmrp)
+    (avg "mospf" > avg "scmp"
+    && avg "mospf" > avg "cbt"
+    && avg "mospf" > avg "dvmrp");
+  checkb "CBT below SCMP" true (avg "cbt" < avg "scmp");
+  checkb "SCMP below DVMRP" true (avg "scmp" < avg "dvmrp")
 
 let test_fig8_dvmrp_overhead_decreases_with_group_size () =
   (* dense-mode pruning: more members, fewer prunes *)
   let small = avg_over_seeds 8 (fun r -> r.Runner.protocol_overhead) in
   let large = avg_over_seeds 40 (fun r -> r.Runner.protocol_overhead) in
   checkb "DVMRP overhead shrinks as the group grows" true
-    (large Runner.Dvmrp < small Runner.Dvmrp);
+    (large "dvmrp" < small "dvmrp");
   (* while MOSPF's grows steeply *)
-  checkb "MOSPF overhead grows" true (large Runner.Mospf > small Runner.Mospf *. 2.0)
+  checkb "MOSPF overhead grows" true (large "mospf" > small "mospf" *. 2.0)
 
 let test_fig9_delay_ordering () =
   (* "the delay of CBT and SCMP is very close and slightly longer than
      the SPT-based protocols" *)
   let avg = avg_over_seeds 20 (fun r -> r.Runner.max_delay) in
   checkb "DVMRP = MOSPF (both SPT)" true
-    (Float.abs (avg Runner.Dvmrp -. avg Runner.Mospf) < 1e-9);
+    (Float.abs (avg "dvmrp" -. avg "mospf") < 1e-9);
   checkb "shared trees no faster than SPT" true
-    (avg Runner.Scmp >= avg Runner.Mospf -. 1e-9
-    && avg Runner.Cbt >= avg Runner.Mospf -. 1e-9);
-  checkb "but within 2x" true (avg Runner.Scmp < avg Runner.Mospf *. 2.0)
+    (avg "scmp" >= avg "mospf" -. 1e-9
+    && avg "cbt" >= avg "mospf" -. 1e-9);
+  checkb "but within 2x" true (avg "scmp" < avg "mospf" *. 2.0)
 
 let test_all_protocols_exactly_once_across_topologies () =
   List.iter
@@ -152,15 +154,15 @@ let test_all_protocols_exactly_once_across_topologies () =
       in
       let sc = Runner.make ~spec ~center ~source:(List.hd members) ~members () in
       List.iter
-        (fun p ->
-          let r = run p sc in
+        (fun d ->
+          let r = run d sc in
           let name =
-            Runner.protocol_name p ^ " on " ^ spec.Topology.Spec.name
+            Driver.display d ^ " on " ^ spec.Topology.Spec.name
           in
           checki (name ^ ": missed") 0 r.Runner.missed;
           checki (name ^ ": dups") 0 r.Runner.duplicates;
           checki (name ^ ": spurious") 0 r.Runner.spurious)
-        Runner.all_protocols)
+        (Driver.all ()))
     [
       Topology.Arpanet.generate ~seed:3;
       Topology.Waxman.generate ~seed:3 ~n:60 ();
@@ -168,8 +170,8 @@ let test_all_protocols_exactly_once_across_topologies () =
     ]
 
 let test_soak_200_nodes () =
-  (* scale check: a 200-node Waxman domain, 60 members, all four
-     protocols still deliver exactly-once *)
+  (* scale check: a 200-node Waxman domain, 60 members, every
+     registered protocol still delivers exactly-once *)
   let spec = Topology.Waxman.generate ~seed:7 ~n:200 () in
   let apsp = A.compute spec.Topology.Spec.graph in
   let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
@@ -178,20 +180,18 @@ let test_soak_200_nodes () =
     Prng.sample rng 60 200 |> List.filter (fun x -> x <> center)
   in
   let sc =
-    {
-      (Runner.make ~spec ~center ~source:(List.hd members) ~members ()) with
-      Runner.data_count = 10;
-    }
+    Runner.make ~data_count:10 ~spec ~center ~source:(List.hd members) ~members
+      ()
   in
   List.iter
-    (fun p ->
-      let r = run p sc in
-      let name = Runner.protocol_name p in
+    (fun d ->
+      let r = run d sc in
+      let name = Driver.display d in
       checki (name ^ " missed") 0 r.Runner.missed;
       checki (name ^ " dups") 0 r.Runner.duplicates;
       checki (name ^ " spurious") 0 r.Runner.spurious;
       checki (name ^ " delivered") (10 * (List.length members - 1)) r.Runner.deliveries)
-    Runner.all_protocols
+    (Driver.all ())
 
 (* ---------------- end-to-end domain workload ---------------- *)
 

@@ -939,25 +939,25 @@ let test_runner_exactly_once_all_protocols () =
   let sc = runner_scenario 11 in
   let n_members = List.length sc.Runner.members in
   List.iter
-    (fun proto ->
-      let r = Runner.run proto sc in
-      let name = Runner.protocol_name proto in
+    (fun d ->
+      let r = Runner.run d sc in
+      let name = Protocols.Driver.display d in
       checki (name ^ " deliveries") (30 * (n_members - 1)) r.Runner.deliveries;
       checki (name ^ " dups") 0 r.Runner.duplicates;
       checki (name ^ " spurious") 0 r.Runner.spurious;
       checki (name ^ " missed") 0 r.Runner.missed;
       checkb (name ^ " data overhead positive") true (r.Runner.data_overhead > 0.0);
       checkb (name ^ " delay positive") true (r.Runner.max_delay > 0.0))
-    Runner.all_protocols
+    (Protocols.Driver.all ())
 
 let test_runner_deterministic () =
   let sc = runner_scenario 13 in
   List.iter
-    (fun p ->
-      let a = Runner.run p sc in
-      let b = Runner.run p sc in
-      checkb (Runner.protocol_name p ^ " bitwise identical") true (a = b))
-    Runner.all_protocols
+    (fun d ->
+      let a = Runner.run d sc in
+      let b = Runner.run d sc in
+      checkb (Protocols.Driver.display d ^ " bitwise identical") true (a = b))
+    (Protocols.Driver.all ())
 
 let test_runner_leavers () =
   let sc0 = runner_scenario 17 in
@@ -965,7 +965,7 @@ let test_runner_leavers () =
   let departer = List.nth sc0.Runner.members 3 in
   let t_leave = sc0.Runner.data_start +. 15.2 in
   let sc = { sc0 with Runner.leavers = [ (t_leave, departer) ] } in
-  let r = Runner.run Runner.Scmp sc in
+  let r = Runner.run (Protocols.Driver.find_exn "scmp") sc in
   let n = List.length sc.Runner.members in
   (* 16 packets expected by everyone, 14 by everyone minus the
      departer (send times are data_start + 0..29) *)
