@@ -434,6 +434,81 @@ let branch_ablation ~seeds () =
   print_table ~title:"random 50-node topology (avg degree 3)" tab
 
 (* ------------------------------------------------------------------ *)
+(* Fault recovery (ours): SCMP through control-plane loss and random
+   mid-data link failures — what the reliable transport and the tree
+   repair cost, and what delivery ratio they buy. *)
+
+let faults_bench () =
+  section "fault recovery — loss, link failures, tree repair";
+  let spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
+  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let rng = Scmp_util.Prng.create 41 in
+  let members =
+    Scmp_util.Prng.sample rng 12 50 |> List.filter (fun x -> x <> center)
+  in
+  let base =
+    Protocols.Runner.make ~spec ~center ~source:(List.hd members) ~members ()
+  in
+  let data_end =
+    base.Protocols.Runner.data_start
+    +. (base.data_interval *. float_of_int base.data_count)
+  in
+  let run_case ?loss ?loss_class ~fail_count () =
+    let faults =
+      if fail_count = 0 then []
+      else
+        Eventsim.Faults.random_link_failures ~seed:11 ~count:fail_count
+          ~t0:base.Protocols.Runner.data_start ~t1:data_end
+          spec.Topology.Spec.graph
+    in
+    let sc = { base with Protocols.Runner.loss; loss_class; faults } in
+    let report = Obs.Report.create ~name:"bench-faults" () in
+    let r =
+      Protocols.Runner.run ~report (Protocols.Driver.find_exn "scmp") sc
+    in
+    let m = Obs.Report.metrics report in
+    let c name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
+    (r, c "scmp/retransmissions", c "scmp/giveups", c "scmp/repair/count")
+  in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "scenario";
+        T.column "delivery ratio";
+        T.column "dropped";
+        T.column "retransmits";
+        T.column "give-ups";
+        T.column "repairs";
+        T.column "proto overhead";
+      ]
+  in
+  List.iter
+    (fun (name, loss, loss_class, fail_count) ->
+      let r, retx, giveups, repairs = run_case ?loss ?loss_class ~fail_count () in
+      T.add_row tab
+        [
+          name;
+          Printf.sprintf "%.4f" r.Protocols.Runner.delivery_ratio;
+          string_of_int r.dropped;
+          string_of_int retx;
+          string_of_int giveups;
+          string_of_int repairs;
+          Printf.sprintf "%.0f" r.protocol_overhead;
+        ])
+    [
+      ("no faults", None, None, 0);
+      ("5% control loss", Some (0.05, 42), Some `Control, 0);
+      ("2 random link failures", None, None, 2);
+      ("loss + 2 failures", Some (0.05, 42), Some `Control, 2);
+    ];
+  print_table
+    ~title:
+      "50-node random (deg 3), 12 members, 30 pkts; failures drawn \
+       uniformly over the data phase (seed 11)"
+    tab
+
+(* ------------------------------------------------------------------ *)
 (* Hot-standby m-router failover (concluding remarks, point 4):
    steady-state cost of the standby and behaviour through a failure. *)
 
@@ -1030,7 +1105,7 @@ let micro ?json ~full () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig7|fig8|fig9|placement|fabric|branch|failover|multi|capacity|congestion|pimsm|micro|all] \
+     [fig7|fig8|fig9|placement|fabric|branch|faults|failover|multi|capacity|congestion|pimsm|micro|all] \
      [--full] [--ablate] [--csv DIR] [--json PATH]";
   exit 1
 
@@ -1069,6 +1144,7 @@ let () =
     | "placement" -> placement ~seeds:(if full then 3 else 1) ()
     | "fabric" -> fabric ()
     | "branch" -> branch_ablation ~seeds:net_seeds ()
+    | "faults" -> faults_bench ()
     | "failover" -> failover ()
     | "multi" -> multi ()
     | "capacity" -> capacity ()
@@ -1082,6 +1158,7 @@ let () =
       placement ~seeds:(if full then 3 else 1) ();
       fabric ();
       branch_ablation ~seeds:net_seeds ();
+      faults_bench ();
       failover ();
       multi ();
       capacity ();

@@ -282,8 +282,80 @@ let run_cmd =
             "Write a JSON run report (scmp-report/1) per protocol; with \
              --protocol all the protocol name is appended to the file stem.")
   in
+  let loss =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"RATE"
+          ~doc:"Random packet loss probability per link crossing (0..1).")
+  in
+  let loss_seed =
+    Arg.(
+      value & opt int 42
+      & info [ "loss-seed" ] ~docv:"SEED" ~doc:"Seed for the loss coin flips.")
+  in
+  let loss_class =
+    let cls_conv =
+      Arg.conv
+        ( (function
+          | "all" -> Ok None
+          | "data" -> Ok (Some `Data)
+          | "control" -> Ok (Some `Control)
+          | s -> Error (`Msg (Printf.sprintf "unknown packet class %S" s))),
+          fun fmt c ->
+            Format.pp_print_string fmt
+              (match c with
+              | None -> "all"
+              | Some `Data -> "data"
+              | Some `Control -> "control") )
+    in
+    Arg.(
+      value & opt cls_conv None
+      & info [ "loss-class" ] ~docv:"CLASS"
+          ~doc:"Restrict --loss to one packet class: data, control or all.")
+  in
+  let fail_links =
+    Arg.(
+      value & opt_all string []
+      & info [ "fail-link" ] ~docv:"A-B@T[:restore@T']"
+          ~doc:
+            "Fail link A-B at sim time T, optionally restoring it at T'. \
+             Repeatable.")
+  in
+  let fail_nodes =
+    Arg.(
+      value & opt_all string []
+      & info [ "fail-node" ] ~docv:"X@T[:restore@T']"
+          ~doc:"Fail node X at sim time T, optionally restoring it at T'. \
+                Repeatable.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Draw --fault-count random link failures from this seed \
+             (uniform over links and over the data phase).")
+  in
+  let fault_count =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-count" ] ~docv:"N"
+          ~doc:"How many random link failures --fault-seed injects.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify protocol invariants on the quiesced network (and, on \
+             an unperturbed run, packet conservation and a pre-data \
+             checkpoint).")
+  in
   let run gen nodes seed load protocol group_size packets trace trace_limit
-      report =
+      report loss loss_seed loss_class fail_links fail_nodes fault_seed
+      fault_count check =
     let spec = or_die (make_spec gen nodes seed load) in
     let g = spec.Topology.Spec.graph in
     let n = Netgraph.Graph.node_count g in
@@ -295,10 +367,36 @@ let run_cmd =
       |> List.filter (fun x -> x <> center)
     in
     let source = List.hd members in
+    let parsed_faults =
+      List.concat_map
+        (fun s -> or_die (Eventsim.Faults.parse_link_failure s))
+        fail_links
+      @ List.concat_map
+          (fun s -> or_die (Eventsim.Faults.parse_node_failure s))
+          fail_nodes
+    in
     let sc =
       Protocols.Runner.make ~data_count:packets ?trace_path:trace ?trace_limit
-        ~spec ~center ~source ~members ()
+        ?loss:(Option.map (fun rate -> (rate, loss_seed)) loss)
+        ?loss_class ~faults:parsed_faults ~spec ~center ~source ~members ()
     in
+    (* Random faults land uniformly inside the data phase, whose bounds
+       only [Runner.make] knows — hence the record update after the fact. *)
+    let sc =
+      match fault_seed with
+      | None -> sc
+      | Some fseed ->
+        let t0 = sc.Protocols.Runner.data_start in
+        let t1 = t0 +. (sc.data_interval *. float_of_int packets) in
+        {
+          sc with
+          Protocols.Runner.faults =
+            sc.Protocols.Runner.faults
+            @ Eventsim.Faults.random_link_failures ~seed:fseed ~count:fault_count
+                ~t0 ~t1 g;
+        }
+    in
+    let perturbed = sc.Protocols.Runner.loss <> None || sc.faults <> [] in
     let drivers =
       match protocol with `All -> Protocols.Driver.all () | `One d -> [ d ]
     in
@@ -323,7 +421,10 @@ let run_cmd =
       (fun d ->
         let name = Protocols.Driver.name d in
         let rep = Option.map (fun _ -> Obs.Report.create ~name ()) report in
-        let r = Protocols.Runner.run ?report:rep d sc in
+        let r =
+          try Protocols.Runner.run ~check ?report:rep d sc
+          with Check.Invariant.Violation msg -> or_die (Error msg)
+        in
         Printf.printf "%-7s %14.0f %16.0f %9.4fs %10d %s\n"
           (Protocols.Driver.display d)
           r.Protocols.Runner.data_overhead r.protocol_overhead r.max_delay
@@ -332,6 +433,9 @@ let run_cmd =
            else
              Printf.sprintf "dup=%d spur=%d miss=%d" r.duplicates r.spurious
                r.missed);
+        if perturbed then
+          Printf.printf "  delivery ratio %.4f, %d packets dropped\n"
+            r.delivery_ratio r.dropped;
         match (rep, report_path_for name) with
         | Some rep, Some path ->
           or_die (Obs.Report.write ~pretty:true rep ~path);
@@ -343,7 +447,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Packet-level protocol comparison on one scenario.")
     Term.(
       const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ protocol
-      $ group_size $ packets $ trace $ trace_limit $ report)
+      $ group_size $ packets $ trace $ trace_limit $ report $ loss $ loss_seed
+      $ loss_class $ fail_links $ fail_nodes $ fault_seed $ fault_count $ check)
 
 (* ---------- trace-stats ---------- *)
 

@@ -24,4 +24,16 @@ grep -q '"schema": "scmp-report/1"' /tmp/bench_smoke.json
 grep -q 'micro/dijkstra-100/ns_per_run' /tmp/bench_smoke.json
 grep -q 'e2e/scmp/deliveries' /tmp/bench_smoke.json
 
+# Fault smoke: SCMP survives 5% control-plane loss plus a scripted
+# mid-session failure of tree link 23-24 (ARPANET seed 1) — invariants
+# checked, at least one repair recorded, delivery ratio >= 0.95.
+echo "== fault smoke (loss + scripted link failure)"
+dune exec bin/scmp_sim.exe -- run --gen arpanet --seed 1 -p scmp --check \
+  --loss 0.05 --loss-class control --loss-seed 42 \
+  --fail-link '23-24@15.0' --report /tmp/fault_smoke.json > /dev/null
+grep -q '"scmp/repair/count": 1' /tmp/fault_smoke.json
+grep -q '"scmp/retransmissions"' /tmp/fault_smoke.json
+ratio=$(grep -o '"delivery/ratio": [0-9.]*' /tmp/fault_smoke.json | grep -o '[0-9.]*$')
+awk "BEGIN { exit !($ratio >= 0.95) }"
+
 echo "check.sh: all gates passed"

@@ -166,6 +166,7 @@ type snapshot = {
   tree : tree_view option;
   limit : float;
   entries : entry_view list;
+  dead_links : (int * int) list;
 }
 
 let sorted_ints xs = List.sort_uniq Int.compare xs
@@ -249,6 +250,26 @@ let check_coherence snap =
            (List.length down_edges) (List.length tree_edges)));
   List.rev !out
 
+(* ---- I6: a consistent tree only uses live links ---- *)
+
+let check_live_links snap =
+  match snap.tree with
+  | None -> []
+  | Some view ->
+    let dead =
+      List.map (fun (a, b) -> (min a b, max a b)) snap.dead_links
+      |> sort_edges
+    in
+    List.filter_map
+      (fun (c, p) ->
+        let e = (min c p, max c p) in
+        if List.exists (fun d -> pair_compare d e = 0) dead then
+          Some
+            (v "tree-live-links" "group %d: tree edge %d-%d crosses a dead link"
+               snap.group (fst e) (snd e))
+        else None)
+      view.parent
+
 (* ---- I4: packet conservation ---- *)
 
 type delivery_counters = {
@@ -290,6 +311,7 @@ let verify_snapshot snap =
     check_tree view
     @ check_delay_bound view ~limit:snap.limit
     @ check_coherence snap
+    @ check_live_links snap
 
 let verify_all ?delivery ?fabric snapshots =
   let vs =

@@ -51,9 +51,13 @@ type snapshot = {
   tree : tree_view option;  (** [None] when the m-router holds no tree *)
   limit : float;  (** absolute delay bound; [infinity] if unconstrained *)
   entries : entry_view list;
+  dead_links : (int * int) list;
+      (** Links currently unusable in the network (failed, or with a
+          failed endpoint); empty on a healthy topology. *)
 }
 (** Everything the verifier needs about one group: the central tree and
-    the distributed entries, captured at the same instant. Built by
+    the distributed entries, captured at the same instant, plus the
+    fault state of the topology. Built by
     [Protocols.Scmp_proto.snapshots]. *)
 
 (** {2 Predicates} *)
@@ -94,10 +98,16 @@ val check_fabric : Fabric.Sandwich.t -> violation list
     every registered source to its group's merge block and every merged
     signal to its output port, with disjoint merge trees (§II.C). *)
 
+val check_live_links : snapshot -> violation list
+(** I6 — a consistent tree only uses live links: no tree edge may
+    cross a link listed in [dead_links]. A converged repair always
+    satisfies this; a violation means the m-router distributed (or
+    kept) a tree through a failed element. *)
+
 (** {2 Aggregation} *)
 
 val verify_snapshot : snapshot -> violation list
-(** I1 + I2 + I3 on one group. *)
+(** I1 + I2 + I3 + I6 on one group. *)
 
 val verify_all :
   ?delivery:delivery_counters ->

@@ -126,9 +126,17 @@ let rule_hashtbl_find = "hashtbl-find"
 let rule_failwith = "failwith-hot-path"
 let rule_mli = "mli-coverage"
 let rule_dune_flags = "dune-strict-flags"
+let rule_raw_transmit = "raw-transmit"
 
 let all_rules =
-  [ rule_poly_compare; rule_hashtbl_find; rule_failwith; rule_mli; rule_dune_flags ]
+  [
+    rule_poly_compare;
+    rule_hashtbl_find;
+    rule_failwith;
+    rule_mli;
+    rule_dune_flags;
+    rule_raw_transmit;
+  ]
 
 (* Suppression: a raw line containing [lint: allow <rule>] (normally
    inside a comment) exempts that line from that rule. *)
@@ -156,13 +164,19 @@ let poly_compare_patterns =
     "Stdlib.compare";
   ]
 
-let in_protocols path =
-  let needle = "protocols" in
+let path_contains path needle =
   let n = String.length path and m = String.length needle in
   let rec scan i =
     if i + m > n then false else String.sub path i m = needle || scan (i + 1)
   in
   scan 0
+
+let in_protocols path = path_contains path "protocols"
+let in_eventsim path = path_contains path "eventsim"
+
+(* Both spellings, because '.' is an identifier character here: the
+   short pattern does not match inside the qualified one. *)
+let raw_transmit_patterns = [ "Netsim.transmit"; "Eventsim.Netsim.transmit" ]
 
 let scan_ml ~path src =
   let raw = lines src in
@@ -198,7 +212,18 @@ let scan_ml ~path src =
       if in_protocols path && contains_token code_line "failwith" then
         emit rule_failwith
           "failwith in a protocol hot path; return a result or use a typed \
-           invalid_arg at the API boundary")
+           invalid_arg at the API boundary";
+      if not (in_protocols path || in_eventsim path) then
+        List.iter
+          (fun pat ->
+            if contains_token code_line pat then
+              emit rule_raw_transmit
+                (Printf.sprintf
+                   "raw %s outside the protocol layer bypasses the reliable \
+                    control transport and drop accounting; go through a \
+                    protocol agent"
+                   pat))
+          raw_transmit_patterns)
     code;
   List.rev !out
 

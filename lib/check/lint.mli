@@ -16,6 +16,10 @@
     - {b mli-coverage} — every [lib/**/*.ml] has a matching [.mli].
     - {b dune-strict-flags} — every library [dune] file carries the
       curated warnings-as-errors flag set.
+    - {b raw-transmit} — no direct [Netsim.transmit] outside
+      [lib/protocols] and [lib/eventsim]: raw sends bypass the reliable
+      control transport and the drop accounting the fault experiments
+      depend on.
 
     Matching happens on comment- and string-stripped source, so prose
     and literals never trip a rule. A raw line containing
@@ -34,6 +38,7 @@ val rule_hashtbl_find : string
 val rule_failwith : string
 val rule_mli : string
 val rule_dune_flags : string
+val rule_raw_transmit : string
 
 val blank_non_code : string -> string
 (** Length-preserving comment/string/char-literal blanking (exposed for
@@ -42,7 +47,8 @@ val blank_non_code : string -> string
 val scan_ml : path:string -> string -> violation list
 (** Apply the source rules to one [.ml] file's contents. The
     [failwith-hot-path] rule only fires when [path] is under a
-    [protocols] directory. *)
+    [protocols] directory; [raw-transmit] is exempt under [protocols]
+    and [eventsim] directories. *)
 
 val scan_dune : path:string -> string -> violation list
 (** Apply the [dune-strict-flags] rule to one library [dune] file. *)

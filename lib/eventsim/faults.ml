@@ -1,0 +1,124 @@
+type event =
+  | Link_down of Netgraph.Graph.node * Netgraph.Graph.node
+  | Link_up of Netgraph.Graph.node * Netgraph.Graph.node
+  | Node_down of Netgraph.Graph.node
+  | Node_up of Netgraph.Graph.node
+
+type spec = { at : float; event : event }
+
+type t = {
+  mutable link_downs : int;
+  mutable link_ups : int;
+  mutable node_downs : int;
+  mutable node_ups : int;
+}
+
+let event_to_string = function
+  | Link_down (a, b) -> Printf.sprintf "link-down %d-%d" a b
+  | Link_up (a, b) -> Printf.sprintf "link-up %d-%d" a b
+  | Node_down x -> Printf.sprintf "node-down %d" x
+  | Node_up x -> Printf.sprintf "node-up %d" x
+
+let applied t = t.link_downs + t.link_ups + t.node_downs + t.node_ups
+
+let apply t net ev =
+  (match ev with
+  | Link_down (a, b) ->
+    Netsim.fail_link net a b;
+    t.link_downs <- t.link_downs + 1
+  | Link_up (a, b) ->
+    Netsim.restore_link net a b;
+    t.link_ups <- t.link_ups + 1
+  | Node_down x ->
+    Netsim.fail_node net x;
+    t.node_downs <- t.node_downs + 1
+  | Node_up x ->
+    Netsim.restore_node net x;
+    t.node_ups <- t.node_ups + 1)
+
+let install net specs =
+  let t = { link_downs = 0; link_ups = 0; node_downs = 0; node_ups = 0 } in
+  List.iter
+    (fun s ->
+      if s.at < 0.0 then invalid_arg "Faults.install: negative event time";
+      Engine.schedule_at (Netsim.engine net) ~time:s.at (fun () ->
+          apply t net s.event))
+    specs;
+  t
+
+(* ---------------- Random schedules ---------------- *)
+
+let random_link_failures ~seed ~count ~t0 ~t1 ?restore_after graph =
+  if t1 < t0 then invalid_arg "Faults.random_link_failures: t1 < t0";
+  if count < 0 then invalid_arg "Faults.random_link_failures: negative count";
+  let links = Array.of_list (Netgraph.Graph.links graph) in
+  let rng = Scmp_util.Prng.create seed in
+  let k = min count (Array.length links) in
+  let idxs = Scmp_util.Prng.sample rng k (Array.length links) in
+  List.concat_map
+    (fun i ->
+      let l = links.(i) in
+      let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
+      let at = t0 +. Scmp_util.Prng.float rng (t1 -. t0) in
+      let down = { at; event = Link_down (u, v) } in
+      match restore_after with
+      | None -> [ down ]
+      | Some d -> [ down; { at = at +. d; event = Link_up (u, v) } ])
+    idxs
+
+(* ---------------- CLI parsing ---------------- *)
+
+let parse_restore tail =
+  (* "restore@T" *)
+  match String.split_on_char '@' tail with
+  | [ "restore"; at ] -> float_of_string_opt at
+  | _ -> None
+
+let with_restore mk at = function
+  | None -> Ok [ { at; event = mk false } ]
+  | Some tail -> (
+    match parse_restore tail with
+    | Some at' when at' >= at ->
+      Ok [ { at; event = mk false }; { at = at'; event = mk true } ]
+    | Some _ -> Error "restore time precedes failure time"
+    | None -> Error "expected :restore@TIME")
+
+let split_restore s =
+  match String.index_opt s ':' with
+  | None -> (s, None)
+  | Some i ->
+    (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_link_failure s =
+  let main, restore = split_restore s in
+  let err = Error (Printf.sprintf "cannot parse %S: expected A-B@TIME[:restore@TIME]" s) in
+  match String.split_on_char '@' main with
+  | [ ends; at ] -> (
+    match (String.split_on_char '-' ends, float_of_string_opt at) with
+    | [ a; b ], Some at -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when a <> b ->
+        with_restore
+          (fun up -> if up then Link_up (a, b) else Link_down (a, b))
+          at restore
+      | _ -> err)
+    | _ -> err)
+  | _ -> err
+
+let parse_node_failure s =
+  let main, restore = split_restore s in
+  let err = Error (Printf.sprintf "cannot parse %S: expected NODE@TIME[:restore@TIME]" s) in
+  match String.split_on_char '@' main with
+  | [ x; at ] -> (
+    match (int_of_string_opt x, float_of_string_opt at) with
+    | Some x, Some at ->
+      with_restore (fun up -> if up then Node_up x else Node_down x) at restore
+    | _ -> err)
+  | _ -> err
+
+let observe t m =
+  let set_c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
+  set_c "faults/link_down" t.link_downs;
+  set_c "faults/link_up" t.link_ups;
+  set_c "faults/node_down" t.node_downs;
+  set_c "faults/node_up" t.node_ups

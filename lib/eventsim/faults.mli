@@ -1,0 +1,61 @@
+(** Scheduled fault injection over a {!Netsim} simulation.
+
+    A fault schedule is a list of (time, event) pairs — scripted by the
+    caller, parsed from CLI syntax, or drawn from a seeded PRNG — that
+    {!install} turns into engine events. Each event applies the
+    corresponding {!Netsim} topology mutation when its instant arrives:
+    routes reconverge, in-flight packets over the failing element die,
+    and protocol agents observe the change through
+    {!Netsim.on_topology_change}.
+
+    Events are scheduled in the foreground: a pending failure keeps
+    {!Engine.run} alive, so a schedule reaching past the last protocol
+    event still executes fully. *)
+
+type event =
+  | Link_down of Netgraph.Graph.node * Netgraph.Graph.node
+  | Link_up of Netgraph.Graph.node * Netgraph.Graph.node
+  | Node_down of Netgraph.Graph.node
+  | Node_up of Netgraph.Graph.node
+
+type spec = { at : float; event : event }
+
+type t
+(** Counters of events applied so far (a fault targeting an
+    already-dead element still counts as applied; the netsim layer
+    makes it a no-op). *)
+
+val install : 'm Netsim.t -> spec list -> t
+(** Schedule every event on the simulation's engine. Call before
+    {!Engine.run} (scheduling in the past raises in the engine).
+    @raise Invalid_argument on a negative event time. *)
+
+val applied : t -> int
+(** Total events applied so far. *)
+
+val random_link_failures :
+  seed:int ->
+  count:int ->
+  t0:float ->
+  t1:float ->
+  ?restore_after:float ->
+  Netgraph.Graph.t ->
+  spec list
+(** [count] distinct links drawn uniformly from the graph, each failing
+    at a uniform instant in [\[t0, t1)]; with [~restore_after:d] each
+    failure is paired with a restore [d] later. Deterministic in
+    [seed]. [count] is clamped to the number of links.
+    @raise Invalid_argument if [t1 < t0] or [count < 0]. *)
+
+val parse_link_failure : string -> (spec list, string) result
+(** Parse the CLI syntax [A-B\@TIME] or [A-B\@TIME:restore\@TIME'] into
+    one or two events. *)
+
+val parse_node_failure : string -> (spec list, string) result
+(** Parse [NODE\@TIME] or [NODE\@TIME:restore\@TIME']. *)
+
+val event_to_string : event -> string
+
+val observe : t -> Obs.Metrics.t -> unit
+(** Publish [faults/link_down], [faults/link_up], [faults/node_down],
+    [faults/node_up]. Idempotent. *)

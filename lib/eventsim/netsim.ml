@@ -2,10 +2,25 @@ type node = Netgraph.Graph.node
 
 type pkt_class = [ `Data | `Control ]
 
+type drop_reason = Loss | No_route | Link_down | Node_down
+
+let drop_reason_label = function
+  | Loss -> "loss"
+  | No_route -> "no_route"
+  | Link_down -> "link_down"
+  | Node_down -> "node_down"
+
+type loss_model = {
+  rate : float;
+  only : pkt_class option;
+  rng : Scmp_util.Prng.t;
+}
+
 type 'm t = {
   engine : Engine.t;
   graph : Netgraph.Graph.t;
-  routes : Routes.t;
+  mutable routes : Routes.t;
+  mutable routes_epoch : int;
   classify : 'm -> pkt_class;
   sizeof : ('m -> int) option;
   handlers : ('m t -> from:node -> 'm -> unit) option array;
@@ -17,21 +32,40 @@ type 'm t = {
   mutable control_bytes : int;
   per_link : (node * node, int) Hashtbl.t;
   mutable hooks : (src:node -> dst:node -> 'm -> unit) list;
-  mutable loss : (float * Scmp_util.Prng.t) option;
+  mutable loss : loss_model option;
   mutable dropped : int;
+  mutable dropped_loss : int;
+  mutable dropped_no_route : int;
+  mutable dropped_link_down : int;
+  mutable dropped_node_down : int;
+  mutable drop_hooks :
+    (reason:drop_reason -> src:node -> dst:node -> 'm -> unit) list;
+  (* Fault overlay: the base [graph] is immutable; dead links and dead
+     nodes are tracked here and [routes] is recomputed over the live
+     subgraph on every change. The [*_fails] counters record how many
+     times a link/node has gone down — a packet in flight captures them
+     at send time, so a failure during the flight is detected at the
+     delivery instant even if the element was restored meanwhile. *)
+  dead_links : (node * node, unit) Hashtbl.t;
+  node_down : bool array;
+  link_fails : (node * node, int) Hashtbl.t;
+  node_fails : int array;
+  mutable topo_hooks : (unit -> unit) list;
   (* per-node forwarding engine: deliveries queue for a processor
      before the protocol handler runs *)
   processing : (node, Server.t * float) Hashtbl.t;
 }
 
 let create ?sizeof engine graph ~classify =
+  let n = Netgraph.Graph.node_count graph in
   {
     engine;
     graph;
     routes = Routes.compute graph;
+    routes_epoch = 0;
     classify;
     sizeof;
-    handlers = Array.make (Netgraph.Graph.node_count graph) None;
+    handlers = Array.make n None;
     data_overhead = 0.0;
     control_overhead = 0.0;
     data_tx = 0;
@@ -42,12 +76,23 @@ let create ?sizeof engine graph ~classify =
     hooks = [];
     loss = None;
     dropped = 0;
+    dropped_loss = 0;
+    dropped_no_route = 0;
+    dropped_link_down = 0;
+    dropped_node_down = 0;
+    drop_hooks = [];
+    dead_links = Hashtbl.create 8;
+    node_down = Array.make n false;
+    link_fails = Hashtbl.create 8;
+    node_fails = Array.make n 0;
+    topo_hooks = [];
     processing = Hashtbl.create 4;
   }
 
 let engine t = t.engine
 let graph t = t.graph
 let routes t = t.routes
+let routes_epoch t = t.routes_epoch
 let classify_of t msg = t.classify msg
 
 let set_handler t x h = t.handlers.(x) <- Some h
@@ -59,34 +104,170 @@ let set_node_processing t x station ~service_time =
 
 let clear_node_processing t x = Hashtbl.remove t.processing x
 
-let set_loss t ~rate ~seed =
+let set_loss ?only t ~rate ~seed =
   if rate < 0.0 || rate >= 1.0 then
     invalid_arg "Netsim.set_loss: rate must be in [0, 1)";
-  t.loss <- (if rate = 0.0 then None else Some (rate, Scmp_util.Prng.create seed))
+  t.loss <-
+    (if rate = 0.0 then None
+     else Some { rate; only; rng = Scmp_util.Prng.create seed })
 
 let dropped t = t.dropped
 
+let dropped_by t reason =
+  match reason with
+  | Loss -> t.dropped_loss
+  | No_route -> t.dropped_no_route
+  | Link_down -> t.dropped_link_down
+  | Node_down -> t.dropped_node_down
+
+let on_drop t h = t.drop_hooks <- t.drop_hooks @ [ h ]
+
+let note_drop t reason ~src ~dst msg =
+  t.dropped <- t.dropped + 1;
+  (match reason with
+  | Loss -> t.dropped_loss <- t.dropped_loss + 1
+  | No_route -> t.dropped_no_route <- t.dropped_no_route + 1
+  | Link_down -> t.dropped_link_down <- t.dropped_link_down + 1
+  | Node_down -> t.dropped_node_down <- t.dropped_node_down + 1);
+  List.iter (fun h -> h ~reason ~src ~dst msg) t.drop_hooks
+
+(* ---------------- Fault overlay ---------------- *)
+
+let norm a b = (min a b, max a b)
+
+let node_alive t x = not t.node_down.(x)
+
+let link_alive t a b =
+  node_alive t a && node_alive t b
+  && not (Hashtbl.mem t.dead_links (norm a b))
+
+let live_graph t =
+  let g = Netgraph.Graph.create (Netgraph.Graph.node_count t.graph) in
+  Netgraph.Graph.iter_links t.graph (fun l ->
+      let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
+      if link_alive t u v then
+        Netgraph.Graph.add_link g u v ~delay:l.Netgraph.Graph.delay
+          ~cost:l.Netgraph.Graph.cost);
+  g
+
+let dead_links t =
+  let acc = ref [] in
+  Netgraph.Graph.iter_links t.graph (fun l ->
+      let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
+      if not (link_alive t u v) then acc := norm u v :: !acc);
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+    !acc
+
+let on_topology_change t h = t.topo_hooks <- t.topo_hooks @ [ h ]
+
+let reconverge t =
+  t.routes <- Routes.compute (live_graph t);
+  t.routes_epoch <- t.routes_epoch + 1;
+  List.iter (fun h -> h ()) t.topo_hooks
+
+let bump_link_fail t a b =
+  let key = norm a b in
+  Hashtbl.replace t.link_fails key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.link_fails key))
+
+let fail_link t a b =
+  if not (Netgraph.Graph.has_link t.graph a b) then
+    invalid_arg "Netsim.fail_link: no such link";
+  if not (Hashtbl.mem t.dead_links (norm a b)) then begin
+    Hashtbl.replace t.dead_links (norm a b) ();
+    bump_link_fail t a b;
+    reconverge t
+  end
+
+let restore_link t a b =
+  if not (Netgraph.Graph.has_link t.graph a b) then
+    invalid_arg "Netsim.restore_link: no such link";
+  if Hashtbl.mem t.dead_links (norm a b) then begin
+    Hashtbl.remove t.dead_links (norm a b);
+    reconverge t
+  end
+
+let fail_node t x =
+  if x < 0 || x >= Array.length t.node_down then
+    invalid_arg "Netsim.fail_node: no such node";
+  if not t.node_down.(x) then begin
+    t.node_down.(x) <- true;
+    t.node_fails.(x) <- t.node_fails.(x) + 1;
+    reconverge t
+  end
+
+let restore_node t x =
+  if x < 0 || x >= Array.length t.node_down then
+    invalid_arg "Netsim.restore_node: no such node";
+  if t.node_down.(x) then begin
+    t.node_down.(x) <- false;
+    reconverge t
+  end
+
+(* In-flight guard: the stamp of an edge counts the failures of the
+   link and of both endpoints as of the send instant; any change by the
+   delivery instant means the packet crossed a failing element. *)
+let edge_stamp t (a, b) =
+  Option.value ~default:0 (Hashtbl.find_opt t.link_fails (norm a b))
+  + t.node_fails.(a) + t.node_fails.(b)
+
+let path_obstruction t ~stamped ~dst ~dst_stamp =
+  if not (node_alive t dst) then Some Node_down
+  else if t.node_fails.(dst) <> dst_stamp then Some Node_down
+  else
+    let rec scan = function
+      | [] -> None
+      | ((a, b), stamp) :: rest ->
+        if not (node_alive t a && node_alive t b) then Some Node_down
+        else if
+          Hashtbl.mem t.dead_links (norm a b) || edge_stamp t (a, b) <> stamp
+        then Some Link_down
+        else scan rest
+    in
+    scan stamped
+
+(* ---------------- Loss ---------------- *)
+
 (* A crossing consumed the link (and is charged) even when the packet
    then dies; loss is decided per crossing. *)
-let lost t =
+let lost t ~src ~dst msg =
   match t.loss with
   | None -> false
-  | Some (rate, rng) ->
-    let dead = Scmp_util.Prng.chance rng rate in
-    if dead then t.dropped <- t.dropped + 1;
-    dead
+  | Some { rate; only; rng } ->
+    let eligible =
+      match (only, t.classify msg) with
+      | None, _ -> true
+      | Some `Data, `Data -> true
+      | Some `Control, `Control -> true
+      | Some `Data, `Control | Some `Control, `Data -> false
+    in
+    if not eligible then false
+    else begin
+      let dead = Scmp_util.Prng.chance rng rate in
+      if dead then note_drop t Loss ~src ~dst msg;
+      dead
+    end
 
-let deliver t ?(background = false) ~at ~from dst msg =
+(* ---------------- Delivery ---------------- *)
+
+let deliver t ?(background = false) ?(via = []) ~at ~from dst msg =
+  let stamped = List.map (fun e -> (e, edge_stamp t e)) via in
+  let dst_stamp = t.node_fails.(dst) in
   Engine.schedule_at t.engine ~background ~time:at (fun () ->
-      let invoke () =
-        match t.handlers.(dst) with
-        | Some h -> h t ~from msg
-        | None -> ()
-      in
-      match Hashtbl.find_opt t.processing dst with
-      | None -> invoke ()
-      | Some (station, service_time) ->
-        Server.submit station ~service_time invoke)
+      match path_obstruction t ~stamped ~dst ~dst_stamp with
+      | Some reason -> note_drop t reason ~src:from ~dst msg
+      | None -> (
+        let invoke () =
+          match t.handlers.(dst) with
+          | Some h -> h t ~from msg
+          | None -> ()
+        in
+        match Hashtbl.find_opt t.processing dst with
+        | None -> invoke ()
+        | Some (station, service_time) ->
+          Server.submit station ~service_time invoke))
 
 let charge t ~src ~dst msg =
   let cost = Netgraph.Graph.link_cost t.graph src dst in
@@ -108,17 +289,29 @@ let charge t ~src ~dst msg =
 let transmit t ?background ~src ~dst msg =
   if not (Netgraph.Graph.has_link t.graph src dst) then
     invalid_arg "Netsim.transmit: nodes are not adjacent";
-  charge t ~src ~dst msg;
-  if not (lost t) then begin
-    let delay = Netgraph.Graph.link_delay t.graph src dst in
-    deliver t ?background ~at:(Engine.now t.engine +. delay) ~from:src dst msg
+  if not (link_alive t src dst) then
+    let reason =
+      if node_alive t src && node_alive t dst then Link_down else Node_down
+    in
+    note_drop t reason ~src ~dst msg
+  else begin
+    charge t ~src ~dst msg;
+    if not (lost t ~src ~dst msg) then begin
+      let delay = Netgraph.Graph.link_delay t.graph src dst in
+      deliver t ?background ~via:[ (src, dst) ]
+        ~at:(Engine.now t.engine +. delay)
+        ~from:src dst msg
+    end
   end
 
 let unicast t ?background ~src ~dst msg =
-  if src = dst then deliver t ?background ~at:(Engine.now t.engine) ~from:src dst msg
+  if not (node_alive t src && node_alive t dst) then
+    note_drop t Node_down ~src ~dst msg
+  else if src = dst then
+    deliver t ?background ~at:(Engine.now t.engine) ~from:src dst msg
   else
     match Routes.path t.routes ~src ~dst with
-    | None -> ()
+    | None -> note_drop t No_route ~src ~dst msg
     | Some p ->
       (* Charge every hop now; schedule a single delivery at the path's
          total delay. Per-hop timing is not observable above IP, so this
@@ -128,12 +321,14 @@ let unicast t ?background ~src ~dst msg =
         | [] -> true
         | (a, b) :: rest ->
           charge t ~src:a ~dst:b msg;
-          if lost t then false else hop rest
+          if lost t ~src:a ~dst:b msg then false else hop rest
       in
       let survived = hop edges in
       if survived then begin
         let delay = Netgraph.Path.delay t.graph p in
-        deliver t ?background ~at:(Engine.now t.engine +. delay) ~from:src dst msg
+        deliver t ?background ~via:edges
+          ~at:(Engine.now t.engine +. delay)
+          ~from:src dst msg
       end
 
 let loopback t x msg = deliver t ~at:(Engine.now t.engine) ~from:x x msg
@@ -161,6 +356,11 @@ let observe t m =
   set_c "net/data/bytes" t.data_bytes;
   set_c "net/control/bytes" t.control_bytes;
   set_c "net/dropped" t.dropped;
+  set_c "net/dropped/loss" t.dropped_loss;
+  set_c "net/dropped/no_route" t.dropped_no_route;
+  set_c "net/dropped/link_down" t.dropped_link_down;
+  set_c "net/dropped/node_down" t.dropped_node_down;
+  set_c "net/routes_epoch" t.routes_epoch;
   set_g "net/data/cost" t.data_overhead;
   set_g "net/control/cost" t.control_overhead;
   set_c "net/links_used" (Hashtbl.length t.per_link);

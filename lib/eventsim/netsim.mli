@@ -22,6 +22,14 @@ type node = Netgraph.Graph.node
 
 type pkt_class = [ `Data | `Control ]
 
+type drop_reason = Loss | No_route | Link_down | Node_down
+(** Why a packet died: Bernoulli loss injection, no unicast route to
+    the destination, a dead link on its path, a dead endpoint. *)
+
+val drop_reason_label : drop_reason -> string
+(** Stable lower-case label ([loss], [no_route], [link_down],
+    [node_down]) used in traces and metric names. *)
+
 type 'm t
 
 val create :
@@ -32,8 +40,20 @@ val create :
     {!control_bytes}) — without it they stay at 0. *)
 
 val engine : 'm t -> Engine.t
+
 val graph : 'm t -> Netgraph.Graph.t
+(** The immortal base topology; failures never mutate it (see
+    {!live_graph}). *)
+
 val routes : 'm t -> Routes.t
+(** The currently converged unicast routes — recomputed over the live
+    subgraph on every topology change, so do not cache the returned
+    value across events (re-read it, or watch {!routes_epoch}). *)
+
+val routes_epoch : 'm t -> int
+(** Incremented every time {!routes} is recomputed (once per effective
+    [fail_*]/[restore_*] call); 0 on a fresh simulation. Agents can
+    compare epochs to detect reconvergence. *)
 
 val classify_of : 'm t -> 'm -> pkt_class
 (** Apply the simulation's classifier to a message (used by tracing). *)
@@ -52,7 +72,8 @@ val transmit : 'm t -> ?background:bool -> src:node -> dst:node -> 'm -> unit
 val unicast : 'm t -> ?background:bool -> src:node -> dst:node -> 'm -> unit
 (** Routed multi-hop send; delivery after the total path delay, cost
     charged per traversed link. [src = dst] delivers locally after zero
-    delay. Drops the packet silently if no route exists. *)
+    delay. A packet with no route (partitioned network) is dropped and
+    counted ({!dropped}, reason {!No_route}). *)
 
 val loopback : 'm t -> node -> 'm -> unit
 (** Deliver to the node's own handler at the current instant + 0 (an
@@ -87,8 +108,11 @@ val per_link_crossings : 'm t -> ((node * node) * int) list
 val observe : 'm t -> Obs.Metrics.t -> unit
 (** Publish the accounting into a registry: [net/data/transmissions],
     [net/control/transmissions], [net/data/bytes], [net/control/bytes],
-    [net/data/cost], [net/control/cost], [net/dropped],
-    [net/links_used], [net/max_link_crossings]. Idempotent. *)
+    [net/data/cost], [net/control/cost], [net/dropped] plus its
+    per-reason breakdown ([net/dropped/loss], [net/dropped/no_route],
+    [net/dropped/link_down], [net/dropped/node_down]),
+    [net/routes_epoch], [net/links_used], [net/max_link_crossings].
+    Idempotent. *)
 
 val on_transmit : 'm t -> (src:node -> dst:node -> 'm -> unit) -> unit
 (** Register a trace hook called on every link crossing (after
@@ -108,12 +132,68 @@ val clear_node_processing : 'm t -> node -> unit
 
 (** {2 Failure injection} *)
 
-val set_loss : 'm t -> rate:float -> seed:int -> unit
+val set_loss : ?only:pkt_class -> 'm t -> rate:float -> seed:int -> unit
 (** Bernoulli packet loss per link crossing: each crossing is charged
     (the bits were sent) and then killed with probability [rate]. A
     multi-hop unicast dies at the first lost hop, charging only the
-    hops it travelled. [rate = 0.] disables loss.
+    hops it travelled. With [~only] the coin is tossed only for packets
+    of that class (e.g. [`Control] for a lossy control plane over a
+    reliable data plane); other packets are never lost and never
+    consume randomness. [rate = 0.] disables loss.
     @raise Invalid_argument unless [0 <= rate < 1]. *)
 
 val dropped : 'm t -> int
-(** Packets killed by loss injection so far. *)
+(** Packets killed so far, for any reason. *)
+
+val dropped_by : 'm t -> drop_reason -> int
+(** Packets killed for one specific reason. *)
+
+val on_drop :
+  'm t -> (reason:drop_reason -> src:node -> dst:node -> 'm -> unit) -> unit
+(** Register a hook called on every packet kill. For {!Loss} and
+    {!Link_down} the [src]/[dst] pair is the link crossing where the
+    packet died; for {!No_route} and {!Node_down} it is the end-to-end
+    pair. Hooks stack. *)
+
+(** {2 Link and node failures}
+
+    The base {!graph} is immutable; failures form an overlay. Each
+    effective state change recomputes {!routes} over the surviving
+    topology, bumps {!routes_epoch} and fires {!on_topology_change}
+    hooks. Transmits over a dead link (or to/from a dead node) are
+    dropped and counted — not charged, the bits were never sent — and a
+    packet in flight across an element that fails before its arrival
+    instant is killed even if the element was restored meanwhile.
+    Repeated failures of an already-dead element are no-ops. *)
+
+val fail_link : 'm t -> node -> node -> unit
+(** @raise Invalid_argument if the base graph has no such link. *)
+
+val restore_link : 'm t -> node -> node -> unit
+(** @raise Invalid_argument if the base graph has no such link. *)
+
+val fail_node : 'm t -> node -> unit
+(** A dead node drops everything addressed to, from, or through it; all
+    incident links are effectively dead.
+    @raise Invalid_argument on an out-of-range node. *)
+
+val restore_node : 'm t -> node -> unit
+(** @raise Invalid_argument on an out-of-range node. *)
+
+val link_alive : 'm t -> node -> node -> bool
+(** False when the link itself or either endpoint is down. *)
+
+val node_alive : 'm t -> node -> bool
+
+val live_graph : 'm t -> Netgraph.Graph.t
+(** A fresh graph of the surviving topology: base nodes, minus links
+    that are dead or have a dead endpoint. *)
+
+val dead_links : 'm t -> (node * node) list
+(** Base-graph links currently unusable (dead, or a dead endpoint),
+    normalized [u < v] and sorted — the shape the invariant verifier
+    consumes. *)
+
+val on_topology_change : 'm t -> (unit -> unit) -> unit
+(** Register a hook fired after every route reconvergence (routes are
+    already recomputed when it runs). Hooks stack. *)

@@ -2,32 +2,41 @@ type t = {
   entries : string Queue.t;  (* oldest first *)
   limit : int option;
   mutable dropped : int;
+  mutable drop_lines : int;
 }
+
+let push t line =
+  Queue.push line t.entries;
+  match t.limit with
+  | Some l when Queue.length t.entries > l ->
+    ignore (Queue.pop t.entries);
+    t.dropped <- t.dropped + 1
+  | _ -> ()
 
 let attach ?limit net ~describe =
   (match limit with
   | Some l when l < 1 -> invalid_arg "Trace.attach: limit must be positive"
   | _ -> ());
-  let t = { entries = Queue.create (); limit; dropped = 0 } in
+  let t = { entries = Queue.create (); limit; dropped = 0; drop_lines = 0 } in
   let engine = Netsim.engine net in
   Netsim.on_transmit net (fun ~src ~dst msg ->
       let cls =
         match Netsim.classify_of net msg with `Control -> 'C' | `Data -> 'D'
       in
-      let line =
-        Printf.sprintf "%.6f %d %d %c %s" (Engine.now engine) src dst cls
-          (describe msg)
-      in
-      Queue.push line t.entries;
-      match t.limit with
-      | Some l when Queue.length t.entries > l ->
-        ignore (Queue.pop t.entries);
-        t.dropped <- t.dropped + 1
-      | _ -> ());
+      push t
+        (Printf.sprintf "%.6f %d %d %c %s" (Engine.now engine) src dst cls
+           (describe msg)));
+  Netsim.on_drop net (fun ~reason ~src ~dst msg ->
+      t.drop_lines <- t.drop_lines + 1;
+      push t
+        (Printf.sprintf "%.6f %d %d X %s %s" (Engine.now engine) src dst
+           (Netsim.drop_reason_label reason)
+           (describe msg)));
   t
 
 let line_count t = Queue.length t.entries
 let dropped t = t.dropped
+let drop_events t = t.drop_lines
 let lines t = List.rev (Queue.fold (fun acc l -> l :: acc) [] t.entries)
 
 let to_string t =
@@ -50,4 +59,5 @@ let save t ~path =
 
 let clear t =
   Queue.clear t.entries;
-  t.dropped <- 0
+  t.dropped <- 0;
+  t.drop_lines <- 0

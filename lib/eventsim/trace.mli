@@ -8,9 +8,17 @@
     v}
 
     with [C]/[D] the control/data class and the description produced by
-    the caller (e.g. [Protocols.Message.describe]). Traces make
-    simulations debuggable the way NS-2 runs were: replayable,
-    grep-able records of exactly what crossed which link when. *)
+    the caller (e.g. [Protocols.Message.describe]). A packet kill is
+    recorded too, with class [X] and the drop reason before the
+    description:
+
+    {v
+    <time> <src> <dst> X <loss|no_route|link_down|node_down> <description>
+    v}
+
+    Traces make simulations debuggable the way NS-2 runs were:
+    replayable, grep-able records of exactly what crossed which link
+    when — and of what died where, and why. *)
 
 type t
 
@@ -29,6 +37,10 @@ val line_count : t -> int
 val dropped : t -> int
 (** Oldest lines evicted by the [limit] ring buffer; 0 when
     unbounded. *)
+
+val drop_events : t -> int
+(** Packet-kill ([X]) lines recorded so far (counted even when the ring
+    buffer later evicts the line). *)
 
 val lines : t -> string list
 (** Recorded lines, oldest first. *)

@@ -127,7 +127,9 @@ let handle_message t x ~from msg =
   | Message.Cbt_join { group; joiner; path } -> handle_join t x group joiner path
   | Message.Cbt_join_ack { group; path } -> handle_join_ack t x ~from group path
   | Message.Cbt_quit { group; from = f } -> handle_quit t x group ~from:f
-  | Message.Scmp_join _ | Message.Scmp_leave _ | Message.Scmp_tree _
+  | Message.Scmp_join _ | Message.Scmp_leave _ | Message.Scmp_graft _
+  | Message.Scmp_req_ack _ | Message.Scmp_reliable _ | Message.Scmp_ack _
+  | Message.Scmp_tree _
   | Message.Scmp_branch _ | Message.Scmp_prune _ | Message.Scmp_invalidate _ | Message.Scmp_replicate _
   | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _
   | Message.Pim_join _ | Message.Pim_prune _

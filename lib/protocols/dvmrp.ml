@@ -102,7 +102,8 @@ let handle_message t x ~from msg =
   | Message.Dvmrp_prune { group; src; from = f } -> handle_prune t x group src ~from:f
   | Message.Dvmrp_graft { group; src; from = f } -> handle_graft t x group src ~from:f
   | Message.Encap _ | Message.Scmp_join _ | Message.Scmp_leave _
-  | Message.Scmp_tree _ | Message.Scmp_branch _ | Message.Scmp_prune _
+  | Message.Scmp_graft _ | Message.Scmp_req_ack _ | Message.Scmp_reliable _
+  | Message.Scmp_ack _ | Message.Scmp_tree _ | Message.Scmp_branch _ | Message.Scmp_prune _
   | Message.Scmp_invalidate _ | Message.Scmp_replicate _
   | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _ | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _
   | Message.Cbt_quit _ | Message.Mospf_lsa _ ->

@@ -1,15 +1,21 @@
 type node = Netgraph.Graph.node
 type group = int
 
+type req_kind = Join | Leave | Graft
+
 type t =
   | Data of { group : group; src : node; seq : int }
   | Encap of { group : group; src : node; seq : int }
-  | Scmp_join of { group : group; dr : node }
-  | Scmp_leave of { group : group; dr : node }
+  | Scmp_join of { group : group; dr : node; seq : int }
+  | Scmp_leave of { group : group; dr : node; seq : int }
+  | Scmp_graft of { group : group; dr : node; seq : int }
+  | Scmp_req_ack of { group : group; dr : node; kind : req_kind; seq : int }
   | Scmp_tree of { group : group; packet : Tree_packet.t }
   | Scmp_branch of { group : group; path : node list }
   | Scmp_prune of { group : group; from : node }
-  | Scmp_invalidate of { group : group }
+  | Scmp_invalidate of { group : group; token : int }
+  | Scmp_reliable of { token : int; inner : t }
+  | Scmp_ack of { token : int }
   | Scmp_replicate of { group : group; dr : node; joined : bool }
   | Scmp_heartbeat of { from : node; seq : int }
   | Scmp_heartbeat_ack of { seq : int }
@@ -22,23 +28,28 @@ type t =
   | Dvmrp_graft of { group : group; src : node; from : node }
   | Mospf_lsa of { group : group; router : node; joined : bool; seq : int }
 
+let req_kind_label = function Join -> "join" | Leave -> "leave" | Graft -> "graft"
+
 let classify = function
   | Data _ | Encap _ -> `Data
-  | Scmp_join _ | Scmp_leave _ | Scmp_tree _ | Scmp_branch _ | Scmp_prune _
-  | Scmp_invalidate _ | Scmp_replicate _ | Scmp_heartbeat _ | Scmp_heartbeat_ack _
+  | Scmp_join _ | Scmp_leave _ | Scmp_graft _ | Scmp_req_ack _ | Scmp_tree _
+  | Scmp_branch _ | Scmp_prune _ | Scmp_invalidate _ | Scmp_reliable _
+  | Scmp_ack _ | Scmp_replicate _ | Scmp_heartbeat _ | Scmp_heartbeat_ack _
   | Pim_join _ | Pim_prune _ | Cbt_join _ | Cbt_join_ack _ | Cbt_quit _
   | Dvmrp_prune _ | Dvmrp_graft _ | Mospf_lsa _ ->
     `Control
 
-let group_of = function
+let rec group_of = function
   | Data { group; _ }
   | Encap { group; _ }
   | Scmp_join { group; _ }
   | Scmp_leave { group; _ }
+  | Scmp_graft { group; _ }
+  | Scmp_req_ack { group; _ }
   | Scmp_tree { group; _ }
   | Scmp_branch { group; _ }
   | Scmp_prune { group; _ }
-  | Scmp_invalidate { group }
+  | Scmp_invalidate { group; _ }
   | Scmp_replicate { group; _ }
   | Pim_join { group; _ }
   | Pim_prune { group; _ }
@@ -49,20 +60,32 @@ let group_of = function
   | Dvmrp_graft { group; _ }
   | Mospf_lsa { group; _ } ->
     group
-  | Scmp_heartbeat _ | Scmp_heartbeat_ack _ -> -1
+  | Scmp_reliable { inner; _ } -> group_of inner
+  | Scmp_ack _ | Scmp_heartbeat _ | Scmp_heartbeat_ack _ -> -1
 
-let describe = function
+let rec describe = function
   | Data { group; src; seq } -> Printf.sprintf "DATA g%d s%d#%d" group src seq
   | Encap { group; src; seq } -> Printf.sprintf "ENCAP g%d s%d#%d" group src seq
-  | Scmp_join { group; dr } -> Printf.sprintf "SCMP-JOIN g%d dr%d" group dr
-  | Scmp_leave { group; dr } -> Printf.sprintf "SCMP-LEAVE g%d dr%d" group dr
+  | Scmp_join { group; dr; seq } ->
+    Printf.sprintf "SCMP-JOIN g%d dr%d #%d" group dr seq
+  | Scmp_leave { group; dr; seq } ->
+    Printf.sprintf "SCMP-LEAVE g%d dr%d #%d" group dr seq
+  | Scmp_graft { group; dr; seq } ->
+    Printf.sprintf "SCMP-GRAFT g%d dr%d #%d" group dr seq
+  | Scmp_req_ack { group; dr; kind; seq } ->
+    Printf.sprintf "SCMP-REQ-ACK g%d dr%d %s #%d" group dr
+      (req_kind_label kind) seq
   | Scmp_tree { group; packet } ->
     Printf.sprintf "SCMP-TREE g%d len%d" group (Tree_packet.size packet)
   | Scmp_branch { group; path } ->
     Printf.sprintf "SCMP-BRANCH g%d [%s]" group
       (String.concat "," (List.map string_of_int path))
   | Scmp_prune { group; from } -> Printf.sprintf "SCMP-PRUNE g%d from%d" group from
-  | Scmp_invalidate { group } -> Printf.sprintf "SCMP-INVAL g%d" group
+  | Scmp_invalidate { group; token } ->
+    Printf.sprintf "SCMP-INVAL g%d t%d" group token
+  | Scmp_reliable { token; inner } ->
+    Printf.sprintf "SCMP-REL t%d %s" token (describe inner)
+  | Scmp_ack { token } -> Printf.sprintf "SCMP-ACK t%d" token
   | Scmp_replicate { group; dr; joined } ->
     Printf.sprintf "SCMP-REPL g%d dr%d %s" group dr (if joined then "join" else "leave")
   | Scmp_heartbeat { from; seq } -> Printf.sprintf "SCMP-HB from%d #%d" from seq
@@ -94,13 +117,19 @@ let describe = function
    plus the message's variable part. Data payloads are modelled as the
    paper's "one multicast packet" — 128 words (512 B); an Encap adds an
    outer unicast header. TREE and BRANCH packets are the genuinely
-   variable ones (§III.E): their length follows the encoded tree/path. *)
-let wire_words = function
+   variable ones (§III.E): their length follows the encoded tree/path.
+   Reliable-transport framing adds one token word around its inner
+   message; the sequence number of JOIN/LEAVE/GRAFT is one word too. *)
+let rec wire_words = function
   | Data _ -> 2 + 128
   | Encap _ -> 4 + 128
   | Scmp_tree { packet; _ } -> 2 + Tree_packet.size packet
   | Scmp_branch { path; _ } -> 2 + List.length path
-  | Scmp_join _ | Scmp_leave _ | Scmp_prune _ | Scmp_invalidate _ -> 3
+  | Scmp_join _ | Scmp_leave _ | Scmp_graft _ | Scmp_invalidate _ -> 4
+  | Scmp_req_ack _ -> 5
+  | Scmp_reliable { inner; _ } -> 1 + wire_words inner
+  | Scmp_ack _ -> 3
+  | Scmp_prune _ -> 3
   | Scmp_replicate _ -> 4
   | Scmp_heartbeat _ | Scmp_heartbeat_ack _ -> 3
   | Pim_join _ | Pim_prune _ -> 4

@@ -9,6 +9,11 @@
 type node = Netgraph.Graph.node
 type group = int
 
+type req_kind = Join | Leave | Graft
+    (** The three m-router requests carried by the reliable control
+        transport; echoed in the acknowledgement so a DR can match an
+        ack to the request it retransmits. *)
+
 type t =
   (* ---- data plane (all protocols) ---- *)
   | Data of { group : group; src : node; seq : int }
@@ -17,17 +22,34 @@ type t =
       (** Payload encapsulated in unicast toward the m-router/core
           (§III.F: off-tree sources). *)
   (* ---- SCMP (§III) ---- *)
-  | Scmp_join of { group : group; dr : node }
-  | Scmp_leave of { group : group; dr : node }
+  | Scmp_join of { group : group; dr : node; seq : int }
+      (** [seq] orders retransmissions of one DR's requests; the
+          m-router suppresses duplicates by the highest seq seen. *)
+  | Scmp_leave of { group : group; dr : node; seq : int }
+  | Scmp_graft of { group : group; dr : node; seq : int }
+      (** DR -> m-router after a tree-link failure severed its
+          upstream: please re-attach me to the tree. *)
+  | Scmp_req_ack of { group : group; dr : node; kind : req_kind; seq : int }
+      (** M-router -> DR: your request [seq] was processed. For a JOIN
+        the BRANCH/TREE distribution usually completes the request
+        first; the explicit ack covers DRs that were already on the
+        tree (no new branch to distribute). *)
   | Scmp_tree of { group : group; packet : Tree_packet.t }
   | Scmp_branch of { group : group; path : node list }
       (** Remaining path, current hop first (§III.E). *)
   | Scmp_prune of { group : group; from : node }
-  | Scmp_invalidate of { group : group }
+  | Scmp_invalidate of { group : group; token : int }
       (** Unicast from the m-router to a router that loop-elimination
           re-parenting removed from the tree: drop your routing entry.
+          Acknowledged end-to-end with {!Scmp_ack} carrying [token].
           (The paper leaves such routers with stale state; see
           DESIGN.md "Known deviations".) *)
+  | Scmp_reliable of { token : int; inner : t }
+      (** One-hop reliable framing for tree distribution: the receiver
+          acks [token] back over the same link and processes [inner];
+          the sender retransmits with exponential backoff until acked
+          or out of attempts. Duplicates are detected by token. *)
+  | Scmp_ack of { token : int }
   | Scmp_replicate of { group : group; dr : node; joined : bool }
       (** Primary -> standby m-router: membership replication for the
           hot-standby of the paper's concluding remarks. *)
@@ -57,9 +79,15 @@ type t =
   | Mospf_lsa of { group : group; router : node; joined : bool; seq : int }
       (** Group-membership LSA, flooded domain-wide. *)
 
+val req_kind_label : req_kind -> string
+(** ["join"], ["leave"] or ["graft"]. *)
+
 val classify : t -> [ `Data | `Control ]
 
 val group_of : t -> group
+(** The group a message concerns; [-1] for group-less traffic
+    (heartbeats, reliable-transport acks). A {!Scmp_reliable} frame has
+    its inner message's group. *)
 
 val describe : t -> string
 (** Short human-readable tag for traces, e.g. ["DATA g5 s3#12"]. *)

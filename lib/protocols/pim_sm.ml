@@ -241,7 +241,9 @@ let handle_message t x ~from msg =
     handle_spt_prune t x group s ~from:f
   | Message.Pim_prune { group; src = None; rpt = _; from = f } ->
     handle_star_prune t x group ~from:f
-  | Message.Scmp_join _ | Message.Scmp_leave _ | Message.Scmp_tree _
+  | Message.Scmp_join _ | Message.Scmp_leave _ | Message.Scmp_graft _
+  | Message.Scmp_req_ack _ | Message.Scmp_reliable _ | Message.Scmp_ack _
+  | Message.Scmp_tree _
   | Message.Scmp_branch _ | Message.Scmp_prune _ | Message.Scmp_invalidate _
   | Message.Scmp_replicate _ | Message.Scmp_heartbeat _
   | Message.Scmp_heartbeat_ack _ | Message.Cbt_join _ | Message.Cbt_join_ack _

@@ -15,13 +15,17 @@ type scenario = {
   leavers : (float * Message.node) list;
   trace_path : string option;
   trace_limit : int option;
+  loss : (float * int) option;
+  loss_class : Eventsim.Netsim.pkt_class option;
+  faults : Eventsim.Faults.spec list;
 }
 
 let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
     ?(data_interval = 1.0) ?(data_count = 30) ?(dvmrp_prune_timeout = 10.0)
     ?(scmp_bound = Mtree.Bound.Tightest)
     ?(scmp_distribution = Scmp_proto.Incremental) ?(delay_scale = 3e-6)
-    ?(leavers = []) ?trace_path ?trace_limit ~spec ~center ~source ~members () =
+    ?(leavers = []) ?trace_path ?trace_limit ?loss ?loss_class ?(faults = [])
+    ~spec ~center ~source ~members () =
   let last_join =
     join_start +. (join_spacing *. float_of_int (List.length members))
   in
@@ -45,6 +49,9 @@ let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
     leavers;
     trace_path;
     trace_limit;
+    loss;
+    loss_class;
+    faults;
   }
 
 type result = {
@@ -59,6 +66,8 @@ type result = {
   spurious : int;
   missed : int;
   packets_sent : int;
+  dropped : int;
+  delivery_ratio : float;
 }
 
 (* Report wiring: metadata before the run, phase boundaries during it,
@@ -75,7 +84,7 @@ let report_meta r driver s =
   Obs.Report.set_meta r "leavers" (Obs.Json.Int (List.length s.leavers))
 
 let report_finish r s ~engine ~net ~delivery ~trace ~(inst : Driver.instance)
-    ~join_wall ~run_wall ~setup_wall =
+    ~faults ~expected ~join_wall ~run_wall ~setup_wall =
   let m = Obs.Report.metrics r in
   let gauge ?wallclock name v = Obs.Metrics.set (Obs.Metrics.gauge ?wallclock m name) v in
   let count name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
@@ -89,7 +98,12 @@ let report_finish r s ~engine ~net ~delivery ~trace ~(inst : Driver.instance)
   Eventsim.Engine.observe engine m;
   Eventsim.Netsim.observe net m;
   inst.Driver.observe m;
+  Option.iter (fun f -> Eventsim.Faults.observe f m) faults;
   count "delivery/deliveries" (Delivery.deliveries delivery);
+  count "delivery/expected" expected;
+  gauge "delivery/ratio"
+    (if expected = 0 then 1.0
+     else float_of_int (Delivery.deliveries delivery) /. float_of_int expected);
   count "delivery/duplicates" (Delivery.duplicates delivery);
   count "delivery/spurious" (Delivery.spurious delivery);
   count "delivery/missed" (Delivery.missed delivery);
@@ -117,6 +131,20 @@ let run ?(check = false) ?report driver s =
     Eventsim.Netsim.create ~sizeof:Message.wire_bytes engine g
       ~classify:Message.classify
   in
+  (match s.loss with
+  | None -> ()
+  | Some (rate, seed) ->
+    Eventsim.Netsim.set_loss ?only:s.loss_class net ~rate ~seed);
+  let faults =
+    match s.faults with
+    | [] -> None
+    | specs -> Some (Eventsim.Faults.install net specs)
+  in
+  (* Loss and faults make exact packet conservation (and the pre-data
+     tree checkpoint, which a scheduled fault may precede) meaningless;
+     the quiescent structural invariants and the driver's own verify
+     still must hold. *)
+  let perturbed = s.loss <> None || s.faults <> [] in
   let delivery = Delivery.create engine in
   let trace =
     Option.map
@@ -170,7 +198,7 @@ let run ?(check = false) ?report driver s =
   (* First invariant checkpoint: membership has converged, no packet is
      in flight yet (joins end well before [data_start]; leavers are
      mid-run events by construction). *)
-  if check then
+  if check && not perturbed then
     Eventsim.Engine.schedule_at engine ~time:s.data_start (fun () ->
         Check.Invariant.verify_all_exn ~where:"runner pre-data"
           (inst.Driver.snapshots ()));
@@ -198,24 +226,33 @@ let run ?(check = false) ?report driver s =
     done;
   Eventsim.Engine.run engine;
   let run_wall = Obs.Clock.now_s () -. run0 in
-  (* Final checkpoint on the quiesced network: distributed state still
-     coheres after every leave/PRUNE cascade, and packet conservation
-     holds over the whole run. *)
-  if check then begin
-    let expected = ref 0 in
+  let expected =
+    let n = ref 0 in
     for seq = 0 to s.data_count - 1 do
       let at = s.data_start +. (s.data_interval *. float_of_int seq) in
-      expected := !expected + List.length (expected_at at)
+      n := !n + List.length (expected_at at)
     done;
+    !n
+  in
+  (* Final checkpoint on the quiesced network: distributed state still
+     coheres after every leave/PRUNE cascade, and packet conservation
+     holds over the whole run — the latter only on an unperturbed
+     network, since loss and faults legitimately destroy packets. *)
+  if check then begin
+    let delivery_counters =
+      if perturbed then None
+      else
+        Some
+          {
+            Check.Invariant.expected;
+            delivered = Delivery.deliveries delivery;
+            duplicates = Delivery.duplicates delivery;
+            spurious = Delivery.spurious delivery;
+            missed = Delivery.missed delivery;
+          }
+    in
     Check.Invariant.verify_all_exn ~where:"runner quiescent"
-      ~delivery:
-        {
-          Check.Invariant.expected = !expected;
-          delivered = Delivery.deliveries delivery;
-          duplicates = Delivery.duplicates delivery;
-          spurious = Delivery.spurious delivery;
-          missed = Delivery.missed delivery;
-        }
+      ?delivery:delivery_counters
       (inst.Driver.snapshots ())
   end;
   if check then (
@@ -238,7 +275,7 @@ let run ?(check = false) ?report driver s =
            + Eventsim.Netsim.control_transmissions net));
       Obs.Report.add_series r cumulative;
       Obs.Report.add_series r transmissions;
-      report_finish r s ~engine ~net ~delivery ~trace ~inst
+      report_finish r s ~engine ~net ~delivery ~trace ~inst ~faults ~expected
         ~join_wall:!join_wall ~run_wall ~setup_wall)
     report;
   inst.Driver.teardown ();
@@ -254,6 +291,10 @@ let run ?(check = false) ?report driver s =
     spurious = Delivery.spurious delivery;
     missed = Delivery.missed delivery;
     packets_sent = s.data_count;
+    dropped = Eventsim.Netsim.dropped net;
+    delivery_ratio =
+      (if expected = 0 then 1.0
+       else float_of_int (Delivery.deliveries delivery) /. float_of_int expected);
   }
 
 let run_name ?check ?report name s =

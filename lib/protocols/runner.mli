@@ -44,6 +44,16 @@ type scenario = {
   trace_limit : int option;
       (** Ring-buffer bound for the trace (newest lines kept); the
           report records how many lines were evicted. *)
+  loss : (float * int) option;
+      (** [(rate, seed)] — seeded random packet loss installed on the
+          network before the run ({!Eventsim.Netsim.set_loss}). *)
+  loss_class : Eventsim.Netsim.pkt_class option;
+      (** Restrict loss to one packet class ([`Control] exercises the
+          reliable control plane while data delivery stays exact);
+          [None] drops everything. *)
+  faults : Eventsim.Faults.spec list;
+      (** Scheduled link/node failures and restores, installed before
+          the run ({!Eventsim.Faults.install}). *)
 }
 
 val make :
@@ -59,6 +69,9 @@ val make :
   ?leavers:(float * Message.node) list ->
   ?trace_path:string ->
   ?trace_limit:int ->
+  ?loss:float * int ->
+  ?loss_class:Eventsim.Netsim.pkt_class ->
+  ?faults:Eventsim.Faults.spec list ->
   spec:Topology.Spec.t ->
   center:Message.node ->
   source:Message.node ->
@@ -68,9 +81,9 @@ val make :
 (** Paper defaults: joins from t=0.1 spaced 0.5 s; 30 data packets at
     1/s starting 3 s after the last join (or at [data_start]); DVMRP
     prune lifetime 10 s; SCMP tightest bound, incremental distribution;
-    delay scale 3e-6 s per grid unit; no leavers, no trace. Every knob
-    is a labelled optional, so ablations override just the knob they
-    study. *)
+    delay scale 3e-6 s per grid unit; no leavers, no trace, no loss, no
+    faults. Every knob is a labelled optional, so ablations override
+    just the knob they study. *)
 
 type result = {
   data_overhead : float;
@@ -84,6 +97,13 @@ type result = {
   spurious : int;
   missed : int;
   packets_sent : int;
+  dropped : int;
+      (** Packets the network killed, all reasons (loss, dead links,
+          dead nodes, unroutable unicasts). *)
+  delivery_ratio : float;
+      (** deliveries / expected (1.0 when nothing was expected). Equals
+          1.0 on an unperturbed run; the fault-tolerance acceptance bar
+          is >= 0.95 under control-plane loss and tree repair. *)
 }
 
 val run : ?check:bool -> ?report:Obs.Report.t -> Driver.t -> scenario -> result
@@ -97,6 +117,11 @@ val run : ?check:bool -> ?report:Obs.Report.t -> Driver.t -> scenario -> result
     entry/tree coherence for SCMP — and packet conservation is checked
     over the whole run for every protocol; the driver's own [verify]
     hook runs as well. Any failure raises {!Check.Invariant.Violation}.
+    On a perturbed run ([loss] set or [faults] nonempty) the pre-data
+    checkpoint and the packet-conservation check are skipped — loss and
+    faults legitimately destroy packets and may fire before
+    [data_start] — but the quiescent structural invariants (including
+    the tree-live-links rule) and the driver verify still run.
 
     With [~report] the run publishes into the given {!Obs.Report}:
     run metadata, per-phase sim/wall timings ([phase/...]), engine and

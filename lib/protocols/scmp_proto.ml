@@ -23,29 +23,76 @@ type standby = {
   mutable hb_seq : int;
 }
 
+(* One end-to-end DR request (JOIN/LEAVE/GRAFT) in flight: sent over
+   lossy unicast, re-sent with exponential backoff until it observably
+   completed, was acked, or ran out of attempts. *)
+type request = {
+  rq_kind : Message.req_kind;
+  rq_group : Message.group;
+  rq_dr : node;
+  rq_seq : int;
+  mutable rq_attempts : int;
+  mutable rq_acked : bool;
+  mutable rq_settled : bool;
+}
+
+(* One reliable frame in flight: hop-by-hop TREE/BRANCH/PRUNE framing
+   ([rel_routed = false]; the neighbour acks the token back over the
+   link) or a routed end-to-end INVALIDATE ([rel_routed = true]; the
+   target acks over unicast). *)
+type rel = {
+  rel_src : node;
+  rel_dst : node;
+  rel_routed : bool;
+  rel_msg : Message.t;
+  mutable rel_attempts : int;
+}
+
 type t = {
   net : Message.t N.t;
   primary : node;
   mutable active : node;  (* the m-router currently in charge *)
   mutable primary_failed : bool;
   standby : standby option;
-  mutable apsp : Netgraph.Apsp.t;  (* replaced at takeover: dead primary excised *)
+  mutable apsp : Netgraph.Apsp.t;  (* recomputed on takeover and topology change *)
   bound : Mtree.Bound.t;
   distribution : distribution;
   cpu : (Eventsim.Server.t * float) option;
       (* control-plane processing station + per-request service time *)
+  rto : float;  (* base retransmission timeout (doubles per attempt) *)
+  max_attempts : int;
   dcdm : (Message.group, Mtree.Dcdm.t) Hashtbl.t;  (* active m-router state *)
   entries : (node * Message.group, entry) Hashtbl.t;
   pending_iface : (node * Message.group, unit) Hashtbl.t;
+  (* Reliable control transport. *)
+  mutable ctl_seq : int;  (* request sequence numbers, network-wide *)
+  requests : (node * Message.group, request) Hashtbl.t;
+      (* latest outstanding request per (dr, group); a new request
+         supersedes the old one *)
+  ctl_seen : (Message.group * node, int) Hashtbl.t;
+      (* m-router duplicate suppression: highest seq processed per
+         (group, dr) *)
+  mutable tokens : int;  (* reliable-frame token allocator *)
+  rel_pending : (int, rel) Hashtbl.t;  (* unacked frames by token *)
+  rel_seen : (int, unit) Hashtbl.t;  (* receiver-side duplicate filter *)
+  (* Authoritative membership roster at the active m-router (join
+     order), the basis for post-failure tree rebuilds. *)
+  members : (Message.group, node list ref) Hashtbl.t;
   delivery : Delivery.t option;
   (* observability: m-router distribution and compute cost (§III.E and
      the related-work motivation for tracking centralized tree
      computation) *)
   mutable tree_pkts : int;        (* TREE packets emitted by the m-router *)
   mutable branch_pkts : int;      (* BRANCH packets emitted *)
-  mutable invalidations : int;    (* unicast invalidations emitted *)
+  mutable invalidations : int;    (* invalidations issued *)
   mutable tree_computes : int;    (* DCDM create/join/leave operations *)
   mutable tree_compute_s : float; (* their accumulated wall-clock cost *)
+  (* reliability + repair accounting *)
+  mutable retransmissions : int;  (* request + frame resends *)
+  mutable giveups : int;          (* requests/frames abandoned *)
+  mutable repairs : int;          (* post-failure tree rebuilds *)
+  mutable repair_unconverged : int;
+  mutable repair_latencies : float list;  (* newest first, sim seconds *)
 }
 
 type stats = {
@@ -54,6 +101,9 @@ type stats = {
   invalidations : int;
   tree_computes : int;
   tree_compute_wall_s : float;
+  retransmissions : int;
+  giveups : int;
+  repairs : int;
 }
 
 let stats t =
@@ -63,6 +113,9 @@ let stats t =
     invalidations = t.invalidations;
     tree_computes = t.tree_computes;
     tree_compute_wall_s = t.tree_compute_s;
+    retransmissions = t.retransmissions;
+    giveups = t.giveups;
+    repairs = t.repairs;
   }
 
 (* Every DCDM operation at the m-router passes through here, so the
@@ -80,6 +133,12 @@ let observe t m =
   set_c "scmp/branch_packets" t.branch_pkts;
   set_c "scmp/invalidations" t.invalidations;
   set_c "scmp/tree_computes" t.tree_computes;
+  set_c "scmp/retransmissions" t.retransmissions;
+  set_c "scmp/giveups" t.giveups;
+  set_c "scmp/repair/count" t.repairs;
+  set_c "scmp/repair/unconverged" t.repair_unconverged;
+  let h = Obs.Metrics.histogram m "scmp/repair/latency_s" in
+  List.iter (Obs.Metrics.observe h) (List.rev t.repair_latencies);
   Obs.Metrics.set
     (Obs.Metrics.gauge ~wallclock:true m "scmp/tree_compute_wall_s")
     t.tree_compute_s
@@ -120,6 +179,67 @@ let record_delivery t group x seq =
   match t.delivery with
   | Some d -> Delivery.record d ~seq ~at_router:x
   | None -> ()
+
+(* Membership roster bookkeeping, shared by the active m-router and the
+   standby's mirror: join order preserved, duplicates collapsed. *)
+let roster_apply table group dr joined =
+  let members =
+    match Hashtbl.find_opt table group with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace table group r;
+      r
+  in
+  if joined then begin
+    if not (List.mem dr !members) then members := !members @ [ dr ]
+  end
+  else members := List.filter (fun m -> m <> dr) !members
+
+let roster table group =
+  match Hashtbl.find_opt table group with Some r -> !r | None -> []
+
+(* ---- reliable frame transport ---- *)
+
+let backoff t attempts = t.rto *. (2.0 ** float_of_int (attempts - 1))
+
+let rel_resend t r =
+  if r.rel_routed then N.unicast t.net ~src:r.rel_src ~dst:r.rel_dst r.rel_msg
+  else N.transmit t.net ~src:r.rel_src ~dst:r.rel_dst r.rel_msg
+
+let rec arm_rel t token r =
+  Eventsim.Engine.schedule (N.engine t.net) ~delay:(backoff t r.rel_attempts)
+    (fun () ->
+      if Hashtbl.mem t.rel_pending token then begin
+        if r.rel_attempts >= t.max_attempts then begin
+          Hashtbl.remove t.rel_pending token;
+          t.giveups <- t.giveups + 1
+        end
+        else begin
+          r.rel_attempts <- r.rel_attempts + 1;
+          t.retransmissions <- t.retransmissions + 1;
+          rel_resend t r;
+          arm_rel t token r
+        end
+      end)
+
+let rel_send t ~routed ~src ~dst msg_of_token =
+  t.tokens <- t.tokens + 1;
+  let token = t.tokens in
+  let msg = msg_of_token token in
+  let r =
+    { rel_src = src; rel_dst = dst; rel_routed = routed; rel_msg = msg;
+      rel_attempts = 1 }
+  in
+  Hashtbl.replace t.rel_pending token r;
+  rel_resend t r;
+  arm_rel t token r
+
+(* One-hop reliable send of a tree-maintenance message: framed with a
+   fresh token the neighbour acks back over the same link. *)
+let rel_transmit t ~src ~dst inner =
+  rel_send t ~routed:false ~src ~dst (fun token ->
+      Message.Scmp_reliable { token; inner })
 
 (* ---- data plane (§III.F) ---- *)
 
@@ -181,7 +301,12 @@ let distribute_branch t group tree dr =
     if not (List.mem first root_entry.downstream) then
       root_entry.downstream <- root_entry.downstream @ [ first ];
     t.branch_pkts <- t.branch_pkts + 1;
-    N.transmit t.net ~src:t.active ~dst:first (Message.Scmp_branch { group; path })
+    rel_transmit t ~src:t.active ~dst:first (Message.Scmp_branch { group; path })
+
+let send_invalidate (t : t) group x =
+  t.invalidations <- t.invalidations + 1;
+  rel_send t ~routed:true ~src:t.active ~dst:x (fun token ->
+      Message.Scmp_invalidate { group; token })
 
 let distribute_tree t group tree removed_nodes =
   let root_entry = get_or_create_entry t t.active group in
@@ -191,14 +316,10 @@ let distribute_tree t group tree removed_nodes =
     (fun c ->
       let packet = Tree_packet.of_tree tree ~at:c in
       t.tree_pkts <- t.tree_pkts + 1;
-      N.transmit t.net ~src:t.active ~dst:c (Message.Scmp_tree { group; packet }))
+      rel_transmit t ~src:t.active ~dst:c (Message.Scmp_tree { group; packet }))
     children;
   List.iter
-    (fun x ->
-      if x <> t.active then begin
-        t.invalidations <- t.invalidations + 1;
-        N.unicast t.net ~src:t.active ~dst:x (Message.Scmp_invalidate { group })
-      end)
+    (fun x -> if x <> t.active then send_invalidate t group x)
     removed_nodes
 
 (* ---- hot standby (concluding remarks, point 4) ---- *)
@@ -210,19 +331,54 @@ let replicate t group dr joined =
     N.unicast t.net ~src:t.active ~dst:sb.sb_node
       (Message.Scmp_replicate { group; dr; joined })
 
-let mirror_apply sb group dr joined =
-  let members =
-    match Hashtbl.find_opt sb.mirror group with
-    | Some r -> r
-    | None ->
-      let r = ref [] in
-      Hashtbl.replace sb.mirror group r;
-      r
-  in
-  if joined then begin
-    if not (List.mem dr !members) then members := !members @ [ dr ]
+let mirror_apply sb group dr joined = roster_apply sb.mirror group dr joined
+
+(* The topology the m-router can actually build trees over: live links
+   only, minus the primary when it failed at the protocol level (its
+   node is still up for the netsim, but the domain routes around it by
+   detection time). *)
+let surviving_graph t =
+  let g = N.live_graph t.net in
+  if not t.primary_failed then g
+  else begin
+    let without_primary = Netgraph.Graph.create (Netgraph.Graph.node_count g) in
+    Netgraph.Graph.iter_links g (fun l ->
+        if l.Netgraph.Graph.u <> t.primary && l.Netgraph.Graph.v <> t.primary then
+          Netgraph.Graph.add_link without_primary l.Netgraph.Graph.u
+            l.Netgraph.Graph.v ~delay:l.Netgraph.Graph.delay
+            ~cost:l.Netgraph.Graph.cost);
+    without_primary
   end
-  else members := List.filter (fun m -> m <> dr) !members
+
+(* Rebuild one group's tree from a membership roster over the current
+   [t.apsp], redistribute it, and invalidate the routers the new tree
+   abandoned. Shared by standby takeover and post-failure repair. *)
+let rebuild_group t group members_now =
+  let before =
+    match Hashtbl.find_opt t.dcdm group with
+    | Some d -> Mtree.Tree.nodes (Mtree.Dcdm.tree d)
+    | None -> []
+  in
+  let d =
+    timed_compute t (fun () ->
+        Mtree.Dcdm.create t.apsp ~root:t.active ~bound:t.bound ())
+  in
+  Hashtbl.replace t.dcdm group d;
+  ignore (get_or_create_entry t t.active group);
+  List.iter
+    (fun m ->
+      try timed_compute t (fun () -> Mtree.Dcdm.join d m)
+      with Invalid_argument _ -> () (* partitioned away; skipped until
+                                       connectivity returns *))
+    members_now;
+  let tree = Mtree.Dcdm.tree d in
+  let after = Mtree.Tree.nodes tree in
+  let stale =
+    List.filter
+      (fun x -> (not (List.mem x after)) && N.node_alive t.net x)
+      before
+  in
+  distribute_tree t group tree stale
 
 (* The standby becomes the m-router: it rebuilds every group's tree
    rooted at itself from the mirrored membership (replayed in original
@@ -235,45 +391,12 @@ let mirror_apply sb group dr joined =
 let takeover t sb =
   if not (standby_took_over t) then begin
     t.active <- sb.sb_node;
-    let g = N.graph t.net in
-    let without_primary = Netgraph.Graph.create (Netgraph.Graph.node_count g) in
-    Netgraph.Graph.iter_links g (fun l ->
-        if l.Netgraph.Graph.u <> t.primary && l.Netgraph.Graph.v <> t.primary then
-          Netgraph.Graph.add_link without_primary l.Netgraph.Graph.u
-            l.Netgraph.Graph.v ~delay:l.Netgraph.Graph.delay
-            ~cost:l.Netgraph.Graph.cost);
-    t.apsp <- Netgraph.Apsp.compute without_primary;
-    let old_nodes group =
-      match Hashtbl.find_opt t.dcdm group with
-      | Some d -> Mtree.Tree.nodes (Mtree.Dcdm.tree d)
-      | None -> []
-    in
+    t.apsp <- Netgraph.Apsp.compute (surviving_graph t);
     let groups =
       Hashtbl.fold (fun group _ acc -> group :: acc) sb.mirror []
       |> List.sort Int.compare
     in
-    List.iter
-      (fun group ->
-        let before = old_nodes group in
-        let d =
-          timed_compute t (fun () ->
-              Mtree.Dcdm.create t.apsp ~root:sb.sb_node ~bound:t.bound ())
-        in
-        Hashtbl.replace t.dcdm group d;
-        ignore (get_or_create_entry t sb.sb_node group);
-        let members =
-          match Hashtbl.find_opt sb.mirror group with Some r -> !r | None -> []
-        in
-        List.iter
-          (fun m ->
-            try timed_compute t (fun () -> Mtree.Dcdm.join d m)
-            with Invalid_argument _ -> () (* partitioned by the failure *))
-          members;
-        let tree = Mtree.Dcdm.tree d in
-        let after = Mtree.Tree.nodes tree in
-        let stale = List.filter (fun x -> not (List.mem x after)) before in
-        distribute_tree t group tree stale)
-      groups
+    List.iter (fun group -> rebuild_group t group (roster sb.mirror group)) groups
   end
 
 let maybe_takeover t sb =
@@ -351,6 +474,50 @@ let handle_leave_at_mrouter t group dr =
       distribute_tree t group tree removed_nodes
     end
 
+(* Re-install the root-to-[dr] branch for a member the m-router already
+   has on its tree: the response to a re-graft request and to a
+   duplicate JOIN whose original BRANCH may have been lost. *)
+let reattach t group dr =
+  match Hashtbl.find_opt t.dcdm group with
+  | None -> ()
+  | Some d ->
+    let tree = Mtree.Dcdm.tree d in
+    if dr <> t.active && Mtree.Tree.on_tree tree dr then
+      distribute_branch t group tree dr
+
+let reprocess_duplicate t kind group dr =
+  match kind with
+  | Message.Leave -> ()
+  | Message.Join | Message.Graft ->
+    (* Only re-distribute for a current member: a stale duplicate that
+       straggles in after the member left must not resurrect state. *)
+    if List.mem dr (roster t.members group) then reattach t group dr
+
+let request_ack t kind group dr seq =
+  N.unicast t.net ~src:t.active ~dst:dr
+    (Message.Scmp_req_ack { group; dr; kind; seq })
+
+let handle_request t kind group dr seq =
+  let dup =
+    match Hashtbl.find_opt t.ctl_seen (group, dr) with
+    | Some s -> seq <= s
+    | None -> false
+  in
+  if dup then reprocess_duplicate t kind group dr
+  else begin
+    Hashtbl.replace t.ctl_seen (group, dr) seq;
+    match kind with
+    | Message.Join ->
+      roster_apply t.members group dr true;
+      handle_join_at_mrouter t group dr
+    | Message.Leave ->
+      roster_apply t.members group dr false;
+      handle_leave_at_mrouter t group dr
+    | Message.Graft -> reattach t group dr
+  end;
+  (* Always (re-)ack: the previous ack may be the packet that died. *)
+  request_ack t kind group dr seq
+
 (* ---- i-router control plane ---- *)
 
 let handle_tree_packet t x ~from group packet =
@@ -360,7 +527,7 @@ let handle_tree_packet t x ~from group packet =
   e.downstream <- children;
   List.iter
     (fun (c, sub) ->
-      N.transmit t.net ~src:x ~dst:c (Message.Scmp_tree { group; packet = sub }))
+      rel_transmit t ~src:x ~dst:c (Message.Scmp_tree { group; packet = sub }))
     (Tree_packet.split packet)
 
 let handle_branch t x ~from group path =
@@ -377,7 +544,7 @@ let handle_branch t x ~from group path =
       end
     | next :: _ ->
       if not (List.mem next e.downstream) then e.downstream <- e.downstream @ [ next ];
-      N.transmit t.net ~src:x ~dst:next (Message.Scmp_branch { group; path = rest }))
+      rel_transmit t ~src:x ~dst:next (Message.Scmp_branch { group; path = rest }))
   | _ ->
     (* Malformed or misrouted BRANCH: drop. *)
     ()
@@ -391,140 +558,70 @@ let handle_prune t x group ~from =
       match e.upstream with
       | Some up ->
         drop_entry t x group;
-        N.transmit t.net ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
+        rel_transmit t ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
       | None -> drop_entry t x group
     end
 
-(* Control requests optionally pass through the m-router's processing
-   station (its network processors); without one they run instantly. *)
-let mrouter_work t job =
-  match t.cpu with
-  | None -> job ()
-  | Some (station, service_time) -> Eventsim.Server.submit station ~service_time job
+(* ---- reliable DR requests (JOIN/LEAVE/GRAFT) ---- *)
 
-let handle_message t x ~from msg =
-  (* A failed primary is deaf: everything addressed to it is lost,
-     including heartbeats — which is precisely how the standby finds
-     out. *)
-  if x = t.primary && t.primary_failed then ()
-  else
-    match msg with
-    | Message.Data { group; seq; _ } -> handle_data t x ~from msg group seq
-    | Message.Encap { group; src; seq } ->
-      if x = t.active then handle_encap t group src seq
-    | Message.Scmp_join { group; dr } ->
-      if x = t.active then mrouter_work t (fun () -> handle_join_at_mrouter t group dr)
-    | Message.Scmp_leave { group; dr } ->
-      if x = t.active then mrouter_work t (fun () -> handle_leave_at_mrouter t group dr)
-    | Message.Scmp_tree { group; packet } -> handle_tree_packet t x ~from group packet
-    | Message.Scmp_branch { group; path } -> handle_branch t x ~from group path
-    | Message.Scmp_prune { group; from = p } -> handle_prune t x group ~from:p
-    | Message.Scmp_invalidate { group } ->
-      (match entry_opt t x group with
-      | Some e when not e.member -> drop_entry t x group
-      | Some _ | None -> ())
-    | Message.Scmp_replicate { group; dr; joined } ->
-      (match t.standby with
-      | Some sb when x = sb.sb_node -> mirror_apply sb group dr joined
-      | Some _ | None -> ())
-    | Message.Scmp_heartbeat { from = probe; seq } ->
-      if x = t.primary then
-        N.unicast t.net ~background:true ~src:x ~dst:probe
-          (Message.Scmp_heartbeat_ack { seq })
-    | Message.Scmp_heartbeat_ack _ ->
-      (match t.standby with
-      | Some sb when x = sb.sb_node ->
-        sb.last_ack <- Eventsim.Engine.now (N.engine t.net)
-      | Some _ | None -> ())
-    | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _ | Message.Cbt_quit _
-    | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
-      (* Foreign-protocol traffic: never generated in an SCMP domain. *)
-      ()
+let request_message rq =
+  match rq.rq_kind with
+  | Message.Join ->
+    Message.Scmp_join { group = rq.rq_group; dr = rq.rq_dr; seq = rq.rq_seq }
+  | Message.Leave ->
+    Message.Scmp_leave { group = rq.rq_group; dr = rq.rq_dr; seq = rq.rq_seq }
+  | Message.Graft ->
+    Message.Scmp_graft { group = rq.rq_group; dr = rq.rq_dr; seq = rq.rq_seq }
 
-let create ?delivery ?(bound = Mtree.Bound.Tightest)
-    ?(distribution = Incremental) ?standby ?(heartbeat_interval = 1.0)
-    ?(takeover_after = 3.0) ?(install_handlers = true) ?cpu net ~mrouter () =
-  let g = N.graph net in
-  let engine = N.engine net in
-  let standby_state =
-    Option.map
-      (fun sb_node ->
-        {
-          sb_node;
-          heartbeat_interval;
-          takeover_after;
-          mirror = Hashtbl.create 8;
-          last_ack = Eventsim.Engine.now engine;
-          hb_seq = 0;
-        })
-      standby
+(* A request also completes when its effect becomes observable at the
+   DR — the BRANCH/TREE distribution acting as the JOIN ack (§III.E
+   adapted), arrival of a repaired upstream acting as the GRAFT ack —
+   so a lost explicit ack alone never forces a retransmission. *)
+let request_completed t rq =
+  rq.rq_acked
+  ||
+  match rq.rq_kind with
+  | Message.Join -> (
+    match entry_opt t rq.rq_dr rq.rq_group with
+    | Some e -> e.member
+    | None -> false)
+  | Message.Leave -> false
+  | Message.Graft -> (
+    match entry_opt t rq.rq_dr rq.rq_group with
+    | Some e -> e.upstream <> None
+    | None -> true (* invalidated meanwhile: nothing left to repair *))
+
+let rec arm_request t rq =
+  Eventsim.Engine.schedule (N.engine t.net) ~delay:(backoff t rq.rq_attempts)
+    (fun () ->
+      if not rq.rq_settled then begin
+        if request_completed t rq then rq.rq_settled <- true
+        else if rq.rq_attempts >= t.max_attempts then begin
+          rq.rq_settled <- true;
+          t.giveups <- t.giveups + 1
+        end
+        else begin
+          rq.rq_attempts <- rq.rq_attempts + 1;
+          t.retransmissions <- t.retransmissions + 1;
+          N.unicast t.net ~src:rq.rq_dr ~dst:t.active (request_message rq);
+          arm_request t rq
+        end
+      end)
+
+let submit_request t ~group ~dr kind =
+  t.ctl_seq <- t.ctl_seq + 1;
+  let rq =
+    { rq_kind = kind; rq_group = group; rq_dr = dr; rq_seq = t.ctl_seq;
+      rq_attempts = 1; rq_acked = false; rq_settled = false }
   in
-  let t =
-    {
-      net;
-      primary = mrouter;
-      active = mrouter;
-      primary_failed = false;
-      standby = standby_state;
-      cpu;
-      apsp = Netgraph.Apsp.compute g;
-      bound;
-      distribution;
-      dcdm = Hashtbl.create 8;
-      entries = Hashtbl.create 64;
-      pending_iface = Hashtbl.create 16;
-      delivery;
-      tree_pkts = 0;
-      branch_pkts = 0;
-      invalidations = 0;
-      tree_computes = 0;
-      tree_compute_s = 0.0;
-    }
-  in
-  if install_handlers then
-    for x = 0 to Netgraph.Graph.node_count g - 1 do
-      N.set_handler net x (fun _net ~from msg -> handle_message t x ~from msg)
-    done;
-  (match t.standby with
-  | None -> ()
-  | Some sb ->
-    (* Keep-alive probes forever (background: they never block a
-       run-to-quiescence). Each tick also re-examines the ack age. *)
-    Eventsim.Engine.every engine ~interval:sb.heartbeat_interval ~background:true
-      (fun () ->
-        if not (standby_took_over t) then begin
-          sb.hb_seq <- sb.hb_seq + 1;
-          N.unicast t.net ~background:true ~src:sb.sb_node ~dst:t.primary
-            (Message.Scmp_heartbeat { from = sb.sb_node; seq = sb.hb_seq });
-          maybe_takeover t sb
-        end));
-  t
-
-let handle = handle_message
-
-(* ---- host-side events (the IGMP boundary, §III.B/C) ---- *)
-
-let host_join t ~group x =
-  (match entry_opt t x group with
-  | Some e -> e.member <- true
-  | None -> Hashtbl.replace t.pending_iface (x, group) ());
-  N.unicast t.net ~src:x ~dst:t.active (Message.Scmp_join { group; dr = x })
-
-let host_leave t ~group x =
-  (match entry_opt t x group with
-  | None -> Hashtbl.remove t.pending_iface (x, group)
-  | Some e ->
-    e.member <- false;
-    if e.downstream = [] && x <> t.active then begin
-      match e.upstream with
-      | Some up ->
-        drop_entry t x group;
-        N.transmit t.net ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
-      | None -> drop_entry t x group
-    end);
-  N.unicast t.net ~src:x ~dst:t.active (Message.Scmp_leave { group; dr = x })
-
-let send_data t ~group ~src ~seq = originate_data t group ~src ~seq
+  (* A newer request from the same DR for the same group supersedes the
+     outstanding one (e.g. LEAVE overtaking a still-retrying JOIN). *)
+  (match Hashtbl.find_opt t.requests (dr, group) with
+  | Some old -> old.rq_settled <- true
+  | None -> ());
+  Hashtbl.replace t.requests (dr, group) rq;
+  N.unicast t.net ~src:dr ~dst:t.active (request_message rq);
+  arm_request t rq
 
 (* ---- introspection ---- *)
 
@@ -534,12 +631,22 @@ let mrouter_tree t ~group =
 let router_state t x ~group =
   Option.map (fun e -> (e.upstream, e.downstream, e.member)) (entry_opt t x group)
 
+(* Entries the live network can actually observe: a dead node's state,
+   a failed primary's leftovers and routers partitioned away from the
+   active m-router are invisible until connectivity returns (and the
+   repair that follows cleans them up). *)
+let observable t x =
+  N.node_alive t.net x
+  && (not (x = t.primary && t.primary_failed))
+  && (x = t.active
+     || Eventsim.Routes.distance (N.routes t.net) ~src:t.active ~dst:x < infinity)
+
 let network_tree_consistent t ~group =
   match mrouter_tree t ~group with
   | None ->
     let stray =
       Hashtbl.fold
-        (fun (x, g) _ acc -> if g = group then x :: acc else acc)
+        (fun (x, g) _ acc -> if g = group && observable t x then x :: acc else acc)
         t.entries []
     in
     if stray = [] then Ok ()
@@ -563,15 +670,315 @@ let network_tree_consistent t ~group =
       on_tree;
     Hashtbl.iter
       (fun (x, g) _ ->
-        (* A dead primary's leftover entries are unreachable state, not
-           an inconsistency the live network can observe. *)
-        let dead_primary = x = t.primary && t.primary_failed in
-        if g = group && (not (Mtree.Tree.on_tree tree x)) && not dead_primary then
+        if g = group && (not (Mtree.Tree.on_tree tree x)) && observable t x then
           note "off-tree router %d still holds an entry" x)
       t.entries;
     (match !problems with
     | [] -> Ok ()
     | ps -> Error (String.concat "; " (List.rev ps)))
+
+(* ---- failure detection and tree repair ---- *)
+
+let tree_uses_dead_element t tree =
+  List.exists (fun (a, b) -> not (N.link_alive t.net a b)) (Mtree.Tree.edges tree)
+
+(* Reliable frames whose link (or routed destination) died will never
+   be acked: abandon them now instead of letting the backoff chain play
+   out over a dead link. *)
+let abort_dead_rel t =
+  let stale =
+    Hashtbl.fold
+      (fun token r acc ->
+        let dead =
+          if r.rel_routed then not (N.node_alive t.net r.rel_dst)
+          else not (N.link_alive t.net r.rel_src r.rel_dst)
+        in
+        if dead then token :: acc else acc)
+      t.rel_pending []
+  in
+  List.iter
+    (fun token ->
+      Hashtbl.remove t.rel_pending token;
+      t.giveups <- t.giveups + 1)
+    stale
+
+(* After a repair is distributed, watch the network until the group's
+   distributed state coheres again and record the latency (sim time
+   from the fault); bounded, so a repair that cannot converge (e.g. a
+   member permanently partitioned) ends in [repair_unconverged], not in
+   an immortal poll. *)
+let rec poll_repair t group ~fault_time ~polls =
+  Eventsim.Engine.schedule (N.engine t.net) ~delay:(t.rto /. 2.0) (fun () ->
+      match network_tree_consistent t ~group with
+      | Ok () ->
+        t.repair_latencies <-
+          (Eventsim.Engine.now (N.engine t.net) -. fault_time)
+          :: t.repair_latencies
+      | Error _ ->
+        if polls < 200 then poll_repair t group ~fault_time ~polls:(polls + 1)
+        else t.repair_unconverged <- t.repair_unconverged + 1)
+
+let repair_group t group ~at =
+  rebuild_group t group (roster t.members group);
+  t.repairs <- t.repairs + 1;
+  poll_repair t group ~fault_time:at ~polls:0
+
+(* The faults hook: runs synchronously after every topology change,
+   once routes have reconverged. A crashed router loses its soft state;
+   the m-router rebuilds every group whose tree crosses a dead element
+   or is missing a live roster member (a member skipped while
+   partitioned re-attaches when connectivity returns); i-routers sever
+   dead adjacencies and member DRs whose upstream died ask to be
+   re-grafted (§III.D adapted — the report-upstream role of the
+   adjacent i-router). *)
+let on_topology_change t =
+  abort_dead_rel t;
+  t.apsp <- Netgraph.Apsp.compute (surviving_graph t);
+  (* A crashed router reboots without its soft state; the attached
+     host's membership outlives the crash, so a member DR's interface
+     goes back to pending (IGMP re-marks it) and the next distribution
+     that reaches the router re-attaches it. *)
+  let crashed =
+    Hashtbl.fold
+      (fun ((x, _) as key) e acc ->
+        if N.node_alive t.net x then acc else (key, e.member) :: acc)
+      t.entries []
+  in
+  List.iter
+    (fun (key, was_member) ->
+      Hashtbl.remove t.entries key;
+      if was_member then Hashtbl.replace t.pending_iface key ())
+    crashed;
+  let active_up =
+    N.node_alive t.net t.active && not (t.active = t.primary && t.primary_failed)
+  in
+  if active_up then begin
+    let stale_groups =
+      Hashtbl.fold
+        (fun group d acc ->
+          let tree = Mtree.Dcdm.tree d in
+          if
+            tree_uses_dead_element t tree
+            || List.exists
+                 (fun m ->
+                   N.node_alive t.net m && not (Mtree.Tree.on_tree tree m))
+                 (roster t.members group)
+          then group :: acc
+          else acc)
+        t.dcdm []
+      |> List.sort Int.compare
+    in
+    let now = Eventsim.Engine.now (N.engine t.net) in
+    List.iter (fun group -> repair_group t group ~at:now) stale_groups
+  end;
+  (* i-router side: drop adjacencies that no longer exist. Collect
+     grafts first, in deterministic order. *)
+  let grafts = ref [] in
+  Hashtbl.iter
+    (fun (x, group) e ->
+      if N.node_alive t.net x then begin
+        e.downstream <- List.filter (fun c -> N.link_alive t.net x c) e.downstream;
+        match e.upstream with
+        | Some up when not (N.link_alive t.net x up) ->
+          e.upstream <- None;
+          if e.member && x <> t.active && active_up then
+            grafts := (x, group) :: !grafts
+        | Some _ | None -> ()
+      end)
+    t.entries;
+  List.iter
+    (fun (x, group) -> submit_request t ~group ~dr:x Message.Graft)
+    (List.sort
+       (fun (x1, g1) (x2, g2) ->
+         match Int.compare x1 x2 with 0 -> Int.compare g1 g2 | c -> c)
+       !grafts)
+
+(* ---- message dispatch ---- *)
+
+(* Control requests optionally pass through the m-router's processing
+   station (its network processors); without one they run instantly. *)
+let mrouter_work t job =
+  match t.cpu with
+  | None -> job ()
+  | Some (station, service_time) -> Eventsim.Server.submit station ~service_time job
+
+let rec handle_message t x ~from msg =
+  (* A failed primary is deaf: everything addressed to it is lost,
+     including heartbeats — which is precisely how the standby finds
+     out. *)
+  if x = t.primary && t.primary_failed then ()
+  else
+    match msg with
+    | Message.Data { group; seq; _ } -> handle_data t x ~from msg group seq
+    | Message.Encap { group; src; seq } ->
+      if x = t.active then handle_encap t group src seq
+    | Message.Scmp_join { group; dr; seq } ->
+      if x = t.active then
+        mrouter_work t (fun () -> handle_request t Message.Join group dr seq)
+    | Message.Scmp_leave { group; dr; seq } ->
+      if x = t.active then
+        mrouter_work t (fun () -> handle_request t Message.Leave group dr seq)
+    | Message.Scmp_graft { group; dr; seq } ->
+      if x = t.active then
+        mrouter_work t (fun () -> handle_request t Message.Graft group dr seq)
+    | Message.Scmp_req_ack { group; dr; kind; seq } ->
+      if x = dr then begin
+        match Hashtbl.find_opt t.requests (dr, group) with
+        | Some rq
+          when rq.rq_seq = seq
+               && (match (rq.rq_kind, kind) with
+                  | Message.Join, Message.Join
+                  | Message.Leave, Message.Leave
+                  | Message.Graft, Message.Graft ->
+                    true
+                  | (Message.Join | Message.Leave | Message.Graft), _ -> false)
+          ->
+          rq.rq_acked <- true
+        | Some _ | None -> ()
+      end
+    | Message.Scmp_reliable { token; inner } ->
+      (* Ack over the arrival link first, then process the payload
+         exactly once (a retransmitted frame is re-acked, not
+         re-processed). *)
+      N.transmit t.net ~src:x ~dst:from (Message.Scmp_ack { token });
+      if not (Hashtbl.mem t.rel_seen token) then begin
+        Hashtbl.replace t.rel_seen token ();
+        handle_message t x ~from inner
+      end
+    | Message.Scmp_ack { token } -> (
+      match Hashtbl.find_opt t.rel_pending token with
+      | Some r when x = r.rel_src -> Hashtbl.remove t.rel_pending token
+      | Some _ | None -> ())
+    | Message.Scmp_tree { group; packet } -> handle_tree_packet t x ~from group packet
+    | Message.Scmp_branch { group; path } -> handle_branch t x ~from group path
+    | Message.Scmp_prune { group; from = p } -> handle_prune t x group ~from:p
+    | Message.Scmp_invalidate { group; token } ->
+      (match entry_opt t x group with
+      | Some e when not e.member -> drop_entry t x group
+      | Some _ | None -> ());
+      (* End-to-end ack to the m-router that issued it. *)
+      N.unicast t.net ~src:x ~dst:t.active (Message.Scmp_ack { token })
+    | Message.Scmp_replicate { group; dr; joined } ->
+      (match t.standby with
+      | Some sb when x = sb.sb_node -> mirror_apply sb group dr joined
+      | Some _ | None -> ())
+    | Message.Scmp_heartbeat { from = probe; seq } ->
+      if x = t.primary then
+        N.unicast t.net ~background:true ~src:x ~dst:probe
+          (Message.Scmp_heartbeat_ack { seq })
+    | Message.Scmp_heartbeat_ack _ ->
+      (match t.standby with
+      | Some sb when x = sb.sb_node ->
+        sb.last_ack <- Eventsim.Engine.now (N.engine t.net)
+      | Some _ | None -> ())
+    | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _ | Message.Cbt_quit _
+    | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
+      (* Foreign-protocol traffic: never generated in an SCMP domain. *)
+      ()
+
+let create ?delivery ?(bound = Mtree.Bound.Tightest)
+    ?(distribution = Incremental) ?standby ?(heartbeat_interval = 1.0)
+    ?(takeover_after = 3.0) ?(install_handlers = true) ?cpu ?(rto = 0.25)
+    ?(max_attempts = 6) net ~mrouter () =
+  if rto <= 0.0 then invalid_arg "Scmp_proto.create: rto must be positive";
+  if max_attempts < 1 then
+    invalid_arg "Scmp_proto.create: max_attempts must be at least 1";
+  let g = N.graph net in
+  let engine = N.engine net in
+  let standby_state =
+    Option.map
+      (fun sb_node ->
+        {
+          sb_node;
+          heartbeat_interval;
+          takeover_after;
+          mirror = Hashtbl.create 8;
+          last_ack = Eventsim.Engine.now engine;
+          hb_seq = 0;
+        })
+      standby
+  in
+  let t =
+    {
+      net;
+      primary = mrouter;
+      active = mrouter;
+      primary_failed = false;
+      standby = standby_state;
+      cpu;
+      rto;
+      max_attempts;
+      apsp = Netgraph.Apsp.compute g;
+      bound;
+      distribution;
+      dcdm = Hashtbl.create 8;
+      entries = Hashtbl.create 64;
+      pending_iface = Hashtbl.create 16;
+      ctl_seq = 0;
+      requests = Hashtbl.create 16;
+      ctl_seen = Hashtbl.create 16;
+      tokens = 0;
+      rel_pending = Hashtbl.create 32;
+      rel_seen = Hashtbl.create 64;
+      members = Hashtbl.create 8;
+      delivery;
+      tree_pkts = 0;
+      branch_pkts = 0;
+      invalidations = 0;
+      tree_computes = 0;
+      tree_compute_s = 0.0;
+      retransmissions = 0;
+      giveups = 0;
+      repairs = 0;
+      repair_unconverged = 0;
+      repair_latencies = [];
+    }
+  in
+  if install_handlers then
+    for x = 0 to Netgraph.Graph.node_count g - 1 do
+      N.set_handler net x (fun _net ~from msg -> handle_message t x ~from msg)
+    done;
+  N.on_topology_change net (fun () -> on_topology_change t);
+  (match t.standby with
+  | None -> ()
+  | Some sb ->
+    (* Keep-alive probes forever (background: they never block a
+       run-to-quiescence). Each tick also re-examines the ack age. *)
+    Eventsim.Engine.every engine ~interval:sb.heartbeat_interval ~background:true
+      (fun () ->
+        if not (standby_took_over t) then begin
+          sb.hb_seq <- sb.hb_seq + 1;
+          N.unicast t.net ~background:true ~src:sb.sb_node ~dst:t.primary
+            (Message.Scmp_heartbeat { from = sb.sb_node; seq = sb.hb_seq });
+          maybe_takeover t sb
+        end));
+  t
+
+let handle = handle_message
+
+(* ---- host-side events (the IGMP boundary, §III.B/C) ---- *)
+
+let host_join t ~group x =
+  (match entry_opt t x group with
+  | Some e -> e.member <- true
+  | None -> Hashtbl.replace t.pending_iface (x, group) ());
+  submit_request t ~group ~dr:x Message.Join
+
+let host_leave t ~group x =
+  (match entry_opt t x group with
+  | None -> Hashtbl.remove t.pending_iface (x, group)
+  | Some e ->
+    e.member <- false;
+    if e.downstream = [] && x <> t.active then begin
+      match e.upstream with
+      | Some up ->
+        drop_entry t x group;
+        rel_transmit t ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
+      | None -> drop_entry t x group
+    end);
+  submit_request t ~group ~dr:x Message.Leave
+
+let send_data t ~group ~src ~seq = originate_data t group ~src ~seq
 
 (* ---- invariant snapshots (lib/check bridge) ---- *)
 
@@ -582,9 +989,10 @@ let snapshot t ~group =
   let entries =
     Hashtbl.fold
       (fun (x, g) e acc ->
-        (* A dead primary's leftover entries are unreachable state the
-           live network cannot observe; the verifier skips them. *)
-        if g = group && not (x = t.primary && t.primary_failed) then
+        (* Dead routers, a failed primary's leftovers and partitioned
+           routers hold state the live network cannot observe; the
+           verifier skips them. *)
+        if g = group && observable t x then
           {
             Check.Invariant.router = x;
             upstream = e.upstream;
@@ -608,6 +1016,7 @@ let snapshot t ~group =
     tree = Option.map Check.Invariant.view (mrouter_tree t ~group);
     limit;
     entries;
+    dead_links = N.dead_links t.net;
   }
 
 let snapshots t = List.map (fun group -> snapshot t ~group) (groups t)

@@ -22,7 +22,31 @@
       DESIGN.md);
     - hop-by-hop PRUNE cascades on leave (§III.C);
     - bidirectional data forwarding with the F-set rule, and unicast
-      encapsulation to the m-router for off-tree sources (§III.F). *)
+      encapsulation to the m-router for off-tree sources (§III.F).
+
+    {b Reliable control plane.} The paper assumes control packets
+    arrive; this reproduction does not. Every JOIN/LEAVE/GRAFT is
+    sequence-numbered and retransmitted with exponential backoff
+    (starting at [rto], doubling per attempt, at most [max_attempts]
+    sends) until it is acknowledged or observably complete — for a JOIN
+    the arriving BRANCH/TREE itself acts as the acknowledgement; an
+    explicit {!Message.Scmp_req_ack} covers the cases with nothing to
+    distribute. The m-router suppresses duplicates by highest sequence
+    number per (group, DR) and re-acks them. Tree distribution
+    (TREE/BRANCH/PRUNE) travels in one-hop reliable frames
+    ({!Message.Scmp_reliable}) acked per link; invalidations are acked
+    end-to-end. Requests and frames that exhaust their attempts are
+    counted as give-ups, never retried forever.
+
+    {b Tree repair.} The agent registers a
+    {!Eventsim.Netsim.on_topology_change} hook. When a link or node
+    failure touches a group's tree, the m-router recomputes the DCDM
+    tree over the surviving topology from its membership roster and
+    redistributes it (TREE packets; invalidations to abandoned
+    routers); i-routers sever dead adjacencies, and a member DR whose
+    upstream died sends a reliable GRAFT asking to be re-attached.
+    Each repair's convergence latency (fault instant to the first
+    instant {!network_tree_consistent} holds again) is recorded. *)
 
 type node = Message.node
 
@@ -47,6 +71,8 @@ val create :
   ?takeover_after:float ->
   ?install_handlers:bool ->
   ?cpu:Eventsim.Server.t * float ->
+  ?rto:float ->
+  ?max_attempts:int ->
   Message.t Eventsim.Netsim.t ->
   mrouter:node ->
   unit ->
@@ -66,7 +92,13 @@ val create :
     [cpu] models the m-router's control-plane computing capacity
     (§II.B): a processing station and a per-request service time.
     JOIN/LEAVE requests then queue for a processor before the tree is
-    recomputed and distributed — the capacity bench saturates this. *)
+    recomputed and distributed — the capacity bench saturates this.
+
+    [rto] (default 0.25 s) is the base retransmission timeout of the
+    reliable control transport; [max_attempts] (default 6) bounds total
+    sends of one request or frame before it is abandoned and counted
+    as a give-up.
+    @raise Invalid_argument if [rto <= 0] or [max_attempts < 1]. *)
 
 val mrouter : t -> node
 (** The m-router currently in charge (the standby after takeover). *)
@@ -114,13 +146,26 @@ type stats = {
   tree_compute_wall_s : float;
       (** Their accumulated {e wall-clock} cost — a real-time
           measurement, excluded from deterministic report diffs. *)
+  retransmissions : int;
+      (** Control retransmissions: request re-sends plus reliable-frame
+          re-sends. *)
+  giveups : int;
+      (** Requests and frames abandoned after [max_attempts] sends (or
+          when their link died with no repair path). *)
+  repairs : int;
+      (** Post-failure tree rebuilds at the m-router (one per affected
+          group per topology change). *)
 }
 
 val stats : t -> stats
 
 val observe : t -> Obs.Metrics.t -> unit
-(** Publish {!stats} into a registry under [scmp/...];
-    [scmp/tree_compute_wall_s] is registered as a wallclock metric. *)
+(** Publish {!stats} into a registry under [scmp/...] —
+    [scmp/retransmissions], [scmp/giveups], [scmp/repair/count], a
+    [scmp/repair/latency_s] histogram of sim-time repair convergence
+    latencies and [scmp/repair/unconverged] for repairs whose poll
+    never saw consistency return; [scmp/tree_compute_wall_s] is
+    registered as a wallclock metric. *)
 
 (** {2 Introspection (tests, examples)} *)
 
@@ -135,8 +180,11 @@ val router_state :
 val network_tree_consistent : t -> group:Message.group -> (unit, string) result
 (** Quiesced-state check: every edge of the m-router's tree is mirrored
     by matching upstream/downstream entries in the network, and no
-    router outside the tree holds an entry. Run only after the event
-    queue has drained. *)
+    router outside the tree holds an entry. Entries the live network
+    cannot observe — at dead nodes, at a failed primary, at routers
+    partitioned away from the active m-router — are exempt. Run only
+    after the event queue has drained (or poll it, as tree repair
+    does). *)
 
 (** {2 Invariant snapshots (the [lib/check] bridge)} *)
 
@@ -144,9 +192,10 @@ val groups : t -> Message.group list
 (** Groups the (active) m-router holds tree state for, ascending. *)
 
 val snapshot : t -> group:Message.group -> Check.Invariant.snapshot
-(** Capture one group's central tree, its current absolute delay bound
-    and every live i-router entry (a failed primary's unreachable
-    leftovers excluded) for the invariant verifier. *)
+(** Capture one group's central tree, its current absolute delay bound,
+    every observable i-router entry (dead, partitioned and
+    failed-primary leftovers excluded) and the currently dead links for
+    the invariant verifier. *)
 
 val snapshots : t -> Check.Invariant.snapshot list
 (** One {!snapshot} per known group. *)

@@ -66,6 +66,7 @@ let healthy_snapshot () =
     tree = Some (healthy_tree ());
     limit = 2.0;
     entries = healthy_entries ();
+    dead_links = [];
   }
 
 (* ---------------- I1: tree well-formedness ---------------- *)
@@ -198,6 +199,22 @@ let test_verify_all_reports_rule_names () =
   | Ok () -> Alcotest.fail "expected a violation report"
   | Error report -> checkb "report names the rule" true (contains report "delay-bound")
 
+(* ---------------- I6: tree over live links only ---------------- *)
+
+let test_tree_over_dead_link_flagged () =
+  (* The 2-4 tree edge crosses a failed link (reported in either
+     orientation); a repaired tree would have routed around it. *)
+  let s = { (healthy_snapshot ()) with I.dead_links = [ (4, 2) ] } in
+  let vs = I.check_live_links s in
+  checkb "tree-live-links fires" true (has_rule "tree-live-links" vs);
+  checkb "diagnostic names the edge" true (diagnostic_mentions "2-4" vs);
+  checkb "verify_snapshot includes the rule" true
+    (has_rule "tree-live-links" (I.verify_snapshot s));
+  checki "dead off-tree link is fine" 0
+    (List.length
+       (I.check_live_links
+          { (healthy_snapshot ()) with I.dead_links = [ (2, 5) ] }))
+
 (* ---------------- I4: packet conservation ---------------- *)
 
 let test_delivery_counters () =
@@ -266,6 +283,21 @@ let test_lint_blanking () =
   checkb "comment content gone" false (contains blanked "nested");
   checkb "string content gone" false (contains blanked "Hashtbl");
   checkb "code survives" true (contains blanked "let x =")
+
+let test_lint_raw_transmit () =
+  let src = "let () = Eventsim.Netsim.transmit net ~from:0 1 msg\n" in
+  checkb "raw transmit flagged outside the protocol layer" true
+    (List.exists
+       (fun (x : L.violation) -> x.L.rule = L.rule_raw_transmit)
+       (L.scan_ml ~path:"bin/x.ml" src));
+  checkb "short spelling flagged too" true
+    (List.exists
+       (fun (x : L.violation) -> x.L.rule = L.rule_raw_transmit)
+       (L.scan_ml ~path:"bin/x.ml" "let () = Netsim.transmit net ~from:0 1 m\n"));
+  checki "allowed inside lib/protocols" 0
+    (List.length (L.scan_ml ~path:"lib/protocols/x.ml" src));
+  checki "allowed inside lib/eventsim" 0
+    (List.length (L.scan_ml ~path:"lib/eventsim/x.ml" src))
 
 let test_lint_dune_flags () =
   let vs = L.scan_dune ~path:"lib/mtree/dune" "(library\n (name mtree))\n" in
@@ -369,6 +401,11 @@ let () =
           Alcotest.test_case "wrong upstream flagged" `Quick test_wrong_upstream_flagged;
           Alcotest.test_case "verify_all report" `Quick test_verify_all_reports_rule_names;
         ] );
+      ( "invariant-live-links",
+        [
+          Alcotest.test_case "tree edge over dead link flagged" `Quick
+            test_tree_over_dead_link_flagged;
+        ] );
       ( "invariant-delivery",
         [ Alcotest.test_case "packet conservation" `Quick test_delivery_counters ] );
       ( "lint-rules",
@@ -379,6 +416,7 @@ let () =
           Alcotest.test_case "suppression and literals" `Quick
             test_lint_suppression_and_literals;
           Alcotest.test_case "blanking" `Quick test_lint_blanking;
+          Alcotest.test_case "raw transmit scope" `Quick test_lint_raw_transmit;
           Alcotest.test_case "dune strict flags" `Quick test_lint_dune_flags;
         ] );
       ( "lint-cli",

@@ -59,7 +59,7 @@ let test_fig89_scmp_golden () =
   checki "anomalies" 0 (r.duplicates + r.spurious + r.missed);
   (* pinned to current behaviour; regenerate with --print *)
   Alcotest.check (Alcotest.float 0.5) "data overhead value" 2205000.0 r.data_overhead;
-  Alcotest.check (Alcotest.float 0.5) "protocol overhead value" 317400.0
+  Alcotest.check (Alcotest.float 0.5) "protocol overhead value" 634800.0
     r.protocol_overhead
 
 let test_fig89_all_protocols_agree_on_delivery_count () =
