@@ -973,6 +973,134 @@ let pimsm () =
    the perf baseline future PRs diff against). All numbers here are
    wall-clock by nature, so the report flags every metric [wallclock]. *)
 
+(* ------------------------------------------------------------------ *)
+(* Demand-driven routing cache: cold/warm query cost, and reconvergence
+   under a fault schedule — incremental invalidation vs the eager
+   recompute-every-source scheme it replaced. *)
+
+let routing_bench () =
+  section "routing cache — demand-driven SPTs, incremental reconvergence";
+  let spec = Topology.Waxman.generate ~seed:7 ~n:100 () in
+  let g = spec.Topology.Spec.graph in
+  let n = Netgraph.Graph.node_count g in
+  let mk_net () =
+    let engine = Eventsim.Engine.create () in
+    (engine, Eventsim.Netsim.create engine g ~classify:(fun (_ : unit) -> `Data))
+  in
+  (* cold vs warm: the first query per source pays one Dijkstra, the
+     second is a table read *)
+  let _, net = mk_net () in
+  let sweep () =
+    let acc = ref 0.0 in
+    for s = 0 to n - 1 do
+      acc :=
+        !acc
+        +. Eventsim.Routes.distance
+             (Eventsim.Netsim.routes net)
+             ~src:s
+             ~dst:((s + (n / 2)) mod n)
+    done;
+    !acc
+  in
+  let cold_sum, cold_s = Obs.Clock.time sweep in
+  let warm_sum, warm_s = Obs.Clock.time sweep in
+  assert (cold_sum = warm_sum);
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "phase";
+        T.column "queries";
+        T.column "SPTs built";
+        T.column "ns/query";
+      ]
+  in
+  let per_query s = s /. float_of_int n *. 1e9 in
+  T.add_row tab
+    [ "cold (one sweep, all sources)"; string_of_int n; string_of_int n;
+      Printf.sprintf "%.0f" (per_query cold_s) ];
+  T.add_row tab
+    [ "warm (same sweep again)"; string_of_int n; "0";
+      Printf.sprintf "%.0f" (per_query warm_s) ];
+  print_table ~title:"100-node Waxman (seed 7), one distance query per source"
+    tab;
+  (* reconvergence under churn: 10 link failures (each restored 3 s
+     later) drawn over [1, 30); after every topology change a 32-pair
+     query workload fires. The eager scheme is the seed implementation:
+     rebuild a live-graph copy and recompute all n sources per change. *)
+  let faults_for () =
+    Eventsim.Faults.random_link_failures ~seed:13 ~count:10 ~t0:1.0 ~t1:30.0
+      ~restore_after:3.0 g
+  in
+  let run_scheme ~eager =
+    let engine, net = mk_net () in
+    let qrng = Scmp_util.Prng.create 99 in
+    let eager_built = ref 0 in
+    let eager_tbl = ref None in
+    let rebuild_eager () =
+      let r = Eventsim.Routes.compute (Eventsim.Netsim.live_graph net) in
+      for s = 0 to n - 1 do
+        ignore (Eventsim.Routes.spt r ~src:s)
+      done;
+      eager_built := !eager_built + n;
+      eager_tbl := Some r
+    in
+    if eager then begin
+      rebuild_eager ();
+      Eventsim.Netsim.on_topology_change net rebuild_eager
+    end;
+    let query () =
+      for _ = 1 to 32 do
+        let src = Scmp_util.Prng.int qrng n
+        and dst = Scmp_util.Prng.int qrng n in
+        match !eager_tbl with
+        | Some r -> ignore (Eventsim.Routes.distance r ~src ~dst)
+        | None ->
+          ignore
+            (Eventsim.Routes.distance (Eventsim.Netsim.routes net) ~src ~dst)
+      done
+    in
+    Eventsim.Netsim.on_topology_change net query;
+    ignore (Eventsim.Faults.install net (faults_for ()));
+    query ();
+    let (), wall = Obs.Clock.time (fun () -> Eventsim.Engine.run engine) in
+    let epochs = Eventsim.Netsim.routes_epoch net in
+    let built, invalidated =
+      if eager then (!eager_built, n * epochs)
+      else
+        ( Eventsim.Routes.computed (Eventsim.Netsim.routes net),
+          Eventsim.Routes.invalidated (Eventsim.Netsim.routes net) )
+    in
+    let events = Eventsim.Engine.events_executed engine in
+    (epochs, built, invalidated, events, wall)
+  in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "scheme";
+        T.column "reconvergences";
+        T.column "SPTs built";
+        T.column "invalidated";
+        T.column "ns/event";
+      ]
+  in
+  let add name (epochs, built, invalidated, events, wall) =
+    T.add_row tab
+      [
+        name;
+        string_of_int epochs;
+        string_of_int built;
+        string_of_int invalidated;
+        Printf.sprintf "%.0f" (wall /. float_of_int (max events 1) *. 1e9);
+      ]
+  in
+  add "eager (recompute all sources)" (run_scheme ~eager:true);
+  add "lazy (incremental invalidation)" (run_scheme ~eager:false);
+  print_table
+    ~title:
+      "10 link failures + restores (seed 13) over 30 s, 32 queries per \
+       reconvergence; eager cost is n SPTs per epoch plus the initial table"
+    tab
+
 let micro ?json ~full () =
   section "micro-benchmarks (Bechamel)";
   let open Bechamel in
@@ -1105,7 +1233,7 @@ let micro ?json ~full () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig7|fig8|fig9|placement|fabric|branch|faults|failover|multi|capacity|congestion|pimsm|micro|all] \
+     [fig7|fig8|fig9|placement|fabric|branch|faults|failover|multi|capacity|congestion|pimsm|routing|micro|all] \
      [--full] [--ablate] [--csv DIR] [--json PATH]";
   exit 1
 
@@ -1150,6 +1278,7 @@ let () =
     | "capacity" -> capacity ()
     | "congestion" -> congestion ()
     | "pimsm" -> pimsm ()
+    | "routing" -> routing_bench ()
     | "micro" -> micro ?json ~full ()
     | "all" ->
       fig7 ~seeds:tree_seeds ~ablate ();
@@ -1164,6 +1293,7 @@ let () =
       capacity ();
       congestion ();
       pimsm ();
+      routing_bench ();
       micro ?json ~full ()
     | other ->
       pr "unknown command %S\n" other;

@@ -433,9 +433,16 @@ let run_cmd =
            else
              Printf.sprintf "dup=%d spur=%d miss=%d" r.duplicates r.spurious
                r.missed);
-        if perturbed then
+        if perturbed then begin
           Printf.printf "  delivery ratio %.4f, %d packets dropped\n"
             r.delivery_ratio r.dropped;
+          Printf.printf
+            "  routing: %d reconvergences, %d SPTs built (eager would run \
+             %d), %d invalidated\n"
+            r.routes_epochs r.spt_computed
+            (n * (r.routes_epochs + 1))
+            r.spt_invalidated
+        end;
         match (rep, report_path_for name) with
         | Some rep, Some path ->
           or_die (Obs.Report.write ~pretty:true rep ~path);

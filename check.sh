@@ -36,4 +36,15 @@ grep -q '"scmp/retransmissions"' /tmp/fault_smoke.json
 ratio=$(grep -o '"delivery/ratio": [0-9.]*' /tmp/fault_smoke.json | grep -o '[0-9.]*$')
 awk "BEGIN { exit !($ratio >= 0.95) }"
 
+# Routing-cache smoke: a fault-heavy run must reconverge once per
+# effective fault while the demand-driven cache builds far fewer SPTs
+# than eager recomputation (n per epoch, 80 x 8 = 640 here) would.
+echo "== routing cache smoke (fault-heavy sim, lazy SPTs)"
+dune exec bin/scmp_sim.exe -- run --gen waxman --nodes 80 --seed 3 -p scmp \
+  --fault-seed 5 --fault-count 8 --report /tmp/routing_smoke.json > /dev/null
+epochs=$(grep -o '"net/routes_epoch": [0-9]*' /tmp/routing_smoke.json | grep -o '[0-9]*$')
+spts=$(grep -o '"routes/spt_computed": [0-9]*' /tmp/routing_smoke.json | grep -o '[0-9]*$')
+test "$epochs" -ge 8
+awk "BEGIN { exit !($spts < 80 * $epochs / 4) }"
+
 echo "check.sh: all gates passed"

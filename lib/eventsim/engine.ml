@@ -19,29 +19,36 @@ let create () =
 
 let now t = t.clock
 
-let enqueue t ~time ~background thunk =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+(* [caller] names the public entry point so a "time in the past" error
+   points at the call site that actually failed, not at schedule_at. *)
+let enqueue t ~caller ~time ~background thunk =
+  if time < t.clock then invalid_arg (caller ^ ": time in the past");
   Scmp_util.Heap.add t.queue ~key:time { thunk; background };
   let len = Scmp_util.Heap.length t.queue in
   if len > t.heap_hwm then t.heap_hwm <- len;
   if not background then t.foreground <- t.foreground + 1
 
-let schedule_at t ?(background = false) ~time thunk = enqueue t ~time ~background thunk
+let schedule_at t ?(background = false) ~time thunk =
+  enqueue t ~caller:"Engine.schedule_at" ~time ~background thunk
 
 let schedule t ?(background = false) ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~background ~time:(t.clock +. delay) thunk
+  enqueue t ~caller:"Engine.schedule" ~time:(t.clock +. delay) ~background thunk
 
 let every t ~interval ?until ?(background = false) thunk =
   if interval <= 0.0 then invalid_arg "Engine.every: non-positive interval";
+  let within next =
+    match until with Some stop -> next <= stop | None -> true
+  in
   let rec tick () =
     thunk ();
     let next = t.clock +. interval in
-    match until with
-    | Some stop when next > stop -> ()
-    | _ -> enqueue t ~time:next ~background tick
+    if within next then enqueue t ~caller:"Engine.every" ~time:next ~background tick
   in
-  enqueue t ~time:(t.clock +. interval) ~background tick
+  (* The [until] window also gates the *first* firing: a periodic task
+     whose first tick would land past the horizon never fires at all. *)
+  let first = t.clock +. interval in
+  if within first then enqueue t ~caller:"Engine.every" ~time:first ~background tick
 
 let pending t = Scmp_util.Heap.length t.queue
 let pending_foreground t = t.foreground

@@ -25,8 +25,10 @@ val schedule_at : t -> ?background:bool -> time:float -> (unit -> unit) -> unit
 val every :
   t -> interval:float -> ?until:float -> ?background:bool -> (unit -> unit) -> unit
 (** Recurring event starting one [interval] from now, stopping after
-    [until] (absolute, inclusive) if given. [background] events (e.g.
-    periodic IGMP queries) do not keep {!run} alive — see {!run}.
+    [until] (absolute, inclusive) if given. The window gates every
+    firing including the first: if [now t +. interval > until] the
+    task never fires. [background] events (e.g. periodic IGMP queries)
+    do not keep {!run} alive — see {!run}.
     @raise Invalid_argument on non-positive interval. *)
 
 val pending : t -> int

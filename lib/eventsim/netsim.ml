@@ -19,7 +19,7 @@ type loss_model = {
 type 'm t = {
   engine : Engine.t;
   graph : Netgraph.Graph.t;
-  mutable routes : Routes.t;
+  routes : Routes.t;
   mutable routes_epoch : int;
   classify : 'm -> pkt_class;
   sizeof : ('m -> int) option;
@@ -41,11 +41,13 @@ type 'm t = {
   mutable drop_hooks :
     (reason:drop_reason -> src:node -> dst:node -> 'm -> unit) list;
   (* Fault overlay: the base [graph] is immutable; dead links and dead
-     nodes are tracked here and [routes] is recomputed over the live
-     subgraph on every change. The [*_fails] counters record how many
-     times a link/node has gone down — a packet in flight captures them
-     at send time, so a failure during the flight is detected at the
-     delivery instant even if the element was restored meanwhile. *)
+     nodes are tracked here, and [routes] — a lazy per-source cache
+     filtered through this overlay — is incrementally invalidated on
+     every change (only entries the fault can affect are dropped). The
+     [*_fails] counters record how many times a link/node has gone
+     down — a packet in flight captures them at send time, so a failure
+     during the flight is detected at the delivery instant even if the
+     element was restored meanwhile. *)
   dead_links : (node * node, unit) Hashtbl.t;
   node_down : bool array;
   link_fails : (node * node, int) Hashtbl.t;
@@ -56,12 +58,23 @@ type 'm t = {
   processing : (node, Server.t * float) Hashtbl.t;
 }
 
+let norm a b = (min a b, max a b)
+
 let create ?sizeof engine graph ~classify =
   let n = Netgraph.Graph.node_count graph in
+  (* The overlay tables exist before the record so the routes cache can
+     close over them: an SPT is always built through the *current*
+     liveness, and invalidation notices keep cached entries exact. *)
+  let dead_links = Hashtbl.create 8 in
+  let node_down = Array.make n false in
+  let edge_ok a b =
+    (not node_down.(a)) && (not node_down.(b))
+    && not (Hashtbl.mem dead_links (norm a b))
+  in
   {
     engine;
     graph;
-    routes = Routes.compute graph;
+    routes = Routes.compute ~edge_ok graph;
     routes_epoch = 0;
     classify;
     sizeof;
@@ -81,8 +94,8 @@ let create ?sizeof engine graph ~classify =
     dropped_link_down = 0;
     dropped_node_down = 0;
     drop_hooks = [];
-    dead_links = Hashtbl.create 8;
-    node_down = Array.make n false;
+    dead_links;
+    node_down;
     link_fails = Hashtbl.create 8;
     node_fails = Array.make n 0;
     topo_hooks = [];
@@ -133,8 +146,6 @@ let note_drop t reason ~src ~dst msg =
 
 (* ---------------- Fault overlay ---------------- *)
 
-let norm a b = (min a b, max a b)
-
 let node_alive t x = not t.node_down.(x)
 
 let link_alive t a b =
@@ -150,7 +161,7 @@ let live_graph t =
           ~cost:l.Netgraph.Graph.cost);
   g
 
-let dead_links t =
+let dead_link_list t =
   let acc = ref [] in
   Netgraph.Graph.iter_links t.graph (fun l ->
       let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
@@ -162,8 +173,10 @@ let dead_links t =
 
 let on_topology_change t h = t.topo_hooks <- t.topo_hooks @ [ h ]
 
+(* Route invalidation happened incrementally before this is called (see
+   the fail_*/restore_* functions); reconvergence itself is just the
+   epoch bump and the change notification. *)
 let reconverge t =
-  t.routes <- Routes.compute (live_graph t);
   t.routes_epoch <- t.routes_epoch + 1;
   List.iter (fun h -> h ()) t.topo_hooks
 
@@ -178,6 +191,7 @@ let fail_link t a b =
   if not (Hashtbl.mem t.dead_links (norm a b)) then begin
     Hashtbl.replace t.dead_links (norm a b) ();
     bump_link_fail t a b;
+    Routes.note_edge_down t.routes (a, b);
     reconverge t
   end
 
@@ -186,15 +200,26 @@ let restore_link t a b =
     invalid_arg "Netsim.restore_link: no such link";
   if Hashtbl.mem t.dead_links (norm a b) then begin
     Hashtbl.remove t.dead_links (norm a b);
+    (* Only an effective revival invalidates: the link may still be
+       severed by a dead endpoint, in which case nothing changed. *)
+    if link_alive t a b then Routes.note_edge_up t.routes (a, b);
     reconverge t
   end
 
+(* A node fault is, for routing purposes, the fault of its incident
+   edges: cached SPTs reach (or leave) x only across those, so applying
+   the edge rule to each is exact. Edges already severed (dead link or
+   dead far endpoint) are no-ops for note_edge_down — no valid cached
+   tree uses them — and are skipped for note_edge_up. *)
 let fail_node t x =
   if x < 0 || x >= Array.length t.node_down then
     invalid_arg "Netsim.fail_node: no such node";
   if not t.node_down.(x) then begin
     t.node_down.(x) <- true;
     t.node_fails.(x) <- t.node_fails.(x) + 1;
+    List.iter
+      (fun y -> Routes.note_edge_down t.routes (x, y))
+      (Netgraph.Graph.neighbors t.graph x);
     reconverge t
   end
 
@@ -203,6 +228,9 @@ let restore_node t x =
     invalid_arg "Netsim.restore_node: no such node";
   if t.node_down.(x) then begin
     t.node_down.(x) <- false;
+    List.iter
+      (fun y -> if link_alive t x y then Routes.note_edge_up t.routes (x, y))
+      (Netgraph.Graph.neighbors t.graph x);
     reconverge t
   end
 
@@ -281,7 +309,7 @@ let charge t ~src ~dst msg =
     t.control_overhead <- t.control_overhead +. cost;
     t.control_tx <- t.control_tx + 1;
     t.control_bytes <- t.control_bytes + bytes);
-  let key = (min src dst, max src dst) in
+  let key = norm src dst in
   Hashtbl.replace t.per_link key
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_link key));
   List.iter (fun h -> h ~src ~dst msg) t.hooks
@@ -341,7 +369,7 @@ let data_bytes t = t.data_bytes
 let control_bytes t = t.control_bytes
 
 let link_crossings t (a, b) =
-  Option.value ~default:0 (Hashtbl.find_opt t.per_link (min a b, max a b))
+  Option.value ~default:0 (Hashtbl.find_opt t.per_link (norm a b))
 
 let per_link_crossings t =
   Hashtbl.fold (fun link n acc -> (link, n) :: acc) t.per_link []
@@ -361,6 +389,8 @@ let observe t m =
   set_c "net/dropped/link_down" t.dropped_link_down;
   set_c "net/dropped/node_down" t.dropped_node_down;
   set_c "net/routes_epoch" t.routes_epoch;
+  set_c "routes/spt_computed" (Routes.computed t.routes);
+  set_c "routes/invalidated" (Routes.invalidated t.routes);
   set_g "net/data/cost" t.data_overhead;
   set_g "net/control/cost" t.control_overhead;
   set_c "net/links_used" (Hashtbl.length t.per_link);

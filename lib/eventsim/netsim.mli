@@ -34,10 +34,11 @@ type 'm t
 
 val create :
   ?sizeof:('m -> int) -> Engine.t -> Netgraph.Graph.t -> classify:('m -> pkt_class) -> 'm t
-(** Builds converged unicast routes internally (one Dijkstra per
-    node). [sizeof] gives a message's wire size in bytes; with it, the
-    simulation also keeps per-class byte counters ({!data_bytes},
-    {!control_bytes}) — without it they stay at 0. *)
+(** Builds a demand-driven unicast routing cache internally (one
+    Dijkstra per *queried* source, memoized; see {!Routes}). [sizeof]
+    gives a message's wire size in bytes; with it, the simulation also
+    keeps per-class byte counters ({!data_bytes}, {!control_bytes}) —
+    without it they stay at 0. *)
 
 val engine : 'm t -> Engine.t
 
@@ -46,12 +47,14 @@ val graph : 'm t -> Netgraph.Graph.t
     {!live_graph}). *)
 
 val routes : 'm t -> Routes.t
-(** The currently converged unicast routes — recomputed over the live
-    subgraph on every topology change, so do not cache the returned
-    value across events (re-read it, or watch {!routes_epoch}). *)
+(** The converged unicast routes, always answering over the current
+    live subgraph. The handle itself is stable for the simulation's
+    lifetime; topology changes invalidate affected cached entries in
+    place, so answers obtained *before* a change may be stale — re-query
+    after a change (or watch {!routes_epoch}). *)
 
 val routes_epoch : 'm t -> int
-(** Incremented every time {!routes} is recomputed (once per effective
+(** Incremented on every route reconvergence (once per effective
     [fail_*]/[restore_*] call); 0 on a fresh simulation. Agents can
     compare epochs to detect reconvergence. *)
 
@@ -111,8 +114,10 @@ val observe : 'm t -> Obs.Metrics.t -> unit
     [net/data/cost], [net/control/cost], [net/dropped] plus its
     per-reason breakdown ([net/dropped/loss], [net/dropped/no_route],
     [net/dropped/link_down], [net/dropped/node_down]),
-    [net/routes_epoch], [net/links_used], [net/max_link_crossings].
-    Idempotent. *)
+    [net/routes_epoch], the routing-cache economics
+    ([routes/spt_computed] — lifetime SPT builds, [routes/invalidated]
+    — cached SPTs dropped by faults), [net/links_used],
+    [net/max_link_crossings]. Idempotent. *)
 
 val on_transmit : 'm t -> (src:node -> dst:node -> 'm -> unit) -> unit
 (** Register a trace hook called on every link crossing (after
@@ -158,9 +163,10 @@ val on_drop :
 (** {2 Link and node failures}
 
     The base {!graph} is immutable; failures form an overlay. Each
-    effective state change recomputes {!routes} over the surviving
-    topology, bumps {!routes_epoch} and fires {!on_topology_change}
-    hooks. Transmits over a dead link (or to/from a dead node) are
+    effective state change incrementally invalidates the affected
+    entries of the {!routes} cache (only SPTs whose answers the fault
+    can change; see {!Routes}), bumps {!routes_epoch} and fires
+    {!on_topology_change} hooks. Transmits over a dead link (or to/from a dead node) are
     dropped and counted — not charged, the bits were never sent — and a
     packet in flight across an element that fails before its arrival
     instant is killed even if the element was restored meanwhile.
@@ -189,11 +195,12 @@ val live_graph : 'm t -> Netgraph.Graph.t
 (** A fresh graph of the surviving topology: base nodes, minus links
     that are dead or have a dead endpoint. *)
 
-val dead_links : 'm t -> (node * node) list
+val dead_link_list : 'm t -> (node * node) list
 (** Base-graph links currently unusable (dead, or a dead endpoint),
     normalized [u < v] and sorted — the shape the invariant verifier
     consumes. *)
 
 val on_topology_change : 'm t -> (unit -> unit) -> unit
-(** Register a hook fired after every route reconvergence (routes are
-    already recomputed when it runs). Hooks stack. *)
+(** Register a hook fired after every route reconvergence (stale route
+    entries are already invalidated when it runs, so any query made
+    from the hook sees post-change answers). Hooks stack. *)

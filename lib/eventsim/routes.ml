@@ -1,13 +1,77 @@
-type t = { results : Netgraph.Dijkstra.result array }
+module G = Netgraph.Graph
+module D = Netgraph.Dijkstra
 
-let compute g =
-  let n = Netgraph.Graph.node_count g in
+(* Demand-driven per-source SPT cache with incremental invalidation.
+
+   A source's shortest-path tree is computed on first query and
+   memoized. On a fault, instead of recomputing every source, the cache
+   drops only the entries the fault can actually change:
+
+   - [note_edge_down (a,b)]: a cached SPT whose *tree* does not use the
+     edge is unaffected. Dijkstra relaxes with strict [<], so any
+     relaxation through (a,b) that did not win left no trace, and any
+     equal-distance tie the edge could have won puts the edge *in* the
+     tree — so "tree uses the edge" (pred a = b or pred b = a, O(1))
+     is exact: every surviving entry equals the eager recompute.
+
+   - [note_edge_up (a,b), weight w]: no cached tree uses a dead edge,
+     so the test flips to distances. The revived edge can change source
+     s's answers only if it could relax — or tie — a label:
+     [da + w <= db || db + w <= da] ([<=], not [<], because an equal
+     tie could flip a predecessor choice). When both endpoints are
+     unreachable from s the edge connects two nodes of a foreign
+     component and cannot help; keep the entry.
+
+   Node faults reduce to their incident edges (see Netsim). The
+   edge→sources map records, per tree edge, which cached sources use
+   it, so an edge death touches only candidate dependents. *)
+
+type t = {
+  g : G.t;
+  edge_ok : (G.node -> G.node -> bool) option;
+  results : D.result option array;
+  (* normalized (min,max) tree edge -> sources whose cached SPT used it
+     when built. Entries may be stale (source since dropped or rebuilt
+     without the edge); [note_edge_down] re-checks before dropping. *)
+  edge_users : (G.node * G.node, int list ref) Hashtbl.t;
+  mutable computed : int;
+  mutable invalidated : int;
+}
+
+let norm a b = (min a b, max a b)
+
+let compute ?edge_ok g =
   {
-    results =
-      Array.init n (fun s -> Netgraph.Dijkstra.run g ~metric:Netgraph.Dijkstra.Delay ~source:s);
+    g;
+    edge_ok;
+    results = Array.make (G.node_count g) None;
+    edge_users = Hashtbl.create 64;
+    computed = 0;
+    invalidated = 0;
   }
 
-let path t ~src ~dst = Netgraph.Dijkstra.path t.results.(src) dst
+let register_tree_edges t s r =
+  for y = 0 to G.node_count t.g - 1 do
+    match D.parent r y with
+    | None -> ()
+    | Some p -> (
+      let key = norm p y in
+      match Hashtbl.find_opt t.edge_users key with
+      | Some users -> if not (List.mem s !users) then users := s :: !users
+      | None -> Hashtbl.add t.edge_users key (ref [ s ]))
+  done
+
+let force t s =
+  match t.results.(s) with
+  | Some r -> r
+  | None ->
+    let r = D.run ?edge_ok:t.edge_ok t.g ~metric:D.Delay ~source:s in
+    t.results.(s) <- Some r;
+    t.computed <- t.computed + 1;
+    register_tree_edges t s r;
+    r
+
+let path t ~src ~dst = D.path (force t src) dst
 
 let next_hop t ~src ~dst =
   if src = dst then None
@@ -16,6 +80,51 @@ let next_hop t ~src ~dst =
     | Some (_ :: hop :: _) -> Some hop
     | Some _ | None -> None
 
-let distance t ~src ~dst = Netgraph.Dijkstra.dist t.results.(src) dst
+let distance t ~src ~dst = D.dist (force t src) dst
+let spt t ~src = force t src
 
-let spt t ~src = t.results.(src)
+let drop t s =
+  match t.results.(s) with
+  | None -> ()
+  | Some _ ->
+    t.results.(s) <- None;
+    t.invalidated <- t.invalidated + 1
+
+let uses_edge r a b = D.parent r a = Some b || D.parent r b = Some a
+
+let note_edge_down t (a, b) =
+  match Hashtbl.find_opt t.edge_users (norm a b) with
+  | None -> ()
+  | Some users ->
+    Hashtbl.remove t.edge_users (norm a b);
+    List.iter
+      (fun s ->
+        match t.results.(s) with
+        | Some r when uses_edge r a b -> drop t s
+        | Some _ | None -> ())
+      !users
+
+let note_edge_up t (a, b) =
+  let w = G.link_delay t.g a b in
+  Array.iteri
+    (fun s entry ->
+      match entry with
+      | None -> ()
+      | Some r ->
+        let da = D.dist r a and db = D.dist r b in
+        if not (da = infinity && db = infinity)
+           && (da +. w <= db || db +. w <= da)
+        then drop t s)
+    t.results
+
+let invalidate_all t =
+  Array.iteri (fun s _ -> drop t s) t.results;
+  Hashtbl.reset t.edge_users
+
+let cached t =
+  Array.fold_left
+    (fun acc entry -> match entry with None -> acc | Some _ -> acc + 1)
+    0 t.results
+
+let computed t = t.computed
+let invalidated t = t.invalidated

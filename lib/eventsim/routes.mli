@@ -1,16 +1,31 @@
-(** Unicast next-hop forwarding tables.
+(** Unicast next-hop forwarding tables (demand-driven).
 
     Each domain in the paper runs a link-state unicast routing protocol
     alongside the multicast protocol (§II.D); this module is its
     steady-state result — the converged next-hop tables — computed from
     shortest-delay paths. All hop-by-hop and tunnelled unicast traffic
-    in the simulator forwards through these tables. *)
+    in the simulator forwards through these tables.
+
+    The tables are lazy: a source's shortest-path tree is computed on
+    the first [path]/[next_hop]/[distance] query against it and
+    memoized. Faults invalidate incrementally via {!note_edge_down} /
+    {!note_edge_up} — only entries whose answers the fault can change
+    are dropped — so every query observes exactly the answers an eager
+    full recompute over the surviving subgraph would give (tested
+    differentially in test_routing_cache.ml). *)
 
 type t
 
-val compute : Netgraph.Graph.t -> t
-(** One Dijkstra (delay metric) per node. Ties resolve
-    deterministically (Dijkstra's fixed relaxation order). *)
+val compute :
+  ?edge_ok:(Netgraph.Graph.node -> Netgraph.Graph.node -> bool) ->
+  Netgraph.Graph.t ->
+  t
+(** An empty cache over [g]; no Dijkstra runs until the first query.
+    [edge_ok] (a symmetric liveness predicate, e.g. a fault overlay
+    lookup) filters the graph at SPT-build time; it must be constant
+    between an invalidation notice and the queries that follow it.
+    Ties resolve deterministically (Dijkstra's fixed relaxation
+    order). *)
 
 val next_hop : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.Graph.node option
 (** The neighbour to forward to; [None] if [dst] is unreachable.
@@ -24,4 +39,27 @@ val path : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.P
 
 val spt : t -> src:Netgraph.Graph.node -> Netgraph.Dijkstra.result
 (** The shortest-delay tree rooted at [src] (the structure MOSPF
-    routers derive their per-source forwarding from). *)
+    routers derive their per-source forwarding from); forces the
+    source if uncached. *)
+
+val note_edge_down : t -> Netgraph.Graph.node * Netgraph.Graph.node -> unit
+(** The edge just died: drop exactly the cached SPTs whose tree uses
+    it (tracked per edge at build time, so untouched sources pay
+    nothing). Entries kept are provably identical to a recompute. *)
+
+val note_edge_up : t -> Netgraph.Graph.node * Netgraph.Graph.node -> unit
+(** The edge just revived: drop the cached SPTs the edge could now
+    shorten (or tie — ties can flip predecessor choices), judged from
+    the cached distances of its endpoints. *)
+
+val invalidate_all : t -> unit
+(** Drop every cached entry (full reconvergence). *)
+
+val cached : t -> int
+(** Number of sources currently memoized. *)
+
+val computed : t -> int
+(** Lifetime count of SPT builds ([routes/spt_computed]). *)
+
+val invalidated : t -> int
+(** Lifetime count of cached SPTs dropped ([routes/invalidated]). *)

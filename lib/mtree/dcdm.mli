@@ -8,6 +8,9 @@
     branch. Candidates for a join of [s] are, for every one of the [m]
     on-tree routers [v], the precomputed least-cost path [P_lc(s,v)]
     and shortest-delay path [P_sl(s,v)] — the "2m paths" of the paper.
+    The {!Netgraph.Apsp} table backing them is demand-driven, so a join
+    forces at most the [m] on-tree sources (each memoized across
+    joins), never the whole topology.
 
     The delay bound is dynamic: [Bound.limit] of the largest member
     unicast delay seen in the current group (§III.D: when a member

@@ -15,5 +15,7 @@
     The result is returned rooted at the m-router for evaluation. *)
 
 val build : Netgraph.Apsp.t -> root:Tree.node -> members:Tree.node list -> Tree.t
-(** @raise Invalid_argument if any member is unreachable from the
+(** Forces only the terminal sources of the (lazy) APSP table — the
+    root and the members — not all n.
+    @raise Invalid_argument if any member is unreachable from the
     root. *)

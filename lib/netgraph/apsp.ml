@@ -1,21 +1,50 @@
+(* Demand-driven: one Dijkstra per (source, metric) on first query,
+   memoized. Consumers that touch a handful of sources — the DCDM join
+   step consults only on-tree routers, SPT/KMB only the root and the
+   members — no longer pay for the n-2 sources they never ask about.
+   The optional liveness filters let the table answer over a fault
+   overlay without materializing the surviving subgraph; a table's
+   filters are captured at [compute] time, so a fresh table must be
+   created when the overlay changes. *)
+
 type t = {
   g : Graph.t;
-  by_delay : Dijkstra.result array;  (* index = source *)
-  by_cost : Dijkstra.result array;
+  node_ok : (Graph.node -> bool) option;
+  edge_ok : (Graph.node -> Graph.node -> bool) option;
+  by_delay : Dijkstra.result option array;  (* index = source *)
+  by_cost : Dijkstra.result option array;
 }
 
-let compute g =
+let compute ?node_ok ?edge_ok g =
   let n = Graph.node_count g in
-  let run metric = Array.init n (fun s -> Dijkstra.run g ~metric ~source:s) in
-  { g; by_delay = run Dijkstra.Delay; by_cost = run Dijkstra.Cost }
+  {
+    g;
+    node_ok;
+    edge_ok;
+    by_delay = Array.make n None;
+    by_cost = Array.make n None;
+  }
+
+let force t table metric s =
+  match table.(s) with
+  | Some r -> r
+  | None ->
+    let r =
+      Dijkstra.run ?node_ok:t.node_ok ?edge_ok:t.edge_ok t.g ~metric ~source:s
+    in
+    table.(s) <- Some r;
+    r
+
+let delay_spt t s = force t t.by_delay Dijkstra.Delay s
+let cost_spt t s = force t t.by_cost Dijkstra.Cost s
 
 let graph t = t.g
 
-let delay t a b = Dijkstra.dist t.by_delay.(a) b
-let cost t a b = Dijkstra.dist t.by_cost.(a) b
+let delay t a b = Dijkstra.dist (delay_spt t a) b
+let cost t a b = Dijkstra.dist (cost_spt t a) b
 
-let sl_path t a b = Dijkstra.path t.by_delay.(a) b
-let lc_path t a b = Dijkstra.path t.by_cost.(a) b
+let sl_path t a b = Dijkstra.path (delay_spt t a) b
+let lc_path t a b = Dijkstra.path (cost_spt t a) b
 
 let other_metric_along t pick_path measure a b =
   match pick_path t a b with
@@ -26,9 +55,12 @@ let delay_of_lc t a b = other_metric_along t lc_path Path.delay a b
 let cost_of_sl t a b = other_metric_along t sl_path Path.cost a b
 
 let diameter t =
-  Array.fold_left
-    (fun acc r -> Float.max acc (Dijkstra.eccentricity r))
-    0.0 t.by_delay
+  let n = Graph.node_count t.g in
+  let acc = ref 0.0 in
+  for s = 0 to n - 1 do
+    acc := Float.max !acc (Dijkstra.eccentricity (delay_spt t s))
+  done;
+  !acc
 
 let mean_delay_from t x =
   let n = Graph.node_count t.g in

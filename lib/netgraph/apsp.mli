@@ -4,7 +4,9 @@
     the DCDM join step consults, for every on-tree router, both the
     least-cost path [P_lc] and the shortest-delay path [P_sl] to the
     joining node, "computed in advance" (§III.D). This module is that
-    precomputation: one Dijkstra per node per metric, cached.
+    precomputation, realized lazily: one Dijkstra per (source, metric)
+    on first query, memoized — consumers that touch few sources (DCDM
+    asks only about on-tree routers) never pay for the rest.
 
     For a path chosen under one metric, the {e other} metric along the
     same concrete node sequence is exposed too (e.g. the delay of the
@@ -12,8 +14,17 @@
 
 type t
 
-val compute : Graph.t -> t
-(** O(n (m + n log n)) per metric. *)
+val compute :
+  ?node_ok:(Graph.node -> bool) ->
+  ?edge_ok:(Graph.node -> Graph.node -> bool) ->
+  Graph.t ->
+  t
+(** O(1): no Dijkstra runs until the first query; each queried source
+    costs O(m + n log n) per metric, once. The optional filters (see
+    {!Dijkstra.run}) make the table answer over a fault overlay
+    without copying the surviving subgraph; they are consulted at
+    SPT-build time, so create a fresh table whenever the overlay
+    changes — memoized entries are never re-checked. *)
 
 val graph : t -> Graph.t
 

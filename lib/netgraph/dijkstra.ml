@@ -9,9 +9,19 @@ type result = {
   pred : int array;  (* -1 = none *)
 }
 
-let run g ~metric ~source =
+(* [node_ok] / [edge_ok] let the search run directly over the base graph
+   plus a fault overlay, without materializing the surviving subgraph: a
+   node failing [node_ok] (or an edge failing [edge_ok]) is treated as
+   absent. The source always gets distance 0 even when excluded — it is
+   then isolated, exactly as a present-but-linkless node would be.
+   Relaxations visit surviving edges in the graph's insertion order, so
+   the result (dist and pred alike, ties included) is identical to an
+   unfiltered run over a copy of the surviving subgraph. *)
+let run ?node_ok ?edge_ok g ~metric ~source =
   let n = Graph.node_count g in
   if source < 0 || source >= n then invalid_arg "Dijkstra.run: source out of range";
+  let node_ok = match node_ok with None -> fun _ -> true | Some f -> f in
+  let edge_ok = match edge_ok with None -> fun _ _ -> true | Some f -> f in
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
   let settled = Array.make n false in
@@ -24,14 +34,19 @@ let run g ~metric ~source =
     | Some (d, x) ->
       if not settled.(x) then begin
         settled.(x) <- true;
-        Graph.iter_neighbors g x (fun y ~delay ~cost ->
-            let w = match metric with Delay -> delay | Cost -> cost in
-            let nd = d +. w in
-            if nd < dist.(y) then begin
-              dist.(y) <- nd;
-              pred.(y) <- x;
-              Scmp_util.Heap.add heap ~key:nd y
-            end)
+        (* Non-source nodes only reach the heap through a surviving
+           edge, so [node_ok x] can fail here only for the source. *)
+        if node_ok x then
+          Graph.iter_neighbors g x (fun y ~delay ~cost ->
+              if node_ok y && edge_ok x y then begin
+                let w = match metric with Delay -> delay | Cost -> cost in
+                let nd = d +. w in
+                if nd < dist.(y) then begin
+                  dist.(y) <- nd;
+                  pred.(y) <- x;
+                  Scmp_util.Heap.add heap ~key:nd y
+                end
+              end)
       end;
       drain ()
   in

@@ -13,7 +13,22 @@ val weight : Graph.t -> metric -> Graph.node -> Graph.node -> float
 type result
 (** Shortest-path tree from one source under one metric. *)
 
-val run : Graph.t -> metric:metric -> source:Graph.node -> result
+val run :
+  ?node_ok:(Graph.node -> bool) ->
+  ?edge_ok:(Graph.node -> Graph.node -> bool) ->
+  Graph.t ->
+  metric:metric ->
+  source:Graph.node ->
+  result
+(** [node_ok] / [edge_ok] filter the graph during the search: a node
+    (or an edge, queried in traversal direction — pass a symmetric
+    predicate for undirected liveness) for which the filter returns
+    [false] is treated as absent, so the search runs over the base
+    graph plus a fault overlay without copying the surviving subgraph.
+    The source keeps distance 0 even when itself filtered out (it is
+    then isolated). Surviving edges are relaxed in insertion order, so
+    the result — including ties — is identical to an unfiltered run
+    over a materialized copy of the surviving subgraph. *)
 
 val source : result -> Graph.node
 val dist : result -> Graph.node -> float

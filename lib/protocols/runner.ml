@@ -68,6 +68,9 @@ type result = {
   packets_sent : int;
   dropped : int;
   delivery_ratio : float;
+  routes_epochs : int;
+  spt_computed : int;
+  spt_invalidated : int;
 }
 
 (* Report wiring: metadata before the run, phase boundaries during it,
@@ -295,6 +298,9 @@ let run ?(check = false) ?report driver s =
     delivery_ratio =
       (if expected = 0 then 1.0
        else float_of_int (Delivery.deliveries delivery) /. float_of_int expected);
+    routes_epochs = Eventsim.Netsim.routes_epoch net;
+    spt_computed = Eventsim.Routes.computed (Eventsim.Netsim.routes net);
+    spt_invalidated = Eventsim.Routes.invalidated (Eventsim.Netsim.routes net);
   }
 
 let run_name ?check ?report name s =

@@ -104,6 +104,14 @@ type result = {
       (** deliveries / expected (1.0 when nothing was expected). Equals
           1.0 on an unperturbed run; the fault-tolerance acceptance bar
           is >= 0.95 under control-plane loss and tree repair. *)
+  routes_epochs : int;
+      (** Route reconvergences (effective fault events) during the run. *)
+  spt_computed : int;
+      (** Unicast SPTs the demand-driven routing cache actually built —
+          compare against nodes × (routes_epochs + 1), the eager
+          recompute-everything cost it replaces. *)
+  spt_invalidated : int;
+      (** Cached SPTs dropped by incremental fault invalidation. *)
 }
 
 val run : ?check:bool -> ?report:Obs.Report.t -> Driver.t -> scenario -> result

@@ -333,22 +333,23 @@ let replicate t group dr joined =
 
 let mirror_apply sb group dr joined = roster_apply sb.mirror group dr joined
 
-(* The topology the m-router can actually build trees over: live links
-   only, minus the primary when it failed at the protocol level (its
-   node is still up for the netsim, but the domain routes around it by
-   detection time). *)
-let surviving_graph t =
-  let g = N.live_graph t.net in
-  if not t.primary_failed then g
-  else begin
-    let without_primary = Netgraph.Graph.create (Netgraph.Graph.node_count g) in
-    Netgraph.Graph.iter_links g (fun l ->
-        if l.Netgraph.Graph.u <> t.primary && l.Netgraph.Graph.v <> t.primary then
-          Netgraph.Graph.add_link without_primary l.Netgraph.Graph.u
-            l.Netgraph.Graph.v ~delay:l.Netgraph.Graph.delay
-            ~cost:l.Netgraph.Graph.cost);
-    without_primary
-  end
+(* A fresh APSP table over the topology the m-router can actually
+   build trees over: live links only, minus the primary's links when it
+   failed at the protocol level (its node is still up for the netsim,
+   but the domain routes around it by detection time). The table is
+   lazy, so the overlay is *snapshotted* here — a later query must
+   answer as of this instant, exactly like the eager materialization it
+   replaces, even if further faults land before the query (every such
+   fault triggers a new snapshot through on_topology_change anyway). *)
+let fresh_apsp t =
+  let dead = Hashtbl.create 8 in
+  List.iter (fun e -> Hashtbl.replace dead e ()) (N.dead_link_list t.net);
+  let primary_down = t.primary_failed in
+  let edge_ok a b =
+    (not (Hashtbl.mem dead (min a b, max a b)))
+    && not (primary_down && (a = t.primary || b = t.primary))
+  in
+  Netgraph.Apsp.compute ~edge_ok (N.graph t.net)
 
 (* Rebuild one group's tree from a membership roster over the current
    [t.apsp], redistribute it, and invalidate the routers the new tree
@@ -391,7 +392,7 @@ let rebuild_group t group members_now =
 let takeover t sb =
   if not (standby_took_over t) then begin
     t.active <- sb.sb_node;
-    t.apsp <- Netgraph.Apsp.compute (surviving_graph t);
+    t.apsp <- fresh_apsp t;
     let groups =
       Hashtbl.fold (fun group _ acc -> group :: acc) sb.mirror []
       |> List.sort Int.compare
@@ -733,7 +734,7 @@ let repair_group t group ~at =
    adjacent i-router). *)
 let on_topology_change t =
   abort_dead_rel t;
-  t.apsp <- Netgraph.Apsp.compute (surviving_graph t);
+  t.apsp <- fresh_apsp t;
   (* A crashed router reboots without its soft state; the attached
      host's membership outlives the crash, so a member DR's interface
      goes back to pending (IGMP re-marks it) and the next distribution
@@ -1016,7 +1017,7 @@ let snapshot t ~group =
     tree = Option.map Check.Invariant.view (mrouter_tree t ~group);
     limit;
     entries;
-    dead_links = N.dead_links t.net;
+    dead_links = N.dead_link_list t.net;
   }
 
 let snapshots t = List.map (fun group -> snapshot t ~group) (groups t)

@@ -77,7 +77,13 @@ let pop t =
       (* Drop the dead slot's reference so the GC can reclaim the value. *)
       t.data.(t.size) <- t.data.(0);
       sift_down t 0
-    end;
+    end
+    else
+      (* Popping the last entry: no live entry is left to alias the dead
+         slot to, and we cannot fabricate a dummy ['a], so release the
+         whole backing array (as [clear] does). [ensure_room] re-allocates
+         at [capacity_hint] on the next [add]. *)
+      t.data <- [||];
     Some (top.key, top.value)
   end
 

@@ -77,6 +77,23 @@ let test_engine_every () =
   Engine.run e;
   checki "5 ticks in [1..5]" 5 !ticks
 
+let test_engine_every_first_tick_past_until () =
+  (* Regression: the [until] window must gate the first firing too — a
+     periodic task whose first tick would land after the horizon used to
+     fire exactly once. *)
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  Engine.every e ~interval:2.0 ~until:1.0 (fun () -> incr ticks);
+  checki "nothing enqueued" 0 (Engine.pending e);
+  Engine.run ~until:10.0 e;
+  checki "never fires" 0 !ticks;
+  (* boundary: a first tick landing exactly on [until] still fires *)
+  let e2 = Engine.create () in
+  let ticks2 = ref 0 in
+  Engine.every e2 ~interval:2.0 ~until:2.0 (fun () -> incr ticks2);
+  Engine.run ~until:10.0 e2;
+  checki "inclusive boundary fires once" 1 !ticks2
+
 let test_engine_background_does_not_block () =
   let e = Engine.create () in
   let ticks = ref 0 and fg = ref 0 in
@@ -99,6 +116,20 @@ let test_engine_step () =
   checkb "then empty" false (Engine.step e)
 
 (* ---------------- Routes ---------------- *)
+
+let test_routes_lazy_memoization () =
+  let spec = Topology.Waxman.generate ~seed:9 ~n:40 () in
+  let g = spec.Topology.Spec.graph in
+  let r = Routes.compute g in
+  checki "no SPT built up front" 0 (Routes.computed r);
+  ignore (Routes.path r ~src:3 ~dst:30);
+  ignore (Routes.distance r ~src:3 ~dst:7);
+  ignore (Routes.next_hop r ~src:3 ~dst:11);
+  checki "one source, one build" 1 (Routes.computed r);
+  ignore (Routes.distance r ~src:8 ~dst:3);
+  checki "second source forces a second" 2 (Routes.computed r);
+  checki "two cached" 2 (Routes.cached r);
+  checki "nothing invalidated" 0 (Routes.invalidated r)
 
 let line_graph () =
   (* 0 -(1)- 1 -(1)- 2 -(5)- 3 and shortcut 0 -(2.5)- 2 *)
@@ -425,6 +456,8 @@ let () =
           Alcotest.test_case "until idle" `Quick test_engine_until_advances_idle_clock;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every first tick past until" `Quick
+            test_engine_every_first_tick_past_until;
           Alcotest.test_case "background" `Quick test_engine_background_does_not_block;
           Alcotest.test_case "step" `Quick test_engine_step;
         ] );
@@ -432,6 +465,7 @@ let () =
         [
           Alcotest.test_case "next hop" `Quick test_routes_next_hop;
           Alcotest.test_case "hop-by-hop consistency" `Quick test_routes_consistency;
+          Alcotest.test_case "lazy memoization" `Quick test_routes_lazy_memoization;
         ] );
       ( "trace",
         [ Alcotest.test_case "records crossings" `Quick test_trace_records_crossings ] );

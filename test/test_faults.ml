@@ -85,7 +85,7 @@ let test_routes_epoch_and_live_graph () =
   checki "re-failing is a no-op" 1 (Netsim.routes_epoch net);
   Alcotest.check
     Alcotest.(list (pair int int))
-    "dead_links normalized" [ (1, 2) ] (Netsim.dead_links net);
+    "dead_links normalized" [ (1, 2) ] (Netsim.dead_link_list net);
   checki "live graph lost one link" 3 (G.link_count (Netsim.live_graph net));
   Netsim.fail_node net 3;
   checkb "links of a dead node die with it" false (Netsim.link_alive net 1 3);
@@ -93,10 +93,10 @@ let test_routes_epoch_and_live_graph () =
     Alcotest.(list (pair int int))
     "dead_links includes the node's links"
     [ (1, 2); (1, 3); (2, 3) ]
-    (Netsim.dead_links net);
+    (Netsim.dead_link_list net);
   Netsim.restore_node net 3;
   Netsim.restore_link net 1 2;
-  checkb "all alive again" true (Netsim.dead_links net = []);
+  checkb "all alive again" true (Netsim.dead_link_list net = []);
   checki "four reconvergences" 4 (Netsim.routes_epoch net);
   Alcotest.check_raises "unknown link rejected"
     (Invalid_argument "Netsim.fail_link: no such link") (fun () ->

@@ -1,0 +1,192 @@
+(* Differential tests for the demand-driven routing caches.
+
+   The lazy, incrementally-invalidated tables (Eventsim.Routes inside
+   Netsim; Netgraph.Apsp with liveness filters) must answer *exactly*
+   like eager recomputation over a materialized copy of the surviving
+   subgraph — paths, next hops and distances alike, ties included —
+   across random Waxman topologies and random fault schedules, with
+   partial query mixes issued between failure and restore. *)
+
+module G = Netgraph.Graph
+module Apsp = Netgraph.Apsp
+module Engine = Eventsim.Engine
+module Netsim = Eventsim.Netsim
+module Routes = Eventsim.Routes
+module Prng = Scmp_util.Prng
+
+let graph_of_seed seed =
+  let n = 16 + (seed mod 16) in
+  (Topology.Waxman.generate ~seed:(seed + 1) ~n ()).Topology.Spec.graph
+
+let base_links g =
+  let acc = ref [] in
+  G.iter_links g (fun l -> acc := (l.G.u, l.G.v) :: !acc);
+  Array.of_list (List.rev !acc)
+
+(* The seed implementation: a full Dijkstra sweep over a fresh copy of
+   the live subgraph. *)
+let eager_routes net =
+  let g = Netsim.live_graph net in
+  let r = Routes.compute g in
+  for s = 0 to G.node_count g - 1 do
+    ignore (Routes.spt r ~src:s)
+  done;
+  r
+
+let same_path a b =
+  match (a, b) with
+  | None, None -> true
+  | Some p, Some q -> p = q
+  | Some _, None | None, Some _ -> false
+
+let routes_agree lazy_r eager_r n =
+  let ok = ref true in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if Routes.distance lazy_r ~src ~dst <> Routes.distance eager_r ~src ~dst
+      then ok := false;
+      if
+        not
+          (same_path
+             (Routes.path lazy_r ~src ~dst)
+             (Routes.path eager_r ~src ~dst))
+      then ok := false;
+      if Routes.next_hop lazy_r ~src ~dst <> Routes.next_hop eager_r ~src ~dst
+      then ok := false
+    done
+  done;
+  !ok
+
+let prop_netsim_differential =
+  QCheck.Test.make
+    ~name:"lazy Netsim routes = eager recompute across fault schedules"
+    ~count:30
+    QCheck.(pair small_nat small_nat)
+    (fun (tseed, fseed) ->
+      let g = graph_of_seed tseed in
+      let n = G.node_count g in
+      let engine = Engine.create () in
+      let net = Netsim.create engine g ~classify:(fun (_ : unit) -> `Data) in
+      let links = base_links g in
+      let rng = Prng.create ((fseed * 65537) + 1) in
+      let ok = ref true in
+      let partial_queries () =
+        (* populate part of the cache so invalidation always works on a
+           mixed cached/uncached table *)
+        for _ = 1 to 4 do
+          let src = Prng.int rng n and dst = Prng.int rng n in
+          ignore (Routes.distance (Netsim.routes net) ~src ~dst);
+          ignore (Routes.path (Netsim.routes net) ~src ~dst)
+        done
+      in
+      let check_full () =
+        if not (routes_agree (Netsim.routes net) (eager_routes net) n) then
+          ok := false
+      in
+      check_full ();
+      for _round = 1 to 12 do
+        partial_queries ();
+        (match Prng.int rng 4 with
+        | 0 ->
+          let a, b = links.(Prng.int rng (Array.length links)) in
+          Netsim.fail_link net a b
+        | 1 -> (
+          (* restore one currently-dead link, if any *)
+          match Netsim.dead_link_list net with
+          | [] -> ()
+          | dead ->
+            let a, b = List.nth dead (Prng.int rng (List.length dead)) in
+            Netsim.restore_link net a b)
+        | 2 -> Netsim.fail_node net (Prng.int rng n)
+        | _ -> Netsim.restore_node net (Prng.int rng n));
+        (* queries between the fault and any later restore *)
+        partial_queries ();
+        check_full ()
+      done;
+      !ok)
+
+let prop_apsp_differential =
+  QCheck.Test.make
+    ~name:"filtered lazy Apsp = Apsp over the materialized subgraph"
+    ~count:30
+    QCheck.(pair small_nat small_nat)
+    (fun (tseed, fseed) ->
+      let g = graph_of_seed tseed in
+      let n = G.node_count g in
+      let rng = Prng.create ((fseed * 92821) + 5) in
+      (* random overlay: ~25% of links dead, up to two nodes down *)
+      let dead = Hashtbl.create 8 in
+      Array.iter
+        (fun (a, b) ->
+          if Prng.chance rng 0.25 then
+            Hashtbl.replace dead (min a b, max a b) ())
+        (base_links g);
+      let node_down = Array.make n false in
+      for _ = 1 to 2 do
+        if Prng.chance rng 0.5 then node_down.(Prng.int rng n) <- true
+      done;
+      let node_ok x = not node_down.(x) in
+      let edge_ok a b = not (Hashtbl.mem dead (min a b, max a b)) in
+      let lazy_t = Apsp.compute ~node_ok ~edge_ok g in
+      let sub = G.create n in
+      G.iter_links g (fun l ->
+          if node_ok l.G.u && node_ok l.G.v && edge_ok l.G.u l.G.v then
+            G.add_link sub l.G.u l.G.v ~delay:l.G.delay ~cost:l.G.cost);
+      let eager_t = Apsp.compute sub in
+      let ok = ref true in
+      (* interleaved query order so memoization is exercised per metric *)
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Apsp.delay lazy_t a b <> Apsp.delay eager_t a b then ok := false;
+          if not (same_path (Apsp.sl_path lazy_t a b) (Apsp.sl_path eager_t a b))
+          then ok := false;
+          if Apsp.cost lazy_t a b <> Apsp.cost eager_t a b then ok := false;
+          if not (same_path (Apsp.lc_path lazy_t a b) (Apsp.lc_path eager_t a b))
+          then ok := false
+        done
+      done;
+      !ok)
+
+let checki = Alcotest.check Alcotest.int
+
+let test_invalidation_is_selective () =
+  (* A fault must not wipe the whole cache: entries whose answers the
+     fault cannot change survive it. Triangle with one slow detour. *)
+  let g = G.create 3 in
+  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
+  G.add_link g 1 2 ~delay:1.0 ~cost:1.0;
+  G.add_link g 0 2 ~delay:10.0 ~cost:1.0;
+  let engine = Engine.create () in
+  let net = Netsim.create engine g ~classify:(fun (_ : unit) -> `Data) in
+  let r = Netsim.routes net in
+  ignore (Routes.spt r ~src:0);
+  ignore (Routes.spt r ~src:2);
+  checki "two SPTs built" 2 (Routes.computed r);
+  (* neither tree uses the slow 0-2 link: its death drops nothing *)
+  Netsim.fail_link net 0 2;
+  checki "no entry dropped" 0 (Routes.invalidated r);
+  checki "entries kept" 2 (Routes.cached r);
+  checki "epoch still advanced" 1 (Netsim.routes_epoch net);
+  (* nor can restoring it shorten anything (10 beats no label) *)
+  Netsim.restore_link net 0 2;
+  checki "restore drops nothing" 0 (Routes.invalidated r);
+  (* the link 0-1 is in both trees: its death drops both *)
+  Netsim.fail_link net 0 1;
+  checki "both dropped" 2 (Routes.invalidated r);
+  checki "cache empty" 0 (Routes.cached r);
+  checki "no recompute until re-queried" 2 (Routes.computed r)
+
+let () =
+  Alcotest.run "routing_cache"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_netsim_differential;
+          QCheck_alcotest.to_alcotest prop_apsp_differential;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "selective invalidation" `Quick
+            test_invalidation_is_selective;
+        ] );
+    ]

@@ -181,6 +181,30 @@ let test_heap_clear_and_iter () =
   check Alcotest.(option (pair (float 0.0) int)) "usable after clear" (Some (1.0, 99))
     (Heap.pop h)
 
+let test_heap_pop_releases_last_entry () =
+  (* Regression: popping the entry that empties the heap used to leave
+     data.(0) aliasing it, keeping the value reachable forever. The
+     weak pointer must go dead once the heap (still live) let go. *)
+  let h = Heap.create ~capacity:4 () in
+  let w = Weak.create 1 in
+  (let value = ref 12345 in
+   Weak.set w 0 (Some value);
+   Heap.add h ~key:1.0 value;
+   match Heap.pop h with
+   | Some (_, v) -> checki "popped the value" 12345 !v
+   | None -> Alcotest.fail "pop on singleton heap");
+  Gc.full_major ();
+  checki "heap empty" 0 (Heap.length h);
+  checkb "popped value unreachable from the heap" false (Weak.check w 0);
+  (* the heap stays fully usable after draining to empty *)
+  Heap.add h ~key:2.0 (ref 7);
+  Heap.add h ~key:1.0 (ref 8);
+  (match Heap.pop h with
+  | Some (k, v) ->
+    check (Alcotest.float 0.0) "min key after refill" 1.0 k;
+    checki "value after refill" 8 !v
+  | None -> Alcotest.fail "pop after refill")
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
     QCheck.(list (float_bound_exclusive 1000.0))
@@ -307,6 +331,8 @@ let () =
           Alcotest.test_case "FIFO ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "pop_exn empty" `Quick test_heap_pop_exn;
           Alcotest.test_case "clear/iter" `Quick test_heap_clear_and_iter;
+          Alcotest.test_case "pop releases last entry" `Quick
+            test_heap_pop_releases_last_entry;
           qc prop_heap_sorts;
         ] );
       ( "stats",
