@@ -457,6 +457,124 @@ let run_cmd =
       $ group_size $ packets $ trace $ trace_limit $ report $ loss $ loss_seed
       $ loss_class $ fail_links $ fail_nodes $ fault_seed $ fault_count $ check)
 
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let topo_conv =
+    Arg.conv
+      ( (fun s ->
+          match Exec.Sweep.topo_of_string s with
+          | Ok t -> Ok t
+          | Error msg -> Error (`Msg msg)),
+        fun fmt t -> Format.pp_print_string fmt (Exec.Sweep.topo_to_string t) )
+  in
+  let topos =
+    Arg.(
+      value
+      & opt_all topo_conv [ Exec.Sweep.Random3 50 ]
+      & info [ "topo" ] ~docv:"TOPO"
+          ~doc:
+            "Topology cell: waxman:N, random3:N, random5:N or arpanet. \
+             Repeatable.")
+  in
+  let drivers =
+    let doc =
+      Printf.sprintf "Comma-separated protocols (%s) or all."
+        (String.concat ", " (Protocols.Driver.names ()))
+    in
+    Arg.(
+      value & opt (list string) [ "scmp" ]
+      & info [ "drivers"; "driver" ] ~docv:"NAMES" ~doc)
+  in
+  let group_sizes =
+    Arg.(
+      value
+      & opt (list int) [ 16 ]
+      & info [ "group-sizes" ] ~docv:"K,K,..." ~doc:"Group sizes to sweep.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2 ]
+      & info [ "seeds" ] ~docv:"S,S,..." ~doc:"Topology seeds to sweep.")
+  in
+  let packets =
+    Arg.(
+      value & opt int 30
+      & info [ "packets" ] ~docv:"N" ~doc:"Data packets per cell.")
+  in
+  let master_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "master-seed" ] ~docv:"SEED"
+          ~doc:"Root seed of the per-cell member-sampling streams.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the machine's recommended domain \
+             count). Any value yields a byte-identical report.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged sweep report (scmp-report/1, deterministic \
+             serialization without wall-clock metrics).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Run the protocol invariant verifier in every cell.")
+  in
+  let run topos drivers group_sizes seeds packets master_seed jobs report check
+      =
+    let drivers =
+      if drivers = [ "all" ] then Protocols.Driver.names () else drivers
+    in
+    let spec =
+      Exec.Sweep.make ~packets ~master_seed ~drivers ~topos ~group_sizes ~seeds
+        ()
+    in
+    let o = or_die (Exec.Sweep.run ~check ?jobs spec) in
+    Printf.printf "%-32s %14s %16s %10s %10s %9s\n" "cell" "data overhead"
+      "protocol overhead" "max delay" "delivered" "wall";
+    List.iter
+      (fun (cr : Exec.Sweep.cell_result) ->
+        let r = cr.result in
+        Printf.printf "%-32s %14.0f %16.0f %9.4fs %10d %8.0fms\n"
+          (Exec.Sweep.cell_name cr.cell)
+          r.Protocols.Runner.data_overhead r.protocol_overhead r.max_delay
+          r.deliveries
+          (1000.0 *. cr.wall_s))
+      o.cell_results;
+    Printf.printf
+      "\n%d cells on %d jobs: %.2f s wall (%.1f cells/s), sequential estimate \
+       %.2f s, speedup %.2fx\n"
+      (List.length o.cell_results)
+      o.jobs_used o.wall_s
+      (float_of_int (List.length o.cell_results) /. o.wall_s)
+      o.seq_estimate_s
+      (o.seq_estimate_s /. o.wall_s);
+    match report with
+    | None -> ()
+    | Some path ->
+      or_die (Obs.Report.write ~wallclock:false ~pretty:true o.report ~path);
+      Printf.printf "report written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a scenario grid in parallel with a deterministic merged report.")
+    Term.(
+      const run $ topos $ drivers $ group_sizes $ seeds $ packets $ master_seed
+      $ jobs $ report $ check)
+
 (* ---------- trace-stats ---------- *)
 
 let trace_stats_cmd =
@@ -558,4 +676,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topo_cmd; tree_cmd; run_cmd; placement_cmd; trace_stats_cmd ]))
+          [ topo_cmd; tree_cmd; run_cmd; sweep_cmd; placement_cmd; trace_stats_cmd ]))

@@ -23,6 +23,10 @@ dune exec bench/main.exe -- micro --json /tmp/bench_smoke.json > /dev/null
 grep -q '"schema": "scmp-report/1"' /tmp/bench_smoke.json
 grep -q 'micro/dijkstra-100/ns_per_run' /tmp/bench_smoke.json
 grep -q 'e2e/scmp/deliveries' /tmp/bench_smoke.json
+# DCDM hot-path regression gate: the SPT-walk join must stay well under
+# the pre-optimization 743 us/build (committed BENCH.json history).
+dcdm_ns=$(grep -o '"micro/dcdm-build-30/ns_per_run": [0-9.]*' /tmp/bench_smoke.json | grep -o '[0-9.]*$')
+awk "BEGIN { exit !($dcdm_ns < 250000) }"
 
 # Fault smoke: SCMP survives 5% control-plane loss plus a scripted
 # mid-session failure of tree link 23-24 (ARPANET seed 1) — invariants
@@ -46,5 +50,18 @@ epochs=$(grep -o '"net/routes_epoch": [0-9]*' /tmp/routing_smoke.json | grep -o 
 spts=$(grep -o '"routes/spt_computed": [0-9]*' /tmp/routing_smoke.json | grep -o '[0-9]*$')
 test "$epochs" -ge 8
 awk "BEGIN { exit !($spts < 80 * $epochs / 4) }"
+
+# Sweep smoke: the parallel engine must produce a merged report that is
+# byte-identical to the sequential one (deterministic merge), covering
+# the full 2x2 grid.
+echo "== sweep smoke (parallel vs sequential determinism)"
+dune exec bin/scmp_sim.exe -- sweep --drivers scmp,cbt \
+  --topo random3:30 --group-sizes 8,16 --seeds 1 --packets 10 \
+  --jobs 2 --report /tmp/sweep_j2.json > /dev/null
+dune exec bin/scmp_sim.exe -- sweep --drivers scmp,cbt \
+  --topo random3:30 --group-sizes 8,16 --seeds 1 --packets 10 \
+  --jobs 1 --report /tmp/sweep_j1.json > /dev/null
+cmp /tmp/sweep_j1.json /tmp/sweep_j2.json
+grep -q '"sweep/cells": 4' /tmp/sweep_j2.json
 
 echo "check.sh: all gates passed"

@@ -127,6 +127,7 @@ let rule_failwith = "failwith-hot-path"
 let rule_mli = "mli-coverage"
 let rule_dune_flags = "dune-strict-flags"
 let rule_raw_transmit = "raw-transmit"
+let rule_domain_safety = "domain-safety"
 
 let all_rules =
   [
@@ -136,6 +137,7 @@ let all_rules =
     rule_mli;
     rule_dune_flags;
     rule_raw_transmit;
+    rule_domain_safety;
   ]
 
 (* Suppression: a raw line containing [lint: allow <rule>] (normally
@@ -177,6 +179,47 @@ let in_eventsim path = path_contains path "eventsim"
 (* Both spellings, because '.' is an identifier character here: the
    short pattern does not match inside the qualified one. *)
 let raw_transmit_patterns = [ "Netsim.transmit"; "Eventsim.Netsim.transmit" ]
+
+let in_exec path = path_contains path "exec"
+
+(* Concurrency primitives are confined to lib/exec: anything the Exec
+   layer runs in a worker task must be domain-safe by construction
+   (fresh state per task), not by ad-hoc locking scattered through the
+   simulation. Left-boundary prefixes, so [Mutex.lock] and
+   [Mutex.create] both match while [My_mutex.x] does not. *)
+let domain_safety_prefixes = [ "Domain.spawn"; "Atomic."; "Mutex."; "Condition." ]
+
+(* Top-level mutable state ([let x = ref ...] / [let tbl = Hashtbl.create
+   ...] at column 0) is shared by every domain that touches the module —
+   a data race the moment a worker task reaches it. Parameterless value
+   bindings only: after the bound identifier the next token must be [=]
+   or a type annotation, so [let create () = ... Hashtbl.create ...] and
+   other function definitions never match. Same-line heuristic. *)
+let toplevel_mutable_binding code_line =
+  let n = String.length code_line in
+  let prefix = "let " in
+  let m = String.length prefix in
+  if n < m || String.sub code_line 0 m <> prefix then false
+  else begin
+    let i = ref m in
+    let start = !i in
+    while
+      !i < n
+      && (match code_line.[!i] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+         | _ -> false)
+    do
+      incr i
+    done;
+    if !i = start then false
+    else begin
+      while !i < n && code_line.[!i] = ' ' do incr i done;
+      !i < n
+      && (code_line.[!i] = '=' || code_line.[!i] = ':')
+      && (contains_token code_line "ref"
+         || find_token code_line "Hashtbl.create" <> [])
+    end
+  end
 
 let scan_ml ~path src =
   let raw = lines src in
@@ -223,7 +266,22 @@ let scan_ml ~path src =
                     control transport and drop accounting; go through a \
                     protocol agent"
                    pat))
-          raw_transmit_patterns)
+          raw_transmit_patterns;
+      if not (in_exec path) then begin
+        List.iter
+          (fun pat ->
+            if find_token code_line pat <> [] then
+              emit rule_domain_safety
+                (Printf.sprintf
+                   "%s outside lib/exec; concurrency is confined to the Exec \
+                    layer — hand the work to Exec.Pool instead"
+                   pat))
+          domain_safety_prefixes;
+        if path_contains path "lib" && toplevel_mutable_binding code_line then
+          emit rule_domain_safety
+            "top-level mutable state is shared across worker domains; \
+             allocate it per task (or mark the module exec-only)"
+      end)
     code;
   List.rev !out
 

@@ -20,6 +20,13 @@
       [lib/protocols] and [lib/eventsim]: raw sends bypass the reliable
       control transport and the drop accounting the fault experiments
       depend on.
+    - {b domain-safety} — concurrency stays inside [lib/exec]: no
+      [Domain.spawn], [Atomic.*], [Mutex.*] or [Condition.*] elsewhere,
+      and no top-level mutable state ([let x = ref ...] /
+      [let t = Hashtbl.create ...] at column 0, parameterless bindings
+      only) in library modules, which worker domains would share. Code
+      Exec tasks reach must be domain-safe by per-task isolation, not
+      by locking.
 
     Matching happens on comment- and string-stripped source, so prose
     and literals never trip a rule. A raw line containing
@@ -39,6 +46,7 @@ val rule_failwith : string
 val rule_mli : string
 val rule_dune_flags : string
 val rule_raw_transmit : string
+val rule_domain_safety : string
 
 val blank_non_code : string -> string
 (** Length-preserving comment/string/char-literal blanking (exposed for

@@ -1,0 +1,267 @@
+(* Declarative scenario sweeps over the protocol runner, executed on a
+   Pool with a deterministic merge.
+
+   Isolation contract: every cell builds its own topology, APSP table,
+   scenario and report inside its task — nothing mutable crosses the
+   pool boundary. Drivers are resolved to first-class modules before
+   dispatch (the registry's tables are touched only by the submitting
+   domain), and each cell's member sampling uses a PRNG stream derived
+   by [Prng.split] from the master seed in cell-index order, so the
+   stream a cell sees depends on its grid position and never on which
+   worker ran it or when. The merged report folds cell reports in
+   cell-index order; with [~wallclock:false] serialization it is
+   byte-identical across any jobs count. *)
+
+type topo =
+  | Waxman of int
+  | Random3 of int
+  | Random5 of int
+  | Arpanet
+
+let topo_to_string = function
+  | Waxman n -> Printf.sprintf "waxman:%d" n
+  | Random3 n -> Printf.sprintf "random3:%d" n
+  | Random5 n -> Printf.sprintf "random5:%d" n
+  | Arpanet -> "arpanet"
+
+let topo_of_string s =
+  let split_sized name =
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = name -> (
+      let tail = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt tail with
+      | Some n when n > 1 -> Some n
+      | _ -> None)
+    | _ -> None
+  in
+  match s with
+  | "arpanet" -> Ok Arpanet
+  | _ -> (
+    match
+      ( split_sized "waxman",
+        split_sized "random3",
+        split_sized "random5" )
+    with
+    | Some n, _, _ -> Ok (Waxman n)
+    | _, Some n, _ -> Ok (Random3 n)
+    | _, _, Some n -> Ok (Random5 n)
+    | None, None, None ->
+      Error
+        (Printf.sprintf
+           "bad topology %S (expected waxman:N, random3:N, random5:N or \
+            arpanet)"
+           s))
+
+let generate_topo topo seed =
+  match topo with
+  | Waxman n -> Topology.Waxman.generate ~seed ~n ()
+  | Random3 n -> Topology.Flat_random.generate ~seed ~n ~avg_degree:3.0
+  | Random5 n -> Topology.Flat_random.generate ~seed ~n ~avg_degree:5.0
+  | Arpanet -> Topology.Arpanet.generate ~seed
+
+type spec = {
+  drivers : string list;
+  topos : topo list;
+  group_sizes : int list;
+  seeds : int list;
+  packets : int;
+  master_seed : int;
+}
+
+let make ?(packets = 30) ?(master_seed = 1) ~drivers ~topos ~group_sizes ~seeds
+    () =
+  { drivers; topos; group_sizes; seeds; packets; master_seed }
+
+type cell = {
+  index : int;
+  driver : string;
+  topo : topo;
+  group_size : int;
+  seed : int;
+}
+
+let cell_name c =
+  Printf.sprintf "%s/%s/k%d/s%d" c.driver (topo_to_string c.topo) c.group_size
+    c.seed
+
+let cells spec =
+  (* Row-major over drivers x topos x group sizes x seeds: the cell
+     order — and with it the merge order and each cell's PRNG stream —
+     is a pure function of the spec. *)
+  let acc = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun driver ->
+      List.iter
+        (fun topo ->
+          List.iter
+            (fun group_size ->
+              List.iter
+                (fun seed ->
+                  acc := { index = !index; driver; topo; group_size; seed }
+                          :: !acc;
+                  incr index)
+                spec.seeds)
+            spec.group_sizes)
+        spec.topos)
+    spec.drivers;
+  List.rev !acc
+
+type cell_result = {
+  cell : cell;
+  result : Protocols.Runner.result;
+  report : Obs.Report.t;
+  wall_s : float;
+}
+
+type outcome = {
+  report : Obs.Report.t;
+  cell_results : cell_result list;
+  wall_s : float;
+  seq_estimate_s : float;
+  jobs_used : int;
+}
+
+(* One isolated task: regenerate the topology from the cell's seed,
+   sample members from the cell's private stream, run, publish into a
+   fresh report. *)
+let run_cell ?(check = false) driver cell rng ~packets =
+  let spec = generate_topo cell.topo cell.seed in
+  let g = spec.Topology.Spec.graph in
+  let n = Netgraph.Graph.node_count g in
+  let apsp = Netgraph.Apsp.compute g in
+  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+  let members =
+    Scmp_util.Prng.sample rng (min cell.group_size (n - 1)) n
+    |> List.filter (fun x -> x <> center)
+  in
+  if members = [] then
+    invalid_arg (Printf.sprintf "Sweep: cell %s sampled no members" (cell_name cell));
+  let source = List.hd members in
+  let sc =
+    Protocols.Runner.make ~data_count:packets ~spec ~center ~source ~members ()
+  in
+  let report = Obs.Report.create ~name:(cell_name cell) () in
+  let result, wall_s =
+    Obs.Clock.time (fun () -> Protocols.Runner.run ~check ~report driver sc)
+  in
+  { cell; result; report; wall_s }
+
+let merged_report spec (results : cell_result list) ~jobs_used ~wall_s
+    ~seq_estimate_s =
+  let report = Obs.Report.create ~name:"sweep" () in
+  Obs.Report.set_meta report "kind" (Obs.Json.String "sweep");
+  Obs.Report.set_meta report "drivers"
+    (Obs.Json.List (List.map (fun d -> Obs.Json.String d) spec.drivers));
+  Obs.Report.set_meta report "topologies"
+    (Obs.Json.List
+       (List.map (fun t -> Obs.Json.String (topo_to_string t)) spec.topos));
+  Obs.Report.set_meta report "group_sizes"
+    (Obs.Json.List (List.map (fun k -> Obs.Json.Int k) spec.group_sizes));
+  Obs.Report.set_meta report "seeds"
+    (Obs.Json.List (List.map (fun s -> Obs.Json.Int s) spec.seeds));
+  Obs.Report.set_meta report "packets" (Obs.Json.Int spec.packets);
+  Obs.Report.set_meta report "master_seed" (Obs.Json.Int spec.master_seed);
+  (* Merge in cell-index order — results arrive already ordered from
+     Pool.map, so the fold is scheduling-independent. *)
+  List.iter (fun (r : cell_result) -> Obs.Report.merge report r.report) results;
+  let m = Obs.Report.metrics report in
+  Obs.Metrics.set_counter
+    (Obs.Metrics.counter m "sweep/cells")
+    (List.length results);
+  (* Wall-clock facts about this particular execution: flagged so the
+     deterministic serialization excludes them. *)
+  Obs.Metrics.set (Obs.Metrics.gauge ~wallclock:true m "sweep/jobs")
+    (float_of_int jobs_used);
+  Obs.Metrics.set (Obs.Metrics.gauge ~wallclock:true m "sweep/wall_s") wall_s;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~wallclock:true m "sweep/cells_per_s")
+    (if wall_s > 0.0 then float_of_int (List.length results) /. wall_s else 0.0);
+  Obs.Metrics.set
+    (Obs.Metrics.gauge ~wallclock:true m "sweep/speedup")
+    (if wall_s > 0.0 then seq_estimate_s /. wall_s else 0.0);
+  let cell_wall =
+    Obs.Metrics.histogram ~wallclock:true m "sweep/cell_wall_s"
+  in
+  List.iter
+    (fun (r : cell_result) -> Obs.Metrics.observe cell_wall r.wall_s)
+    results;
+  report
+
+let run ?(check = false) ?jobs spec =
+  let jobs_used = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if jobs_used < 1 then Error "Sweep.run: jobs must be >= 1"
+  else if spec.packets < 1 then Error "Sweep.run: packets must be >= 1"
+  else begin
+    let cell_list = cells spec in
+    if cell_list = [] then Error "Sweep.run: empty grid"
+    else begin
+      (* Resolve every driver before dispatch so worker domains never
+         touch the registry's mutable tables. *)
+      let resolve name =
+        match Protocols.Driver.find name with
+        | Ok d -> Ok (name, d)
+        | Error msg -> Error msg
+      in
+      let rec resolve_all = function
+        | [] -> Ok []
+        | name :: rest -> (
+          match resolve name with
+          | Error _ as e -> e
+          | Ok pair -> (
+            match resolve_all rest with
+            | Error _ as e -> e
+            | Ok pairs -> Ok (pair :: pairs)))
+      in
+      match resolve_all spec.drivers with
+      | Error msg -> Error msg
+      | Ok driver_pairs ->
+        (* Per-cell streams, split off the master in index order before
+           anything runs: stream identity = cell index. *)
+        let master = Scmp_util.Prng.create spec.master_seed in
+        let streams =
+          Array.init (List.length cell_list) (fun _ ->
+              Scmp_util.Prng.split master)
+        in
+        let tasks =
+          List.map
+            (fun cell -> (cell, List.assoc cell.driver driver_pairs))
+            cell_list
+        in
+        let run_all () =
+          Pool.with_pool ~jobs:jobs_used (fun pool ->
+              Pool.map pool tasks ~f:(fun i (cell, driver) ->
+                  run_cell ~check driver cell streams.(i)
+                    ~packets:spec.packets))
+        in
+        (try
+           let results, wall_s = Obs.Clock.time run_all in
+           let seq_estimate_s =
+             List.fold_left
+               (fun acc (r : cell_result) -> acc +. r.wall_s)
+               0.0 results
+           in
+           let report =
+             merged_report spec results ~jobs_used ~wall_s ~seq_estimate_s
+           in
+           Ok
+             {
+               report;
+               cell_results = results;
+               wall_s;
+               seq_estimate_s;
+               jobs_used;
+             }
+         with
+        | Pool.Task_error (i, Check.Invariant.Violation msg) ->
+          Error
+            (Printf.sprintf "cell %s: invariant violation: %s"
+               (cell_name (List.nth cell_list i))
+               msg)
+        | Pool.Task_error (i, e) ->
+          Error
+            (Printf.sprintf "cell %s: %s"
+               (cell_name (List.nth cell_list i))
+               (Printexc.to_string e)))
+    end
+  end

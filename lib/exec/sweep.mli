@@ -1,0 +1,92 @@
+(** Declarative scenario sweeps with parallel execution and a
+    deterministic merge.
+
+    A sweep is a grid — drivers x topologies x group sizes x seeds —
+    whose cells each run one {!Protocols.Runner} scenario. Cells
+    execute on a {!Pool} in any interleaving, but the merged report is
+    byte-identical (serialized with [~wallclock:false]) for every jobs
+    count, because:
+
+    - each cell is isolated: it builds its own topology, APSP table and
+      {!Obs.Report}, and samples members from a private PRNG stream
+      derived by [Prng.split] from the master seed in {e cell-index}
+      order — never scheduling order;
+    - drivers are resolved before dispatch, so workers never touch the
+      registry;
+    - per-cell reports are folded into the sweep report in cell-index
+      order with {!Obs.Report.merge} (commutative metric combine).
+
+    Wall-clock facts of one particular execution — jobs, wall seconds,
+    cells/s, speedup estimate, per-cell wall-time histogram — are
+    published as wallclock-flagged [sweep/] metrics, present in the
+    full report but excluded from the deterministic serialization. *)
+
+type topo =
+  | Waxman of int  (** [waxman:N] — Waxman graph, N nodes. *)
+  | Random3 of int  (** [random3:N] — flat random, average degree 3. *)
+  | Random5 of int  (** [random5:N] — flat random, average degree 5. *)
+  | Arpanet  (** The 48-node ARPANET map. *)
+
+val topo_to_string : topo -> string
+val topo_of_string : string -> (topo, string) result
+(** Inverse of {!topo_to_string}: ["waxman:100"], ["random3:50"],
+    ["random5:50"], ["arpanet"]. *)
+
+type spec = {
+  drivers : string list;  (** Registry names, e.g. ["scmp"]. *)
+  topos : topo list;
+  group_sizes : int list;
+  seeds : int list;  (** Topology seeds — one cell per seed. *)
+  packets : int;  (** Data packets per cell. *)
+  master_seed : int;  (** Root of the per-cell member-sampling streams. *)
+}
+
+val make :
+  ?packets:int ->
+  ?master_seed:int ->
+  drivers:string list ->
+  topos:topo list ->
+  group_sizes:int list ->
+  seeds:int list ->
+  unit ->
+  spec
+(** Defaults: 30 packets (the paper's 30 s at 1/s), master seed 1. *)
+
+type cell = {
+  index : int;  (** Position in row-major grid order. *)
+  driver : string;
+  topo : topo;
+  group_size : int;
+  seed : int;
+}
+
+val cell_name : cell -> string
+(** E.g. ["scmp/waxman:100/k16/s3"] — also the cell report's name. *)
+
+val cells : spec -> cell list
+(** The grid in row-major order (drivers outermost, seeds innermost) —
+    a pure function of the spec. *)
+
+type cell_result = {
+  cell : cell;
+  result : Protocols.Runner.result;
+  report : Obs.Report.t;  (** The cell's own full report. *)
+  wall_s : float;  (** Wall-clock seconds this cell took. *)
+}
+
+type outcome = {
+  report : Obs.Report.t;  (** Merged sweep report. *)
+  cell_results : cell_result list;  (** In cell-index order. *)
+  wall_s : float;
+  seq_estimate_s : float;
+      (** Sum of per-cell wall times — what one worker would have paid;
+          [seq_estimate_s /. wall_s] is the observed speedup. *)
+  jobs_used : int;
+}
+
+val run : ?check:bool -> ?jobs:int -> spec -> (outcome, string) result
+(** Execute every cell on a fresh pool of [jobs] workers (default
+    {!Pool.default_jobs}) and merge. [~check] runs the protocol
+    invariant verifier inside each cell. Errors: unknown driver, bad
+    grid, or the lowest-indexed failing cell (by name) with its
+    exception. *)

@@ -29,32 +29,26 @@ let current_limit t =
 
 let last_graft t = t.last_graft
 
-(* Is the (undirected) edge a-b already a tree link? *)
-let on_tree_edge tree a b =
-  Tree.on_tree tree a && Tree.on_tree tree b
-  && (Tree.parent tree a = Some b || Tree.parent tree b = Some a)
-
-(* Cost a graft path would add: links not already carried by the tree. *)
-let added_cost t path =
+(* Cost a graft path would add: links not already carried by the tree.
+   The path lives implicitly in the SPT's predecessor chain —
+   [fold_path_edges] visits its edges head to tail without allocating
+   the node list, so the accumulation order is exactly the left fold
+   over the materialized path and the returned float is bit-identical.
+   [cap] short-circuits the lookups — once the running sum strictly
+   exceeds the best added cost seen so far the candidate has already
+   lost, so the remaining edges skip their adjacency scans (any
+   capped-out value compares the same way against the incumbent). *)
+let added_cost ?(cap = infinity) t spt s =
   let g = Tree.graph t.tree in
-  List.fold_left
-    (fun acc (a, b) ->
-      if on_tree_edge t.tree a b then acc else acc +. Netgraph.Graph.link_cost g a b)
-    0.0
-    (Netgraph.Path.edges path)
-
-(* Candidate graft paths for joining [s]: for each on-tree router [v],
-   P_lc(v, s) and/or P_sl(v, s), in tree-order v -> s. *)
-let candidate_paths t s =
-  let lc v = Netgraph.Apsp.lc_path t.apsp v s in
-  let sl v = Netgraph.Apsp.sl_path t.apsp v s in
-  let picks v =
-    match t.candidates with
-    | Both -> [ lc v; sl v ]
-    | Least_cost_only -> [ lc v ]
-    | Shortest_delay_only -> [ sl v ]
-  in
-  Tree.nodes t.tree |> List.concat_map (fun v -> List.filter_map Fun.id (picks v))
+  let tr = t.tree in
+  match
+    Netgraph.Dijkstra.fold_path_edges spt 0.0 s ~f:(fun acc a b ->
+        if acc > cap then acc
+        else if Tree.on_tree_edge tr a b then acc
+        else acc +. Netgraph.Graph.link_cost g a b)
+  with
+  | Some ac -> ac
+  | None -> infinity
 
 let repair_limit_violations t limit =
   if Float.is_finite limit then begin
@@ -98,27 +92,61 @@ let join t s =
     let new_max_ul = Float.max t.max_ul ul in
     let limit = Bound.limit t.bound ~max_unicast_delay:new_max_ul in
     let d = Tree.delays t.tree in
+    (* Candidate graft paths: for each on-tree router [v], P_lc(v, s)
+       and/or P_sl(v, s), in tree order v -> s. The hot path never
+       materializes a candidate: the path delay and full cost are scalar
+       reads off the memoized Dijkstra SPT (the companion metric is
+       summed in the same order [Path.delay] would, so feasibility and
+       cost decisions are bit-identical to materializing the path), the
+       added-cost walk folds over the SPT predecessor chain in place,
+       and only the winning candidate is turned into a node list. *)
+    let apsp = t.apsp in
+    let best = ref None in
     (* Feasibility of a candidate: the new member's multicast delay —
        graft node's multicast delay plus path delay — within the limit. *)
-    let g = Tree.graph t.tree in
-    let consider best path =
-      match path with
-      | [] -> best
-      | v :: _ ->
-        let pd = Netgraph.Path.delay g path in
-        let ml = d.(v) +. pd in
-        if ml > limit +. 1e-9 then best
-        else begin
-          let ac = added_cost t path in
-          match best with
-          | Some (bac, bml, _) when bac < ac || (bac = ac && bml <= ml) -> best
-          | _ -> Some (ac, ml, path)
-        end
+    let consider v ~pd spt =
+      let ml = d.(v) +. pd in
+      (* [pd < infinity] excludes unreachable candidates (matters only
+         when the limit itself is infinite). *)
+      if pd < infinity && ml <= limit +. 1e-9 then begin
+        let cap = match !best with Some (bac, _, _) -> bac | None -> infinity in
+        let ac = added_cost ~cap t spt s in
+        match !best with
+        | Some (bac, bml, _) when bac < ac || (bac = ac && bml <= ml) -> ()
+        | _ -> best := Some (ac, ml, spt)
+      end
     in
-    let best = List.fold_left consider None (candidate_paths t s) in
+    List.iter
+      (fun v ->
+        (* Node-level prefilter: the cheapest possible candidate delay
+           through [v]. The sl path minimizes delay, so in [Both] mode
+           its infeasibility rules out the lc candidate too. *)
+        let min_pd =
+          match t.candidates with
+          | Both | Shortest_delay_only ->
+            Netgraph.Dijkstra.dist (Netgraph.Apsp.sl_tree apsp v) s
+          | Least_cost_only ->
+            Netgraph.Dijkstra.other_dist (Netgraph.Apsp.lc_tree apsp v) s
+        in
+        if d.(v) +. min_pd <= limit +. 1e-9 then begin
+          (match t.candidates with
+          | Both | Least_cost_only ->
+            let lc = Netgraph.Apsp.lc_tree apsp v in
+            consider v ~pd:(Netgraph.Dijkstra.other_dist lc s) lc
+          | Shortest_delay_only -> ());
+          match t.candidates with
+          | Both | Shortest_delay_only ->
+            let sl = Netgraph.Apsp.sl_tree apsp v in
+            consider v ~pd:(Netgraph.Dijkstra.dist sl s) sl
+          | Least_cost_only -> ()
+        end)
+      (Tree.nodes t.tree);
     let chosen =
-      match best with
-      | Some (_, _, p) -> p
+      match !best with
+      | Some (_, _, spt) -> (
+        match Netgraph.Dijkstra.path spt s with
+        | Some p -> p
+        | None -> assert false (* finite added cost implies reachable *))
       | None ->
         (* Unreachable only if limit < ul, which Bound.limit rules out
            (factor >= 1); fall back defensively to the shortest-delay

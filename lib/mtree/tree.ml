@@ -30,6 +30,11 @@ let create graph ~root =
 let graph t = t.graph
 let root t = t.root
 let on_tree t x = t.on.(x)
+
+(* Raw array reads — the DCDM added-cost walk asks this per path edge. *)
+let on_tree_edge t a b =
+  t.on.(a) && t.on.(b) && (t.parent.(a) = b || t.parent.(b) = a)
+
 let size t = t.count
 
 let require_on t x name =

@@ -23,6 +23,12 @@ val graph : t -> Netgraph.Graph.t
 val root : t -> node
 
 val on_tree : t -> node -> bool
+
+val on_tree_edge : t -> node -> node -> bool
+(** Is the undirected edge a-b carried by the tree (one endpoint the
+    parent of the other)? O(1); [false] when either endpoint is
+    off-tree. *)
+
 val size : t -> int
 (** Number of on-tree nodes (including the root). *)
 

@@ -38,6 +38,9 @@ let force t table metric s =
 let delay_spt t s = force t t.by_delay Dijkstra.Delay s
 let cost_spt t s = force t t.by_cost Dijkstra.Cost s
 
+let sl_tree = delay_spt
+let lc_tree = cost_spt
+
 let graph t = t.g
 
 let delay t a b = Dijkstra.dist (delay_spt t a) b
@@ -46,13 +49,10 @@ let cost t a b = Dijkstra.dist (cost_spt t a) b
 let sl_path t a b = Dijkstra.path (delay_spt t a) b
 let lc_path t a b = Dijkstra.path (cost_spt t a) b
 
-let other_metric_along t pick_path measure a b =
-  match pick_path t a b with
-  | None -> infinity
-  | Some p -> measure t.g p
-
-let delay_of_lc t a b = other_metric_along t lc_path Path.delay a b
-let cost_of_sl t a b = other_metric_along t sl_path Path.cost a b
+(* Scalar: Dijkstra tracks the non-selected metric in lockstep with the
+   predecessor chain, so neither query materializes a path. *)
+let delay_of_lc t a b = Dijkstra.other_dist (cost_spt t a) b
+let cost_of_sl t a b = Dijkstra.other_dist (delay_spt t a) b
 
 let diameter t =
   let n = Graph.node_count t.g in

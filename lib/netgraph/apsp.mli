@@ -42,10 +42,22 @@ val lc_path : t -> Graph.node -> Graph.node -> Path.t option
 (** Least-cost path [P_lc]. *)
 
 val delay_of_lc : t -> Graph.node -> Graph.node -> float
-(** Delay accumulated along [P_lc]; [infinity] if disconnected. *)
+(** Delay accumulated along [P_lc]; [infinity] if disconnected. O(1)
+    after the source's least-cost SPT is memoized — Dijkstra tracks the
+    companion metric in lockstep with the predecessor chain. *)
 
 val cost_of_sl : t -> Graph.node -> Graph.node -> float
-(** Cost accumulated along [P_sl]. *)
+(** Cost accumulated along [P_sl]. O(1), same mechanism. *)
+
+val sl_tree : t -> Graph.node -> Dijkstra.result
+(** The memoized shortest-delay SPT of one source — scalar access to
+    every [P_sl(source, -)] at once ({!Dijkstra.dist},
+    {!Dijkstra.other_dist}, {!Dijkstra.fold_path_edges}), for consumers
+    like the DCDM join loop that prefilter many destinations before
+    materializing any path. *)
+
+val lc_tree : t -> Graph.node -> Dijkstra.result
+(** The memoized least-cost SPT of one source. *)
 
 val diameter : t -> float
 (** Largest finite inter-node delay (the graph "diameter" used by

@@ -7,6 +7,11 @@ type result = {
   src : Graph.node;
   dist : float array;
   pred : int array;  (* -1 = none *)
+  other : float array;
+      (* the non-selected metric accumulated along the chosen path, kept
+         in lockstep with [pred]; summed head-to-tail exactly as
+         [Path.delay]/[Path.cost] would over the materialized path, so
+         scalar consumers observe bit-identical floats *)
 }
 
 (* [node_ok] / [edge_ok] let the search run directly over the base graph
@@ -24,9 +29,11 @@ let run ?node_ok ?edge_ok g ~metric ~source =
   let edge_ok = match edge_ok with None -> fun _ _ -> true | Some f -> f in
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
+  let other = Array.make n infinity in
   let settled = Array.make n false in
   let heap = Scmp_util.Heap.create ~capacity:n () in
   dist.(source) <- 0.0;
+  other.(source) <- 0.0;
   Scmp_util.Heap.add heap ~key:0.0 source;
   let rec drain () =
     match Scmp_util.Heap.pop heap with
@@ -39,11 +46,16 @@ let run ?node_ok ?edge_ok g ~metric ~source =
         if node_ok x then
           Graph.iter_neighbors g x (fun y ~delay ~cost ->
               if node_ok y && edge_ok x y then begin
-                let w = match metric with Delay -> delay | Cost -> cost in
+                let w, wo =
+                  match metric with
+                  | Delay -> (delay, cost)
+                  | Cost -> (cost, delay)
+                in
                 let nd = d +. w in
                 if nd < dist.(y) then begin
                   dist.(y) <- nd;
                   pred.(y) <- x;
+                  other.(y) <- other.(x) +. wo;
                   Scmp_util.Heap.add heap ~key:nd y
                 end
               end)
@@ -51,10 +63,11 @@ let run ?node_ok ?edge_ok g ~metric ~source =
       drain ()
   in
   drain ();
-  { src = source; dist; pred }
+  { src = source; dist; pred; other }
 
 let source r = r.src
 let dist r x = r.dist.(x)
+let other_dist r x = r.other.(x)
 let reachable r x = r.dist.(x) < infinity
 
 let parent r x = if r.pred.(x) = -1 then None else Some r.pred.(x)
@@ -68,6 +81,16 @@ let path r x =
 
 let path_exn r x =
   match path r x with Some p -> p | None -> raise Not_found
+
+let fold_path_edges r init dst ~f =
+  if not (reachable r dst) then None
+  else begin
+    (* Recurse to the source, fold on the way back: edges are visited
+       head to tail, matching a left fold over the materialized path,
+       without allocating it. *)
+    let rec go y = if y = r.src then init else f (go r.pred.(y)) r.pred.(y) y in
+    Some (go dst)
+  end
 
 let eccentricity r =
   Array.fold_left

@@ -34,6 +34,15 @@ val source : result -> Graph.node
 val dist : result -> Graph.node -> float
 (** Shortest distance from the source; [infinity] if unreachable. *)
 
+val other_dist : result -> Graph.node -> float
+(** The {e non-selected} metric accumulated along the chosen path (the
+    cost of the shortest-delay path for a [Delay] run, the delay of the
+    least-cost path for a [Cost] run); [infinity] if unreachable. The
+    sum is formed head-to-tail in lockstep with the predecessor chain,
+    so it is bit-identical to {!Path.delay}/{!Path.cost} over the
+    materialized {!path} — scalar consumers (the DCDM join prefilter)
+    can rely on exact float equality. *)
+
 val reachable : result -> Graph.node -> bool
 
 val parent : result -> Graph.node -> Graph.node option
@@ -46,6 +55,15 @@ val path : result -> Graph.node -> Path.t option
 
 val path_exn : result -> Graph.node -> Path.t
 (** @raise Not_found if the node is unreachable. *)
+
+val fold_path_edges :
+  result -> 'a -> Graph.node -> f:('a -> Graph.node -> Graph.node -> 'a) -> 'a option
+(** [fold_path_edges r init dst ~f] folds [f] over the shortest path's
+    edges, source to [dst], in forward order — exactly the left fold a
+    materialized {!path} would give — without allocating the path.
+    [None] if [dst] is unreachable; [Some init] for the source itself.
+    This is the DCDM join's hot loop: candidate added-cost walks touch
+    thousands of paths per build and only the winner is materialized. *)
 
 val eccentricity : result -> float
 (** Largest finite distance from the source. *)

@@ -47,11 +47,25 @@ let link_between t a b =
   | None -> None
   | Some (_, delay, cost) -> Some { u = min a b; v = max a b; delay; cost }
 
+(* Dedicated scans (no option/record allocation): these two run inside
+   Path sums, Tree.delays and the DCDM added-cost walk. *)
 let link_delay t a b =
-  match link_between t a b with Some l -> l.delay | None -> raise Not_found
+  check_node t a "link_delay";
+  check_node t b "link_delay";
+  let rec find = function
+    | [] -> raise Not_found
+    | (w, d, _) :: rest -> if w = b then d else find rest
+  in
+  find t.adj.(a)
 
 let link_cost t a b =
-  match link_between t a b with Some l -> l.cost | None -> raise Not_found
+  check_node t a "link_cost";
+  check_node t b "link_cost";
+  let rec find = function
+    | [] -> raise Not_found
+    | (w, _, c) :: rest -> if w = b then c else find rest
+  in
+  find t.adj.(a)
 
 let neighbors t x =
   check_node t x "neighbors";

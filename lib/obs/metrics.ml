@@ -92,6 +92,51 @@ let histogram_sum h = h.h_sum
 
 let names t = List.sort String.compare (List.rev t.order)
 
+(* Commutative-and-associative per-kind combine: counters and histogram
+   buckets add, gauges keep the maximum. Merging the per-cell registries
+   of a sweep in cell-index order therefore yields the same totals as
+   any execution interleaving — the deterministic-reduce contract the
+   Exec layer relies on. *)
+let copy_entry = function
+  | Counter c -> Counter { c = c.c }
+  | Gauge g -> Gauge { g = g.g; g_set = g.g_set }
+  | Histogram h ->
+    Histogram
+      {
+        bounds = Array.copy h.bounds;
+        counts = Array.copy h.counts;
+        h_count = h.h_count;
+        h_sum = h.h_sum;
+      }
+
+let merge_entry name dst src =
+  match (dst, src) with
+  | Counter d, Counter s -> d.c <- d.c + s.c
+  | Gauge d, Gauge s -> if s.g_set then set_max d s.g
+  | Histogram d, Histogram s ->
+    if d.bounds <> s.bounds then
+      invalid_arg
+        (Printf.sprintf "Metrics.merge: %S histogram bounds differ" name);
+    Array.iteri (fun i n -> d.counts.(i) <- d.counts.(i) + n) s.counts;
+    d.h_count <- d.h_count + s.h_count;
+    d.h_sum <- d.h_sum +. s.h_sum
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Metrics.merge: %S registered with another kind" name)
+
+let merge t src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt src.tbl name with
+      | None -> ()
+      | Some (s_entry, s_wallclock) -> (
+        match Hashtbl.find_opt t.tbl name with
+        | Some (d_entry, _) -> merge_entry name d_entry s_entry
+        | None ->
+          Hashtbl.replace t.tbl name (copy_entry s_entry, s_wallclock);
+          t.order <- name :: t.order))
+    (List.rev src.order)
+
 let entry_json = function
   | Counter c -> Json.Int c.c
   | Gauge g -> Json.Float g.g

@@ -55,6 +55,18 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
+(** {2 Merge} *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: counters add, histograms
+    add pointwise (bucket bounds must match), gauges keep the maximum
+    of the set values. Names unknown to [dst] are copied over (the
+    source is left untouched), appended in [src] registration order.
+    The combine is commutative and associative, so merging per-task
+    registries in a fixed order yields totals independent of how the
+    tasks were scheduled — the Exec layer's deterministic reduce.
+    @raise Invalid_argument on kind or bucket-bound mismatch. *)
+
 (** {2 Export} *)
 
 val names : t -> string list

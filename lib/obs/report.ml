@@ -18,6 +18,16 @@ let add_series t s = t.series <- s :: t.series
 
 let series t = List.rev t.series
 
+let merge t src =
+  Metrics.merge t.metrics src.metrics;
+  (* Keep-first meta: the destination (merge order is cell-index order,
+     so the first cell / the enclosing sweep) wins on conflicts. *)
+  List.iter
+    (fun (key, v) ->
+      if not (List.mem_assoc key t.meta) then t.meta <- (key, v) :: t.meta)
+    (List.rev src.meta);
+  t.series <- List.rev_append (List.rev src.series) t.series
+
 let to_json ?(wallclock = true) t =
   let meta =
     List.sort (fun (a, _) (b, _) -> String.compare a b) t.meta

@@ -33,6 +33,13 @@ val add_series : t -> Series.t -> unit
 val series : t -> Series.t list
 (** In the order added. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]: metrics via
+    {!Metrics.merge}, series appended after [dst]'s, meta keep-first
+    ([dst] wins on key conflicts). [src] is left untouched. Merging
+    per-cell reports in cell-index order makes the combined report
+    independent of execution interleaving. *)
+
 val to_json : ?wallclock:bool -> t -> Json.t
 val to_string : ?wallclock:bool -> ?pretty:bool -> t -> string
 val write : ?wallclock:bool -> ?pretty:bool -> t -> path:string -> (unit, string) result

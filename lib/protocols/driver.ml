@@ -109,8 +109,11 @@ end
 
 (* ---- registry ---- *)
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 8
-let order : string list ref = ref []  (* registration order, newest first *)
+(* The registry is only touched by the submitting domain — Exec.Sweep
+   resolves driver names to first-class modules before dispatching any
+   task to the pool. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8  (* lint: allow domain-safety *)
+let order : string list ref = ref []  (* registration order, newest first; lint: allow domain-safety *)
 
 let normalize = String.lowercase_ascii
 

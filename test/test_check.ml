@@ -299,6 +299,37 @@ let test_lint_raw_transmit () =
   checki "allowed inside lib/eventsim" 0
     (List.length (L.scan_ml ~path:"lib/eventsim/x.ml" src))
 
+let test_lint_domain_safety () =
+  let has vs = List.exists (fun (x : L.violation) -> x.L.rule = L.rule_domain_safety) vs in
+  (* concurrency primitives outside lib/exec *)
+  checkb "Domain.spawn flagged outside exec" true
+    (has (L.scan_ml ~path:"lib/mtree/x.ml" "let d = Domain.spawn f\n"));
+  checkb "Mutex flagged outside exec" true
+    (has (L.scan_ml ~path:"lib/obs/x.ml" "let () = Mutex.lock m\n"));
+  checkb "Atomic flagged outside exec" true
+    (has (L.scan_ml ~path:"bin/x.ml" "let c = Atomic.make 0\n"));
+  checki "allowed inside lib/exec" 0
+    (List.length
+       (L.scan_ml ~path:"lib/exec/pool.ml"
+          "let d = Domain.spawn f\nlet () = Mutex.lock m\n"));
+  (* top-level mutable state in library modules *)
+  checkb "top-level ref flagged" true
+    (has (L.scan_ml ~path:"lib/core/x.ml" "let state = ref 0\n"));
+  checkb "top-level Hashtbl flagged" true
+    (has (L.scan_ml ~path:"lib/core/x.ml"
+            "let registry : (string, int) Hashtbl.t = Hashtbl.create 8\n"));
+  checki "function definitions never match" 0
+    (List.length
+       (L.scan_ml ~path:"lib/obs/x.ml"
+          "let create () = { tbl = Hashtbl.create 32; order = [] }\n"));
+  checki "indented (local) mutable state is fine" 0
+    (List.length
+       (L.scan_ml ~path:"lib/core/x.ml" "let f () =\n  let acc = ref 0 in !acc\n"));
+  checki "suppression marker honoured" 0
+    (List.length
+       (L.scan_ml ~path:"lib/core/x.ml"
+          "let state = ref 0 (* lint: allow domain-safety *)\n"))
+
 let test_lint_dune_flags () =
   let vs = L.scan_dune ~path:"lib/mtree/dune" "(library\n (name mtree))\n" in
   Alcotest.check
@@ -417,6 +448,7 @@ let () =
             test_lint_suppression_and_literals;
           Alcotest.test_case "blanking" `Quick test_lint_blanking;
           Alcotest.test_case "raw transmit scope" `Quick test_lint_raw_transmit;
+          Alcotest.test_case "domain safety" `Quick test_lint_domain_safety;
           Alcotest.test_case "dune strict flags" `Quick test_lint_dune_flags;
         ] );
       ( "lint-cli",

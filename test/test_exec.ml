@@ -1,0 +1,216 @@
+(* The multicore sweep engine's contracts:
+
+   - determinism: a sweep merged on 4 workers serializes byte-identical
+     to the same sweep on 1 worker (the whole point of per-cell
+     isolation + ordered reduce);
+   - PRNG stream independence: a cell's split-derived stream depends on
+     its index, never on what the parent generator does afterwards;
+   - pool semantics: ordered results under oversubscription, exception
+     propagation with the failing index, reusability after a failure,
+     clean shutdown;
+   - metric merge algebra: counters add, gauges max, histograms add
+     pointwise, and the combine is order-insensitive. *)
+
+module Pool = Exec.Pool
+module Sweep = Exec.Sweep
+module Prng = Scmp_util.Prng
+module M = Obs.Metrics
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------------- pool ---------------- *)
+
+let test_pool_ordered_oversubscribed () =
+  (* Far more items than workers; results must come back in submission
+     order regardless of which worker ran what. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      let items = List.init 200 Fun.id in
+      let out = Pool.map p items ~f:(fun i x -> i * 1000 + x) in
+      checki "all results" 200 (List.length out);
+      List.iteri (fun i v -> checki "in submission order" (i * 1000 + i) v) out)
+
+let test_pool_exception_propagation () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      (match
+         Pool.map p (List.init 20 Fun.id) ~f:(fun i _ ->
+             if i = 5 then failwith "boom" else i)
+       with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error (i, Failure msg) ->
+        checki "failing index" 5 i;
+        checks "payload exception" "boom" msg
+      | exception e -> raise e);
+      (* lowest failing index wins when several tasks raise *)
+      (match
+         Pool.map p (List.init 20 Fun.id) ~f:(fun i _ ->
+             if i >= 7 then failwith "multi" else i)
+       with
+      | _ -> Alcotest.fail "expected Task_error"
+      | exception Pool.Task_error (i, _) -> checki "lowest index" 7 i
+      | exception e -> raise e);
+      (* the pool drained every task and stays usable *)
+      let out = Pool.map p [ 1; 2; 3 ] ~f:(fun _ x -> x * 2) in
+      checkb "usable after failure" true (out = [ 2; 4; 6 ]))
+
+let test_pool_shutdown () =
+  let p = Pool.create ~jobs:2 () in
+  checki "jobs" 2 (Pool.jobs p);
+  ignore (Pool.map p [ 1; 2 ] ~f:(fun _ x -> x));
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.map p [ 1 ] ~f:(fun _ x -> x) with
+  | _ -> Alcotest.fail "map after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- PRNG stream independence ---------------- *)
+
+let test_prng_split_independence () =
+  (* The sweep derives all cell streams before any cell runs. A child
+     stream must be a pure function of the parent's state at split
+     time: draws from the parent afterwards, or from sibling streams,
+     must not change what the child produces. *)
+  let a = Prng.create 42 in
+  let child_a = Prng.split a in
+  (* drain the parent and a sibling heavily *)
+  let sibling = Prng.split a in
+  for _ = 1 to 1000 do
+    ignore (Prng.bits64 a);
+    ignore (Prng.bits64 sibling)
+  done;
+  let b = Prng.create 42 in
+  let child_b = Prng.split b in
+  for i = 1 to 64 do
+    Alcotest.check Alcotest.int64
+      (Printf.sprintf "draw %d identical" i)
+      (Prng.bits64 child_b) (Prng.bits64 child_a)
+  done;
+  (* and distinct indices get distinct streams *)
+  let c = Prng.create 42 in
+  let first = Prng.split c in
+  let second = Prng.split c in
+  checkb "stream 0 <> stream 1" false (Prng.bits64 first = Prng.bits64 second)
+
+(* ---------------- metric merge algebra ---------------- *)
+
+let test_metrics_merge () =
+  let mk () = M.create () in
+  let a = mk () and b = mk () in
+  M.add (M.counter a "n") 3;
+  M.add (M.counter b "n") 4;
+  M.set (M.gauge a "g") 1.5;
+  M.set (M.gauge b "g") 0.5;
+  M.observe (M.histogram a "h") 0.5;
+  M.observe (M.histogram b "h") 0.5;
+  M.observe (M.histogram b "h") 200.0;
+  M.add (M.counter b "only_b") 7;
+  M.merge a b;
+  checki "counters add" 7 (M.counter_value (M.counter a "n"));
+  checkb "gauges keep the max" true (M.gauge_value (M.gauge a "g") = 1.5);
+  checki "histogram counts add" 3 (M.histogram_count (M.histogram a "h"));
+  checkb "histogram sums add" true
+    (M.histogram_sum (M.histogram a "h") = 201.0);
+  checki "new names copied over" 7 (M.counter_value (M.counter a "only_b"));
+  checki "source untouched" 4 (M.counter_value (M.counter b "n"));
+  (* kind mismatch is an error *)
+  let c = mk () and d = mk () in
+  ignore (M.counter c "x");
+  ignore (M.gauge d "x");
+  (match M.merge c d with
+  | () -> Alcotest.fail "kind mismatch must raise"
+  | exception Invalid_argument _ -> ());
+  (* commutativity on the JSON view *)
+  let e = mk () and f = mk () in
+  let fill m v =
+    M.add (M.counter m "c") v;
+    M.observe (M.histogram m "h") (float_of_int v)
+  in
+  fill e 1;
+  fill f 2;
+  let e' = mk () and f' = mk () in
+  fill e' 1;
+  fill f' 2;
+  M.merge e f;
+  M.merge f' e';
+  checks "merge is commutative" (Obs.Json.to_string (M.to_json e))
+    (Obs.Json.to_string (M.to_json f'))
+
+(* ---------------- sweep determinism ---------------- *)
+
+let sweep_spec () =
+  Sweep.make ~packets:10 ~master_seed:7 ~drivers:[ "scmp"; "cbt" ]
+    ~topos:[ Sweep.Random3 30 ] ~group_sizes:[ 6; 10 ] ~seeds:[ 1 ] ()
+
+let run_sweep ~jobs =
+  match Sweep.run ~jobs (sweep_spec ()) with
+  | Ok o -> o
+  | Error msg -> Alcotest.fail msg
+
+let test_sweep_jobs_invariance () =
+  let o1 = run_sweep ~jobs:1 in
+  let o4 = run_sweep ~jobs:4 in
+  checki "jobs recorded" 4 o4.Sweep.jobs_used;
+  checki "all cells ran" 4 (List.length o4.cell_results);
+  checks "merged report byte-identical across jobs"
+    (Obs.Report.to_string ~wallclock:false o1.Sweep.report)
+    (Obs.Report.to_string ~wallclock:false o4.Sweep.report);
+  (* per-cell results identical too, in the same order *)
+  List.iter2
+    (fun (a : Sweep.cell_result) (b : Sweep.cell_result) ->
+      checks "cell name" (Sweep.cell_name a.cell) (Sweep.cell_name b.cell);
+      checkb "cell result equal" true
+        (a.result.Protocols.Runner.deliveries
+         = b.result.Protocols.Runner.deliveries
+        && a.result.data_overhead = b.result.data_overhead
+        && a.result.protocol_overhead = b.result.protocol_overhead
+        && a.result.max_delay = b.result.max_delay))
+    o1.cell_results o4.cell_results
+
+let test_sweep_grid_and_errors () =
+  let cells = Sweep.cells (sweep_spec ()) in
+  checki "grid size" 4 (List.length cells);
+  checks "row-major order, drivers outermost" "scmp/random3:30/k6/s1"
+    (Sweep.cell_name (List.hd cells));
+  checki "indices sequential" 3 (List.nth cells 3).Sweep.index;
+  (match
+     Sweep.run ~jobs:1
+       (Sweep.make ~drivers:[ "no-such-proto" ] ~topos:[ Sweep.Arpanet ]
+          ~group_sizes:[ 4 ] ~seeds:[ 1 ] ())
+   with
+  | Ok _ -> Alcotest.fail "unknown driver must fail"
+  | Error msg -> checkb "error names the driver" true
+      (String.length msg > 0));
+  match Sweep.topo_of_string "waxman:100" with
+  | Ok (Sweep.Waxman 100) -> (
+    match Sweep.topo_of_string "waxman:x" with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "bad size must fail")
+  | _ -> Alcotest.fail "topo_of_string waxman:100"
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordered results, oversubscribed" `Quick
+            test_pool_ordered_oversubscribed;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "split stream independence" `Quick
+            test_prng_split_independence;
+        ] );
+      ( "merge",
+        [ Alcotest.test_case "metric merge algebra" `Quick test_metrics_merge ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "jobs=1 equals jobs=4 byte-for-byte" `Quick
+            test_sweep_jobs_invariance;
+          Alcotest.test_case "grid order and errors" `Quick
+            test_sweep_grid_and_errors;
+        ] );
+    ]
