@@ -1,26 +1,135 @@
 (* scmp_lint — the repo's custom static-analysis pass.
 
-   Usage: scmp_lint [DIR ...]   (default: lib bin)
+   Usage:
+     scmp_lint [OPTION]... [DIR]...        (default roots: lib bin)
 
-   Scans the given directories with Check.Lint and prints every
-   violation compiler-style; exits 1 if any rule fired. Run via the
-   build alias: [dune build @lint]. *)
+   Options:
+     --json FILE|-       write the scmp-lint/1 report (— = stdout)
+     --wallclock         include the wall-time section in the report
+     --baseline FILE     scmp-lint/1 document of accepted Warn findings;
+                         Warn findings beyond it gate, Error always gates
+     --rule ID[,ID...]   run only the named rules (disables the
+                         unused-suppression audit)
+     --severity error    run Error-severity rules only (ditto)
+     --list-rules        print the rule catalog and exit
+
+   Exit codes: 0 clean, 1 gating findings, 2 usage/IO error. Without
+   --baseline, Warn findings are printed but only Error findings (and
+   unused suppressions) gate — check.sh and `dune build @lint` pass
+   the committed lint-baseline.json for the strict gate. *)
+
+module L = Check.Lint
+
+let usage () =
+  prerr_endline
+    "usage: scmp_lint [--json FILE|-] [--wallclock] [--baseline FILE]\n\
+    \                 [--rule ID[,ID...]] [--severity error|warn]\n\
+    \                 [--list-rules] [DIR ...]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("scmp_lint: " ^ s); exit 2) fmt
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let split_commas s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let () =
-  let roots =
-    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib"; "bin" ] | ds -> ds
+  let json_out = ref None in
+  let wallclock = ref false in
+  let baseline_path = ref None in
+  let rules = ref None in
+  let max_severity = ref None in
+  let roots = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: v :: rest ->
+      json_out := Some v;
+      parse rest
+    | "--wallclock" :: rest ->
+      wallclock := true;
+      parse rest
+    | "--baseline" :: v :: rest ->
+      baseline_path := Some v;
+      parse rest
+    | "--rule" :: v :: rest ->
+      let ids = split_commas v in
+      if ids = [] then fail "--rule needs at least one rule id";
+      List.iter
+        (fun id ->
+          if not (List.mem id L.all_rules) then
+            fail "unknown rule %s (see --list-rules)" id)
+        ids;
+      rules := Some (ids @ Option.value !rules ~default:[]);
+      parse rest
+    | "--severity" :: v :: rest ->
+      (match Check.Rule.severity_of_string v with
+      | Some s -> max_severity := Some s
+      | None -> fail "--severity takes error or warn, not %s" v);
+      parse rest
+    | "--list-rules" :: _ ->
+      List.iter
+        (fun id ->
+          Printf.printf "%-22s %-5s %s\n" id
+            (Check.Rule.severity_to_string (L.severity_of_rule id))
+            (Option.value (L.doc_of_rule id) ~default:""))
+        L.all_rules;
+      exit 0
+    | ("--json" | "--baseline" | "--rule" | "--severity") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | dir :: rest ->
+      roots := dir :: !roots;
+      parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | ds -> ds in
   let missing =
     List.filter (fun d -> not (Sys.file_exists d && Sys.is_directory d)) roots
   in
   List.iter (Printf.eprintf "scmp_lint: no such directory: %s\n") missing;
   if missing <> [] then exit 2;
-  let violations = Check.Lint.scan_tree roots in
-  List.iter (fun v -> print_endline (Check.Lint.to_string v)) violations;
-  if violations = [] then
-    Printf.printf "scmp_lint: clean (%s; rules: %s)\n" (String.concat " " roots)
-      (String.concat ", " Check.Lint.all_rules)
+  let baseline =
+    match !baseline_path with
+    | None -> L.empty_baseline ()
+    | Some p -> (
+      let contents = try read_file p with Sys_error e -> fail "%s" e in
+      match L.baseline_of_string contents with
+      | Ok b -> b
+      | Error e -> fail "%s: %s" p e)
+  in
+  let summary = L.scan ?rules:!rules ?max_severity:!max_severity roots in
+  (match !json_out with
+  | Some "-" ->
+    print_string (Obs.Json.to_string ~pretty:true (L.to_json ~wallclock:!wallclock summary));
+    print_newline ()
+  | Some path -> (
+    match Obs.Json.write_file ~pretty:true path (L.to_json ~wallclock:!wallclock summary) with
+    | Ok () -> ()
+    | Error e -> fail "cannot write %s: %s" path e)
+  | None -> ());
+  let print_findings vs = List.iter (fun v -> print_endline (L.to_string v)) vs in
+  if !json_out <> Some "-" then print_findings summary.L.findings;
+  let gating =
+    if !baseline_path = None then
+      List.filter (fun v -> v.L.severity = L.Error) summary.L.findings
+    else L.diff_baseline baseline summary.L.findings
+  in
+  let errs = Printf.eprintf in
+  if gating = [] then begin
+    if !json_out <> Some "-" then
+      Printf.printf
+        "scmp_lint: clean (%s; %d file(s), %d finding(s) gated out, %.0f ms)\n"
+        (String.concat " " roots) summary.L.files_scanned
+        (List.length summary.L.findings)
+        (summary.L.wall_s *. 1000.);
+    exit 0
+  end
   else begin
-    Printf.printf "scmp_lint: %d violation(s)\n" (List.length violations);
+    errs "scmp_lint: %d gating finding(s) (of %d total)\n" (List.length gating)
+      (List.length summary.L.findings);
+    if !json_out = Some "-" then print_findings gating;
     exit 1
   end

@@ -12,6 +12,17 @@ dune build
 echo "== dune build @lint"
 dune build @lint
 
+# Lint gate: the AST lint must be clean against the committed baseline
+# (new Warn findings, any Error, or unused suppressions fail), and the
+# scmp-lint/1 report must be byte-identical across two runs.
+echo "== lint gate (baseline + deterministic report)"
+dune exec bin/scmp_lint.exe -- --json /tmp/lint1.json \
+  --baseline lint-baseline.json lib bin > /dev/null
+dune exec bin/scmp_lint.exe -- --json /tmp/lint2.json \
+  --baseline lint-baseline.json lib bin > /dev/null
+cmp /tmp/lint1.json /tmp/lint2.json
+grep -q '"schema": "scmp-lint/1"' /tmp/lint1.json
+
 echo "== dune runtest"
 dune runtest
 

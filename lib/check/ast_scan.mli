@@ -1,0 +1,72 @@
+(** Parsetree access for the lint engine.
+
+    Thin helpers over [compiler-libs.common]: parse one [.ml] source
+    into its {!Parsetree.structure} and walk it with
+    {!Ast_iterator}-based visitors. Everything here is purely
+    syntactic — no typing environment — so the {!Lint} rules built on
+    top are heuristics with escape hatches, not proofs. *)
+
+val parse : path:string -> string -> Parsetree.structure option
+(** [None] when the source does not lex/parse ([path] only names the
+    file in locations). *)
+
+val line_of : Location.t -> int
+(** 1-based line of the location's start. *)
+
+val ident_path : Longident.t -> string
+(** ["Hashtbl.find"], ["Obs.Metrics.incr"], ... *)
+
+val strip : Parsetree.expression -> Parsetree.expression
+(** Unwrap type constraints, coercions and [open M in e]. *)
+
+val head_of_apply : Parsetree.expression -> (string * Location.t) option
+(** The applied function when [e] is [f a1 ... an] with [f] an
+    identifier. *)
+
+val apply_args :
+  Parsetree.expression -> (Asttypes.arg_label * Parsetree.expression) list
+(** The argument list of an application, [[]] otherwise. *)
+
+val fun_body : Parsetree.expression -> Parsetree.expression option
+(** Innermost body of a curried [fun]/[newtype] chain; [None] when
+    the expression is not a function literal. *)
+
+val is_function : Parsetree.expression -> bool
+
+val iter_exprs : Parsetree.structure -> (Parsetree.expression -> unit) -> unit
+(** Visit every expression of the file, parents before children. *)
+
+val iter_subexprs :
+  Parsetree.expression -> (Parsetree.expression -> unit) -> unit
+(** Visit the expression and everything under it, parents first. *)
+
+val iter_idents :
+  Parsetree.expression -> (string -> Location.t -> unit) -> unit
+(** Every identifier occurrence within the expression. *)
+
+val expr_mentions : Parsetree.expression -> string -> bool
+(** Is the (dotted) identifier used anywhere in the expression? *)
+
+val iter_immediate_idents :
+  Parsetree.expression -> (string -> Location.t -> unit) -> unit
+(** Like {!iter_idents} but without descending into nested function
+    literals: the identifiers evaluated {e now}, not captured for
+    later. *)
+
+val pattern_vars : Parsetree.pattern -> string list
+(** Variables the pattern binds. *)
+
+val free_names : Parsetree.expression -> string list
+(** Unqualified value identifiers used but nowhere bound inside the
+    expression — an over-approximation of the free variables of a
+    closure (sorted). Names bound {e anywhere} within count as bound,
+    so the result can only miss captures, never invent them. *)
+
+val allocates_mutable : Parsetree.expression -> bool
+(** Does evaluating the expression immediately apply [ref] or
+    [Hashtbl.create]? (Nested function literals excluded.) *)
+
+val toplevel_mutable_bindings : Parsetree.structure -> (string * int) list
+(** Non-function top-level bindings (recursing into nested
+    [module M = struct .. end]) whose right-hand side
+    {!allocates_mutable} — [(name, line)] in source order. *)

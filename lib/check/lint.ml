@@ -1,19 +1,47 @@
-type violation = { path : string; line : int; rule : string; message : string }
+type severity = Rule.severity = Error | Warn
 
-let to_string { path; line; rule; message } =
+type violation = {
+  path : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let to_string { path; line; rule; message; _ } =
   Printf.sprintf "%s:%d: [%s] %s" path line rule message
+
+let compare_violations a b =
+  Rule.compare_findings
+    {
+      Rule.path = a.path;
+      line = a.line;
+      rule = a.rule;
+      severity = a.severity;
+      message = a.message;
+    }
+    {
+      Rule.path = b.path;
+      line = b.line;
+      rule = b.rule;
+      severity = b.severity;
+      message = b.message;
+    }
 
 (* ---- source preprocessing ----
 
-   Rules match on code only: comments and string literals are blanked
-   out (length-preserving, so line/column arithmetic survives). Handles
-   nested [(* *)] comments, ["..."] strings with escapes, and character
+   The line matchers (the fallback path for files without a
+   parsetree) match on code only: comments and string literals are
+   blanked out (length-preserving, so line/column arithmetic
+   survives). Handles nested [(* *)] comments, ["..."] strings with
+   escapes, [{|...|}] / [{id|...|id}] quoted strings, and character
    literals — while leaving type variables ['a] alone. *)
 
 let blank_non_code src =
   let n = String.length src in
   let out = Bytes.of_string src in
   let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let is_quote_id c = (c >= 'a' && c <= 'z') || c = '_' in
   let i = ref 0 in
   let comment_depth = ref 0 in
   while !i < n do
@@ -41,6 +69,30 @@ let blank_non_code src =
       blank !i;
       blank (!i + 1);
       i := !i + 2
+    end
+    else if c = '{' then begin
+      (* quoted string literal [{|...|}] / [{id|...|id}]: find the
+         [id|] opener, then blank through the matching [|id}] *)
+      let j = ref (!i + 1) in
+      while !j < n && is_quote_id src.[!j] do incr j done;
+      if !j < n && src.[!j] = '|' then begin
+        let id = String.sub src (!i + 1) (!j - !i - 1) in
+        let closer = "|" ^ id ^ "}" in
+        let m = String.length closer in
+        let k = ref (!j + 1) in
+        while !k + m <= n && String.sub src !k m <> closer do incr k done;
+        if !k + m <= n then begin
+          (* keep the delimiters, blank the payload *)
+          for p = !j + 1 to !k - 1 do blank p done;
+          i := !k + m
+        end
+        else begin
+          (* unterminated: blank to end of input *)
+          for p = !j + 1 to n - 1 do blank p done;
+          i := n
+        end
+      end
+      else incr i
     end
     else if c = '"' then begin
       (* keep the delimiters, blank the payload *)
@@ -104,11 +156,9 @@ let contains_token line pat =
   in
   m > 0 && scan 0
 
-(* [contains_prefix line pat] — [pat] present at a left identifier
-   boundary, whatever follows (used for [Hashtbl.find] vs [_opt]:
-   the token check above would not match [Hashtbl.find] inside
-   [Hashtbl.find_opt], which is exactly what we want there; this one
-   is for rules that must see the bare prefix). *)
+(* [pat] present at a left identifier boundary, whatever follows
+   (for prefix rules: [Hashtbl.find] inside [Hashtbl.find_opt] must
+   not match the token form but must match here). *)
 let find_token line pat =
   let n = String.length line and m = String.length pat in
   let rec scan i acc =
@@ -119,7 +169,20 @@ let find_token line pat =
   in
   if m = 0 then [] else scan 0 []
 
-(* ---- rule definitions ---- *)
+let path_contains path needle =
+  let n = String.length path and m = String.length needle in
+  let rec scan i =
+    if i + m > n then false else String.sub path i m = needle || scan (i + 1)
+  in
+  scan 0
+
+let in_protocols path = path_contains path "protocols"
+let in_eventsim path = path_contains path "eventsim"
+let in_exec path = path_contains path "exec"
+let in_obs path = path_contains path "obs"
+let in_lib path = path_contains path "lib"
+
+(* ---- rule ids ---- *)
 
 let rule_poly_compare = "poly-compare"
 let rule_hashtbl_find = "hashtbl-find"
@@ -128,32 +191,362 @@ let rule_mli = "mli-coverage"
 let rule_dune_flags = "dune-strict-flags"
 let rule_raw_transmit = "raw-transmit"
 let rule_domain_safety = "domain-safety"
+let rule_hashtbl_iter_order = "hashtbl-iter-order"
+let rule_wallclock = "wallclock-outside-obs"
+let rule_unseeded_random = "unseeded-random"
+let rule_catchall = "catchall-exn"
+let rule_physical_eq = "physical-eq"
+let rule_exec_capture = "exec-capture"
+let rule_parse_failure = "parse-failure"
+let rule_unused_suppression = "unused-suppression"
 
-let all_rules =
+(* ---- AST rule implementations ---- *)
+
+open Parsetree
+
+let emit_at (ctx : Rule.ctx) loc msg = ctx.emit ~line:(Ast_scan.line_of loc) msg
+
+let sort_heads = [ "List.sort"; "List.sort_uniq"; "List.stable_sort" ]
+
+let ast_poly_compare (ctx : Rule.ctx) structure =
+  let message pat =
+    Printf.sprintf
+      "polymorphic comparator (%s); use Int.compare or a dedicated comparator"
+      pat
+  in
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } when Ast_scan.ident_path txt = "Stdlib.compare"
+        ->
+        emit_at ctx loc (message "Stdlib.compare")
+      | Pexp_apply _ -> (
+        match Ast_scan.head_of_apply e with
+        | Some (h, _) when List.mem h sort_heads -> (
+          match Ast_scan.apply_args e with
+          | (_, arg) :: _ -> (
+            match (Ast_scan.strip arg).pexp_desc with
+            | Pexp_ident { txt = Longident.Lident "compare"; loc } ->
+              emit_at ctx loc (message (h ^ " compare"))
+            | _ -> ())
+          | [] -> ())
+        | _ -> ())
+      | _ -> ());
+  (* [let compare = compare] — (re)binding the polymorphic comparator,
+     typically to satisfy a set/map functor. *)
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match (vb.pvb_pat.ppat_desc, (Ast_scan.strip vb.pvb_expr).pexp_desc) with
+          | ( Ppat_var { txt = "compare"; _ },
+              Pexp_ident { txt = Longident.Lident "compare"; _ } ) ->
+            emit_at ctx vb.pvb_loc (message "let compare = compare")
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it structure
+
+let ast_ident_rule targets message (ctx : Rule.ctx) structure =
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        let p = Ast_scan.ident_path txt in
+        if List.mem p targets then emit_at ctx loc (message p)
+      | _ -> ())
+
+let ast_hashtbl_find =
+  ast_ident_rule [ "Hashtbl.find" ] (fun _ ->
+      "Hashtbl.find raises on absent keys; use Hashtbl.find_opt")
+
+let ast_failwith =
+  ast_ident_rule [ "failwith" ] (fun _ ->
+      "failwith in a protocol hot path; return a result or use a typed \
+       invalid_arg at the API boundary")
+
+(* Both spellings: modules are referenced short ([Netsim.transmit])
+   inside lib/eventsim's friends and qualified elsewhere. *)
+let raw_transmit_targets = [ "Netsim.transmit"; "Eventsim.Netsim.transmit" ]
+
+let ast_raw_transmit =
+  ast_ident_rule raw_transmit_targets (fun p ->
+      Printf.sprintf
+        "raw %s outside the protocol layer bypasses the reliable control \
+         transport and drop accounting; go through a protocol agent"
+        p)
+
+let domain_safety_prefixes = [ "Atomic."; "Mutex."; "Condition." ]
+
+let has_prefix s pre =
+  let m = String.length pre in
+  String.length s >= m && String.sub s 0 m = pre
+
+let ast_domain_safety (ctx : Rule.ctx) structure =
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        let p = Ast_scan.ident_path txt in
+        let hit =
+          if p = "Domain.spawn" then Some "Domain.spawn"
+          else
+            List.find_opt (fun pre -> has_prefix p pre) domain_safety_prefixes
+        in
+        Option.iter
+          (fun pre ->
+            emit_at ctx loc
+              (Printf.sprintf
+                 "%s outside lib/exec; concurrency is confined to the Exec \
+                  layer — hand the work to Exec.Pool instead"
+                 pre))
+          hit
+      | _ -> ());
+  if in_lib ctx.source.path then
+    List.iter
+      (fun (name, line) ->
+        ctx.emit ~line
+          (Printf.sprintf
+             "top-level mutable state (%s) is shared across worker domains; \
+              allocate it per task (or mark the module exec-only)"
+             name))
+      (Ast_scan.toplevel_mutable_bindings structure)
+
+(* D1 — Hashtbl iteration order feeding observable output. *)
+
+let is_hashtbl_fold e =
+  match Ast_scan.head_of_apply e with
+  | Some ("Hashtbl.fold", _) -> true
+  | _ -> false
+
+let is_sort_application e =
+  match Ast_scan.head_of_apply e with
+  | Some (h, _) -> List.mem h sort_heads
+  | _ -> false
+
+let expr_has_cons e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it x ->
+          (match x.pexp_desc with
+          | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) ->
+            found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it x);
+    }
+  in
+  it.expr it e;
+  !found
+
+let obs_emission_target p =
+  has_prefix p "Obs." || has_prefix p "Metrics." || has_prefix p "Series."
+  || has_prefix p "Report."
+
+let ast_hashtbl_iter_order (ctx : Rule.ctx) structure =
+  (* First pass: folds whose result flows straight into a sort — the
+     sanctioned shape — keyed by location. *)
+  let sorted = ref [] in
+  let mark e = sorted := e.pexp_loc :: !sorted in
+  Ast_scan.iter_exprs structure (fun e ->
+      match Ast_scan.head_of_apply e with
+      | Some ("|>", _) -> (
+        match Ast_scan.apply_args e with
+        | [ (_, lhs); (_, rhs) ]
+          when is_hashtbl_fold lhs && is_sort_application rhs ->
+          mark lhs
+        | _ -> ())
+      | Some (h, _) when List.mem h sort_heads ->
+        List.iter
+          (fun (_, a) ->
+            let a = Ast_scan.strip a in
+            if is_hashtbl_fold a then mark a)
+          (Ast_scan.apply_args e)
+      | _ -> ());
+  Ast_scan.iter_exprs structure (fun e ->
+      match Ast_scan.head_of_apply e with
+      | Some ("Hashtbl.fold", loc) when not (List.mem e.pexp_loc !sorted) -> (
+        match Ast_scan.apply_args e with
+        | (_, f) :: _ -> (
+          match Ast_scan.fun_body f with
+          | Some body when expr_has_cons body ->
+            emit_at ctx loc
+              "Hashtbl.fold builds a list in hash-iteration order; sort the \
+               result (e.g. |> List.sort Int.compare) or iterate sorted keys"
+          | _ -> ())
+        | [] -> ())
+      | Some ("Hashtbl.iter", loc) -> (
+        match Ast_scan.apply_args e with
+        | (_, f) :: _ -> (
+          match Ast_scan.fun_body f with
+          | Some body ->
+            let obs = ref None in
+            Ast_scan.iter_idents body (fun p _ ->
+                if !obs = None && obs_emission_target p then obs := Some p);
+            let accumulates = ref false in
+            Ast_scan.iter_subexprs body (fun x ->
+                match Ast_scan.head_of_apply x with
+                | Some (":=", _) when expr_has_cons x -> accumulates := true
+                | _ -> ());
+            let accumulates = !accumulates in
+            if !obs <> None then
+              emit_at ctx loc
+                (Printf.sprintf
+                   "Hashtbl.iter emits into %s in hash-iteration order; \
+                    iterate sorted keys so reports stay deterministic"
+                   (Option.value !obs ~default:"Obs"))
+            else if accumulates then
+              emit_at ctx loc
+                "Hashtbl.iter accumulates a list (:= with ::) in \
+                 hash-iteration order; collect then sort, or iterate sorted \
+                 keys"
+          | None -> ())
+        | [] -> ())
+      | _ -> ())
+
+(* D2 — wallclock reads outside lib/obs. *)
+let ast_wallclock =
+  ast_ident_rule [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ] (fun p ->
+      Printf.sprintf
+        "%s reads the wall clock outside lib/obs; go through Obs.Clock so \
+         wallclock data stays flagged and excluded from deterministic reports"
+        p)
+
+(* D3 — Stdlib Random instead of the repo's seeded Prng streams. *)
+let ast_unseeded_random (ctx : Rule.ctx) structure =
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        let p = Ast_scan.ident_path txt in
+        if p = "Random.self_init" then
+          emit_at ctx loc
+            "Random.self_init seeds from the environment; every stochastic \
+             input must come from an explicitly seeded Scmp_util.Prng stream"
+        else if has_prefix p "Random." then
+          emit_at ctx loc
+            (Printf.sprintf
+               "%s draws from the global Stdlib.Random state; use a seeded \
+                Scmp_util.Prng stream (split per task) instead"
+               p)
+      | _ -> ())
+
+(* D4 — catch-all exception handlers. *)
+let ast_catchall (ctx : Rule.ctx) structure =
+  let rec catchall p =
+    match p.ppat_desc with
+    | Ppat_any -> Some None
+    | Ppat_var { txt; _ } -> Some (Some txt)
+    | Ppat_alias (inner, { txt; _ }) -> (
+      match catchall inner with Some _ -> Some (Some txt) | None -> None)
+    | Ppat_or (a, b) -> (
+      match catchall a with Some v -> Some v | None -> catchall b)
+    | _ -> None
+  in
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_try (_, cases) ->
+        List.iter
+          (fun case ->
+            if case.pc_guard = None then
+              match catchall case.pc_lhs with
+              | Some None ->
+                emit_at ctx case.pc_lhs.ppat_loc
+                  "catch-all handler (with _ ->) can swallow \
+                   Exec.Pool.Task_error and invariant failures; match the \
+                   exceptions you mean or re-raise"
+              | Some (Some v) when not (Ast_scan.expr_mentions case.pc_rhs v)
+                ->
+                emit_at ctx case.pc_lhs.ppat_loc
+                  (Printf.sprintf
+                     "catch-all handler binds %s but drops it; match the \
+                      exceptions you mean, or re-raise / wrap the exception"
+                     v)
+              | _ -> ())
+          cases
+      | _ -> ())
+
+(* D5 — physical equality on structural values. *)
+let ast_physical_eq (ctx : Rule.ctx) structure =
+  Ast_scan.iter_exprs structure (fun e ->
+      match Ast_scan.head_of_apply e with
+      | Some (("==" | "!=") as op, loc) ->
+        emit_at ctx loc
+          (Printf.sprintf
+             "physical equality (%s) on structural values compares identity, \
+              not contents; use =/<> (or suppress where identity is the \
+              point)"
+             op)
+      | _ -> ())
+
+(* D6 — mutable state captured by closures handed to the Exec layer. *)
+
+(* The task-dispatch entry points: closures passed here run on worker
+   domains. ([Pool.with_pool]'s callback runs on the submitter, so it
+   is deliberately absent.) *)
+let exec_head p = p = "Pool.map" || p = "Exec.Pool.map"
+
+let mutators = [ ":="; "incr"; "decr" ]
+
+let table_mutators =
   [
-    rule_poly_compare;
-    rule_hashtbl_find;
-    rule_failwith;
-    rule_mli;
-    rule_dune_flags;
-    rule_raw_transmit;
-    rule_domain_safety;
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.remove";
+    "Hashtbl.reset";
+    "Hashtbl.clear";
+    "Hashtbl.filter_map_inplace";
   ]
 
-(* Suppression: a raw line containing [lint: allow <rule>] (normally
-   inside a comment) exempts that line from that rule. *)
-let allowed_on raw_line rule =
-  let marker = "lint: allow " ^ rule in
-  let n = String.length raw_line and m = String.length marker in
-  let rec scan i =
-    if i + m > n then false else String.sub raw_line i m = marker || scan (i + 1)
+let ast_exec_capture (ctx : Rule.ctx) structure =
+  let toplevel =
+    List.map fst (Ast_scan.toplevel_mutable_bindings structure)
   in
-  scan 0
+  Ast_scan.iter_exprs structure (fun e ->
+      match Ast_scan.head_of_apply e with
+      | Some (h, loc) when exec_head h ->
+        List.iter
+          (fun (_, arg) ->
+            let arg = Ast_scan.strip arg in
+            if Ast_scan.is_function arg then begin
+              let free = Ast_scan.free_names arg in
+              (match List.find_opt (fun v -> List.mem v free) toplevel with
+              | Some v ->
+                emit_at ctx loc
+                  (Printf.sprintf
+                     "task closure passed to %s captures top-level mutable \
+                      %s; worker domains would share it — allocate per task"
+                     h v)
+              | None -> ());
+              (* mutation of a captured variable inside the task body *)
+              let flagged = ref [] in
+              Ast_scan.iter_subexprs arg (fun x ->
+                  match Ast_scan.head_of_apply x with
+                  | Some (m, _)
+                    when List.mem m mutators || List.mem m table_mutators -> (
+                    match Ast_scan.apply_args x with
+                    | (_, first) :: _ -> (
+                      match (Ast_scan.strip first).pexp_desc with
+                      | Pexp_ident { txt = Longident.Lident v; _ }
+                        when List.mem v free && not (List.mem (m, v) !flagged)
+                        ->
+                        flagged := (m, v) :: !flagged;
+                        emit_at ctx loc
+                          (Printf.sprintf
+                             "task closure passed to %s mutates captured %s \
+                              (%s); tasks must not share mutable state with \
+                              the submitter"
+                             h v m)
+                      | _ -> ())
+                    | [] -> ())
+                  | _ -> ())
+            end)
+          (Ast_scan.apply_args e)
+      | _ -> ())
+
+(* ---- line-matcher fallbacks (files without a parsetree) ---- *)
 
 let poly_compare_patterns =
-  (* Sorting/dedup/set-functor idioms that reach for the polymorphic
-     comparator. Node, edge and message values must be ordered with
-     [Int.compare] or a dedicated comparator (see docs/ANALYSIS.md). *)
   [
     "List.sort compare";
     "List.sort_uniq compare";
@@ -166,35 +559,52 @@ let poly_compare_patterns =
     "Stdlib.compare";
   ]
 
-let path_contains path needle =
-  let n = String.length path and m = String.length needle in
-  let rec scan i =
-    if i + m > n then false else String.sub path i m = needle || scan (i + 1)
-  in
-  scan 0
+let iter_code_lines (ctx : Rule.ctx) f =
+  Array.iteri (fun idx line -> f (idx + 1) line) (Lazy.force ctx.source.code_lines)
 
-let in_protocols path = path_contains path "protocols"
-let in_eventsim path = path_contains path "eventsim"
+let line_poly_compare ctx =
+  iter_code_lines ctx (fun line code ->
+      List.iter
+        (fun pat ->
+          if contains_token code pat then
+            ctx.Rule.emit ~line
+              (Printf.sprintf
+                 "polymorphic comparator (%s); use Int.compare or a dedicated \
+                  comparator"
+                 pat))
+        poly_compare_patterns)
 
-(* Both spellings, because '.' is an identifier character here: the
-   short pattern does not match inside the qualified one. *)
-let raw_transmit_patterns = [ "Netsim.transmit"; "Eventsim.Netsim.transmit" ]
+let line_hashtbl_find ctx =
+  iter_code_lines ctx (fun line code ->
+      List.iter
+        (fun (_, j) ->
+          if j >= String.length code || not (is_ident_char code.[j]) then
+            ctx.Rule.emit ~line
+              "Hashtbl.find raises on absent keys; use Hashtbl.find_opt")
+        (find_token code "Hashtbl.find"))
 
-let in_exec path = path_contains path "exec"
+let line_failwith ctx =
+  iter_code_lines ctx (fun line code ->
+      if contains_token code "failwith" then
+        ctx.Rule.emit ~line
+          "failwith in a protocol hot path; return a result or use a typed \
+           invalid_arg at the API boundary")
 
-(* Concurrency primitives are confined to lib/exec: anything the Exec
-   layer runs in a worker task must be domain-safe by construction
-   (fresh state per task), not by ad-hoc locking scattered through the
-   simulation. Left-boundary prefixes, so [Mutex.lock] and
-   [Mutex.create] both match while [My_mutex.x] does not. *)
-let domain_safety_prefixes = [ "Domain.spawn"; "Atomic."; "Mutex."; "Condition." ]
+let line_raw_transmit ctx =
+  iter_code_lines ctx (fun line code ->
+      List.iter
+        (fun pat ->
+          if contains_token code pat then
+            ctx.Rule.emit ~line
+              (Printf.sprintf
+                 "raw %s outside the protocol layer bypasses the reliable \
+                  control transport and drop accounting; go through a \
+                  protocol agent"
+                 pat))
+        raw_transmit_targets)
 
-(* Top-level mutable state ([let x = ref ...] / [let tbl = Hashtbl.create
-   ...] at column 0) is shared by every domain that touches the module —
-   a data race the moment a worker task reaches it. Parameterless value
-   bindings only: after the bound identifier the next token must be [=]
-   or a type annotation, so [let create () = ... Hashtbl.create ...] and
-   other function definitions never match. Same-line heuristic. *)
+(* Same-line heuristic for top-level mutable bindings, kept only for
+   sources the parser rejects. *)
 let toplevel_mutable_binding code_line =
   let n = String.length code_line in
   let prefix = "let " in
@@ -221,69 +631,180 @@ let toplevel_mutable_binding code_line =
     end
   end
 
-let scan_ml ~path src =
-  let raw = lines src in
-  let code = lines (blank_non_code src) in
-  let out = ref [] in
-  List.iteri
-    (fun idx code_line ->
-      let lineno = idx + 1 in
-      let raw_line = List.nth raw idx in
-      let emit rule message =
-        if not (allowed_on raw_line rule) then
-          out := { path; line = lineno; rule; message } :: !out
-      in
+let line_domain_safety ctx =
+  iter_code_lines ctx (fun line code ->
       List.iter
         (fun pat ->
-          if contains_token code_line pat then
-            emit rule_poly_compare
+          if find_token code pat <> [] then
+            ctx.Rule.emit ~line
               (Printf.sprintf
-                 "polymorphic comparator (%s); use Int.compare or a dedicated \
-                  comparator"
+                 "%s outside lib/exec; concurrency is confined to the Exec \
+                  layer — hand the work to Exec.Pool instead"
                  pat))
-        poly_compare_patterns;
-      List.iter
-        (fun (i, j) ->
-          let bare =
-            j >= String.length code_line || not (is_ident_char code_line.[j])
-          in
-          ignore i;
-          if bare then
-            emit rule_hashtbl_find
-              "Hashtbl.find raises on absent keys; use Hashtbl.find_opt")
-        (find_token code_line "Hashtbl.find");
-      if in_protocols path && contains_token code_line "failwith" then
-        emit rule_failwith
-          "failwith in a protocol hot path; return a result or use a typed \
-           invalid_arg at the API boundary";
-      if not (in_protocols path || in_eventsim path) then
-        List.iter
-          (fun pat ->
-            if contains_token code_line pat then
-              emit rule_raw_transmit
-                (Printf.sprintf
-                   "raw %s outside the protocol layer bypasses the reliable \
-                    control transport and drop accounting; go through a \
-                    protocol agent"
-                   pat))
-          raw_transmit_patterns;
-      if not (in_exec path) then begin
-        List.iter
-          (fun pat ->
-            if find_token code_line pat <> [] then
-              emit rule_domain_safety
-                (Printf.sprintf
-                   "%s outside lib/exec; concurrency is confined to the Exec \
-                    layer — hand the work to Exec.Pool instead"
-                   pat))
-          domain_safety_prefixes;
-        if path_contains path "lib" && toplevel_mutable_binding code_line then
-          emit rule_domain_safety
-            "top-level mutable state is shared across worker domains; \
-             allocate it per task (or mark the module exec-only)"
-      end)
-    code;
+        [ "Domain.spawn"; "Atomic."; "Mutex."; "Condition." ];
+      if in_lib ctx.Rule.source.Rule.path && toplevel_mutable_binding code then
+        ctx.Rule.emit ~line
+          "top-level mutable state is shared across worker domains; allocate \
+           it per task (or mark the module exec-only)")
+
+(* ---- the registry ---- *)
+
+let registry : Rule.t list =
+  [
+    Rule.make ~id:rule_poly_compare ~severity:Error
+      ~doc:
+        "no polymorphic compare in sorting/dedup idioms on node, edge or \
+         message values"
+      ~scope:Rule.everywhere ~ast:ast_poly_compare ~lines:line_poly_compare ();
+    Rule.make ~id:rule_hashtbl_find ~severity:Error
+      ~doc:"no exception-raising Hashtbl.find; use find_opt"
+      ~scope:Rule.everywhere ~ast:ast_hashtbl_find ~lines:line_hashtbl_find ();
+    Rule.make ~id:rule_failwith ~severity:Error
+      ~doc:"no failwith inside lib/protocols (event-loop hot path)"
+      ~scope:in_protocols ~ast:ast_failwith ~lines:line_failwith ();
+    Rule.make ~id:rule_raw_transmit ~severity:Error
+      ~doc:"no raw Netsim.transmit outside the protocol layer"
+      ~scope:(fun p -> not (in_protocols p || in_eventsim p))
+      ~ast:ast_raw_transmit ~lines:line_raw_transmit ();
+    Rule.make ~id:rule_domain_safety ~severity:Error
+      ~doc:
+        "concurrency primitives stay in lib/exec; no shared top-level \
+         mutable state in library modules"
+      ~scope:(fun p -> not (in_exec p))
+      ~ast:ast_domain_safety ~lines:line_domain_safety ();
+    Rule.make ~id:rule_hashtbl_iter_order ~severity:Warn
+      ~doc:
+        "no Hashtbl iteration order leaking into reports or unsorted result \
+         lists"
+      ~scope:Rule.everywhere ~ast:ast_hashtbl_iter_order ();
+    Rule.make ~id:rule_wallclock ~severity:Error
+      ~doc:"wallclock reads go through Obs.Clock only"
+      ~scope:(fun p -> not (in_obs p))
+      ~ast:ast_wallclock ();
+    Rule.make ~id:rule_unseeded_random ~severity:Error
+      ~doc:"no Stdlib.Random; stochastic inputs come from seeded Prng streams"
+      ~scope:Rule.everywhere ~ast:ast_unseeded_random ();
+    Rule.make ~id:rule_catchall ~severity:Warn
+      ~doc:"no catch-all exception handlers that swallow failures"
+      ~scope:Rule.everywhere ~ast:ast_catchall ();
+    Rule.make ~id:rule_physical_eq ~severity:Warn
+      ~doc:"no ==/!= on structural values" ~scope:Rule.everywhere
+      ~ast:ast_physical_eq ();
+    Rule.make ~id:rule_exec_capture ~severity:Warn
+      ~doc:"task closures handed to Exec must not capture mutable state"
+      ~scope:Rule.everywhere ~ast:ast_exec_capture ();
+  ]
+
+let all_rules =
+  List.map (fun (r : Rule.t) -> r.Rule.id) registry
+  @ [ rule_mli; rule_dune_flags; rule_parse_failure; rule_unused_suppression ]
+
+let severity_of_rule rule =
+  match List.find_opt (fun (r : Rule.t) -> r.Rule.id = rule) registry with
+  | Some r -> r.Rule.severity
+  | None -> if rule = rule_parse_failure then Warn else Error
+
+let doc_of_rule rule =
+  match List.find_opt (fun (r : Rule.t) -> r.Rule.id = rule) registry with
+  | Some r -> Some r.Rule.doc
+  | None ->
+    List.assoc_opt rule
+      [
+        (rule_mli, "every lib/**/*.ml carries a .mli interface");
+        (rule_dune_flags, "library dune files carry the strict warning flags");
+        (rule_parse_failure, "the file did not parse; AST rules were skipped");
+        (rule_unused_suppression, "an allow-suppression marker excuses no finding");
+      ]
+
+(* ---- suppression markers ---- *)
+
+type marker = { m_line : int; m_rule : string; mutable m_used : bool }
+
+let is_rule_char = function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false
+
+let markers_of_line ~line raw =
+  let tag = "lint: allow " in
+  let n = String.length raw and m = String.length tag in
+  let rec scan i acc =
+    if i + m > n then acc
+    else if String.sub raw i m = tag then begin
+      let j = ref (i + m) in
+      while !j < n && is_rule_char raw.[!j] do incr j done;
+      let rule = String.sub raw (i + m) (!j - i - m) in
+      if rule = "" then scan (i + 1) acc
+      else scan !j ({ m_line = line; m_rule = rule; m_used = false } :: acc)
+    end
+    else scan (i + 1) acc
+  in
+  scan 0 []
+
+let markers_of raw_lines =
+  let out = ref [] in
+  Array.iteri
+    (fun idx raw -> out := markers_of_line ~line:(idx + 1) raw @ !out)
+    raw_lines;
   List.rev !out
+
+let suppressed markers (v : violation) =
+  match
+    List.find_opt (fun mk -> mk.m_line = v.line && mk.m_rule = v.rule) markers
+  with
+  | Some mk ->
+    mk.m_used <- true;
+    true
+  | None -> false
+
+(* ---- per-file scan ---- *)
+
+let selected ?rules ?max_severity id =
+  (match rules with None -> true | Some ids -> List.mem id ids)
+  &&
+  match max_severity with
+  | Some Error -> severity_of_rule id = Error
+  | Some Warn | None -> true
+
+let scan_source ?rules ?max_severity ~path src =
+  let raw_lines = Array.of_list (lines src) in
+  let code_lines = lazy (Array.of_list (lines (blank_non_code src))) in
+  let ast = Ast_scan.parse ~path src in
+  let source = { Rule.path; raw_lines; code_lines; ast } in
+  let markers = markers_of raw_lines in
+  let out = ref [] in
+  if Option.is_none ast && selected ?rules ?max_severity rule_parse_failure then
+    out :=
+      {
+        path;
+        line = 1;
+        rule = rule_parse_failure;
+        severity = Warn;
+        message =
+          "file does not parse; AST rules skipped (line-matcher fallbacks \
+           only)";
+      }
+      :: !out;
+  List.iter
+    (fun (r : Rule.t) ->
+      if selected ?rules ?max_severity r.Rule.id then
+        Rule.run r
+          {
+            Rule.source;
+            emit =
+              (fun ~line message ->
+                out :=
+                  {
+                    path;
+                    line;
+                    rule = r.Rule.id;
+                    severity = r.Rule.severity;
+                    message;
+                  }
+                  :: !out);
+          })
+    registry;
+  let findings = List.filter (fun v -> not (suppressed markers v)) !out in
+  (List.sort compare_violations findings, markers)
+
+let scan_ml ~path src = fst (scan_source ~path src)
 
 let scan_dune ~path src =
   let has_warn_error =
@@ -296,6 +817,7 @@ let scan_dune ~path src =
         path;
         line = 1;
         rule = rule_dune_flags;
+        severity = Error;
         message = "library dune file lacks the strict warnings-as-errors flags";
       };
     ]
@@ -326,38 +848,196 @@ let has_suffix s suf =
 let under_lib path =
   path = "lib"
   || has_suffix (Filename.dirname path) "lib"
-  || String.length path >= 4 && String.sub path 0 4 = "lib/"
-  ||
-  let needle = "/lib/" in
-  let n = String.length path and m = String.length needle in
-  let rec scan i =
-    if i + m > n then false else String.sub path i m = needle || scan (i + 1)
-  in
-  scan 0
+  || (String.length path >= 4 && String.sub path 0 4 = "lib/")
+  || path_contains path "/lib/"
 
-let scan_tree roots =
-  let files = List.concat_map (fun r -> walk r []) roots in
-  let files = List.sort String.compare files in
-  let out = ref [] in
-  List.iter
-    (fun p ->
-      if has_suffix p ".ml" then begin
-        out := !out @ scan_ml ~path:p (read_file p);
-        (* mli-coverage: every library module carries an interface *)
-        let mli = p ^ "i" in
-        if under_lib p && not (Sys.file_exists mli) then
-          out :=
-            !out
-            @ [
-                {
-                  path = p;
-                  line = 1;
-                  rule = rule_mli;
-                  message = "library module has no .mli interface";
-                };
-              ]
-      end
-      else if Filename.basename p = "dune" && under_lib p then
-        out := !out @ scan_dune ~path:p (read_file p))
-    files;
-  !out
+type summary = {
+  roots : string list;
+  files_scanned : int;
+  findings : violation list;
+  wall_s : float;
+}
+
+let scan ?rules ?max_severity roots =
+  let audit = rules = None && max_severity = None in
+  let run () =
+    let files = List.concat_map (fun r -> walk r []) roots in
+    let files = List.sort String.compare files in
+    let scanned = ref 0 in
+    let out = ref [] in
+    let push vs = out := List.rev_append vs !out in
+    List.iter
+      (fun p ->
+        if has_suffix p ".ml" then begin
+          incr scanned;
+          let src = read_file p in
+          let findings, markers = scan_source ?rules ?max_severity ~path:p src in
+          push findings;
+          (* mli-coverage: every library module carries an interface *)
+          let mli_missing =
+            under_lib p
+            && (not (Sys.file_exists (p ^ "i")))
+            && selected ?rules ?max_severity rule_mli
+          in
+          let mli_findings =
+            if mli_missing then
+              List.filter
+                (fun v -> not (suppressed markers v))
+                [
+                  {
+                    path = p;
+                    line = 1;
+                    rule = rule_mli;
+                    severity = Error;
+                    message = "library module has no .mli interface";
+                  };
+                ]
+            else []
+          in
+          push mli_findings;
+          (* unused-suppression audit: a marker that excused nothing is
+             itself a finding (only meaningful over the full rule set). *)
+          if audit then
+            push
+              (List.filter_map
+                 (fun mk ->
+                   if mk.m_used then None
+                   else
+                     Some
+                       {
+                         path = p;
+                         line = mk.m_line;
+                         rule = rule_unused_suppression;
+                         severity = Error;
+                         message =
+                           (if List.mem mk.m_rule all_rules then
+                              Printf.sprintf
+                                "lint: allow %s matches no finding on this \
+                                 line; drop the stale suppression"
+                                mk.m_rule
+                            else
+                              Printf.sprintf
+                                "lint: allow %s names an unknown rule"
+                                mk.m_rule);
+                       })
+                 markers)
+        end
+        else if
+          Filename.basename p = "dune" && under_lib p
+          && selected ?rules ?max_severity rule_dune_flags
+        then begin
+          incr scanned;
+          push (scan_dune ~path:p (read_file p))
+        end)
+      files;
+    (List.sort compare_violations !out, !scanned)
+  in
+  let (findings, files_scanned), wall_s = Obs.Clock.time run in
+  { roots; files_scanned; findings; wall_s }
+
+let scan_tree roots = (scan roots).findings
+
+(* ---- machine-readable report (scmp-lint/1) ---- *)
+
+let schema = "scmp-lint/1"
+
+let to_json ?(wallclock = false) s =
+  let finding v =
+    Obs.Json.Obj
+      [
+        ("path", Obs.Json.String v.path);
+        ("line", Obs.Json.Int v.line);
+        ("rule", Obs.Json.String v.rule);
+        ("severity", Obs.Json.String (Rule.severity_to_string v.severity));
+        ("message", Obs.Json.String v.message);
+      ]
+  in
+  let errors, warnings =
+    List.fold_left
+      (fun (e, w) v ->
+        match v.severity with Error -> (e + 1, w) | Warn -> (e, w + 1))
+      (0, 0) s.findings
+  in
+  Obs.Json.Obj
+    ([
+       ("schema", Obs.Json.String schema);
+       ("roots", Obs.Json.List (List.map (fun r -> Obs.Json.String r) s.roots));
+       ( "rules",
+         Obs.Json.Obj
+           (List.map
+              (fun id ->
+                ( id,
+                  Obs.Json.String
+                    (Rule.severity_to_string (severity_of_rule id)) ))
+              all_rules) );
+       ("files_scanned", Obs.Json.Int s.files_scanned);
+       ( "summary",
+         Obs.Json.Obj
+           [
+             ("total", Obs.Json.Int (List.length s.findings));
+             ("errors", Obs.Json.Int errors);
+             ("warnings", Obs.Json.Int warnings);
+           ] );
+       ("findings", Obs.Json.List (List.map finding s.findings));
+     ]
+    @
+    if wallclock then
+      [
+        ( "wallclock",
+          Obs.Json.Obj [ ("lint/scan_s", Obs.Json.Float s.wall_s) ] );
+      ]
+    else [])
+
+(* ---- baseline ---- *)
+
+(* Pre-existing Warn-level findings, keyed (path, rule) with
+   multiplicity: line numbers drift with every edit, so the diff
+   excuses *as many* findings per key as the baseline recorded, never
+   which exact lines. Error findings are never excused. *)
+type baseline = (string * string, int) Hashtbl.t
+
+let baseline_of_json json : (baseline, string) result =
+  match Obs.Json.mem "schema" json with
+  | Some (Obs.Json.String s) when s = schema -> (
+    match Obs.Json.mem "findings" json with
+    | Some (Obs.Json.List items) ->
+      let tbl = Hashtbl.create 16 in
+      let bad = ref None in
+      List.iter
+        (fun item ->
+          match
+            (Obs.Json.mem "path" item, Obs.Json.mem "rule" item)
+          with
+          | Some (Obs.Json.String path), Some (Obs.Json.String rule) ->
+            let key = (path, rule) in
+            let n =
+              match Hashtbl.find_opt tbl key with Some n -> n | None -> 0
+            in
+            Hashtbl.replace tbl key (n + 1)
+          | _ -> bad := Some "baseline finding lacks path/rule strings")
+        items;
+      (match !bad with None -> Stdlib.Ok tbl | Some e -> Stdlib.Error e)
+    | _ -> Stdlib.Error "baseline lacks a findings array")
+  | _ -> Stdlib.Error (Printf.sprintf "baseline is not a %s document" schema)
+
+let baseline_of_string s =
+  match Obs.Json.of_string s with
+  | Stdlib.Error e -> Stdlib.Error (Printf.sprintf "baseline JSON: %s" e)
+  | Stdlib.Ok json -> baseline_of_json json
+
+let empty_baseline () : baseline = Hashtbl.create 1
+
+let diff_baseline (b : baseline) findings =
+  let remaining = Hashtbl.copy b in
+  List.filter
+    (fun v ->
+      match v.severity with
+      | Error -> true
+      | Warn -> (
+        let key = (v.path, v.rule) in
+        match Hashtbl.find_opt remaining key with
+        | Some n when n > 0 ->
+          Hashtbl.replace remaining key (n - 1);
+          false
+        | _ -> true))
+    findings

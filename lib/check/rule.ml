@@ -1,0 +1,56 @@
+type severity = Error | Warn
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warn" -> Some Warn
+  | _ -> None
+
+type finding = {
+  path : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let compare_findings a b =
+  match String.compare a.path b.path with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+type source = {
+  path : string;
+  raw_lines : string array;
+  code_lines : string array Lazy.t;
+  ast : Parsetree.structure option;
+}
+
+type ctx = { source : source; emit : line:int -> string -> unit }
+
+type t = {
+  id : string;
+  severity : severity;
+  doc : string;
+  scope : string -> bool;
+  ast_check : (ctx -> Parsetree.structure -> unit) option;
+  line_check : (ctx -> unit) option;
+}
+
+let make ?ast ?lines ~id ~severity ~doc ~scope () =
+  { id; severity; doc; scope; ast_check = ast; line_check = lines }
+
+let everywhere _ = true
+
+let run rule ctx =
+  if rule.scope ctx.source.path then
+    match (ctx.source.ast, rule.ast_check) with
+    | Some structure, Some check -> check ctx structure
+    | _, _ -> ( match rule.line_check with Some check -> check ctx | None -> ())

@@ -1,0 +1,71 @@
+(** Rule-registry framework for the {!Lint} engine.
+
+    A rule pairs an identity (id, severity, one-line rationale, path
+    scope) with up to two detectors:
+
+    - an {e AST visitor} over the file's parsetree (the primary form —
+      syntax-aware, immune to string/comment false positives);
+    - a {e line matcher} over comment/string-blanked source lines, used
+      only when the file has no parsetree (a [.ml] that does not parse;
+      the engine reports that too).
+
+    [Error] findings always gate the build; [Warn] findings gate
+    through the baseline diff (see {!Lint} and [docs/ANALYSIS.md]). *)
+
+type severity = Error | Warn
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+type finding = {
+  path : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+val compare_findings : finding -> finding -> int
+(** Path, then line, then rule id, then message — the canonical report
+    order (deterministic output depends on it). *)
+
+type source = {
+  path : string;
+  raw_lines : string array;  (** Verbatim lines (suppression markers). *)
+  code_lines : string array Lazy.t;
+      (** {!Lint.blank_non_code}-stripped lines, forced only when a
+          line matcher actually runs. *)
+  ast : Parsetree.structure option;
+      (** [None] when the file did not parse (or is not a [.ml]). *)
+}
+
+type ctx = { source : source; emit : line:int -> string -> unit }
+(** [emit] records a finding for this rule; the engine fills in path,
+    rule id and severity, then applies suppression markers. *)
+
+type t = {
+  id : string;
+  severity : severity;
+  doc : string;
+  scope : string -> bool;
+  ast_check : (ctx -> Parsetree.structure -> unit) option;
+  line_check : (ctx -> unit) option;
+}
+
+val make :
+  ?ast:(ctx -> Parsetree.structure -> unit) ->
+  ?lines:(ctx -> unit) ->
+  id:string ->
+  severity:severity ->
+  doc:string ->
+  scope:(string -> bool) ->
+  unit ->
+  t
+
+val everywhere : string -> bool
+(** The unrestricted scope. *)
+
+val run : t -> ctx -> unit
+(** Apply the rule to one file: the AST visitor when a parsetree is
+    available, the line matcher otherwise. Out-of-scope paths are
+    skipped entirely. *)

@@ -96,6 +96,170 @@ let to_string ?(pretty = false) v =
   if pretty then emit_pretty b ~level:0 v else emit b v;
   Buffer.contents b
 
+(* ---- reader ----
+
+   Strict recursive descent over the grammar the emitter above
+   produces (plus the usual JSON whitespace freedom), so any report
+   this module writes can be read back: [of_string (to_string v)]
+   round-trips for every [v] without a [Float] that printed as [null].
+   Numbers with a '.', 'e' or 'E' parse as [Float], others as [Int]. *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "dangling escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'; incr pos
+          | '\\' -> Buffer.add_char b '\\'; incr pos
+          | '/' -> Buffer.add_char b '/'; incr pos
+          | 'n' -> Buffer.add_char b '\n'; incr pos
+          | 'r' -> Buffer.add_char b '\r'; incr pos
+          | 't' -> Buffer.add_char b '\t'; incr pos
+          | 'b' -> Buffer.add_char b '\b'; incr pos
+          | 'f' -> Buffer.add_char b '\012'; incr pos
+          | 'u' ->
+            if !pos + 4 >= n then fail "truncated \\u escape";
+            let code =
+              try int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+              with Failure _ -> fail "bad \\u escape"
+            in
+            (* The emitter only writes \u for control characters; wider
+               code points are kept raw in strings, so a byte suffices. *)
+            if code < 256 then Buffer.add_char b (Char.chr code)
+            else fail "\\u escape beyond latin-1";
+            pos := !pos + 5
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+        | c -> Buffer.add_char b c; incr pos; go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let is_float = ref false in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' | '+' | '-' ->
+        is_float := true;
+        true
+      | _ -> false
+    do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          incr pos;
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          incr pos;
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    Ok v
+  with Parse_error msg -> Error msg
+
+let mem key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
 let write_file ?pretty path v =
   try
     let oc = open_out path in

@@ -22,3 +22,14 @@ val to_string : ?pretty:bool -> t -> string
 
 val write_file : ?pretty:bool -> string -> t -> (unit, string) result
 (** Write the document (newline-terminated) to a file. *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the dialect {!to_string} emits (either layout,
+    and any standard JSON whitespace): [of_string (to_string v)]
+    round-trips every value whose floats are finite. Numbers written
+    with a ['.'], ['e'] or ['E'] come back as [Float], bare integers
+    as [Int]. The error names the first offending byte offset. *)
+
+val mem : string -> t -> t option
+(** [mem key doc] — the field of an [Obj], [None] on absent keys and
+    non-objects (convenience for report readers). *)

@@ -133,6 +133,7 @@ let host_join t ~group x =
     Hashtbl.fold
       (fun (r, src, g) () acc -> if r = x && g = group then src :: acc else acc)
       t.sent_prune []
+    |> List.sort Int.compare
   in
   List.iter
     (fun src ->

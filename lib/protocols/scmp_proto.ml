@@ -646,7 +646,8 @@ let network_tree_consistent t ~group =
   match mrouter_tree t ~group with
   | None ->
     let stray =
-      Hashtbl.fold
+      (* emptiness test only — iteration order never escapes *)
+      Hashtbl.fold (* lint: allow hashtbl-iter-order *)
         (fun (x, g) _ acc -> if g = group && observable t x then x :: acc else acc)
         t.entries []
     in
@@ -696,6 +697,7 @@ let abort_dead_rel t =
         in
         if dead then token :: acc else acc)
       t.rel_pending []
+    |> List.sort Int.compare
   in
   List.iter
     (fun token ->
@@ -740,7 +742,9 @@ let on_topology_change t =
      goes back to pending (IGMP re-marks it) and the next distribution
      that reaches the router re-attaches it. *)
   let crashed =
-    Hashtbl.fold
+    (* keyed removal/re-mark only: each element touches its own key,
+       so processing order is immaterial *)
+    Hashtbl.fold (* lint: allow hashtbl-iter-order *)
       (fun ((x, _) as key) e acc ->
         if N.node_alive t.net x then acc else (key, e.member) :: acc)
       t.entries []
@@ -775,7 +779,9 @@ let on_topology_change t =
   (* i-router side: drop adjacencies that no longer exist. Collect
      grafts first, in deterministic order. *)
   let grafts = ref [] in
-  Hashtbl.iter
+  (* the collected grafts are sorted (router, group) before dispatch
+     below, so collection order never escapes *)
+  Hashtbl.iter (* lint: allow hashtbl-iter-order *)
     (fun (x, group) e ->
       if N.node_alive t.net x then begin
         e.downstream <- List.filter (fun c -> N.link_alive t.net x c) e.downstream;

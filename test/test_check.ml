@@ -342,6 +342,122 @@ let test_lint_dune_flags () =
        (L.scan_dune ~path:"lib/mtree/dune"
           "(library\n (name mtree)\n (flags (:standard -w +a-4-9-40-41-42-44-45-70 -warn-error +8+26+27+32+33)))\n"))
 
+(* ---------------- lint: determinism & domain hazards ----------------
+
+   The D1-D6 pass rides the parsetree: each rule gets a firing case
+   and a structurally close near-miss that the old line-regex scanner
+   could not have told apart. *)
+
+let fires rule path src =
+  List.exists (fun (x : L.violation) -> x.L.rule = rule) (L.scan_ml ~path src)
+
+let test_lint_hashtbl_iter_order () =
+  checkb "unsorted fold building a list fires" true
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n");
+  checkb "fold piped into a sort: clean" false
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let keys tbl =\n\
+       \  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare\n");
+  checkb "sort applied directly to the fold: clean" false
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let keys tbl =\n\
+       \  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])\n");
+  checkb "commutative fold (no cons): clean" false
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0\n");
+  checkb "iter emitting into the Obs layer fires" true
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let dump m tbl = Hashtbl.iter (fun k v -> Metrics.set m k v) tbl\n");
+  checkb "iter accumulating a list via := fires" true
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let keys tbl =\n\
+       \  let acc = ref [] in\n\
+       \  Hashtbl.iter (fun k _ -> acc := k :: !acc) tbl;\n\
+       \  !acc\n");
+  checkb "order-insensitive effectful iter: clean" false
+    (fires L.rule_hashtbl_iter_order "lib/core/x.ml"
+       "let drop_all other tbl = Hashtbl.iter (fun k _ -> Hashtbl.remove other k) tbl\n")
+
+let test_lint_wallclock () =
+  let src = "let now () = Unix.gettimeofday ()\n" in
+  checkb "Unix.gettimeofday outside lib/obs fires" true
+    (fires L.rule_wallclock "lib/core/x.ml" src);
+  checkb "Sys.time fires too" true
+    (fires L.rule_wallclock "bin/x.ml" "let t = Sys.time ()\n");
+  checkb "allowed inside lib/obs (Obs.Clock's home)" false
+    (fires L.rule_wallclock "lib/obs/clock.ml" src);
+  checkb "severity is Error" true (L.severity_of_rule L.rule_wallclock = L.Error)
+
+let test_lint_unseeded_random () =
+  checkb "Random.self_init fires" true
+    (fires L.rule_unseeded_random "lib/core/x.ml"
+       "let () = Random.self_init ()\n");
+  checkb "Random.int fires" true
+    (fires L.rule_unseeded_random "bin/x.ml" "let pick n = Random.int n\n");
+  checkb "seeded Prng stream: clean" false
+    (fires L.rule_unseeded_random "lib/core/x.ml"
+       "let pick rng n = Scmp_util.Prng.int rng n\n")
+
+let test_lint_catchall () =
+  checkb "with _ -> fires" true
+    (fires L.rule_catchall "lib/core/x.ml" "let f g = try g () with _ -> 0\n");
+  checkb "bound-but-dropped exception fires" true
+    (fires L.rule_catchall "lib/core/x.ml" "let f g = try g () with exn -> 0\n");
+  checkb "specific exception: clean" false
+    (fires L.rule_catchall "lib/core/x.ml"
+       "let f g = try g () with Not_found -> 0\n");
+  checkb "re-wrapped exception: clean" false
+    (fires L.rule_catchall "lib/core/x.ml"
+       "let f g = try Ok (g ()) with e -> Error e\n")
+
+let test_lint_physical_eq () =
+  checkb "== fires" true
+    (fires L.rule_physical_eq "lib/core/x.ml" "let same a b = a == b\n");
+  checkb "!= fires" true
+    (fires L.rule_physical_eq "lib/core/x.ml" "let diff a b = a != b\n");
+  checkb "structural = is clean" false
+    (fires L.rule_physical_eq "lib/core/x.ml" "let same a b = a = b\n")
+
+let test_lint_exec_capture () =
+  checkb "captured top-level table fires" true
+    (fires L.rule_exec_capture "lib/core/x.ml"
+       "let tbl : (int, int) Hashtbl.t = Hashtbl.create 8 (* lint: allow domain-safety *)\n\
+        let run pool xs = Pool.map pool xs ~f:(fun x -> Hashtbl.add tbl x x; x)\n");
+  checkb "mutating a captured ref fires" true
+    (fires L.rule_exec_capture "lib/core/x.ml"
+       "let run pool xs =\n\
+       \  let acc = ref [] in\n\
+       \  Pool.map pool xs ~f:(fun x -> acc := x :: !acc)\n");
+  checkb "per-task local table: clean" false
+    (fires L.rule_exec_capture "lib/core/x.ml"
+       "let run pool xs =\n\
+       \  Pool.map pool xs ~f:(fun x ->\n\
+       \    let t = Hashtbl.create 4 in\n\
+       \    Hashtbl.add t x x;\n\
+       \    Hashtbl.length t)\n");
+  checkb "with_pool callback runs on the submitter: clean" false
+    (fires L.rule_exec_capture "lib/core/x.ml"
+       "let run xs f =\n\
+       \  let acc = ref [] in\n\
+       \  Pool.with_pool ~jobs:2 (fun _pool -> acc := f xs :: !acc)\n")
+
+let test_lint_quoted_strings () =
+  (* regression: the old scanner did not blank {|...|} payloads, so a
+     quoted string containing Stdlib.compare tripped poly-compare *)
+  checkb "quoted-string payload never trips rules" false
+    (fires L.rule_poly_compare "lib/core/x.ml"
+       "let doc = {|List.sort Stdlib.compare xs|}\n");
+  checkb "tagged quoted string too" false
+    (fires L.rule_poly_compare "lib/core/x.ml"
+       "let doc = {example|Stdlib.compare|example}\n");
+  let src = "let s = {tag|Hashtbl.find secret|tag} ^ \"x\"" in
+  let blanked = L.blank_non_code src in
+  checki "blanking stays length-preserving" (String.length src)
+    (String.length blanked);
+  checkb "payload blanked" false (contains blanked "Hashtbl");
+  checkb "code survives" true (contains blanked "let s =")
+
 (* ---------------- lint: the CLI end-to-end ----------------
 
    The @lint alias runs bin/scmp_lint.exe over lib/ and bin/; here the
@@ -381,6 +497,64 @@ let test_cli_clean_tree_passes () =
   checki "exit 0 on clean tree" 0 (run_lint_on root);
   checki "exit 2 on missing root" 2
     (run_lint_on (Filename.concat root "no_such_dir"))
+
+(* ---------------- lint: baseline & report determinism ---------------- *)
+
+let seeded_warn_tree name =
+  let root = fresh_dir name in
+  let lib = Filename.concat root "lib" in
+  write_file (Filename.concat lib "warny.ml")
+    "let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n";
+  write_file (Filename.concat lib "warny.mli")
+    "val keys : (int, int) Hashtbl.t -> int list\n";
+  root
+
+let test_baseline_roundtrip () =
+  let root = seeded_warn_tree "scmp_lint_baseline" in
+  let s = L.scan [ root ] in
+  checki "exactly the one Warn finding" 1 (List.length s.L.findings);
+  let v = List.hd s.L.findings in
+  checkb "it is the D1 rule" true (v.L.rule = L.rule_hashtbl_iter_order);
+  checkb "at Warn severity" true (v.L.severity = L.Warn);
+  checki "gates against an empty baseline" 1
+    (List.length (L.diff_baseline (L.empty_baseline ()) s.L.findings));
+  (* round-trip through the scmp-lint/1 document itself *)
+  let doc = Obs.Json.to_string ~pretty:true (L.to_json s) in
+  (match L.baseline_of_string doc with
+  | Ok b ->
+    checki "round-tripped baseline absorbs it" 0
+      (List.length (L.diff_baseline b s.L.findings))
+  | Error e -> Alcotest.fail e);
+  checkb "garbage document rejected" true
+    (match L.baseline_of_string "{\"nope\": 1}" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_unused_suppression_audit () =
+  let root = fresh_dir "scmp_lint_unused" in
+  let lib = Filename.concat root "lib" in
+  write_file (Filename.concat lib "x.ml")
+    "let answer = 42 (* lint: allow poly-compare *)\n";
+  write_file (Filename.concat lib "x.mli") "val answer : int\n";
+  let s = L.scan [ root ] in
+  checki "one finding" 1 (List.length s.L.findings);
+  let v = List.hd s.L.findings in
+  checkb "unused-suppression fires" true (v.L.rule = L.rule_unused_suppression);
+  checkb "as an Error (always gates)" true (v.L.severity = L.Error);
+  checki "rule filter skips the audit" 0
+    (List.length (L.scan ~rules:[ L.rule_poly_compare ] [ root ]).L.findings)
+
+let test_json_determinism () =
+  let root = seeded_warn_tree "scmp_lint_json" in
+  let render s = Obs.Json.to_string ~pretty:true (L.to_json s) in
+  let j1 = render (L.scan [ root ]) and j2 = render (L.scan [ root ]) in
+  checkb "two scans serialize byte-identically" true (j1 = j2);
+  checkb "schema tag present" true (contains j1 "scmp-lint/1");
+  checkb "wallclock section excluded by default" false (contains j1 "scan_s");
+  checkb "wallclock section present on request" true
+    (contains
+       (Obs.Json.to_string (L.to_json ~wallclock:true (L.scan [ root ])))
+       "scan_s")
 
 (* ---------------- the verifier under live churn ----------------
 
@@ -450,6 +624,26 @@ let () =
           Alcotest.test_case "raw transmit scope" `Quick test_lint_raw_transmit;
           Alcotest.test_case "domain safety" `Quick test_lint_domain_safety;
           Alcotest.test_case "dune strict flags" `Quick test_lint_dune_flags;
+        ] );
+      ( "lint-determinism-rules",
+        [
+          Alcotest.test_case "D1 hashtbl-iter-order" `Quick
+            test_lint_hashtbl_iter_order;
+          Alcotest.test_case "D2 wallclock-outside-obs" `Quick test_lint_wallclock;
+          Alcotest.test_case "D3 unseeded-random" `Quick test_lint_unseeded_random;
+          Alcotest.test_case "D4 catchall-exn" `Quick test_lint_catchall;
+          Alcotest.test_case "D5 physical-eq" `Quick test_lint_physical_eq;
+          Alcotest.test_case "D6 exec-capture" `Quick test_lint_exec_capture;
+          Alcotest.test_case "quoted-string regression" `Quick
+            test_lint_quoted_strings;
+        ] );
+      ( "lint-baseline",
+        [
+          Alcotest.test_case "scmp-lint/1 round-trip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "unused-suppression audit" `Quick
+            test_unused_suppression_audit;
+          Alcotest.test_case "report determinism" `Quick test_json_determinism;
         ] );
       ( "lint-cli",
         [

@@ -33,6 +33,46 @@ let test_json_rendering () =
   checks "list" "[1,2]" (Json.to_string (Json.List [ Json.Int 1; Json.Int 2 ]));
   checks "obj" "{\"k\":1}" (Json.to_string (Json.Obj [ ("k", Json.Int 1) ]))
 
+let test_json_parser () =
+  let rt ?pretty v =
+    match Json.of_string (Json.to_string ?pretty v) with
+    | Ok v' -> checkb "round-trip" true (v = v')
+    | Error e -> Alcotest.fail e
+  in
+  let samples =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int (-7);
+      Json.Float 0.25;
+      Json.String "a\"b\n\tc \\ end";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [] ];
+      Json.Obj [ ("schema", Json.String "scmp-lint/1"); ("n", Json.Float 3.5) ];
+    ]
+  in
+  List.iter rt samples;
+  List.iter (rt ~pretty:true) samples;
+  (* numeric classification mirrors the printer's split *)
+  checkb "bare integer parses as Int" true
+    (Json.of_string "42" = Ok (Json.Int 42));
+  checkb "dotted number parses as Float" true
+    (Json.of_string "3.0" = Ok (Json.Float 3.0));
+  checkb "exponent parses as Float" true
+    (Json.of_string "1e2" = Ok (Json.Float 100.0));
+  checkb "unicode escape" true
+    (Json.of_string "\"\\u0041\"" = Ok (Json.String "A"));
+  (* malformed input is an error, never a partial parse *)
+  let bad s = match Json.of_string s with Error _ -> true | Ok _ -> false in
+  checkb "unterminated obj" true (bad "{\"k\": 1");
+  checkb "trailing garbage" true (bad "1 x");
+  checkb "bare word" true (bad "flase");
+  checkb "empty input" true (bad "");
+  (* field lookup helper *)
+  checkb "mem hit" true
+    (Json.mem "k" (Json.Obj [ ("k", Json.Int 1) ]) = Some (Json.Int 1));
+  checkb "mem miss" true (Json.mem "z" (Json.Obj []) = None);
+  checkb "mem on non-obj" true (Json.mem "k" (Json.Int 3) = None)
+
 (* ---------------- Metrics ---------------- *)
 
 let test_metrics_registry () =
@@ -197,8 +237,10 @@ let () =
   Alcotest.run "obs"
     [
       ( "json",
-        [ Alcotest.test_case "canonical rendering" `Quick test_json_rendering ]
-      );
+        [
+          Alcotest.test_case "canonical rendering" `Quick test_json_rendering;
+          Alcotest.test_case "parser round-trip" `Quick test_json_parser;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "registry" `Quick test_metrics_registry;
