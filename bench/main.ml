@@ -1108,8 +1108,8 @@ let routing_bench () =
    calibrated to a batch long enough to swamp timer resolution, k
    batches are timed, and the minimum per-run time is reported — the
    standard estimator for "how fast does this code run undisturbed". *)
-let best_of_ns ?(k = 5) ?(min_batch_s = 2e-3) f =
-  let rec calibrate runs =
+let calibrate_runs ~min_batch_s f =
+  let rec go runs =
     let (), s =
       Obs.Clock.time (fun () ->
           for _ = 1 to runs do
@@ -1121,9 +1121,12 @@ let best_of_ns ?(k = 5) ?(min_batch_s = 2e-3) f =
       let scale =
         if s <= 0.0 then 16.0 else Float.min 16.0 (min_batch_s /. s *. 1.25)
       in
-      calibrate (max (runs + 1) (int_of_float (float_of_int runs *. scale)))
+      go (max (runs + 1) (int_of_float (float_of_int runs *. scale)))
   in
-  let runs = calibrate 1 in
+  go 1
+
+let best_of_ns ?(k = 5) ?(min_batch_s = 2e-3) f =
+  let runs = calibrate_runs ~min_batch_s f in
   let best = ref infinity in
   for _ = 1 to k do
     let (), s =
@@ -1136,6 +1139,36 @@ let best_of_ns ?(k = 5) ?(min_batch_s = 2e-3) f =
     if per < !best then best := per
   done;
   !best *. 1e9
+
+(* Median-of-ratios A/B timing: k rounds of adjacent (fa, fb) batches,
+   each yielding one fb/fa per-run ratio. The host's speed moves by tens
+   of percent between bench invocations — and not uniformly: a
+   pointer-chasing workload degrades more under memory contention than
+   an array-walking one — so ns figures recorded by separate runs do
+   not divide into a meaningful ratio. Adjacent batches see the same
+   host conditions, and the median discards the rounds a phase change
+   lands in the middle of. *)
+let paired_ratio ?(k = 9) ?(min_batch_s = 2e-3) fa fb =
+  let runs_a = calibrate_runs ~min_batch_s fa in
+  let runs_b = calibrate_runs ~min_batch_s fb in
+  let ratios =
+    Array.init k (fun _ ->
+        let (), sa =
+          Obs.Clock.time (fun () ->
+              for _ = 1 to runs_a do
+                ignore (fa ())
+              done)
+        in
+        let (), sb =
+          Obs.Clock.time (fun () ->
+              for _ = 1 to runs_b do
+                ignore (fb ())
+              done)
+        in
+        sb /. float_of_int runs_b /. (sa /. float_of_int runs_a))
+  in
+  Array.sort compare ratios;
+  ratios.(k / 2)
 
 let micro ?json ~full ~jobs () =
   section "micro-benchmarks (best-of-k batches)";
@@ -1156,13 +1189,110 @@ let micro ?json ~full ~jobs () =
     Scmp_util.Prng.shuffle rng p;
     p
   in
+  let ws = Netgraph.Dijkstra.create_workspace () in
+  let g1k =
+    (Topology.Waxman.generate ~seed:5 ~n:1000 ()).Topology.Spec.graph
+  in
+  let ws1k = Netgraph.Dijkstra.create_workspace () in
+  let links1k =
+    let acc = ref [] in
+    Netgraph.Graph.iter_links g1k (fun l ->
+        acc :=
+          (l.Netgraph.Graph.u, l.Netgraph.Graph.v, l.Netgraph.Graph.delay,
+           l.Netgraph.Graph.cost)
+          :: !acc);
+    List.rev !acc
+  in
+  let n1k = Netgraph.Graph.node_count g1k in
+  (* Pre-CSR reference: the seed implementation's Dijkstra, preserved
+     verbatim in shape — adjacency lists of (neighbor, delay, cost)
+     tuples, a binary {!Scmp_util.Heap} frontier, fresh arrays per run.
+     Timed as dijkstra-100-ref so check.sh can gate the CSR+radix path
+     against the algorithm it replaced on the same machine, immune to
+     host speed drift between bench runs. *)
+  let ref_adj =
+    let n = Netgraph.Graph.node_count g in
+    let adj = Array.make n [] in
+    Netgraph.Graph.iter_links g (fun l ->
+        let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
+        let delay = l.Netgraph.Graph.delay and cost = l.Netgraph.Graph.cost in
+        adj.(u) <- adj.(u) @ [ (v, delay, cost) ];
+        adj.(v) <- adj.(v) @ [ (u, delay, cost) ]);
+    adj
+  in
+  let ref_iter_neighbors adj x f =
+    List.iter (fun (y, d, c) -> f y ~delay:d ~cost:c) adj.(x)
+  in
+  let dijkstra_ref ?node_ok ?edge_ok adj ~metric ~source =
+    (* Like the seed, filters default to always-true closures invoked
+       per node and per edge — plain runs paid that indirection too. *)
+    let node_ok = match node_ok with None -> fun _ -> true | Some f -> f in
+    let edge_ok = match edge_ok with None -> fun _ _ -> true | Some f -> f in
+    let n = Array.length adj in
+    let dist = Array.make n infinity in
+    let pred = Array.make n (-1) in
+    let other = Array.make n infinity in
+    let settled = Array.make n false in
+    let heap = Scmp_util.Heap.create ~capacity:n () in
+    dist.(source) <- 0.0;
+    other.(source) <- 0.0;
+    Scmp_util.Heap.add heap ~key:0.0 source;
+    let rec drain () =
+      match Scmp_util.Heap.pop heap with
+      | None -> ()
+      | Some (d, x) ->
+        if not settled.(x) then begin
+          settled.(x) <- true;
+          if node_ok x then
+            ref_iter_neighbors adj x (fun y ~delay ~cost ->
+                if node_ok y && edge_ok x y then begin
+                  let w, wo =
+                    match metric with
+                    | Netgraph.Dijkstra.Delay -> (delay, cost)
+                    | Netgraph.Dijkstra.Cost -> (cost, delay)
+                  in
+                  let nd = d +. w in
+                  if nd < dist.(y) then begin
+                    dist.(y) <- nd;
+                    pred.(y) <- x;
+                    other.(y) <- other.(x) +. wo;
+                    Scmp_util.Heap.add heap ~key:nd y
+                  end
+                end)
+        end;
+        drain ()
+    in
+    drain ();
+    dist
+  in
   let workloads =
     [
       ( "dijkstra-100",
         fun () ->
+          let r =
+            Netgraph.Dijkstra.run ~ws g ~metric:Netgraph.Dijkstra.Delay
+              ~source:0
+          in
+          Netgraph.Dijkstra.recycle ws r );
+      ( "dijkstra-100-ref",
+        fun () ->
           ignore
-            (Netgraph.Dijkstra.run g ~metric:Netgraph.Dijkstra.Delay ~source:0)
-      );
+            (dijkstra_ref ref_adj ~metric:Netgraph.Dijkstra.Delay ~source:0) );
+      ( "dijkstra-1000",
+        fun () ->
+          let r =
+            Netgraph.Dijkstra.run ~ws:ws1k g1k ~metric:Netgraph.Dijkstra.Delay
+              ~source:0
+          in
+          Netgraph.Dijkstra.recycle ws1k r );
+      ( "freeze-1000",
+        fun () ->
+          let b = Netgraph.Graph.Builder.create n1k in
+          List.iter
+            (fun (u, v, delay, cost) ->
+              Netgraph.Graph.Builder.add_link b u v ~delay ~cost)
+            links1k;
+          ignore (Netgraph.Graph.Builder.freeze b) );
       ( "dcdm-build-30",
         fun () ->
           ignore
@@ -1184,6 +1314,24 @@ let micro ?json ~full ~jobs () =
   in
   let rows = List.sort compare rows in
   List.iter (fun (name, est) -> pr "%-34s %14.1f ns/run\n" name est) rows;
+  (* The perf-gate number for check.sh: how much faster the CSR+radix
+     Dijkstra is than the preserved pre-CSR reference, measured as
+     interleaved batches so the ratio survives host speed drift. *)
+  let dij_speedup =
+    paired_ratio
+      ~k:(if full then 11 else 9)
+      ~min_batch_s
+      (fun () ->
+        let r =
+          Netgraph.Dijkstra.run ~ws g ~metric:Netgraph.Dijkstra.Delay
+            ~source:0
+        in
+        Netgraph.Dijkstra.recycle ws r)
+      (fun () ->
+        ignore (dijkstra_ref ref_adj ~metric:Netgraph.Dijkstra.Delay ~source:0))
+  in
+  pr "%-34s %14.2f x (ref / csr, paired batches)\n" "scmp/dijkstra-100-speedup"
+    dij_speedup;
   (* End-to-end throughput: one full SCMP runner scenario, timed. *)
   let e2e_driver = Protocols.Driver.find_exn "scmp" in
   let e2e_spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
@@ -1238,6 +1386,7 @@ let micro ?json ~full ~jobs () =
         in
         wall_gauge (Printf.sprintf "micro/%s/ns_per_run" key) est)
       rows;
+    wall_gauge "micro/dijkstra-100-speedup/x" dij_speedup;
     wall_gauge "e2e/scmp/wall_s" e2e_wall;
     wall_gauge "e2e/scmp/events_per_s" (float_of_int events /. e2e_wall);
     wall_gauge "e2e/scmp/deliveries_per_s"

@@ -131,7 +131,12 @@ let check_delay_bound view ~limit =
       List.iter
         (fun c ->
           if not (Hashtbl.mem delay c) then begin
-            Hashtbl.replace delay c (dx +. Netgraph.Graph.link_delay view.graph x c);
+            let w =
+              match Netgraph.Graph.link_delay_opt view.graph x c with
+              | Some w -> w
+              | None -> 0.0 (* edge-exists violation reported separately *)
+            in
+            Hashtbl.replace delay c (dx +. w);
             walk c
           end)
         (kids x)

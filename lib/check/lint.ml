@@ -180,6 +180,8 @@ let in_protocols path = path_contains path "protocols"
 let in_eventsim path = path_contains path "eventsim"
 let in_exec path = path_contains path "exec"
 let in_obs path = path_contains path "obs"
+let in_topology path = path_contains path "topology"
+let in_netgraph path = path_contains path "netgraph"
 let in_lib path = path_contains path "lib"
 
 (* ---- rule ids ---- *)
@@ -197,6 +199,7 @@ let rule_unseeded_random = "unseeded-random"
 let rule_catchall = "catchall-exn"
 let rule_physical_eq = "physical-eq"
 let rule_exec_capture = "exec-capture"
+let rule_graph_freeze = "graph-freeze"
 let rule_parse_failure = "parse-failure"
 let rule_unused_suppression = "unused-suppression"
 
@@ -647,6 +650,45 @@ let line_domain_safety ctx =
           "top-level mutable state is shared across worker domains; allocate \
            it per task (or mark the module exec-only)")
 
+(* ---- graph-freeze ----
+
+   The two-phase graph API's discipline: [Graph.Builder] is the only
+   mutable form of a graph and lives strictly inside topology
+   construction — lib/topology generators and lib/netgraph itself;
+   every other layer consumes the frozen CSR [Graph.t]. A builder
+   reference anywhere else is a mutability leak: state the frozen
+   snapshot cannot see, edge ids not yet assigned, tie-breaking no
+   golden can pin. Matched on the dotted path, so unrelated [Builder]
+   submodules stay clean; the common [module G = Netgraph.Graph] alias
+   is recognized. *)
+let graph_builder_path p =
+  let rec consecutive = function
+    | ("Graph" | "G") :: "Builder" :: _ -> true
+    | _ :: tl -> consecutive tl
+    | [] -> false
+  in
+  consecutive (String.split_on_char '.' p)
+
+let graph_freeze_message p =
+  Printf.sprintf
+    "%s outside topology construction: builders are the graph's only \
+     mutable form and stay in lib/topology / lib/netgraph; freeze and \
+     pass the immutable Graph.t"
+    p
+
+let ast_graph_freeze (ctx : Rule.ctx) structure =
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        let p = Ast_scan.ident_path txt in
+        if graph_builder_path p then emit_at ctx loc (graph_freeze_message p)
+      | _ -> ())
+
+let line_graph_freeze ctx =
+  iter_code_lines ctx (fun line code ->
+      if find_token code "Graph.Builder" <> [] then
+        ctx.Rule.emit ~line (graph_freeze_message "Graph.Builder"))
+
 (* ---- the registry ---- *)
 
 let registry : Rule.t list =
@@ -693,6 +735,13 @@ let registry : Rule.t list =
     Rule.make ~id:rule_exec_capture ~severity:Warn
       ~doc:"task closures handed to Exec must not capture mutable state"
       ~scope:Rule.everywhere ~ast:ast_exec_capture ();
+    Rule.make ~id:rule_graph_freeze ~severity:Error
+      ~doc:
+        "Graph.Builder stays inside topology construction \
+         (lib/topology, lib/netgraph); every other layer consumes the \
+         frozen Graph.t"
+      ~scope:(fun p -> not (in_topology p || in_netgraph p))
+      ~ast:ast_graph_freeze ~lines:line_graph_freeze ();
   ]
 
 let all_rules =

@@ -64,6 +64,7 @@ val rule_unseeded_random : string
 val rule_catchall : string
 val rule_physical_eq : string
 val rule_exec_capture : string
+val rule_graph_freeze : string
 val rule_parse_failure : string
 val rule_unused_suppression : string
 

@@ -16,9 +16,30 @@ type loss_model = {
   rng : Scmp_util.Prng.t;
 }
 
+(* Dense-edge-id bitset over [Bytes]. *)
+let bitset_make m = Bytes.make ((m + 7) / 8) '\000'
+
+let bit_get bs e =
+  Char.code (Bytes.unsafe_get bs (e lsr 3)) land (1 lsl (e land 7)) <> 0
+
+let bit_set bs e =
+  let i = e lsr 3 in
+  Bytes.unsafe_set bs i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get bs i) lor (1 lsl (e land 7))))
+
+let bit_clear bs e =
+  let i = e lsr 3 in
+  Bytes.unsafe_set bs i
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get bs i) land lnot (1 lsl (e land 7))))
+
 type 'm t = {
   engine : Engine.t;
   graph : Netgraph.Graph.t;
+  (* Edge endpoints by dense edge id, denormalized from the graph for
+     the overlay's hot lookups (edge_ok closure, in-flight stamps). *)
+  eu : int array;
+  ev : int array;
   routes : Routes.t;
   mutable routes_epoch : int;
   classify : 'm -> pkt_class;
@@ -30,7 +51,7 @@ type 'm t = {
   mutable control_tx : int;
   mutable data_bytes : int;
   mutable control_bytes : int;
-  per_link : (node * node, int) Hashtbl.t;
+  per_link : int array;  (* crossings by edge id *)
   mutable hooks : (src:node -> dst:node -> 'm -> unit) list;
   mutable loss : loss_model option;
   mutable dropped : int;
@@ -41,16 +62,17 @@ type 'm t = {
   mutable drop_hooks :
     (reason:drop_reason -> src:node -> dst:node -> 'm -> unit) list;
   (* Fault overlay: the base [graph] is immutable; dead links and dead
-     nodes are tracked here, and [routes] — a lazy per-source cache
-     filtered through this overlay — is incrementally invalidated on
-     every change (only entries the fault can affect are dropped). The
-     [*_fails] counters record how many times a link/node has gone
-     down — a packet in flight captures them at send time, so a failure
-     during the flight is detected at the delivery instant even if the
-     element was restored meanwhile. *)
-  dead_links : (node * node, unit) Hashtbl.t;
+     nodes are tracked here — a bitset and plain arrays indexed by dense
+     edge id — and [routes], a lazy per-source cache filtered through
+     this overlay, is incrementally invalidated on every change (only
+     entries the fault can affect are dropped). The [*_fails] counters
+     record how many times a link/node has gone down — a packet in
+     flight captures them at send time, so a failure during the flight
+     is detected at the delivery instant even if the element was
+     restored meanwhile. *)
+  dead_edge : Bytes.t;
   node_down : bool array;
-  link_fails : (node * node, int) Hashtbl.t;
+  link_fails : int array;  (* by edge id *)
   node_fails : int array;
   mutable topo_hooks : (unit -> unit) list;
   (* per-node forwarding engine: deliveries queue for a processor
@@ -58,22 +80,26 @@ type 'm t = {
   processing : (node, Server.t * float) Hashtbl.t;
 }
 
-let norm a b = (min a b, max a b)
-
 let create ?sizeof engine graph ~classify =
   let n = Netgraph.Graph.node_count graph in
+  let m = Netgraph.Graph.edge_count graph in
   (* The overlay tables exist before the record so the routes cache can
      close over them: an SPT is always built through the *current*
      liveness, and invalidation notices keep cached entries exact. *)
-  let dead_links = Hashtbl.create 8 in
+  let eu = Array.init m (Netgraph.Graph.edge_u graph) in
+  let ev = Array.init m (Netgraph.Graph.edge_v graph) in
+  let dead_edge = bitset_make m in
   let node_down = Array.make n false in
-  let edge_ok a b =
-    (not node_down.(a)) && (not node_down.(b))
-    && not (Hashtbl.mem dead_links (norm a b))
+  let edge_ok e =
+    (not (bit_get dead_edge e))
+    && (not node_down.(eu.(e)))
+    && not node_down.(ev.(e))
   in
   {
     engine;
     graph;
+    eu;
+    ev;
     routes = Routes.compute ~edge_ok graph;
     routes_epoch = 0;
     classify;
@@ -85,7 +111,7 @@ let create ?sizeof engine graph ~classify =
     control_tx = 0;
     data_bytes = 0;
     control_bytes = 0;
-    per_link = Hashtbl.create 64;
+    per_link = Array.make m 0;
     hooks = [];
     loss = None;
     dropped = 0;
@@ -94,9 +120,9 @@ let create ?sizeof engine graph ~classify =
     dropped_link_down = 0;
     dropped_node_down = 0;
     drop_hooks = [];
-    dead_links;
+    dead_edge;
     node_down;
-    link_fails = Hashtbl.create 8;
+    link_fails = Array.make m 0;
     node_fails = Array.make n 0;
     topo_hooks = [];
     processing = Hashtbl.create 4;
@@ -148,24 +174,25 @@ let note_drop t reason ~src ~dst msg =
 
 let node_alive t x = not t.node_down.(x)
 
+let edge_alive t e =
+  (not (bit_get t.dead_edge e))
+  && node_alive t t.eu.(e)
+  && node_alive t t.ev.(e)
+
 let link_alive t a b =
-  node_alive t a && node_alive t b
-  && not (Hashtbl.mem t.dead_links (norm a b))
+  match Netgraph.Graph.edge_id_opt t.graph a b with
+  | Some e -> edge_alive t e
+  | None -> false
 
 let live_graph t =
-  let g = Netgraph.Graph.create (Netgraph.Graph.node_count t.graph) in
-  Netgraph.Graph.iter_links t.graph (fun l ->
-      let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
-      if link_alive t u v then
-        Netgraph.Graph.add_link g u v ~delay:l.Netgraph.Graph.delay
-          ~cost:l.Netgraph.Graph.cost);
-  g
+  Netgraph.Graph.filter_links t.graph ~f:(fun l ->
+      link_alive t l.Netgraph.Graph.u l.Netgraph.Graph.v)
 
 let dead_link_list t =
   let acc = ref [] in
-  Netgraph.Graph.iter_links t.graph (fun l ->
-      let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
-      if not (link_alive t u v) then acc := norm u v :: !acc);
+  for e = Netgraph.Graph.edge_count t.graph - 1 downto 0 do
+    if not (edge_alive t e) then acc := (t.eu.(e), t.ev.(e)) :: !acc
+  done;
   List.sort
     (fun (a1, b1) (a2, b2) ->
       match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
@@ -180,29 +207,27 @@ let reconverge t =
   t.routes_epoch <- t.routes_epoch + 1;
   List.iter (fun h -> h ()) t.topo_hooks
 
-let bump_link_fail t a b =
-  let key = norm a b in
-  Hashtbl.replace t.link_fails key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.link_fails key))
+let edge_of t a b msg =
+  match Netgraph.Graph.edge_id_opt t.graph a b with
+  | Some e -> e
+  | None -> invalid_arg msg
 
 let fail_link t a b =
-  if not (Netgraph.Graph.has_link t.graph a b) then
-    invalid_arg "Netsim.fail_link: no such link";
-  if not (Hashtbl.mem t.dead_links (norm a b)) then begin
-    Hashtbl.replace t.dead_links (norm a b) ();
-    bump_link_fail t a b;
-    Routes.note_edge_down t.routes (a, b);
+  let e = edge_of t a b "Netsim.fail_link: no such link" in
+  if not (bit_get t.dead_edge e) then begin
+    bit_set t.dead_edge e;
+    t.link_fails.(e) <- t.link_fails.(e) + 1;
+    Routes.note_edge_down t.routes e;
     reconverge t
   end
 
 let restore_link t a b =
-  if not (Netgraph.Graph.has_link t.graph a b) then
-    invalid_arg "Netsim.restore_link: no such link";
-  if Hashtbl.mem t.dead_links (norm a b) then begin
-    Hashtbl.remove t.dead_links (norm a b);
+  let e = edge_of t a b "Netsim.restore_link: no such link" in
+  if bit_get t.dead_edge e then begin
+    bit_clear t.dead_edge e;
     (* Only an effective revival invalidates: the link may still be
        severed by a dead endpoint, in which case nothing changed. *)
-    if link_alive t a b then Routes.note_edge_up t.routes (a, b);
+    if edge_alive t e then Routes.note_edge_up t.routes e;
     reconverge t
   end
 
@@ -217,9 +242,8 @@ let fail_node t x =
   if not t.node_down.(x) then begin
     t.node_down.(x) <- true;
     t.node_fails.(x) <- t.node_fails.(x) + 1;
-    List.iter
-      (fun y -> Routes.note_edge_down t.routes (x, y))
-      (Netgraph.Graph.neighbors t.graph x);
+    Netgraph.Graph.iter_incident t.graph x (fun e _ ->
+        Routes.note_edge_down t.routes e);
     reconverge t
   end
 
@@ -228,18 +252,15 @@ let restore_node t x =
     invalid_arg "Netsim.restore_node: no such node";
   if t.node_down.(x) then begin
     t.node_down.(x) <- false;
-    List.iter
-      (fun y -> if link_alive t x y then Routes.note_edge_up t.routes (x, y))
-      (Netgraph.Graph.neighbors t.graph x);
+    Netgraph.Graph.iter_incident t.graph x (fun e _ ->
+        if edge_alive t e then Routes.note_edge_up t.routes e);
     reconverge t
   end
 
 (* In-flight guard: the stamp of an edge counts the failures of the
    link and of both endpoints as of the send instant; any change by the
    delivery instant means the packet crossed a failing element. *)
-let edge_stamp t (a, b) =
-  Option.value ~default:0 (Hashtbl.find_opt t.link_fails (norm a b))
-  + t.node_fails.(a) + t.node_fails.(b)
+let edge_stamp t e = t.link_fails.(e) + t.node_fails.(t.eu.(e)) + t.node_fails.(t.ev.(e))
 
 let path_obstruction t ~stamped ~dst ~dst_stamp =
   if not (node_alive t dst) then Some Node_down
@@ -247,11 +268,11 @@ let path_obstruction t ~stamped ~dst ~dst_stamp =
   else
     let rec scan = function
       | [] -> None
-      | ((a, b), stamp) :: rest ->
-        if not (node_alive t a && node_alive t b) then Some Node_down
-        else if
-          Hashtbl.mem t.dead_links (norm a b) || edge_stamp t (a, b) <> stamp
-        then Some Link_down
+      | (e, stamp) :: rest ->
+        if not (node_alive t t.eu.(e) && node_alive t t.ev.(e)) then
+          Some Node_down
+        else if bit_get t.dead_edge e || edge_stamp t e <> stamp then
+          Some Link_down
         else scan rest
     in
     scan stamped
@@ -297,8 +318,11 @@ let deliver t ?(background = false) ?(via = []) ~at ~from dst msg =
         | Some (station, service_time) ->
           Server.submit station ~service_time invoke))
 
-let charge t ~src ~dst msg =
-  let cost = Netgraph.Graph.link_cost t.graph src dst in
+(* [e] is the edge crossed, [src]/[dst] its traversal direction (hooks
+   and per-class accounting are direction-agnostic; the edge id keys
+   the crossing counter). *)
+let charge t e ~src ~dst msg =
+  let cost = Netgraph.Graph.edge_cost t.graph e in
   let bytes = match t.sizeof with Some f -> f msg | None -> 0 in
   (match t.classify msg with
   | `Data ->
@@ -309,24 +333,21 @@ let charge t ~src ~dst msg =
     t.control_overhead <- t.control_overhead +. cost;
     t.control_tx <- t.control_tx + 1;
     t.control_bytes <- t.control_bytes + bytes);
-  let key = norm src dst in
-  Hashtbl.replace t.per_link key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_link key));
+  t.per_link.(e) <- t.per_link.(e) + 1;
   List.iter (fun h -> h ~src ~dst msg) t.hooks
 
 let transmit t ?background ~src ~dst msg =
-  if not (Netgraph.Graph.has_link t.graph src dst) then
-    invalid_arg "Netsim.transmit: nodes are not adjacent";
-  if not (link_alive t src dst) then
+  let e = edge_of t src dst "Netsim.transmit: nodes are not adjacent" in
+  if not (edge_alive t e) then
     let reason =
       if node_alive t src && node_alive t dst then Link_down else Node_down
     in
     note_drop t reason ~src ~dst msg
   else begin
-    charge t ~src ~dst msg;
+    charge t e ~src ~dst msg;
     if not (lost t ~src ~dst msg) then begin
-      let delay = Netgraph.Graph.link_delay t.graph src dst in
-      deliver t ?background ~via:[ (src, dst) ]
+      let delay = Netgraph.Graph.edge_delay t.graph e in
+      deliver t ?background ~via:[ e ]
         ~at:(Engine.now t.engine +. delay)
         ~from:src dst msg
     end
@@ -344,17 +365,27 @@ let unicast t ?background ~src ~dst msg =
       (* Charge every hop now; schedule a single delivery at the path's
          total delay. Per-hop timing is not observable above IP, so this
          is equivalent to hop-by-hop forwarding and far cheaper. *)
-      let edges = Netgraph.Path.edges p in
+      let hops =
+        List.map
+          (fun (a, b) ->
+            match Netgraph.Graph.edge_id_opt t.graph a b with
+            | Some e -> (e, a, b)
+            | None -> assert false (* route paths walk graph links *))
+          (Netgraph.Path.edges p)
+      in
       let rec hop = function
         | [] -> true
-        | (a, b) :: rest ->
-          charge t ~src:a ~dst:b msg;
+        | (e, a, b) :: rest ->
+          charge t e ~src:a ~dst:b msg;
           if lost t ~src:a ~dst:b msg then false else hop rest
       in
-      let survived = hop edges in
+      let survived = hop hops in
       if survived then begin
-        let delay = Netgraph.Path.delay t.graph p in
-        deliver t ?background ~via:edges
+        (* The converged route distance is the path's delay, summed
+           head-to-tail by Dijkstra itself — no per-edge recompute. *)
+        let delay = Routes.distance t.routes ~src ~dst in
+        deliver t ?background
+          ~via:(List.map (fun (e, _, _) -> e) hops)
           ~at:(Engine.now t.engine +. delay)
           ~from:src dst msg
       end
@@ -369,12 +400,19 @@ let data_bytes t = t.data_bytes
 let control_bytes t = t.control_bytes
 
 let link_crossings t (a, b) =
-  Option.value ~default:0 (Hashtbl.find_opt t.per_link (norm a b))
+  match Netgraph.Graph.edge_id_opt t.graph a b with
+  | Some e -> t.per_link.(e)
+  | None -> 0
 
 let per_link_crossings t =
-  Hashtbl.fold (fun link n acc -> (link, n) :: acc) t.per_link []
-  |> List.sort (fun ((a1, b1), _) ((a2, b2), _) ->
-         match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+  let acc = ref [] in
+  for e = Array.length t.per_link - 1 downto 0 do
+    if t.per_link.(e) > 0 then acc := ((t.eu.(e), t.ev.(e)), t.per_link.(e)) :: !acc
+  done;
+  List.sort
+    (fun ((a1, b1), _) ((a2, b2), _) ->
+      match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
+    !acc
 
 let observe t m =
   let set_c name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
@@ -393,8 +431,8 @@ let observe t m =
   set_c "routes/invalidated" (Routes.invalidated t.routes);
   set_g "net/data/cost" t.data_overhead;
   set_g "net/control/cost" t.control_overhead;
-  set_c "net/links_used" (Hashtbl.length t.per_link);
-  let max_crossings = Hashtbl.fold (fun _ n acc -> max n acc) t.per_link 0 in
-  set_c "net/max_link_crossings" max_crossings
+  set_c "net/links_used"
+    (Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 t.per_link);
+  set_c "net/max_link_crossings" (Array.fold_left max 0 t.per_link)
 
 let on_transmit t h = t.hooks <- t.hooks @ [ h ]

@@ -187,7 +187,13 @@ val restore_node : 'm t -> node -> unit
 (** @raise Invalid_argument on an out-of-range node. *)
 
 val link_alive : 'm t -> node -> node -> bool
-(** False when the link itself or either endpoint is down. *)
+(** False when the link itself or either endpoint is down; false for a
+    non-link pair. *)
+
+val edge_alive : 'm t -> Netgraph.Graph.edge -> bool
+(** Liveness by dense edge id — O(1) against the overlay bitset; what
+    protocol layers snapshot to build {!Netgraph.Apsp} liveness
+    filters. *)
 
 val node_alive : 'm t -> node -> bool
 

@@ -7,15 +7,16 @@ module D = Netgraph.Dijkstra
    memoized. On a fault, instead of recomputing every source, the cache
    drops only the entries the fault can actually change:
 
-   - [note_edge_down (a,b)]: a cached SPT whose *tree* does not use the
+   - [note_edge_down e]: a cached SPT whose *tree* does not use the
      edge is unaffected. Dijkstra relaxes with strict [<], so any
-     relaxation through (a,b) that did not win left no trace, and any
+     relaxation through [e] that did not win left no trace, and any
      equal-distance tie the edge could have won puts the edge *in* the
-     tree — so "tree uses the edge" (pred a = b or pred b = a, O(1))
-     is exact: every surviving entry equals the eager recompute.
+     tree — so "tree uses the edge" ([pred_edge] of either endpoint is
+     [e], O(1)) is exact: every surviving entry equals the eager
+     recompute.
 
-   - [note_edge_up (a,b), weight w]: no cached tree uses a dead edge,
-     so the test flips to distances. The revived edge can change source
+   - [note_edge_up e], weight w: no cached tree uses a dead edge, so
+     the test flips to distances. The revived edge can change source
      s's answers only if it could relax — or tie — a label:
      [da + w <= db || db + w <= da] ([<=], not [<], because an equal
      tie could flip a predecessor choice). When both endpoints are
@@ -23,49 +24,50 @@ module D = Netgraph.Dijkstra
      component and cannot help; keep the entry.
 
    Node faults reduce to their incident edges (see Netsim). The
-   edge→sources map records, per tree edge, which cached sources use
-   it, so an edge death touches only candidate dependents. *)
+   edge→sources map is a plain array indexed by dense edge id —
+   per tree edge, which cached sources used it when built; an edge
+   death touches only candidate dependents. Dropped SPTs are recycled
+   into a Dijkstra workspace, so steady-state recomputation under
+   churn reuses the same scratch arrays instead of reallocating. *)
 
 type t = {
   g : G.t;
-  edge_ok : (G.node -> G.node -> bool) option;
+  edge_ok : (G.edge -> bool) option;
+  ws : D.workspace;
   results : D.result option array;
-  (* normalized (min,max) tree edge -> sources whose cached SPT used it
-     when built. Entries may be stale (source since dropped or rebuilt
-     without the edge); [note_edge_down] re-checks before dropping. *)
-  edge_users : (G.node * G.node, int list ref) Hashtbl.t;
+  (* edge id -> sources whose cached SPT used the edge when built.
+     Entries may be stale (source since dropped or rebuilt without the
+     edge); [note_edge_down] re-checks before dropping. *)
+  edge_users : int list array;
   mutable computed : int;
   mutable invalidated : int;
 }
-
-let norm a b = (min a b, max a b)
 
 let compute ?edge_ok g =
   {
     g;
     edge_ok;
+    ws = D.create_workspace ();
     results = Array.make (G.node_count g) None;
-    edge_users = Hashtbl.create 64;
+    edge_users = Array.make (G.edge_count g) [];
     computed = 0;
     invalidated = 0;
   }
 
 let register_tree_edges t s r =
   for y = 0 to G.node_count t.g - 1 do
-    match D.parent r y with
+    match D.parent_edge r y with
     | None -> ()
-    | Some p -> (
-      let key = norm p y in
-      match Hashtbl.find_opt t.edge_users key with
-      | Some users -> if not (List.mem s !users) then users := s :: !users
-      | None -> Hashtbl.add t.edge_users key (ref [ s ]))
+    | Some e ->
+      if not (List.mem s t.edge_users.(e)) then
+        t.edge_users.(e) <- s :: t.edge_users.(e)
   done
 
 let force t s =
   match t.results.(s) with
   | Some r -> r
   | None ->
-    let r = D.run ?edge_ok:t.edge_ok t.g ~metric:D.Delay ~source:s in
+    let r = D.run ~ws:t.ws ?edge_ok:t.edge_ok t.g ~metric:D.Delay ~source:s in
     t.results.(s) <- Some r;
     t.computed <- t.computed + 1;
     register_tree_edges t s r;
@@ -86,26 +88,30 @@ let spt t ~src = force t src
 let drop t s =
   match t.results.(s) with
   | None -> ()
-  | Some _ ->
+  | Some r ->
     t.results.(s) <- None;
-    t.invalidated <- t.invalidated + 1
+    t.invalidated <- t.invalidated + 1;
+    D.recycle t.ws r
 
-let uses_edge r a b = D.parent r a = Some b || D.parent r b = Some a
+let uses_edge t r e =
+  D.parent_edge r (G.edge_u t.g e) = Some e
+  || D.parent_edge r (G.edge_v t.g e) = Some e
 
-let note_edge_down t (a, b) =
-  match Hashtbl.find_opt t.edge_users (norm a b) with
-  | None -> ()
-  | Some users ->
-    Hashtbl.remove t.edge_users (norm a b);
+let note_edge_down t e =
+  match t.edge_users.(e) with
+  | [] -> ()
+  | users ->
+    t.edge_users.(e) <- [];
     List.iter
       (fun s ->
         match t.results.(s) with
-        | Some r when uses_edge r a b -> drop t s
+        | Some r when uses_edge t r e -> drop t s
         | Some _ | None -> ())
-      !users
+      users
 
-let note_edge_up t (a, b) =
-  let w = G.link_delay t.g a b in
+let note_edge_up t e =
+  let w = G.edge_delay t.g e in
+  let a = G.edge_u t.g e and b = G.edge_v t.g e in
   Array.iteri
     (fun s entry ->
       match entry with
@@ -119,7 +125,7 @@ let note_edge_up t (a, b) =
 
 let invalidate_all t =
   Array.iteri (fun s _ -> drop t s) t.results;
-  Hashtbl.reset t.edge_users
+  Array.fill t.edge_users 0 (Array.length t.edge_users) []
 
 let cached t =
   Array.fold_left

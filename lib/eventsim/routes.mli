@@ -9,23 +9,23 @@
     The tables are lazy: a source's shortest-path tree is computed on
     the first [path]/[next_hop]/[distance] query against it and
     memoized. Faults invalidate incrementally via {!note_edge_down} /
-    {!note_edge_up} — only entries whose answers the fault can change
-    are dropped — so every query observes exactly the answers an eager
-    full recompute over the surviving subgraph would give (tested
-    differentially in test_routing_cache.ml). *)
+    {!note_edge_up} — keyed by dense edge id, only entries whose
+    answers the fault can change are dropped — so every query observes
+    exactly the answers an eager full recompute over the surviving
+    subgraph would give (tested differentially in
+    test_routing_cache.ml). Dropped SPTs are recycled into an internal
+    {!Netgraph.Dijkstra.workspace}, so recomputation under churn
+    reuses scratch arrays instead of reallocating. *)
 
 type t
 
-val compute :
-  ?edge_ok:(Netgraph.Graph.node -> Netgraph.Graph.node -> bool) ->
-  Netgraph.Graph.t ->
-  t
+val compute : ?edge_ok:(Netgraph.Graph.edge -> bool) -> Netgraph.Graph.t -> t
 (** An empty cache over [g]; no Dijkstra runs until the first query.
-    [edge_ok] (a symmetric liveness predicate, e.g. a fault overlay
-    lookup) filters the graph at SPT-build time; it must be constant
-    between an invalidation notice and the queries that follow it.
-    Ties resolve deterministically (Dijkstra's fixed relaxation
-    order). *)
+    [edge_ok] (an edge-id liveness predicate, e.g. a fault overlay
+    bitset lookup) filters the graph at SPT-build time; it must be
+    constant between an invalidation notice and the queries that
+    follow it. Ties resolve deterministically (Dijkstra's fixed
+    relaxation order). *)
 
 val next_hop : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.Graph.node option
 (** The neighbour to forward to; [None] if [dst] is unreachable.
@@ -40,14 +40,16 @@ val path : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.P
 val spt : t -> src:Netgraph.Graph.node -> Netgraph.Dijkstra.result
 (** The shortest-delay tree rooted at [src] (the structure MOSPF
     routers derive their per-source forwarding from); forces the
-    source if uncached. *)
+    source if uncached. The result is only valid until the next
+    invalidation notice — dropped SPTs are recycled, so do not retain
+    it across faults. *)
 
-val note_edge_down : t -> Netgraph.Graph.node * Netgraph.Graph.node -> unit
+val note_edge_down : t -> Netgraph.Graph.edge -> unit
 (** The edge just died: drop exactly the cached SPTs whose tree uses
-    it (tracked per edge at build time, so untouched sources pay
+    it (tracked per edge id at build time, so untouched sources pay
     nothing). Entries kept are provably identical to a recompute. *)
 
-val note_edge_up : t -> Netgraph.Graph.node * Netgraph.Graph.node -> unit
+val note_edge_up : t -> Netgraph.Graph.edge -> unit
 (** The edge just revived: drop the cached SPTs the edge could now
     shorten (or tie — ties can flip predecessor choices), judged from
     the cached distances of its endpoints. *)

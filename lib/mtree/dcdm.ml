@@ -34,18 +34,19 @@ let last_graft t = t.last_graft
    [fold_path_edges] visits its edges head to tail without allocating
    the node list, so the accumulation order is exactly the left fold
    over the materialized path and the returned float is bit-identical.
-   [cap] short-circuits the lookups — once the running sum strictly
-   exceeds the best added cost seen so far the candidate has already
-   lost, so the remaining edges skip their adjacency scans (any
-   capped-out value compares the same way against the incumbent). *)
+   Each fold step carries the dense edge id, so the per-edge cost is an
+   O(1) array read — no adjacency scan at all. [cap] short-circuits
+   once the running sum strictly exceeds the best added cost seen so
+   far: the candidate has already lost (any capped-out value compares
+   the same way against the incumbent). *)
 let added_cost ?(cap = infinity) t spt s =
   let g = Tree.graph t.tree in
   let tr = t.tree in
   match
-    Netgraph.Dijkstra.fold_path_edges spt 0.0 s ~f:(fun acc a b ->
+    Netgraph.Dijkstra.fold_path_edges spt 0.0 s ~f:(fun acc e a b ->
         if acc > cap then acc
         else if Tree.on_tree_edge tr a b then acc
-        else acc +. Netgraph.Graph.link_cost g a b)
+        else acc +. Netgraph.Graph.edge_cost g e)
   with
   | Some ac -> ac
   | None -> infinity

@@ -37,7 +37,10 @@ let build apsp ~root ~members =
   (* Step 4: MST (Kruskal by cost) restricted to the collected links. *)
   let sorted =
     Edgeset.elements !subgraph_edges
-    |> List.map (fun (a, b) -> (G.link_cost g a b, a, b))
+    |> List.map (fun (a, b) ->
+           match G.link_cost_opt g a b with
+           | Some w -> (w, a, b)
+           | None -> assert false (* collected from real path edges *))
     |> List.sort (fun (w1, a1, b1) (w2, a2, b2) ->
            match Float.compare w1 w2 with
            | 0 -> (

@@ -161,7 +161,10 @@ let delays t =
   let rec visit x acc =
     d.(x) <- acc;
     List.iter
-      (fun c -> visit c (acc +. Netgraph.Graph.link_delay t.graph x c))
+      (fun c ->
+        match Netgraph.Graph.link_delay_opt t.graph x c with
+        | Some w -> visit c (acc +. w)
+        | None -> assert false (* tree edges are graph links by construction *))
       t.children.(x)
   in
   visit t.root 0.0;

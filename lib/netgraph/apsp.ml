@@ -10,7 +10,7 @@
 type t = {
   g : Graph.t;
   node_ok : (Graph.node -> bool) option;
-  edge_ok : (Graph.node -> Graph.node -> bool) option;
+  edge_ok : (Graph.edge -> bool) option;
   by_delay : Dijkstra.result option array;  (* index = source *)
   by_cost : Dijkstra.result option array;
 }

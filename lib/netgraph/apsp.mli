@@ -16,7 +16,7 @@ type t
 
 val compute :
   ?node_ok:(Graph.node -> bool) ->
-  ?edge_ok:(Graph.node -> Graph.node -> bool) ->
+  ?edge_ok:(Graph.edge -> bool) ->
   Graph.t ->
   t
 (** O(1): no Dijkstra runs until the first query; each queried source

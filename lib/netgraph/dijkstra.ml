@@ -1,12 +1,23 @@
 type metric = Delay | Cost
 
 let weight g metric a b =
-  match metric with Delay -> Graph.link_delay g a b | Cost -> Graph.link_cost g a b
+  let w =
+    match metric with
+    | Delay -> Graph.link_delay_opt g a b
+    | Cost -> Graph.link_cost_opt g a b
+  in
+  match w with Some w -> w | None -> raise Not_found
 
+(* Invariant: [pred], [pred_edge] and [other] are meaningful only where
+   [dist.(x) < infinity] and [x <> src] — every accessor guards on that
+   before reading them. Pooled runs exploit it: only [dist] is
+   re-filled, the other three arrays keep dead values in never-read
+   slots. *)
 type result = {
   src : Graph.node;
   dist : float array;
-  pred : int array;  (* -1 = none *)
+  pred : int array;
+  pred_edge : int array;  (* edge id of the pred link *)
   other : float array;
       (* the non-selected metric accumulated along the chosen path, kept
          in lockstep with [pred]; summed head-to-tail exactly as
@@ -14,63 +25,149 @@ type result = {
          scalar consumers observe bit-identical floats *)
 }
 
+(* Scratch arena shared across SPT builds: the radix-heap frontier, an
+   epoch-stamped settled array (no per-run clear), and a free pool of
+   dead results whose dist/pred/pred_edge/other arrays are reused
+   instead of reallocated. Results handed back via [recycle] must be
+   dead — the next [run] overwrites their arrays in place. *)
+type workspace = {
+  heap : Scmp_util.Radix_heap.t;
+  mutable stamp : int array;
+  mutable epoch : int;
+  mutable pool : result list;
+  runbuf : int array;  (* tie-run buffer for Radix_heap.pop_run *)
+}
+
+let create_workspace () =
+  {
+    heap = Scmp_util.Radix_heap.create ();
+    stamp = [||];
+    epoch = 0;
+    pool = [];
+    runbuf = Array.make 32 0;
+  }
+
+let recycle ws r = ws.pool <- r :: ws.pool
+
+(* Pooled arrays must match the current graph size exactly; stale sizes
+   (workspace reused across differently sized graphs) are dropped. *)
+let rec take_pooled ws n =
+  match ws.pool with
+  | [] -> None
+  | r :: rest ->
+    ws.pool <- rest;
+    if Array.length r.dist = n then Some r else take_pooled ws n
+
 (* [node_ok] / [edge_ok] let the search run directly over the base graph
    plus a fault overlay, without materializing the surviving subgraph: a
-   node failing [node_ok] (or an edge failing [edge_ok]) is treated as
-   absent. The source always gets distance 0 even when excluded — it is
-   then isolated, exactly as a present-but-linkless node would be.
-   Relaxations visit surviving edges in the graph's insertion order, so
-   the result (dist and pred alike, ties included) is identical to an
-   unfiltered run over a copy of the surviving subgraph. *)
-let run ?node_ok ?edge_ok g ~metric ~source =
+   node failing [node_ok] (or an edge id failing [edge_ok]) is treated
+   as absent. The source always gets distance 0 even when excluded — it
+   is then isolated, exactly as a present-but-linkless node would be.
+   Relaxations visit surviving CSR slots in the graph's insertion order
+   and the radix heap pops equal keys in insertion order (the binary
+   heap's seq rule), so the result — dist and pred alike, ties included
+   — is identical to an unfiltered run over a copy of the surviving
+   subgraph, and byte-identical to the pre-CSR implementation. *)
+let run ?ws ?node_ok ?edge_ok g ~metric ~source =
   let n = Graph.node_count g in
   if source < 0 || source >= n then invalid_arg "Dijkstra.run: source out of range";
-  let node_ok = match node_ok with None -> fun _ -> true | Some f -> f in
-  let edge_ok = match edge_ok with None -> fun _ _ -> true | Some f -> f in
-  let dist = Array.make n infinity in
-  let pred = Array.make n (-1) in
-  let other = Array.make n infinity in
-  let settled = Array.make n false in
-  let heap = Scmp_util.Heap.create ~capacity:n () in
+  let heap, stamp, ep, pooled, runbuf =
+    match ws with
+    | None ->
+      (Scmp_util.Radix_heap.create (), Array.make n 0, 1, None,
+       Array.make 32 0)
+    | Some ws ->
+      Scmp_util.Radix_heap.clear ws.heap;
+      if Array.length ws.stamp < n then begin
+        ws.stamp <- Array.make n 0;
+        ws.epoch <- 0
+      end;
+      ws.epoch <- ws.epoch + 1;
+      (ws.heap, ws.stamp, ws.epoch, take_pooled ws n, ws.runbuf)
+  in
+  let dist, pred, pred_edge, other =
+    match pooled with
+    | Some r ->
+      Array.fill r.dist 0 n infinity;
+      (r.dist, r.pred, r.pred_edge, r.other)
+    | None ->
+      (Array.make n infinity, Array.make n (-1), Array.make n (-1),
+       Array.make n infinity)
+  in
+  let off = Graph.csr_offsets g in
+  let nbr = Graph.csr_neighbors g in
+  let eid = Graph.csr_edge_ids g in
+  let wsel, woth =
+    match metric with
+    | Delay -> (Graph.csr_delays g, Graph.csr_costs g)
+    | Cost -> (Graph.csr_costs g, Graph.csr_delays g)
+  in
   dist.(source) <- 0.0;
   other.(source) <- 0.0;
-  Scmp_util.Heap.add heap ~key:0.0 source;
-  let rec drain () =
-    match Scmp_util.Heap.pop heap with
-    | None -> ()
-    | Some (d, x) ->
-      if not settled.(x) then begin
-        settled.(x) <- true;
+  Scmp_util.Radix_heap.add heap ~key:0.0 source;
+  (* Both drain loops pop whole tie runs with [pop_run] — one
+     cross-module call per run of equal keys, popping in exactly the
+     per-entry order (link weights are strictly positive, so every add
+     made while a run is processed sorts after it). The key is read
+     back as [dist.(x)]: the first (non-stale) pop of x carries x's
+     smallest enqueued key, which is exactly the current dist.(x) — so
+     skipping the key return keeps the loop allocation-free without
+     changing a single extraction or tie. *)
+  (match (node_ok, edge_ok) with
+  | None, None ->
+    (* Unfiltered fast path: the APSP / Routes steady state. The whole
+       drain runs inside {!Scmp_util.Radix_heap.drain_csr} — one
+       cross-module call per search, with heap state and relaxation
+       loop fused in a single compilation unit (the non-flambda
+       compiler never inlines across modules, so per-operation heap
+       calls would otherwise dominate this loop). *)
+    Scmp_util.Radix_heap.drain_csr heap ~off ~nbr ~eid ~wsel ~woth ~dist
+      ~pred ~pred_edge ~other
+  | _ ->
+    let node_ok = match node_ok with None -> fun _ -> true | Some f -> f in
+    let edge_ok = match edge_ok with None -> fun _ -> true | Some f -> f in
+    let k = ref (Scmp_util.Radix_heap.pop_run heap runbuf) in
+    while !k > 0 do
+      for i = 0 to !k - 1 do
+        let x = runbuf.(i) in
+        if stamp.(x) <> ep then begin
+          stamp.(x) <- ep;
         (* Non-source nodes only reach the heap through a surviving
            edge, so [node_ok x] can fail here only for the source. *)
-        if node_ok x then
-          Graph.iter_neighbors g x (fun y ~delay ~cost ->
-              if node_ok y && edge_ok x y then begin
-                let w, wo =
-                  match metric with
-                  | Delay -> (delay, cost)
-                  | Cost -> (cost, delay)
-                in
-                let nd = d +. w in
-                if nd < dist.(y) then begin
-                  dist.(y) <- nd;
-                  pred.(y) <- x;
-                  other.(y) <- other.(x) +. wo;
-                  Scmp_util.Heap.add heap ~key:nd y
-                end
-              end)
-      end;
-      drain ()
-  in
-  drain ();
-  { src = source; dist; pred; other }
+        if node_ok x then begin
+          let d = dist.(x) in
+          let ox = other.(x) in
+          for s = off.(x) to off.(x + 1) - 1 do
+            let y = nbr.(s) in
+            let e = eid.(s) in
+            if node_ok y && edge_ok e then begin
+              let nd = d +. wsel.(s) in
+              if nd < dist.(y) then begin
+                dist.(y) <- nd;
+                pred.(y) <- x;
+                pred_edge.(y) <- e;
+                other.(y) <- ox +. woth.(s);
+                Scmp_util.Radix_heap.add heap ~key:nd y
+              end
+            end
+          done
+        end
+      end
+      done;
+      k := Scmp_util.Radix_heap.pop_run heap runbuf
+    done);
+  { src = source; dist; pred; pred_edge; other }
 
 let source r = r.src
 let dist r x = r.dist.(x)
-let other_dist r x = r.other.(x)
+let other_dist r x = if r.dist.(x) = infinity then infinity else r.other.(x)
 let reachable r x = r.dist.(x) < infinity
 
-let parent r x = if r.pred.(x) = -1 then None else Some r.pred.(x)
+let parent r x =
+  if x = r.src || r.dist.(x) = infinity then None else Some r.pred.(x)
+
+let parent_edge r x =
+  if x = r.src || r.dist.(x) = infinity then None else Some r.pred_edge.(x)
 
 let path r x =
   if not (reachable r x) then None
@@ -88,7 +185,9 @@ let fold_path_edges r init dst ~f =
     (* Recurse to the source, fold on the way back: edges are visited
        head to tail, matching a left fold over the materialized path,
        without allocating it. *)
-    let rec go y = if y = r.src then init else f (go r.pred.(y)) r.pred.(y) y in
+    let rec go y =
+      if y = r.src then init else f (go r.pred.(y)) r.pred_edge.(y) r.pred.(y) y
+    in
     Some (go dst)
   end
 

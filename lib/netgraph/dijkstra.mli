@@ -3,32 +3,59 @@
     The paper distinguishes for every node pair the shortest-{e delay}
     path [P_sl] and the least-{e cost} path [P_lc] (§III.A); both are
     instances of Dijkstra under a different link weight, selected by
-    {!metric}. *)
+    {!metric}.
+
+    The search runs over the frozen CSR form of {!Graph.t}: the inner
+    relaxation loop reads neighbor ids, edge ids and weights from
+    contiguous arrays, and the frontier is a monotone radix heap
+    ({!Scmp_util.Radix_heap}) that pops equal keys in insertion order —
+    the same tie rule as the general binary heap, so shortest-path
+    trees (preds included) are byte-identical to the pre-CSR engine. *)
 
 type metric = Delay | Cost
 
 val weight : Graph.t -> metric -> Graph.node -> Graph.node -> float
-(** The selected link weight between two adjacent nodes. *)
+(** The selected link weight between two adjacent nodes.
+    @raise Not_found if the nodes are not adjacent. *)
 
 type result
 (** Shortest-path tree from one source under one metric. *)
 
+type workspace
+(** Scratch arena recycled across SPT builds: the radix-heap frontier,
+    an epoch-stamped settled array, and a free pool of dead results
+    whose arrays are reused instead of reallocated. One workspace
+    serves one thread of computation (it is not domain-safe). *)
+
+val create_workspace : unit -> workspace
+
+val recycle : workspace -> result -> unit
+(** Returns a dead result's arrays to the workspace pool. The result
+    must not be used afterwards — the next {!run} with this workspace
+    overwrites its arrays in place. Routes invalidation recycles each
+    dropped SPT so steady-state recomputation allocates nothing. *)
+
 val run :
+  ?ws:workspace ->
   ?node_ok:(Graph.node -> bool) ->
-  ?edge_ok:(Graph.node -> Graph.node -> bool) ->
+  ?edge_ok:(Graph.edge -> bool) ->
   Graph.t ->
   metric:metric ->
   source:Graph.node ->
   result
 (** [node_ok] / [edge_ok] filter the graph during the search: a node
-    (or an edge, queried in traversal direction — pass a symmetric
-    predicate for undirected liveness) for which the filter returns
-    [false] is treated as absent, so the search runs over the base
-    graph plus a fault overlay without copying the surviving subgraph.
+    (or a dense edge id) for which the filter returns [false] is
+    treated as absent, so the search runs over the base graph plus a
+    fault overlay without copying the surviving subgraph. Edge ids are
+    orientation-free, so edge liveness is symmetric by construction.
     The source keeps distance 0 even when itself filtered out (it is
     then isolated). Surviving edges are relaxed in insertion order, so
     the result — including ties — is identical to an unfiltered run
-    over a materialized copy of the surviving subgraph. *)
+    over a materialized copy of the surviving subgraph.
+
+    When [ws] is supplied, scratch state and (when the pool is
+    non-empty) the result arrays come from the workspace instead of
+    fresh allocations. *)
 
 val source : result -> Graph.node
 val dist : result -> Graph.node -> float
@@ -49,6 +76,11 @@ val parent : result -> Graph.node -> Graph.node option
 (** Predecessor on the shortest path; [None] for the source and
     unreachable nodes. *)
 
+val parent_edge : result -> Graph.node -> Graph.edge option
+(** Edge id of the predecessor link; [None] for the source and
+    unreachable nodes. O(1) — this is how Routes registers SPT edges
+    in its usage map without pair lookups. *)
+
 val path : result -> Graph.node -> Path.t option
 (** Path from source to the node inclusive; [None] if unreachable;
     [Some [source]] for the source itself. *)
@@ -57,13 +89,18 @@ val path_exn : result -> Graph.node -> Path.t
 (** @raise Not_found if the node is unreachable. *)
 
 val fold_path_edges :
-  result -> 'a -> Graph.node -> f:('a -> Graph.node -> Graph.node -> 'a) -> 'a option
+  result ->
+  'a ->
+  Graph.node ->
+  f:('a -> Graph.edge -> Graph.node -> Graph.node -> 'a) ->
+  'a option
 (** [fold_path_edges r init dst ~f] folds [f] over the shortest path's
-    edges, source to [dst], in forward order — exactly the left fold a
-    materialized {!path} would give — without allocating the path.
-    [None] if [dst] is unreachable; [Some init] for the source itself.
-    This is the DCDM join's hot loop: candidate added-cost walks touch
-    thousands of paths per build and only the winner is materialized. *)
+    edges — [f acc eid a b] with the dense edge id alongside the
+    endpoints — source to [dst], in forward order, without allocating
+    the path. [None] if [dst] is unreachable; [Some init] for the
+    source itself. This is the DCDM join's hot loop: candidate
+    added-cost walks touch thousands of paths per build, read per-edge
+    weights O(1) by edge id, and only the winner is materialized. *)
 
 val eccentricity : result -> float
 (** Largest finite distance from the source. *)

@@ -1,91 +1,303 @@
 type node = int
+type edge = int
 
 type link = { u : node; v : node; delay : float; cost : float }
 
-(* Adjacency lists store (neighbor, delay, cost); each undirected link
-   appears in both endpoint lists and once in [all_links] (u < v). *)
+(* Frozen CSR snapshot. [off]/[nbr] is the classic compressed sparse
+   row layout over 2m directed slots; [slot_eid] maps each slot to the
+   dense undirected edge id (insertion order), and the slot-aligned
+   weight arrays duplicate the per-edge weights so the Dijkstra inner
+   loop reads neighbor, edge id and weight from contiguous arrays with
+   no indirection. Per-node slot order is the order the node's
+   incident links were added, so traversals relax edges in exactly the
+   insertion order the old adjacency-list representation used. *)
 type t = {
   n : int;
-  adj : (node * float * float) list array;
-  mutable all_links : link list;  (* reverse insertion order *)
-  mutable m : int;
+  m : int;
+  off : int array;  (* n + 1 *)
+  nbr : int array;  (* 2m *)
+  slot_eid : int array;  (* 2m *)
+  slot_delay : float array;  (* 2m *)
+  slot_cost : float array;  (* 2m *)
+  eu : int array;  (* m, eu.(e) < ev.(e) *)
+  ev : int array;
+  edelay : float array;  (* m *)
+  ecost : float array;  (* m *)
 }
 
-let create n =
-  if n < 0 then invalid_arg "Graph.create: negative node count";
-  { n; adj = Array.make n []; all_links = []; m = 0 }
+module Builder = struct
+  type t = {
+    n : int;
+    adj : node list array;  (* reverse order; duplicate detection only *)
+    mutable links_rev : (node * node * float * float) list;
+    deg : int array;
+    mutable m : int;
+    mutable frozen : bool;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Graph.Builder.create: negative node count";
+    {
+      n;
+      adj = Array.make n [];
+      links_rev = [];
+      deg = Array.make n 0;
+      m = 0;
+      frozen = false;
+    }
+
+  let node_count b = b.n
+  let link_count b = b.m
+
+  let check_node b x name =
+    if x < 0 || x >= b.n then
+      invalid_arg
+        (Printf.sprintf "Graph.Builder.%s: node %d out of range [0,%d)" name x
+           b.n)
+
+  let has_link b a x =
+    check_node b a "has_link";
+    check_node b x "has_link";
+    List.exists (fun w -> w = x) b.adj.(a)
+
+  let add_link b a x ~delay ~cost =
+    if b.frozen then
+      invalid_arg "Graph.Builder.add_link: builder is already frozen";
+    check_node b a "add_link";
+    check_node b x "add_link";
+    if a = x then invalid_arg "Graph.Builder.add_link: self-loop";
+    if delay <= 0.0 || cost <= 0.0 then
+      invalid_arg "Graph.Builder.add_link: delay and cost must be positive";
+    if has_link b a x then invalid_arg "Graph.Builder.add_link: duplicate link";
+    b.adj.(a) <- x :: b.adj.(a);
+    b.adj.(x) <- a :: b.adj.(x);
+    b.links_rev <- (a, x, delay, cost) :: b.links_rev;
+    b.deg.(a) <- b.deg.(a) + 1;
+    b.deg.(x) <- b.deg.(x) + 1;
+    b.m <- b.m + 1
+
+  (* Connected components of the partially built graph — the topology
+     generators stitch components together mid-construction. Same
+     contract as the frozen {!components}. *)
+  let components b =
+    let seen = Array.make b.n false in
+    let comps = ref [] in
+    for start = 0 to b.n - 1 do
+      if not seen.(start) then begin
+        let comp = ref [] in
+        let queue = Queue.create () in
+        Queue.add start queue;
+        seen.(start) <- true;
+        while not (Queue.is_empty queue) do
+          let x = Queue.pop queue in
+          comp := x :: !comp;
+          List.iter
+            (fun w ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                Queue.add w queue
+              end)
+            b.adj.(x)
+        done;
+        comps := List.sort Int.compare !comp :: !comps
+      end
+    done;
+    List.rev !comps
+
+  let freeze b =
+    if b.frozen then invalid_arg "Graph.Builder.freeze: builder is already frozen";
+    b.frozen <- true;
+    let n = b.n and m = b.m in
+    let off = Array.make (n + 1) 0 in
+    for x = 0 to n - 1 do
+      off.(x + 1) <- off.(x) + b.deg.(x)
+    done;
+    let slots = 2 * m in
+    let nbr = Array.make slots 0 in
+    let slot_eid = Array.make slots 0 in
+    let slot_delay = Array.make slots 0.0 in
+    let slot_cost = Array.make slots 0.0 in
+    let eu = Array.make m 0 in
+    let ev = Array.make m 0 in
+    let edelay = Array.make m 0.0 in
+    let ecost = Array.make m 0.0 in
+    let pos = Array.copy off in
+    let fill x y e delay cost =
+      let s = pos.(x) in
+      pos.(x) <- s + 1;
+      nbr.(s) <- y;
+      slot_eid.(s) <- e;
+      slot_delay.(s) <- delay;
+      slot_cost.(s) <- cost
+    in
+    List.iteri
+      (fun e (a, x, delay, cost) ->
+        eu.(e) <- min a x;
+        ev.(e) <- max a x;
+        edelay.(e) <- delay;
+        ecost.(e) <- cost;
+        fill a x e delay cost;
+        fill x a e delay cost)
+      (List.rev b.links_rev);
+    {
+      n;
+      m;
+      off;
+      nbr;
+      slot_eid;
+      slot_delay;
+      slot_cost;
+      eu;
+      ev;
+      edelay;
+      ecost;
+    }
+end
+
+let of_links ~n links =
+  let b = Builder.create n in
+  List.iter (fun (u, v, delay, cost) -> Builder.add_link b u v ~delay ~cost) links;
+  Builder.freeze b
 
 let node_count t = t.n
 let link_count t = t.m
+let edge_count t = t.m
 
 let check_node t x name =
   if x < 0 || x >= t.n then
     invalid_arg (Printf.sprintf "Graph.%s: node %d out of range [0,%d)" name x t.n)
 
+let check_edge t e name =
+  if e < 0 || e >= t.m then
+    invalid_arg (Printf.sprintf "Graph.%s: edge %d out of range [0,%d)" name e t.m)
+
+(* ---------------- edge-id views ---------------- *)
+
+let edge_u t e =
+  check_edge t e "edge_u";
+  t.eu.(e)
+
+let edge_v t e =
+  check_edge t e "edge_v";
+  t.ev.(e)
+
+let edge_ends t e =
+  check_edge t e "edge_ends";
+  (t.eu.(e), t.ev.(e))
+
+let edge_delay t e =
+  check_edge t e "edge_delay";
+  t.edelay.(e)
+
+let edge_cost t e =
+  check_edge t e "edge_cost";
+  t.ecost.(e)
+
+let edge_link t e =
+  check_edge t e "edge_link";
+  { u = t.eu.(e); v = t.ev.(e); delay = t.edelay.(e); cost = t.ecost.(e) }
+
+let edge_id_opt t a b =
+  check_node t a "edge_id_opt";
+  check_node t b "edge_id_opt";
+  let stop = t.off.(a + 1) in
+  let rec scan s =
+    if s = stop then None
+    else if t.nbr.(s) = b then Some t.slot_eid.(s)
+    else scan (s + 1)
+  in
+  scan t.off.(a)
+
 let has_link t a b =
   check_node t a "has_link";
   check_node t b "has_link";
-  List.exists (fun (w, _, _) -> w = b) t.adj.(a)
-
-let add_link t a b ~delay ~cost =
-  check_node t a "add_link";
-  check_node t b "add_link";
-  if a = b then invalid_arg "Graph.add_link: self-loop";
-  if delay <= 0.0 || cost <= 0.0 then
-    invalid_arg "Graph.add_link: delay and cost must be positive";
-  if has_link t a b then invalid_arg "Graph.add_link: duplicate link";
-  t.adj.(a) <- t.adj.(a) @ [ (b, delay, cost) ];
-  t.adj.(b) <- t.adj.(b) @ [ (a, delay, cost) ];
-  let u = min a b and v = max a b in
-  t.all_links <- { u; v; delay; cost } :: t.all_links;
-  t.m <- t.m + 1
+  let stop = t.off.(a + 1) in
+  let rec scan s = s < stop && (t.nbr.(s) = b || scan (s + 1)) in
+  scan t.off.(a)
 
 let link_between t a b =
-  check_node t a "link_between";
-  check_node t b "link_between";
-  match List.find_opt (fun (w, _, _) -> w = b) t.adj.(a) with
-  | None -> None
-  | Some (_, delay, cost) -> Some { u = min a b; v = max a b; delay; cost }
+  match edge_id_opt t a b with None -> None | Some e -> Some (edge_link t e)
 
-(* Dedicated scans (no option/record allocation): these two run inside
-   Path sums, Tree.delays and the DCDM added-cost walk. *)
+(* Dedicated scalar scans (no option/record allocation) with
+   option-returning and legacy raising entry points; Path sums and the
+   tree walks sit on these. *)
+
+let find_slot t a b =
+  let stop = t.off.(a + 1) in
+  let rec scan s = if s = stop then -1 else if t.nbr.(s) = b then s else scan (s + 1) in
+  scan t.off.(a)
+
+let link_delay_opt t a b =
+  check_node t a "link_delay_opt";
+  check_node t b "link_delay_opt";
+  let s = find_slot t a b in
+  if s < 0 then None else Some t.slot_delay.(s)
+
+let link_cost_opt t a b =
+  check_node t a "link_cost_opt";
+  check_node t b "link_cost_opt";
+  let s = find_slot t a b in
+  if s < 0 then None else Some t.slot_cost.(s)
+
 let link_delay t a b =
   check_node t a "link_delay";
   check_node t b "link_delay";
-  let rec find = function
-    | [] -> raise Not_found
-    | (w, d, _) :: rest -> if w = b then d else find rest
-  in
-  find t.adj.(a)
+  let s = find_slot t a b in
+  if s < 0 then raise Not_found else t.slot_delay.(s)
 
 let link_cost t a b =
   check_node t a "link_cost";
   check_node t b "link_cost";
-  let rec find = function
-    | [] -> raise Not_found
-    | (w, _, c) :: rest -> if w = b then c else find rest
-  in
-  find t.adj.(a)
+  let s = find_slot t a b in
+  if s < 0 then raise Not_found else t.slot_cost.(s)
+
+(* ---------------- neighborhood ---------------- *)
 
 let neighbors t x =
   check_node t x "neighbors";
-  List.map (fun (w, _, _) -> w) t.adj.(x)
+  let acc = ref [] in
+  for s = t.off.(x + 1) - 1 downto t.off.(x) do
+    acc := t.nbr.(s) :: !acc
+  done;
+  !acc
 
 let degree t x =
   check_node t x "degree";
-  List.length t.adj.(x)
+  t.off.(x + 1) - t.off.(x)
 
 let iter_neighbors t x f =
   check_node t x "iter_neighbors";
-  List.iter (fun (w, delay, cost) -> f w ~delay ~cost) t.adj.(x)
+  for s = t.off.(x) to t.off.(x + 1) - 1 do
+    f t.nbr.(s) ~delay:t.slot_delay.(s) ~cost:t.slot_cost.(s)
+  done
 
 let fold_neighbors t x ~init ~f =
   check_node t x "fold_neighbors";
-  List.fold_left (fun acc (w, delay, cost) -> f acc w ~delay ~cost) init t.adj.(x)
+  let acc = ref init in
+  for s = t.off.(x) to t.off.(x + 1) - 1 do
+    acc := f !acc t.nbr.(s) ~delay:t.slot_delay.(s) ~cost:t.slot_cost.(s)
+  done;
+  !acc
 
-let links t = List.rev t.all_links
+let iter_incident t x f =
+  check_node t x "iter_incident";
+  for s = t.off.(x) to t.off.(x + 1) - 1 do
+    f t.slot_eid.(s) t.nbr.(s)
+  done
 
-let iter_links t f = List.iter f (links t)
+(* ---------------- whole-graph views ---------------- *)
+
+let links t =
+  let acc = ref [] in
+  for e = t.m - 1 downto 0 do
+    acc := edge_link t e :: !acc
+  done;
+  !acc
+
+let iter_links t f =
+  for e = 0 to t.m - 1 do
+    f (edge_link t e)
+  done
 
 let mean_degree t =
   if t.n = 0 then 0.0 else 2.0 *. float_of_int t.m /. float_of_int t.n
@@ -102,13 +314,13 @@ let components t =
       while not (Queue.is_empty queue) do
         let x = Queue.pop queue in
         comp := x :: !comp;
-        List.iter
-          (fun (w, _, _) ->
-            if not seen.(w) then begin
-              seen.(w) <- true;
-              Queue.add w queue
-            end)
-          t.adj.(x)
+        for s = t.off.(x) to t.off.(x + 1) - 1 do
+          let w = t.nbr.(s) in
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            Queue.add w queue
+          end
+        done
       done;
       comps := List.sort Int.compare !comp :: !comps
     end
@@ -117,17 +329,29 @@ let components t =
 
 let is_connected t = t.n <= 1 || List.length (components t) = 1
 
-let copy t =
-  { n = t.n; adj = Array.copy t.adj; all_links = t.all_links; m = t.m }
+(* ---------------- derived graphs ---------------- *)
 
 let map_links t ~f =
-  let g = create t.n in
+  let b = Builder.create t.n in
   iter_links t (fun l ->
       let delay, cost = f l in
-      add_link g l.u l.v ~delay ~cost);
-  g
+      Builder.add_link b l.u l.v ~delay ~cost);
+  Builder.freeze b
+
+let filter_links t ~f =
+  let b = Builder.create t.n in
+  iter_links t (fun l -> if f l then Builder.add_link b l.u l.v ~delay:l.delay ~cost:l.cost);
+  Builder.freeze b
 
 let pp fmt t =
   Format.fprintf fmt "graph: %d nodes, %d links@." t.n t.m;
   iter_links t (fun l ->
       Format.fprintf fmt "  %d -- %d  delay=%.3f cost=%.3f@." l.u l.v l.delay l.cost)
+
+(* ---------------- CSR internals ---------------- *)
+
+let csr_offsets t = t.off
+let csr_neighbors t = t.nbr
+let csr_edge_ids t = t.slot_eid
+let csr_delays t = t.slot_delay
+let csr_costs t = t.slot_cost

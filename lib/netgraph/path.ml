@@ -22,10 +22,13 @@ let is_valid g path =
     distinct && List.for_all (fun (a, b) -> Graph.has_link g a b) (edges nodes)
 
 let sum_by g f path =
-  List.fold_left (fun acc (a, b) -> acc +. f g a b) 0.0 (edges path)
+  List.fold_left
+    (fun acc (a, b) ->
+      match f g a b with Some w -> acc +. w | None -> raise Not_found)
+    0.0 (edges path)
 
-let delay g path = sum_by g Graph.link_delay path
-let cost g path = sum_by g Graph.link_cost path
+let delay g path = sum_by g Graph.link_delay_opt path
+let cost g path = sum_by g Graph.link_cost_opt path
 
 let concat p q =
   match (List.rev p, q) with

@@ -342,14 +342,20 @@ let mirror_apply sb group dr joined = roster_apply sb.mirror group dr joined
    replaces, even if further faults land before the query (every such
    fault triggers a new snapshot through on_topology_change anyway). *)
 let fresh_apsp t =
-  let dead = Hashtbl.create 8 in
-  List.iter (fun e -> Hashtbl.replace dead e ()) (N.dead_link_list t.net);
+  let g = N.graph t.net in
   let primary_down = t.primary_failed in
-  let edge_ok a b =
-    (not (Hashtbl.mem dead (min a b, max a b)))
-    && not (primary_down && (a = t.primary || b = t.primary))
+  let primary = t.primary in
+  (* Per-edge liveness captured into a dense array: alive in the
+     overlay now, and not incident to a protocol-level-failed primary. *)
+  let ok =
+    Array.init (Netgraph.Graph.edge_count g) (fun e ->
+        N.edge_alive t.net e
+        && not
+             (primary_down
+             && (Netgraph.Graph.edge_u g e = primary
+                || Netgraph.Graph.edge_v g e = primary)))
   in
-  Netgraph.Apsp.compute ~edge_ok (N.graph t.net)
+  Netgraph.Apsp.compute ~edge_ok:(Array.get ok) g
 
 (* Rebuild one group's tree from a membership roster over the current
    [t.apsp], redistribute it, and invalidate the routers the new tree

@@ -98,13 +98,13 @@ let scale = 300
 let generate ~seed =
   let rng = Scmp_util.Prng.create seed in
   let coords = Array.map (fun (_, (x, y)) -> (x * scale, y * scale)) sites in
-  let g = Netgraph.Graph.create node_count in
+  let b = Netgraph.Graph.Builder.create node_count in
   List.iter
     (fun (u, v) ->
       let cost = float_of_int (Spec.manhattan coords.(u) coords.(v)) in
       let delay = Spec.uniform_delay rng ~cost in
-      Netgraph.Graph.add_link g u v ~delay ~cost)
+      Netgraph.Graph.Builder.add_link b u v ~delay ~cost)
     edges;
-  let t = { Spec.name = "arpanet"; graph = g; coords } in
+  let t = { Spec.name = "arpanet"; graph = Netgraph.Graph.Builder.freeze b; coords } in
   Spec.check t;
   t

@@ -9,11 +9,11 @@ let generate ~seed ~n ~avg_degree =
     invalid_arg "Flat_random.generate: average degree exceeds complete graph";
   let rng = Scmp_util.Prng.create seed in
   let coords = Spec.random_coords rng n in
-  let g = Netgraph.Graph.create n in
+  let b = Netgraph.Graph.Builder.create n in
   let link u v =
     let cost = float_of_int (Spec.manhattan coords.(u) coords.(v)) in
     let delay = Spec.uniform_delay rng ~cost in
-    Netgraph.Graph.add_link g u v ~delay ~cost
+    Netgraph.Graph.Builder.add_link b u v ~delay ~cost
   in
   (* Random spanning tree: attach each node (in shuffled order) to a
      uniformly chosen, already-attached node. *)
@@ -28,7 +28,7 @@ let generate ~seed ~n ~avg_degree =
   while !added < target_links do
     let u = Scmp_util.Prng.int rng n in
     let v = Scmp_util.Prng.int rng n in
-    if u <> v && not (Netgraph.Graph.has_link g u v) then begin
+    if u <> v && not (Netgraph.Graph.Builder.has_link b u v) then begin
       link u v;
       incr added
     end
@@ -36,7 +36,7 @@ let generate ~seed ~n ~avg_degree =
   let t =
     {
       Spec.name = Printf.sprintf "random-%d-deg%g" n avg_degree;
-      graph = g;
+      graph = Netgraph.Graph.Builder.freeze b;
       coords;
     }
   in

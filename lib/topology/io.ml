@@ -85,10 +85,7 @@ let of_string text =
             coords.(i) <- (x, y))
           state.coords;
         if not (Array.for_all Fun.id seen) then failwith "missing coord lines";
-        let g = Netgraph.Graph.create n in
-        List.iter
-          (fun (u, v, delay, cost) -> Netgraph.Graph.add_link g u v ~delay ~cost)
-          (List.rev state.links);
+        let g = Netgraph.Graph.of_links ~n (List.rev state.links) in
         let t = { Spec.name; graph = g; coords } in
         Spec.check t;
         Ok t

@@ -7,12 +7,12 @@ let generate ?(alpha = default_alpha) ?(beta = default_beta) ~seed ~n () =
     invalid_arg "Waxman.generate: alpha and beta must be positive";
   let rng = Scmp_util.Prng.create seed in
   let coords = Spec.random_coords rng n in
-  let g = Netgraph.Graph.create n in
+  let b = Netgraph.Graph.Builder.create n in
   let l = float_of_int Spec.max_distance in
   let link u v =
     let cost = float_of_int (Spec.manhattan coords.(u) coords.(v)) in
     let delay = Spec.uniform_delay rng ~cost in
-    Netgraph.Graph.add_link g u v ~delay ~cost
+    Netgraph.Graph.Builder.add_link b u v ~delay ~cost
   in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
@@ -24,7 +24,7 @@ let generate ?(alpha = default_alpha) ?(beta = default_beta) ~seed ~n () =
   (* Stitch any disconnected components onto the main one via the
      geometrically shortest missing link, repeating until connected. *)
   let rec connect () =
-    match Netgraph.Graph.components g with
+    match Netgraph.Graph.Builder.components b with
     | [] | [ _ ] -> ()
     | main :: rest ->
       let stray = List.hd rest in
@@ -45,6 +45,6 @@ let generate ?(alpha = default_alpha) ?(beta = default_beta) ~seed ~n () =
       connect ()
   in
   connect ();
-  let t = { Spec.name = Printf.sprintf "waxman-%d" n; graph = g; coords } in
+  let t = { Spec.name = Printf.sprintf "waxman-%d" n; graph = Netgraph.Graph.Builder.freeze b; coords } in
   Spec.check t;
   t

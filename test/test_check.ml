@@ -33,12 +33,13 @@ let diagnostic_mentions sub vs =
    m-router at 0 serves members 3 and 4 (multicast delay 2.0 each). *)
 
 let network () =
-  let g = G.create 6 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
-  G.add_link g 0 2 ~delay:1.0 ~cost:1.0;
-  G.add_link g 1 3 ~delay:1.0 ~cost:1.0;
-  G.add_link g 2 4 ~delay:1.0 ~cost:1.0;
-  G.add_link g 2 5 ~delay:1.0 ~cost:1.0;
+    let bld = G.Builder.create 6 in
+  G.Builder.add_link bld 0 1 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 0 2 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 1 3 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 2 4 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 2 5 ~delay:1.0 ~cost:1.0;
+  let g = G.Builder.freeze bld in
   g
 
 let healthy_tree () =
@@ -442,6 +443,28 @@ let test_lint_exec_capture () =
        \  let acc = ref [] in\n\
        \  Pool.with_pool ~jobs:2 (fun _pool -> acc := f xs :: !acc)\n")
 
+let test_lint_graph_freeze () =
+  checkb "Builder use in eventsim fires" true
+    (fires L.rule_graph_freeze "lib/eventsim/x.ml"
+       "let grow b u v = Netgraph.Graph.Builder.add_link b ~u ~v ~delay:1.0 ~cost:1.0\n");
+  checkb "aliased G.Builder fires too" true
+    (fires L.rule_graph_freeze "lib/protocols/x.ml"
+       "module G = Netgraph.Graph\nlet fresh () = G.Builder.create ~n:4 ()\n");
+  checkb "same code inside lib/topology: clean (builders' home)" false
+    (fires L.rule_graph_freeze "lib/topology/x.ml"
+       "let grow b u v = Netgraph.Graph.Builder.add_link b ~u ~v ~delay:1.0 ~cost:1.0\n");
+  checkb "same code inside lib/netgraph: clean" false
+    (fires L.rule_graph_freeze "lib/netgraph/x.ml"
+       "let fresh () = Graph.Builder.create ~n:4 ()\n");
+  checkb "unrelated Builder submodule: clean" false
+    (fires L.rule_graph_freeze "lib/eventsim/x.ml"
+       "let p = Pipeline.Builder.create ()\n");
+  checkb "consuming the frozen graph: clean" false
+    (fires L.rule_graph_freeze "lib/eventsim/x.ml"
+       "let d g u v = Netgraph.Graph.link_delay_opt g ~u ~v\n");
+  checkb "severity is Error" true
+    (L.severity_of_rule L.rule_graph_freeze = L.Error)
+
 let test_lint_quoted_strings () =
   (* regression: the old scanner did not blank {|...|} payloads, so a
      quoted string containing Stdlib.compare tripped poly-compare *)
@@ -634,6 +657,8 @@ let () =
           Alcotest.test_case "D4 catchall-exn" `Quick test_lint_catchall;
           Alcotest.test_case "D5 physical-eq" `Quick test_lint_physical_eq;
           Alcotest.test_case "D6 exec-capture" `Quick test_lint_exec_capture;
+          Alcotest.test_case "graph-freeze layering" `Quick
+            test_lint_graph_freeze;
           Alcotest.test_case "quoted-string regression" `Quick
             test_lint_quoted_strings;
         ] );

@@ -133,11 +133,12 @@ let test_routes_lazy_memoization () =
 
 let line_graph () =
   (* 0 -(1)- 1 -(1)- 2 -(5)- 3 and shortcut 0 -(2.5)- 2 *)
-  let g = G.create 4 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
-  G.add_link g 1 2 ~delay:1.0 ~cost:1.0;
-  G.add_link g 2 3 ~delay:5.0 ~cost:1.0;
-  G.add_link g 0 2 ~delay:2.5 ~cost:10.0;
+    let bld = G.Builder.create 4 in
+  G.Builder.add_link bld 0 1 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 1 2 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 2 3 ~delay:5.0 ~cost:1.0;
+  G.Builder.add_link bld 0 2 ~delay:2.5 ~cost:10.0;
+  let g = G.Builder.freeze bld in
   g
 
 let test_routes_next_hop () =

@@ -19,15 +19,16 @@ let hb = 50.0
 let window = 150.0
 
 let fig5 () =
-  let g = G.create 6 in
-  G.add_link g 0 1 ~delay:3.0 ~cost:6.0;
-  G.add_link g 0 2 ~delay:2.0 ~cost:6.0;
-  G.add_link g 0 3 ~delay:4.0 ~cost:5.0;
-  G.add_link g 1 2 ~delay:3.0 ~cost:3.0;
-  G.add_link g 1 4 ~delay:9.0 ~cost:3.0;
-  G.add_link g 2 3 ~delay:3.0 ~cost:2.0;
-  G.add_link g 3 5 ~delay:7.0 ~cost:2.0;
-  G.add_link g 2 5 ~delay:9.0 ~cost:3.0;
+    let bld = G.Builder.create 6 in
+  G.Builder.add_link bld 0 1 ~delay:3.0 ~cost:6.0;
+  G.Builder.add_link bld 0 2 ~delay:2.0 ~cost:6.0;
+  G.Builder.add_link bld 0 3 ~delay:4.0 ~cost:5.0;
+  G.Builder.add_link bld 1 2 ~delay:3.0 ~cost:3.0;
+  G.Builder.add_link bld 1 4 ~delay:9.0 ~cost:3.0;
+  G.Builder.add_link bld 2 3 ~delay:3.0 ~cost:2.0;
+  G.Builder.add_link bld 3 5 ~delay:7.0 ~cost:2.0;
+  G.Builder.add_link bld 2 5 ~delay:9.0 ~cost:3.0;
+  let g = G.Builder.freeze bld in
   g
 
 let setup () =

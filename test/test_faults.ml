@@ -30,11 +30,12 @@ let checki = Alcotest.check Alcotest.int
 (* Tiny string-message network: a 4-node path 0-1-2-3 plus a 1-3
    chord, classified by message content. *)
 let string_net () =
-  let g = G.create 4 in
-  G.add_link g 0 1 ~delay:0.001 ~cost:1.0;
-  G.add_link g 1 2 ~delay:0.001 ~cost:1.0;
-  G.add_link g 2 3 ~delay:0.001 ~cost:1.0;
-  G.add_link g 1 3 ~delay:0.001 ~cost:1.0;
+    let bld = G.Builder.create 4 in
+  G.Builder.add_link bld 0 1 ~delay:0.001 ~cost:1.0;
+  G.Builder.add_link bld 1 2 ~delay:0.001 ~cost:1.0;
+  G.Builder.add_link bld 2 3 ~delay:0.001 ~cost:1.0;
+  G.Builder.add_link bld 1 3 ~delay:0.001 ~cost:1.0;
+  let g = G.Builder.freeze bld in
   let e = Engine.create () in
   let net =
     Netsim.create e g ~classify:(fun m ->
@@ -217,9 +218,10 @@ let test_faults_install_and_random () =
 (* Path network 0-1-2: the m-router at 0, a member DR at 2, and a
    single cuttable link 1-2 between them. *)
 let path_net () =
-  let g = G.create 3 in
-  G.add_link g 0 1 ~delay:0.001 ~cost:1.0;
-  G.add_link g 1 2 ~delay:0.001 ~cost:1.0;
+    let bld = G.Builder.create 3 in
+  G.Builder.add_link bld 0 1 ~delay:0.001 ~cost:1.0;
+  G.Builder.add_link bld 1 2 ~delay:0.001 ~cost:1.0;
+  let g = G.Builder.freeze bld in
   let e = Engine.create () in
   let net = Netsim.create e g ~classify:Message.classify in
   (e, net)
@@ -261,15 +263,16 @@ let test_giveup_after_max_attempts () =
    Delays scaled to simulated milliseconds so protocol timers (rto
    0.25 s) dominate link latency, as in the runner. *)
 let fig5_net () =
-  let g = G.create 6 in
-  G.add_link g 0 1 ~delay:0.003 ~cost:6.0;
-  G.add_link g 0 2 ~delay:0.002 ~cost:6.0;
-  G.add_link g 0 3 ~delay:0.004 ~cost:5.0;
-  G.add_link g 1 2 ~delay:0.003 ~cost:3.0;
-  G.add_link g 1 4 ~delay:0.009 ~cost:3.0;
-  G.add_link g 2 3 ~delay:0.003 ~cost:2.0;
-  G.add_link g 3 5 ~delay:0.007 ~cost:2.0;
-  G.add_link g 2 5 ~delay:0.009 ~cost:3.0;
+    let bld = G.Builder.create 6 in
+  G.Builder.add_link bld 0 1 ~delay:0.003 ~cost:6.0;
+  G.Builder.add_link bld 0 2 ~delay:0.002 ~cost:6.0;
+  G.Builder.add_link bld 0 3 ~delay:0.004 ~cost:5.0;
+  G.Builder.add_link bld 1 2 ~delay:0.003 ~cost:3.0;
+  G.Builder.add_link bld 1 4 ~delay:0.009 ~cost:3.0;
+  G.Builder.add_link bld 2 3 ~delay:0.003 ~cost:2.0;
+  G.Builder.add_link bld 3 5 ~delay:0.007 ~cost:2.0;
+  G.Builder.add_link bld 2 5 ~delay:0.009 ~cost:3.0;
+  let g = G.Builder.freeze bld in
   let e = Engine.create () in
   let net = Netsim.create e g ~classify:Message.classify in
   let delivery = Delivery.create e in

@@ -24,15 +24,16 @@ let assert_valid name t =
 (* The Fig 5-style example network (see test_netgraph.ml for the
    layout): links as (delay, cost). *)
 let fig5 () =
-  let g = G.create 6 in
-  G.add_link g 0 1 ~delay:3.0 ~cost:6.0;
-  G.add_link g 0 2 ~delay:2.0 ~cost:6.0;
-  G.add_link g 0 3 ~delay:4.0 ~cost:5.0;
-  G.add_link g 1 2 ~delay:3.0 ~cost:3.0;
-  G.add_link g 1 4 ~delay:9.0 ~cost:3.0;
-  G.add_link g 2 3 ~delay:3.0 ~cost:2.0;
-  G.add_link g 3 5 ~delay:7.0 ~cost:2.0;
-  G.add_link g 2 5 ~delay:9.0 ~cost:3.0;
+    let bld = G.Builder.create 6 in
+  G.Builder.add_link bld 0 1 ~delay:3.0 ~cost:6.0;
+  G.Builder.add_link bld 0 2 ~delay:2.0 ~cost:6.0;
+  G.Builder.add_link bld 0 3 ~delay:4.0 ~cost:5.0;
+  G.Builder.add_link bld 1 2 ~delay:3.0 ~cost:3.0;
+  G.Builder.add_link bld 1 4 ~delay:9.0 ~cost:3.0;
+  G.Builder.add_link bld 2 3 ~delay:3.0 ~cost:2.0;
+  G.Builder.add_link bld 3 5 ~delay:7.0 ~cost:2.0;
+  G.Builder.add_link bld 2 5 ~delay:9.0 ~cost:3.0;
+  let g = G.Builder.freeze bld in
   g
 
 let waxman_apsp seed =
@@ -276,8 +277,9 @@ let test_dcdm_last_graft () =
     (Dcdm.last_graft d)
 
 let test_dcdm_unreachable () =
-  let g = G.create 3 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
+    let bld = G.Builder.create 3 in
+  G.Builder.add_link bld 0 1 ~delay:1.0 ~cost:1.0;
+  let g = G.Builder.freeze bld in
   let apsp = A.compute g in
   let d = Dcdm.create apsp ~root:0 ~bound:Bound.Loosest () in
   Alcotest.check_raises "unreachable member"
@@ -474,17 +476,19 @@ let optimal_steiner_cost apsp terminals =
 let small_random_graph seed =
   let rng = Prng.create seed in
   let n = 8 in
-  let g = G.create n in
+  let bld = G.Builder.create n in
   for v = 1 to n - 1 do
     let u = Prng.int rng v in
-    G.add_link g u v ~delay:(1.0 +. Prng.float rng 9.0) ~cost:(1.0 +. Prng.float rng 9.0)
+    G.Builder.add_link bld u v ~delay:(1.0 +. Prng.float rng 9.0)
+      ~cost:(1.0 +. Prng.float rng 9.0)
   done;
   for _ = 1 to 6 do
     let u = Prng.int rng n and v = Prng.int rng n in
-    if u <> v && not (G.has_link g u v) then
-      G.add_link g u v ~delay:(1.0 +. Prng.float rng 9.0) ~cost:(1.0 +. Prng.float rng 9.0)
+    if u <> v && not (G.Builder.has_link bld u v) then
+      G.Builder.add_link bld u v ~delay:(1.0 +. Prng.float rng 9.0)
+        ~cost:(1.0 +. Prng.float rng 9.0)
   done;
-  g
+  G.Builder.freeze bld
 
 let prop_kmb_within_2x_of_optimal =
   QCheck.Test.make ~name:"KMB cost within its 2x guarantee of the exact optimum"

@@ -15,39 +15,40 @@ let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
 (* The paper's Fig 5 example network: 6 nodes; labels (delay, cost).
    0 is the m-router; 1..5 as drawn (members g1=4, g2=3, g3=5). *)
 let fig5 () =
-  let g = G.create 6 in
-  G.add_link g 0 1 ~delay:3.0 ~cost:6.0;
-  G.add_link g 0 2 ~delay:2.0 ~cost:6.0;
-  G.add_link g 0 3 ~delay:4.0 ~cost:5.0;
-  G.add_link g 1 2 ~delay:3.0 ~cost:3.0;
-  G.add_link g 1 4 ~delay:9.0 ~cost:3.0;
-  G.add_link g 2 3 ~delay:3.0 ~cost:2.0;
-  G.add_link g 3 5 ~delay:7.0 ~cost:2.0;
-  G.add_link g 2 5 ~delay:9.0 ~cost:3.0;
-  g
+  G.of_links ~n:6
+    [
+      (0, 1, 3.0, 6.0);
+      (0, 2, 2.0, 6.0);
+      (0, 3, 4.0, 5.0);
+      (1, 2, 3.0, 3.0);
+      (1, 4, 9.0, 3.0);
+      (2, 3, 3.0, 2.0);
+      (3, 5, 7.0, 2.0);
+      (2, 5, 9.0, 3.0);
+    ]
 
 let random_graph seed n extra =
   let rng = Prng.create seed in
   let extra = min extra ((n * (n - 1) / 2) - (n - 1)) in
-  let g = G.create n in
+  let bld = G.Builder.create n in
   (* random spanning tree + extra random links *)
   for v = 1 to n - 1 do
     let u = Prng.int rng v in
-    G.add_link g u v
+    G.Builder.add_link bld u v
       ~delay:(1.0 +. Prng.float rng 9.0)
       ~cost:(1.0 +. Prng.float rng 9.0)
   done;
   let added = ref 0 in
   while !added < extra do
     let u = Prng.int rng n and v = Prng.int rng n in
-    if u <> v && not (G.has_link g u v) then begin
-      G.add_link g u v
+    if u <> v && not (G.Builder.has_link bld u v) then begin
+      G.Builder.add_link bld u v
         ~delay:(1.0 +. Prng.float rng 9.0)
         ~cost:(1.0 +. Prng.float rng 9.0);
       incr added
     end
   done;
-  g
+  G.Builder.freeze bld
 
 (* ---------------- Graph ---------------- *)
 
@@ -64,38 +65,48 @@ let test_graph_basic () =
   Alcotest.check (Alcotest.float 1e-9) "mean degree" (16.0 /. 6.0) (G.mean_degree g)
 
 let test_graph_errors () =
-  let g = G.create 3 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
-  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_link: self-loop")
-    (fun () -> G.add_link g 1 1 ~delay:1.0 ~cost:1.0);
-  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_link: duplicate link")
-    (fun () -> G.add_link g 1 0 ~delay:2.0 ~cost:2.0);
+  let bld = G.Builder.create 3 in
+  G.Builder.add_link bld 0 1 ~delay:1.0 ~cost:1.0;
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.Builder.add_link: self-loop") (fun () ->
+      G.Builder.add_link bld 1 1 ~delay:1.0 ~cost:1.0);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.Builder.add_link: duplicate link") (fun () ->
+      G.Builder.add_link bld 1 0 ~delay:2.0 ~cost:2.0);
   Alcotest.check_raises "bad delay"
-    (Invalid_argument "Graph.add_link: delay and cost must be positive") (fun () ->
-      G.add_link g 1 2 ~delay:0.0 ~cost:1.0);
-  Alcotest.check_raises "negative node count" (Invalid_argument "Graph.create: negative node count")
-    (fun () -> ignore (G.create (-1)));
+    (Invalid_argument "Graph.Builder.add_link: delay and cost must be positive")
+    (fun () -> G.Builder.add_link bld 1 2 ~delay:0.0 ~cost:1.0);
+  Alcotest.check_raises "negative node count"
+    (Invalid_argument "Graph.Builder.create: negative node count") (fun () ->
+      ignore (G.Builder.create (-1)));
+  let g = G.Builder.freeze bld in
   checkb "missing link delay raises" true
     (try
        ignore (G.link_delay g 0 2);
        false
-     with Not_found -> true)
+     with Not_found -> true);
+  Alcotest.check
+    Alcotest.(option (float 1e-9))
+    "missing link delay opt" None (G.link_delay_opt g 0 2);
+  Alcotest.check
+    Alcotest.(option (float 1e-9))
+    "present link cost opt" (Some 1.0) (G.link_cost_opt g 1 0)
 
 let test_graph_components () =
-  let g = G.create 5 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
-  G.add_link g 2 3 ~delay:1.0 ~cost:1.0;
+  let links = [ (0, 1, 1.0, 1.0); (2, 3, 1.0, 1.0) ] in
+  let g = G.of_links ~n:5 links in
   checkb "disconnected" false (G.is_connected g);
   Alcotest.check
     Alcotest.(list (list int))
     "components" [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] (G.components g);
-  G.add_link g 1 2 ~delay:1.0 ~cost:1.0;
-  G.add_link g 3 4 ~delay:1.0 ~cost:1.0;
-  checkb "now connected" true (G.is_connected g)
+  let g2 =
+    G.of_links ~n:5 (links @ [ (1, 2, 1.0, 1.0); (3, 4, 1.0, 1.0) ])
+  in
+  checkb "now connected" true (G.is_connected g2)
 
 let test_graph_trivial_connectivity () =
-  checkb "empty graph connected" true (G.is_connected (G.create 0));
-  checkb "single node connected" true (G.is_connected (G.create 1))
+  checkb "empty graph connected" true (G.is_connected (G.of_links ~n:0 []));
+  checkb "single node connected" true (G.is_connected (G.of_links ~n:1 []))
 
 let test_graph_links_order () =
   let g = fig5 () in
@@ -162,8 +173,7 @@ let test_dijkstra_by_cost () =
   checkf "cost to 5: 0-3-5 = 7" 7.0 (D.dist r 5)
 
 let test_dijkstra_unreachable () =
-  let g = G.create 3 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
+  let g = G.of_links ~n:3 [ (0, 1, 1.0, 1.0) ] in
   let r = D.run g ~metric:D.Delay ~source:0 in
   checkb "unreachable" false (D.reachable r 2);
   checkb "dist infinite" true (D.dist r 2 = infinity);
@@ -254,9 +264,7 @@ let prop_apsp_metric_coherence =
       !ok)
 
 let test_apsp_mean_delay () =
-  let g = G.create 3 in
-  G.add_link g 0 1 ~delay:2.0 ~cost:1.0;
-  G.add_link g 1 2 ~delay:4.0 ~cost:1.0;
+  let g = G.of_links ~n:3 [ (0, 1, 2.0, 1.0); (1, 2, 4.0, 1.0) ] in
   let a = A.compute g in
   checkf "mean from middle" 3.0 (A.mean_delay_from a 1);
   checkf "mean from end" 4.0 (A.mean_delay_from a 0)

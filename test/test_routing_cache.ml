@@ -115,24 +115,25 @@ let prop_apsp_differential =
       let n = G.node_count g in
       let rng = Prng.create ((fseed * 92821) + 5) in
       (* random overlay: ~25% of links dead, up to two nodes down *)
-      let dead = Hashtbl.create 8 in
-      Array.iter
-        (fun (a, b) ->
-          if Prng.chance rng 0.25 then
-            Hashtbl.replace dead (min a b, max a b) ())
-        (base_links g);
+      let dead = Array.make (G.edge_count g) false in
+      for e = 0 to G.edge_count g - 1 do
+        if Prng.chance rng 0.25 then dead.(e) <- true
+      done;
       let node_down = Array.make n false in
       for _ = 1 to 2 do
         if Prng.chance rng 0.5 then node_down.(Prng.int rng n) <- true
       done;
       let node_ok x = not node_down.(x) in
-      let edge_ok a b = not (Hashtbl.mem dead (min a b, max a b)) in
+      let edge_ok e = not dead.(e) in
       let lazy_t = Apsp.compute ~node_ok ~edge_ok g in
-      let sub = G.create n in
-      G.iter_links g (fun l ->
-          if node_ok l.G.u && node_ok l.G.v && edge_ok l.G.u l.G.v then
-            G.add_link sub l.G.u l.G.v ~delay:l.G.delay ~cost:l.G.cost);
-      let eager_t = Apsp.compute sub in
+      let bld = G.Builder.create n in
+      for e = 0 to G.edge_count g - 1 do
+        let u = G.edge_u g e and v = G.edge_v g e in
+        if node_ok u && node_ok v && edge_ok e then
+          G.Builder.add_link bld u v ~delay:(G.edge_delay g e)
+            ~cost:(G.edge_cost g e)
+      done;
+      let eager_t = Apsp.compute (G.Builder.freeze bld) in
       let ok = ref true in
       (* interleaved query order so memoization is exercised per metric *)
       for a = 0 to n - 1 do
@@ -152,10 +153,11 @@ let checki = Alcotest.check Alcotest.int
 let test_invalidation_is_selective () =
   (* A fault must not wipe the whole cache: entries whose answers the
      fault cannot change survive it. Triangle with one slow detour. *)
-  let g = G.create 3 in
-  G.add_link g 0 1 ~delay:1.0 ~cost:1.0;
-  G.add_link g 1 2 ~delay:1.0 ~cost:1.0;
-  G.add_link g 0 2 ~delay:10.0 ~cost:1.0;
+    let bld = G.Builder.create 3 in
+  G.Builder.add_link bld 0 1 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 1 2 ~delay:1.0 ~cost:1.0;
+  G.Builder.add_link bld 0 2 ~delay:10.0 ~cost:1.0;
+  let g = G.Builder.freeze bld in
   let engine = Engine.create () in
   let net = Netsim.create engine g ~classify:(fun (_ : unit) -> `Data) in
   let r = Netsim.routes net in
