@@ -1462,10 +1462,81 @@ let sweep_bench ~full ~jobs () =
 
 (* ------------------------------------------------------------------ *)
 
+let chaos_bench ~full ~jobs () =
+  section "chaos campaigns (Exec.Chaos) — seeded fault programs, invariants on";
+  let spec =
+    if full then
+      Exec.Chaos.make ~packets:12 ~group_size:8 ~seed:1
+        ~drivers:[ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm" ]
+        ~topos:[ Exec.Sweep.Waxman 40; Exec.Sweep.Random3 30 ]
+        ~trials:40 ()
+    else
+      Exec.Chaos.make ~packets:10 ~group_size:6 ~seed:1 ~drivers:[ "scmp" ]
+        ~topos:[ Exec.Sweep.Waxman 30 ] ~trials:15 ()
+  in
+  let run_with jobs =
+    match Exec.Chaos.run ~jobs spec with
+    | Ok o -> o
+    | Error msg -> failwith ("chaos bench: " ^ msg)
+  in
+  let seq = run_with 1 in
+  let par = run_with jobs in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "jobs";
+        T.column "trials";
+        T.column "violations";
+        T.column "blackout p50 (s)";
+        T.column "blackout p95 (s)";
+        T.column "wall (s)";
+      ]
+  in
+  let row (o : Exec.Chaos.outcome) =
+    let pct p =
+      if o.blackouts = [] then "-"
+      else Printf.sprintf "%.3f" (Scmp_util.Stats.percentile_l p o.blackouts)
+    in
+    T.add_row tab
+      [
+        string_of_int o.jobs_used;
+        string_of_int (List.length o.results);
+        string_of_int (List.length o.violations);
+        pct 50.0;
+        pct 95.0;
+        Printf.sprintf "%.3f" o.wall_s;
+      ]
+  in
+  row seq;
+  row par;
+  print_table
+    ~title:
+      (Printf.sprintf "%d trials (%s)"
+         (List.length (Exec.Chaos.plan spec))
+         (String.concat ", " spec.Exec.Chaos.drivers))
+    tab;
+  let identical =
+    Obs.Report.to_string ~wallclock:false seq.Exec.Chaos.report
+    = Obs.Report.to_string ~wallclock:false par.Exec.Chaos.report
+  in
+  pr "campaign reports byte-identical across jobs: %s\n"
+    (if identical then "yes" else "NO — DETERMINISM BUG");
+  if not identical then exit 1;
+  if seq.Exec.Chaos.violations <> [] then begin
+    List.iter
+      (fun (v : Exec.Chaos.violation) ->
+        pr "VIOLATION %s: %s\n  minimal: %s\n"
+          (Exec.Chaos.trial_name v.Exec.Chaos.v_trial)
+          v.Exec.Chaos.message
+          (Exec.Chaos.program_to_string v.Exec.Chaos.minimal))
+      seq.Exec.Chaos.violations;
+    exit 1
+  end
+
 let usage () =
   print_endline
     "usage: main.exe \
-     [fig7|fig8|fig9|placement|fabric|branch|faults|failover|multi|capacity|congestion|pimsm|routing|micro|sweep|all] \
+     [fig7|fig8|fig9|placement|fabric|branch|faults|failover|multi|capacity|congestion|pimsm|routing|micro|sweep|chaos|all] \
      [--full] [--ablate] [--csv DIR] [--json PATH] [--jobs N]";
   exit 1
 
@@ -1526,6 +1597,7 @@ let () =
     | "routing" -> routing_bench ()
     | "micro" -> micro ?json ~full ~jobs ()
     | "sweep" -> sweep_bench ~full ~jobs ()
+    | "chaos" -> chaos_bench ~full ~jobs ()
     | "all" ->
       fig7 ~seeds:tree_seeds ~ablate ();
       fig8 ~seeds:net_seeds ();
@@ -1541,7 +1613,8 @@ let () =
       pimsm ();
       routing_bench ();
       micro ?json ~full ~jobs ();
-      sweep_bench ~full ~jobs ()
+      sweep_bench ~full ~jobs ();
+      chaos_bench ~full ~jobs ()
     | other ->
       pr "unknown command %S\n" other;
       usage ()

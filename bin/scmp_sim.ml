@@ -344,6 +344,47 @@ let run_cmd =
       & info [ "fault-count" ] ~docv:"N"
           ~doc:"How many random link failures --fault-seed injects.")
   in
+  let partitions =
+    Arg.(
+      value & opt_all string []
+      & info [ "partition" ] ~docv:"A,B,C@T[:heal@T']"
+          ~doc:
+            "Partition the listed nodes from the rest at sim time T \
+             (every link across the cut fails atomically), optionally \
+             healing the cut at T'. Repeatable.")
+  in
+  let churn_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "churn-rate" ] ~docv:"RATE"
+          ~doc:
+            "Seeded Poisson membership churn: $(docv) join arrivals per \
+             sim second drawn from the non-scripted routers, each \
+             staying for an exponential holding time (--churn-hold).")
+  in
+  let churn_hold =
+    Arg.(
+      value & opt float 5.0
+      & info [ "churn-hold" ] ~docv:"SECONDS"
+          ~doc:"Mean holding time of a churn member (sim seconds).")
+  in
+  let churn_horizon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "churn-horizon" ] ~docv:"TIME"
+          ~doc:
+            "Last sim instant a churn arrival may occur (default: end \
+             of the data phase).")
+  in
+  let churn_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "churn-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the churn process (default: topology seed + 31).")
+  in
   let check =
     Arg.(
       value & flag
@@ -354,8 +395,9 @@ let run_cmd =
              checkpoint).")
   in
   let run gen nodes seed load protocol group_size packets trace trace_limit
-      report loss loss_seed loss_class fail_links fail_nodes fault_seed
-      fault_count check =
+      report loss loss_seed loss_class fail_links fail_nodes partitions
+      fault_seed fault_count churn_rate churn_hold churn_horizon churn_seed
+      check =
     let spec = or_die (make_spec gen nodes seed load) in
     let g = spec.Topology.Spec.graph in
     let n = Netgraph.Graph.node_count g in
@@ -374,6 +416,9 @@ let run_cmd =
       @ List.concat_map
           (fun s -> or_die (Eventsim.Faults.parse_node_failure s))
           fail_nodes
+      @ List.concat_map
+          (fun s -> or_die (Eventsim.Faults.parse_partition s))
+          partitions
     in
     let sc =
       Protocols.Runner.make ~data_count:packets ?trace_path:trace ?trace_limit
@@ -396,7 +441,36 @@ let run_cmd =
                 ~t0 ~t1 g;
         }
     in
-    let perturbed = sc.Protocols.Runner.loss <> None || sc.faults <> [] in
+    (* Churn's default horizon is the end of the data phase, which only
+       [Runner.make] knows — same record-update trick as random faults. *)
+    let sc =
+      match churn_rate with
+      | None -> sc
+      | Some rate ->
+        if rate <= 0.0 then or_die (Error "--churn-rate must be positive");
+        let horizon =
+          match churn_horizon with
+          | Some h -> h
+          | None ->
+            sc.Protocols.Runner.data_start
+            +. (sc.data_interval *. float_of_int packets)
+        in
+        {
+          sc with
+          Protocols.Runner.churn =
+            Some
+              {
+                Protocols.Runner.mean_interarrival = 1.0 /. rate;
+                mean_holding = churn_hold;
+                horizon;
+                churn_seed =
+                  (match churn_seed with Some s -> s | None -> seed + 31);
+              };
+        }
+    in
+    let perturbed =
+      sc.Protocols.Runner.loss <> None || sc.faults <> [] || sc.churn <> None
+    in
     let drivers =
       match protocol with `All -> Protocols.Driver.all () | `One d -> [ d ]
     in
@@ -455,7 +529,9 @@ let run_cmd =
     Term.(
       const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ protocol
       $ group_size $ packets $ trace $ trace_limit $ report $ loss $ loss_seed
-      $ loss_class $ fail_links $ fail_nodes $ fault_seed $ fault_count $ check)
+      $ loss_class $ fail_links $ fail_nodes $ partitions $ fault_seed
+      $ fault_count $ churn_rate $ churn_hold $ churn_horizon $ churn_seed
+      $ check)
 
 (* ---------- sweep ---------- *)
 
@@ -670,10 +746,155 @@ let placement_cmd =
     (Cmd.info "placement" ~doc:"Score the §IV.A m-router placement rules.")
     Term.(const run $ gen_arg $ nodes_arg $ seed_arg $ load_arg $ group_size $ trials)
 
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let topo_conv =
+    Arg.conv
+      ( (fun s ->
+          match Exec.Sweep.topo_of_string s with
+          | Ok t -> Ok t
+          | Error msg -> Error (`Msg msg)),
+        fun fmt t -> Format.pp_print_string fmt (Exec.Sweep.topo_to_string t) )
+  in
+  let topos =
+    Arg.(
+      value
+      & opt_all topo_conv [ Exec.Sweep.Waxman 40 ]
+      & info [ "topo" ] ~docv:"TOPO"
+          ~doc:
+            "Topology cell: waxman:N, random3:N, random5:N or arpanet. \
+             Repeatable.")
+  in
+  let drivers =
+    let doc =
+      Printf.sprintf "Comma-separated protocols (%s) or all."
+        (String.concat ", " (Protocols.Driver.names ()))
+    in
+    Arg.(
+      value & opt (list string) [ "scmp" ]
+      & info [ "drivers"; "driver" ] ~docv:"NAMES" ~doc)
+  in
+  let trials =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"N" ~doc:"Trials per driver x topology.")
+  in
+  let packets =
+    Arg.(
+      value & opt int 12
+      & info [ "packets" ] ~docv:"N" ~doc:"Data packets per trial.")
+  in
+  let group_size =
+    Arg.(
+      value & opt int 8
+      & info [ "group-size"; "k" ] ~docv:"K"
+          ~doc:"Members sampled per trial.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Master seed of the campaign; every trial's topology, members \
+             and fault program derive from it.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the machine's recommended domain \
+             count). Any value yields a byte-identical report.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged campaign report (scmp-report/1, \
+             deterministic serialization without wall-clock metrics).")
+  in
+  let run topos drivers trials packets group_size seed jobs report =
+    let drivers =
+      if drivers = [ "all" ] then Protocols.Driver.names () else drivers
+    in
+    let spec =
+      Exec.Chaos.make ~packets ~group_size ~seed ~drivers ~topos ~trials ()
+    in
+    let o = or_die (Exec.Chaos.run ?jobs spec) in
+    Printf.printf "%-28s %-8s %9s %7s %6s %s\n" "trial" "status" "delivered"
+      "ratio" "faults" "program";
+    List.iter
+      (fun (tr : Exec.Chaos.trial_result) ->
+        let faults =
+          List.fold_left
+            (fun a (u : Exec.Chaos.fault_unit) -> a + List.length u.events)
+            0 tr.trial.program
+        in
+        match tr.status with
+        | Exec.Chaos.Passed r ->
+          Printf.printf "%-28s %-8s %9d %7.4f %6d %s\n"
+            (Exec.Chaos.trial_name tr.trial)
+            "ok" r.Protocols.Runner.deliveries r.delivery_ratio faults
+            (String.concat "; "
+               (List.map
+                  (fun (u : Exec.Chaos.fault_unit) -> u.label)
+                  tr.trial.program))
+        | Exec.Chaos.Tripped msg ->
+          Printf.printf "%-28s %-8s %9s %7s %6d %s\n"
+            (Exec.Chaos.trial_name tr.trial)
+            "TRIPPED" "-" "-" faults
+            (String.sub msg 0 (min 60 (String.length msg))))
+      o.results;
+    Printf.printf "\n%d trials on %d jobs in %.2f s: %d violation(s)\n"
+      (List.length o.results) o.jobs_used o.wall_s
+      (List.length o.violations);
+    if o.blackouts <> [] then
+      Printf.printf
+        "blackout over %d samples: p50 %.3f s, p95 %.3f s, max %.3f s\n"
+        (List.length o.blackouts)
+        (Scmp_util.Stats.percentile_l 50.0 o.blackouts)
+        (Scmp_util.Stats.percentile_l 95.0 o.blackouts)
+        (Scmp_util.Stats.percentile_l 100.0 o.blackouts);
+    List.iter
+      (fun (v : Exec.Chaos.violation) ->
+        Printf.printf "\n%s VIOLATED: %s\n  minimal schedule: %s\n  trips: %s\n"
+          (Exec.Chaos.trial_name v.v_trial)
+          v.message
+          (Exec.Chaos.program_to_string v.minimal)
+          v.minimal_message)
+      o.violations;
+    (match report with
+    | None -> ()
+    | Some path ->
+      or_die (Obs.Report.write ~wallclock:false ~pretty:true o.report ~path);
+      Printf.printf "report written to %s\n" path);
+    if o.violations <> [] then exit 3
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded chaos campaign: randomized fault programs with the \
+          invariant verifier on; exits 3 when a trial trips an invariant.")
+    Term.(
+      const run $ topos $ drivers $ trials $ packets $ group_size $ seed
+      $ jobs $ report)
+
 let () =
   let doc = "Service-centric multicast (SCMP) simulator" in
   let info = Cmd.info "scmp_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topo_cmd; tree_cmd; run_cmd; sweep_cmd; placement_cmd; trace_stats_cmd ]))
+          [
+            topo_cmd;
+            tree_cmd;
+            run_cmd;
+            sweep_cmd;
+            chaos_cmd;
+            placement_cmd;
+            trace_stats_cmd;
+          ]))

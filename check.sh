@@ -92,4 +92,28 @@ dune exec bin/scmp_sim.exe -- sweep --drivers scmp,cbt \
 cmp /tmp/sweep_j1.json /tmp/sweep_j2.json
 grep -q '"sweep/cells": 4' /tmp/sweep_j2.json
 
+# Split-brain smoke: partition the primary m-router away mid-session
+# on a scripted cut and heal it — invariants on (stale-epoch fencing
+# included), full delivery.
+echo "== partition smoke (scripted partition + heal, invariants on)"
+dune exec bin/scmp_sim.exe -- run --gen waxman --nodes 40 --seed 7 -p scmp \
+  --check --partition '3,5,9@5.0:heal@6.0' \
+  --report /tmp/partition_smoke.json > /dev/null
+grep -q '"faults/partition": 1' /tmp/partition_smoke.json
+grep -q '"faults/heal": 1' /tmp/partition_smoke.json
+ratio=$(grep -o '"delivery/ratio": [0-9.]*' /tmp/partition_smoke.json | grep -o '[0-9.]*$')
+awk "BEGIN { exit !($ratio >= 0.95) }"
+
+# Chaos smoke: a fixed-seed 20-trial campaign (randomized link flaps,
+# crashes, partitions, m-router kills, loss) must trip zero invariants,
+# and the campaign report must be byte-identical for jobs=1 and jobs=4.
+echo "== chaos smoke (seeded campaign, 0 violations, jobs determinism)"
+dune exec bin/scmp_sim.exe -- chaos --trials 20 --seed 1 --topo waxman:40 \
+  --drivers scmp --jobs 1 --report /tmp/chaos_j1.json > /dev/null
+dune exec bin/scmp_sim.exe -- chaos --trials 20 --seed 1 --topo waxman:40 \
+  --drivers scmp --jobs 4 --report /tmp/chaos_j4.json > /dev/null
+cmp /tmp/chaos_j1.json /tmp/chaos_j4.json
+grep -q '"chaos/trials": 20' /tmp/chaos_j1.json
+grep -q '"chaos/violations": 0' /tmp/chaos_j1.json
+
 echo "check.sh: all gates passed"

@@ -163,11 +163,13 @@ type entry_view = {
   upstream : int option;
   downstream : int list;
   member : bool;
+  epoch : int;
 }
 
 type snapshot = {
   group : int;
   mrouter : int;
+  auth_epoch : int;
   tree : tree_view option;
   limit : float;
   entries : entry_view list;
@@ -255,6 +257,23 @@ let check_coherence snap =
            (List.length down_edges) (List.length tree_edges)));
   List.rev !out
 
+(* ---- I7: stale-epoch entries (split-brain fencing) ---- *)
+
+(* At quiescence every observable entry must have been installed under
+   the reigning authority's epoch: a lower epoch means a deposed
+   regime's tree state survived the heal — exactly what fencing plus
+   the step-down resync are there to prevent. *)
+let check_epochs snap =
+  List.filter_map
+    (fun e ->
+      if e.epoch <> snap.auth_epoch then
+        Some
+          (v "stale-epoch"
+             "group %d: router %d entry carries epoch %d, authority is at %d"
+             snap.group e.router e.epoch snap.auth_epoch)
+      else None)
+    snap.entries
+
 (* ---- I6: a consistent tree only uses live links ---- *)
 
 let check_live_links snap =
@@ -317,6 +336,7 @@ let verify_snapshot snap =
     @ check_delay_bound view ~limit:snap.limit
     @ check_coherence snap
     @ check_live_links snap
+    @ check_epochs snap
 
 let verify_all ?delivery ?fabric snapshots =
   let vs =

@@ -42,12 +42,16 @@ type entry_view = {
   upstream : int option;
   downstream : int list;
   member : bool;
+  epoch : int;
+      (** Authority epoch the adjacency was installed under (1 before
+          any takeover). *)
 }
 (** One i-router's distributed SCMP forwarding entry. *)
 
 type snapshot = {
   group : int;
   mrouter : int;
+  auth_epoch : int;  (** the reigning authority's epoch *)
   tree : tree_view option;  (** [None] when the m-router holds no tree *)
   limit : float;  (** absolute delay bound; [infinity] if unconstrained *)
   entries : entry_view list;
@@ -104,10 +108,17 @@ val check_live_links : snapshot -> violation list
     satisfies this; a violation means the m-router distributed (or
     kept) a tree through a failed element. *)
 
+val check_epochs : snapshot -> violation list
+(** I7 — no stale-epoch entries: every observable entry was installed
+    under the reigning authority's epoch ([auth_epoch]). A violation
+    means a deposed m-router's tree state survived a partition heal —
+    the split-brain outcome epoch fencing plus the step-down resync
+    exist to prevent. *)
+
 (** {2 Aggregation} *)
 
 val verify_snapshot : snapshot -> violation list
-(** I1 + I2 + I3 + I6 on one group. *)
+(** I1 + I2 + I3 + I6 + I7 on one group. *)
 
 val verify_all :
   ?delivery:delivery_counters ->

@@ -192,6 +192,7 @@ let rule_failwith = "failwith-hot-path"
 let rule_mli = "mli-coverage"
 let rule_dune_flags = "dune-strict-flags"
 let rule_raw_transmit = "raw-transmit"
+let rule_raw_fault = "raw-fault"
 let rule_domain_safety = "domain-safety"
 let rule_hashtbl_iter_order = "hashtbl-iter-order"
 let rule_wallclock = "wallclock-outside-obs"
@@ -277,6 +278,27 @@ let ast_raw_transmit =
       Printf.sprintf
         "raw %s outside the protocol layer bypasses the reliable control \
          transport and drop accounting; go through a protocol agent"
+        p)
+
+(* The topology-mutation primitives: scripted failures go through
+   Eventsim.Faults (a schedule the chaos engine can replay and shrink);
+   calling the primitives directly skips the schedule's counters and
+   its foreground-event liveness guarantee. Both spellings, as with
+   raw_transmit_targets. *)
+let raw_fault_targets =
+  List.concat_map
+    (fun f -> [ "Netsim." ^ f; "Eventsim.Netsim." ^ f ])
+    [
+      "fail_link"; "fail_links"; "fail_node";
+      "restore_link"; "restore_links"; "restore_node";
+    ]
+
+let ast_raw_fault =
+  ast_ident_rule raw_fault_targets (fun p ->
+      Printf.sprintf
+        "raw %s outside lib/eventsim bypasses the fault schedule; script \
+         failures through Eventsim.Faults so counters, replay and \
+         shrinking see them"
         p)
 
 let domain_safety_prefixes = [ "Atomic."; "Mutex."; "Condition." ]
@@ -606,6 +628,19 @@ let line_raw_transmit ctx =
                  pat))
         raw_transmit_targets)
 
+let line_raw_fault ctx =
+  iter_code_lines ctx (fun line code ->
+      List.iter
+        (fun pat ->
+          if contains_token code pat then
+            ctx.Rule.emit ~line
+              (Printf.sprintf
+                 "raw %s outside lib/eventsim bypasses the fault schedule; \
+                  script failures through Eventsim.Faults so counters, \
+                  replay and shrinking see them"
+                 pat))
+        raw_fault_targets)
+
 (* Same-line heuristic for top-level mutable bindings, kept only for
    sources the parser rejects. *)
 let toplevel_mutable_binding code_line =
@@ -708,6 +743,12 @@ let registry : Rule.t list =
       ~doc:"no raw Netsim.transmit outside the protocol layer"
       ~scope:(fun p -> not (in_protocols p || in_eventsim p))
       ~ast:ast_raw_transmit ~lines:line_raw_transmit ();
+    Rule.make ~id:rule_raw_fault ~severity:Error
+      ~doc:
+        "no raw Netsim fault/restore primitives outside lib/eventsim; \
+         script failures through Eventsim.Faults"
+      ~scope:(fun p -> not (in_eventsim p))
+      ~ast:ast_raw_fault ~lines:line_raw_fault ();
     Rule.make ~id:rule_domain_safety ~severity:Error
       ~doc:
         "concurrency primitives stay in lib/exec; no shared top-level \
@@ -1090,3 +1131,4 @@ let diff_baseline (b : baseline) findings =
           false
         | _ -> true))
     findings
+

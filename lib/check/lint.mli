@@ -57,6 +57,7 @@ val rule_failwith : string
 val rule_mli : string
 val rule_dune_flags : string
 val rule_raw_transmit : string
+val rule_raw_fault : string
 val rule_domain_safety : string
 val rule_hashtbl_iter_order : string
 val rule_wallclock : string

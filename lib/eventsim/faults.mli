@@ -17,6 +17,16 @@ type event =
   | Link_up of Netgraph.Graph.node * Netgraph.Graph.node
   | Node_down of Netgraph.Graph.node
   | Node_up of Netgraph.Graph.node
+  | Partition of Netgraph.Graph.node list
+      (** Atomically fail the cut-set of the bipartition ([side] vs the
+          rest): every base-graph link with exactly one endpoint in the
+          list dies in a single {!Netsim.fail_links} batch — in-flight
+          packets across the cut are killed and
+          {!Netsim.on_topology_change} fires once for the whole cut. *)
+  | Heal of Netgraph.Graph.node list
+      (** Atomically restore the same cut-set (one
+          {!Netsim.restore_links} batch, one reconvergence). Links of
+          the cut that failed independently are revived too. *)
 
 type spec = { at : float; event : event }
 
@@ -47,6 +57,21 @@ val random_link_failures :
     [seed]. [count] is clamped to the number of links.
     @raise Invalid_argument if [t1 < t0] or [count < 0]. *)
 
+val random_partitions :
+  seed:int ->
+  count:int ->
+  t0:float ->
+  t1:float ->
+  ?heal_after:float ->
+  Netgraph.Graph.t ->
+  spec list
+(** [count] random bipartitions, each isolating a uniformly drawn side
+    of 1..n/2 nodes at a uniform instant in [\[t0, t1)]; with
+    [~heal_after:d] every partition is paired with the matching heal
+    [d] later. Deterministic in [seed].
+    @raise Invalid_argument if [t1 < t0], [count < 0] or the graph has
+    fewer than two nodes. *)
+
 val parse_link_failure : string -> (spec list, string) result
 (** Parse the CLI syntax [A-B\@TIME] or [A-B\@TIME:restore\@TIME'] into
     one or two events. *)
@@ -54,8 +79,12 @@ val parse_link_failure : string -> (spec list, string) result
 val parse_node_failure : string -> (spec list, string) result
 (** Parse [NODE\@TIME] or [NODE\@TIME:restore\@TIME']. *)
 
+val parse_partition : string -> (spec list, string) result
+(** Parse [A,B,C\@TIME] or [A,B,C\@TIME:heal\@TIME'] into a partition
+    event (side = the listed nodes) and optionally its heal. *)
+
 val event_to_string : event -> string
 
 val observe : t -> Obs.Metrics.t -> unit
 (** Publish [faults/link_down], [faults/link_up], [faults/node_down],
-    [faults/node_up]. Idempotent. *)
+    [faults/node_up], [faults/partition], [faults/heal]. Idempotent. *)

@@ -231,6 +231,43 @@ let restore_link t a b =
     reconverge t
   end
 
+(* Batch link faults: used by partition events, where the whole cut-set
+   must flip in one atomic step — route invalidation runs per edge, but
+   the epoch bump and the topology-change hooks fire once for the whole
+   batch, so protocol agents see one reconvergence per cut instead of
+   one per severed link. *)
+let fail_links t pairs =
+  let edges =
+    List.map (fun (a, b) -> edge_of t a b "Netsim.fail_links: no such link") pairs
+  in
+  let effective = ref false in
+  List.iter
+    (fun e ->
+      if not (bit_get t.dead_edge e) then begin
+        bit_set t.dead_edge e;
+        t.link_fails.(e) <- t.link_fails.(e) + 1;
+        Routes.note_edge_down t.routes e;
+        effective := true
+      end)
+    edges;
+  if !effective then reconverge t
+
+let restore_links t pairs =
+  let edges =
+    List.map (fun (a, b) -> edge_of t a b "Netsim.restore_links: no such link")
+      pairs
+  in
+  let effective = ref false in
+  List.iter
+    (fun e ->
+      if bit_get t.dead_edge e then begin
+        bit_clear t.dead_edge e;
+        if edge_alive t e then Routes.note_edge_up t.routes e;
+        effective := true
+      end)
+    edges;
+  if !effective then reconverge t
+
 (* A node fault is, for routing purposes, the fault of its incident
    edges: cached SPTs reach (or leave) x only across those, so applying
    the edge rule to each is exact. Edges already severed (dead link or

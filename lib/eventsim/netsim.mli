@@ -178,6 +178,21 @@ val fail_link : 'm t -> node -> node -> unit
 val restore_link : 'm t -> node -> node -> unit
 (** @raise Invalid_argument if the base graph has no such link. *)
 
+val fail_links : 'm t -> (node * node) list -> unit
+(** Fail a whole set of links {e atomically}: every effective change
+    invalidates its routing entries, but {!routes_epoch} bumps and
+    {!on_topology_change} hooks fire at most {e once} for the batch —
+    this is how a partition severs its cut-set without triggering one
+    repair per link. Links already dead are skipped; a batch with no
+    effective change fires nothing.
+    @raise Invalid_argument if any pair is not a base-graph link (no
+    partial application: the whole batch is validated first). *)
+
+val restore_links : 'm t -> (node * node) list -> unit
+(** Atomic counterpart of {!fail_links} for healing: one reconvergence
+    for the whole batch of revived links.
+    @raise Invalid_argument if any pair is not a base-graph link. *)
+
 val fail_node : 'm t -> node -> unit
 (** A dead node drops everything addressed to, from, or through it; all
     incident links are effectively dead.

@@ -132,6 +132,7 @@ let handle_message t x ~from msg =
   | Message.Scmp_tree _
   | Message.Scmp_branch _ | Message.Scmp_prune _ | Message.Scmp_invalidate _ | Message.Scmp_replicate _
   | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _
+  | Message.Scmp_announce _ | Message.Scmp_resync _
   | Message.Pim_join _ | Message.Pim_prune _
   | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
     ()

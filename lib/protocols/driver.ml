@@ -14,6 +14,7 @@ type instance = {
   snapshots : unit -> Check.Invariant.snapshot list;
   verify : unit -> (unit, string) result;
   observe : Obs.Metrics.t -> unit;
+  blackouts : unit -> float list;
   teardown : unit -> unit;
 }
 
@@ -39,6 +40,7 @@ let plain ~join ~leave ~send =
     snapshots = (fun () -> []);
     verify = (fun () -> Ok ());
     observe = (fun _ -> ());
+    blackouts = (fun () -> []);
     teardown = (fun () -> ());
   }
 
@@ -60,6 +62,7 @@ module Scmp_driver = struct
       snapshots = (fun () -> Scmp_proto.snapshots p);
       verify = (fun () -> Scmp_proto.verify p);
       observe = (fun m -> Scmp_proto.observe p m);
+      blackouts = (fun () -> Scmp_proto.blackouts p);
       teardown = (fun () -> ());
     }
 end

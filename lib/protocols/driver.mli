@@ -33,6 +33,10 @@ type instance = {
   observe : Obs.Metrics.t -> unit;
       (** Publish protocol-level metrics (e.g. SCMP's TREE/BRANCH
           counts and tree-compute cost). Idempotent. *)
+  blackouts : unit -> float list;
+      (** Completed per-group blackout samples (sim seconds from a
+          fault to the first post-repair delivery), oldest first; only
+          SCMP measures these, baselines return []. *)
   teardown : unit -> unit;
       (** Release per-run resources. Built-in drivers need none; the
           hook exists so external drivers can own some. *)

@@ -105,7 +105,8 @@ let handle_message t x ~from msg =
   | Message.Scmp_graft _ | Message.Scmp_req_ack _ | Message.Scmp_reliable _
   | Message.Scmp_ack _ | Message.Scmp_tree _ | Message.Scmp_branch _ | Message.Scmp_prune _
   | Message.Scmp_invalidate _ | Message.Scmp_replicate _
-  | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _ | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _
+  | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _
+  | Message.Scmp_announce _ | Message.Scmp_resync _ | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _
   | Message.Cbt_quit _ | Message.Mospf_lsa _ ->
     ()
 

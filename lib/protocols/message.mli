@@ -29,16 +29,20 @@ type t =
   | Scmp_graft of { group : group; dr : node; seq : int }
       (** DR -> m-router after a tree-link failure severed its
           upstream: please re-attach me to the tree. *)
-  | Scmp_req_ack of { group : group; dr : node; kind : req_kind; seq : int }
+  | Scmp_req_ack of
+      { group : group; dr : node; kind : req_kind; seq : int; epoch : int }
       (** M-router -> DR: your request [seq] was processed. For a JOIN
         the BRANCH/TREE distribution usually completes the request
         first; the explicit ack covers DRs that were already on the
-        tree (no new branch to distribute). *)
-  | Scmp_tree of { group : group; packet : Tree_packet.t }
-  | Scmp_branch of { group : group; path : node list }
+        tree (no new branch to distribute). [epoch] tells the DR which
+        authority answered (split-brain fencing). *)
+  | Scmp_tree of { group : group; epoch : int; packet : Tree_packet.t }
+      (** [epoch] is the emitting authority's epoch: receivers fence
+          frames older than the highest epoch they have accepted. *)
+  | Scmp_branch of { group : group; epoch : int; path : node list }
       (** Remaining path, current hop first (§III.E). *)
-  | Scmp_prune of { group : group; from : node }
-  | Scmp_invalidate of { group : group; token : int }
+  | Scmp_prune of { group : group; from : node; epoch : int }
+  | Scmp_invalidate of { group : group; token : int; epoch : int }
       (** Unicast from the m-router to a router that loop-elimination
           re-parenting removed from the tree: drop your routing entry.
           Acknowledged end-to-end with {!Scmp_ack} carrying [token].
@@ -50,12 +54,36 @@ type t =
           the sender retransmits with exponential backoff until acked
           or out of attempts. Duplicates are detected by token. *)
   | Scmp_ack of { token : int }
-  | Scmp_replicate of { group : group; dr : node; joined : bool }
+  | Scmp_replicate of { group : group; dr : node; joined : bool; epoch : int }
       (** Primary -> standby m-router: membership replication for the
-          hot-standby of the paper's concluding remarks. *)
-  | Scmp_heartbeat of { from : node; seq : int }
-      (** Standby -> primary liveness probe. *)
-  | Scmp_heartbeat_ack of { seq : int }
+          hot-standby of the paper's concluding remarks. A standby that
+          took over fences replicates from a stale-epoch primary. *)
+  | Scmp_heartbeat of { from : node; seq : int; epoch : int }
+      (** Standby -> primary liveness probe (carrying the probing
+          standby's highest known epoch). *)
+  | Scmp_heartbeat_ack of { seq : int; epoch : int }
+  | Scmp_announce of { auth : node; epoch : int }
+      (** New-authority announcement after a takeover: [auth] claims the
+          m-router role at [epoch]. A stale active m-router receiving a
+          higher epoch steps down and resyncs; every other router
+          re-targets its requests. *)
+  | Scmp_resync of
+      { group : group;
+        token : int;
+        members : node list;
+        left : node list;
+        seen : (node * int) list;
+        relays : node list;
+        epoch : int }
+      (** Stepped-down primary -> new authority: the group roster it
+          accumulated ([members], join order), the DRs it saw leave
+          ([left]), its per-DR duplicate-suppression watermarks
+          ([seen], so the merge is ordered by request sequence numbers
+          rather than by arrival), and the nodes of its now-defunct
+          tree ([relays]) so the new authority can invalidate the
+          stale relays the merged tree does not use. Acknowledged
+          end-to-end with {!Scmp_ack} carrying [token]. [epoch] is the
+          regime the old primary just adopted. *)
   (* ---- PIM-SM (extension baseline) ---- *)
   | Pim_join of { group : group; src : node option; from : node }
       (** Hop-by-hop join: [src = None] toward the RP (star-G),

@@ -1,3 +1,10 @@
+type churn = {
+  mean_interarrival : float;
+  mean_holding : float;
+  horizon : float;
+  churn_seed : int;
+}
+
 type scenario = {
   spec : Topology.Spec.t;
   center : Message.node;
@@ -18,6 +25,7 @@ type scenario = {
   loss : (float * int) option;
   loss_class : Eventsim.Netsim.pkt_class option;
   faults : Eventsim.Faults.spec list;
+  churn : churn option;
 }
 
 let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
@@ -25,7 +33,7 @@ let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
     ?(scmp_bound = Mtree.Bound.Tightest)
     ?(scmp_distribution = Scmp_proto.Incremental) ?(delay_scale = 3e-6)
     ?(leavers = []) ?trace_path ?trace_limit ?loss ?loss_class ?(faults = [])
-    ~spec ~center ~source ~members () =
+    ?churn ~spec ~center ~source ~members () =
   let last_join =
     join_start +. (join_spacing *. float_of_int (List.length members))
   in
@@ -52,6 +60,7 @@ let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
     loss;
     loss_class;
     faults;
+    churn;
   }
 
 type result = {
@@ -71,6 +80,7 @@ type result = {
   routes_epochs : int;
   spt_computed : int;
   spt_invalidated : int;
+  blackouts : float list;
 }
 
 (* Report wiring: metadata before the run, phase boundaries during it,
@@ -87,10 +97,15 @@ let report_meta r driver s =
   Obs.Report.set_meta r "leavers" (Obs.Json.Int (List.length s.leavers))
 
 let report_finish r s ~engine ~net ~delivery ~trace ~(inst : Driver.instance)
-    ~faults ~expected ~join_wall ~run_wall ~setup_wall =
+    ~faults ~churn ~expected ~join_wall ~run_wall ~setup_wall =
   let m = Obs.Report.metrics r in
   let gauge ?wallclock name v = Obs.Metrics.set (Obs.Metrics.gauge ?wallclock m name) v in
   let count name v = Obs.Metrics.set_counter (Obs.Metrics.counter m name) v in
+  Option.iter
+    (fun c ->
+      count "churn/joins" (Churn.joins c);
+      count "churn/leaves" (Churn.leaves c))
+    churn;
   gauge ~wallclock:true "phase/setup/wall_s" setup_wall;
   gauge ~wallclock:true "phase/join/wall_s" join_wall;
   gauge ~wallclock:true "phase/data/wall_s" (run_wall -. join_wall);
@@ -143,11 +158,11 @@ let run ?(check = false) ?report driver s =
     | [] -> None
     | specs -> Some (Eventsim.Faults.install net specs)
   in
-  (* Loss and faults make exact packet conservation (and the pre-data
-     tree checkpoint, which a scheduled fault may precede) meaningless;
-     the quiescent structural invariants and the driver's own verify
-     still must hold. *)
-  let perturbed = s.loss <> None || s.faults <> [] in
+  (* Loss, faults and churn make exact packet conservation (and the
+     pre-data tree checkpoint, which a scheduled fault or churn arrival
+     may precede) meaningless; the quiescent structural invariants and
+     the driver's own verify still must hold. *)
+  let perturbed = s.loss <> None || s.faults <> [] || s.churn <> None in
   let delivery = Delivery.create engine in
   let trace =
     Option.map
@@ -171,21 +186,49 @@ let run ?(check = false) ?report driver s =
   let setup_wall = Obs.Clock.now_s () -. wall0 in
   let run0 = Obs.Clock.now_s () in
   let join_wall = ref 0.0 in
-  (* Membership: staggered joins, optional departures. *)
+  (* Membership: staggered joins, optional departures, optional seeded
+     churn. The [live] table mirrors every join/leave as it happens —
+     the in-run ground truth the churn path's expected sets are built
+     from (the static path reconstructs them from the scenario instead,
+     keeping pre-churn reports byte-identical). *)
+  let live : (Message.node, unit) Hashtbl.t = Hashtbl.create 16 in
+  let do_join m =
+    Hashtbl.replace live m ();
+    inst.Driver.join ~group m
+  in
+  let do_leave m =
+    Hashtbl.remove live m;
+    inst.Driver.leave ~group m
+  in
   List.iteri
     (fun i m ->
       let at = s.join_start +. (s.join_spacing *. float_of_int i) in
-      Eventsim.Engine.schedule_at engine ~time:at (fun () ->
-          inst.Driver.join ~group m))
+      Eventsim.Engine.schedule_at engine ~time:at (fun () -> do_join m))
     s.members;
   List.iter
     (fun (at, m) ->
-      Eventsim.Engine.schedule_at engine ~time:at (fun () ->
-          inst.Driver.leave ~group m))
+      Eventsim.Engine.schedule_at engine ~time:at (fun () -> do_leave m))
     s.leavers;
+  let churn_state =
+    match s.churn with
+    | None -> None
+    | Some c ->
+      let n = Netgraph.Graph.node_count g in
+      let fixed = s.center :: s.source :: s.members in
+      let candidates =
+        List.init n Fun.id |> List.filter (fun x -> not (List.mem x fixed))
+      in
+      Some
+        (Churn.start engine
+           ~rng:(Scmp_util.Prng.create c.churn_seed)
+           ~candidates ~join:do_join ~leave:do_leave
+           ~mean_interarrival:c.mean_interarrival ~mean_holding:c.mean_holding
+           ~horizon:c.horizon)
+  in
   (* Who is expected to receive packet [seq] sent at time [t]: members
      that have joined (all joins precede data_start) and not yet left,
-     the source excluded (its subnet gets the packet locally). *)
+     the source excluded (its subnet gets the packet locally). Under
+     churn the set is read off [live] at the send instant instead. *)
   let expected_at t =
     List.filter
       (fun m ->
@@ -193,6 +236,11 @@ let run ?(check = false) ?report driver s =
         && not (List.exists (fun (lt, lm) -> lm = m && lt <= t) s.leavers))
       s.members
   in
+  let expected_now () =
+    Hashtbl.fold (fun m () acc -> if m = s.source then acc else m :: acc) live []
+    |> List.sort Int.compare
+  in
+  let expected_acc = ref 0 in
   (* Join/data phase boundary. Scheduled before the checkpoint and data
      events at the same instant, so the equal-key FIFO order of the
      engine records the boundary first. *)
@@ -208,7 +256,13 @@ let run ?(check = false) ?report driver s =
   for seq = 0 to s.data_count - 1 do
     let at = s.data_start +. (s.data_interval *. float_of_int seq) in
     Eventsim.Engine.schedule_at engine ~time:at (fun () ->
-        Delivery.expect delivery ~seq ~members:(expected_at at) ~sent_at:at;
+        let members =
+          match s.churn with
+          | None -> expected_at at
+          | Some _ -> expected_now ()
+        in
+        expected_acc := !expected_acc + List.length members;
+        Delivery.expect delivery ~seq ~members ~sent_at:at;
         inst.Driver.send ~group ~src:s.source ~seq)
   done;
   (* Sim-time series for the report, sampled at the data cadence.
@@ -229,14 +283,7 @@ let run ?(check = false) ?report driver s =
     done;
   Eventsim.Engine.run engine;
   let run_wall = Obs.Clock.now_s () -. run0 in
-  let expected =
-    let n = ref 0 in
-    for seq = 0 to s.data_count - 1 do
-      let at = s.data_start +. (s.data_interval *. float_of_int seq) in
-      n := !n + List.length (expected_at at)
-    done;
-    !n
-  in
+  let expected = !expected_acc in
   (* Final checkpoint on the quiesced network: distributed state still
      coheres after every leave/PRUNE cascade, and packet conservation
      holds over the whole run — the latter only on an unperturbed
@@ -278,9 +325,10 @@ let run ?(check = false) ?report driver s =
            + Eventsim.Netsim.control_transmissions net));
       Obs.Report.add_series r cumulative;
       Obs.Report.add_series r transmissions;
-      report_finish r s ~engine ~net ~delivery ~trace ~inst ~faults ~expected
-        ~join_wall:!join_wall ~run_wall ~setup_wall)
+      report_finish r s ~engine ~net ~delivery ~trace ~inst ~faults
+        ~churn:churn_state ~expected ~join_wall:!join_wall ~run_wall ~setup_wall)
     report;
+  let blackouts = inst.Driver.blackouts () in
   inst.Driver.teardown ();
   {
     data_overhead = Eventsim.Netsim.data_overhead net;
@@ -301,6 +349,7 @@ let run ?(check = false) ?report driver s =
     routes_epochs = Eventsim.Netsim.routes_epoch net;
     spt_computed = Eventsim.Routes.computed (Eventsim.Netsim.routes net);
     spt_invalidated = Eventsim.Routes.invalidated (Eventsim.Netsim.routes net);
+    blackouts;
   }
 
 let run_name ?check ?report name s =

@@ -18,6 +18,16 @@
     registered driver runs here, including ones registered by client
     code. *)
 
+type churn = {
+  mean_interarrival : float;  (** mean seconds between churn arrivals *)
+  mean_holding : float;  (** mean membership holding time, seconds *)
+  horizon : float;  (** last sim instant a churn arrival may occur *)
+  churn_seed : int;  (** seed of the churn process's private stream *)
+}
+(** Seeded Poisson join/leave churn ({!Churn}) riding alongside the
+    scripted membership: arrivals draw from the routers that are not
+    the center, the source or a scripted member. *)
+
 type scenario = {
   spec : Topology.Spec.t;
   center : Message.node;  (** m-router (SCMP) / core (CBT) / RP (PIM-SM); unused by the SPT protocols. *)
@@ -54,6 +64,10 @@ type scenario = {
   faults : Eventsim.Faults.spec list;
       (** Scheduled link/node failures and restores, installed before
           the run ({!Eventsim.Faults.install}). *)
+  churn : churn option;
+      (** Seeded background churn; a churn run counts as perturbed
+          (expected sets are accumulated in-run from the live
+          membership, packet conservation is not enforced). *)
 }
 
 val make :
@@ -72,6 +86,7 @@ val make :
   ?loss:float * int ->
   ?loss_class:Eventsim.Netsim.pkt_class ->
   ?faults:Eventsim.Faults.spec list ->
+  ?churn:churn ->
   spec:Topology.Spec.t ->
   center:Message.node ->
   source:Message.node ->
@@ -112,6 +127,10 @@ type result = {
           recompute-everything cost it replaces. *)
   spt_invalidated : int;
       (** Cached SPTs dropped by incremental fault invalidation. *)
+  blackouts : float list;
+      (** Completed per-group blackout samples (sim seconds from a
+          fault to the first post-repair delivery), oldest first;
+          empty for drivers that do not measure availability. *)
 }
 
 val run : ?check:bool -> ?report:Obs.Report.t -> Driver.t -> scenario -> result

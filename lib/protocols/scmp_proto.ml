@@ -8,6 +8,23 @@ type entry = {
   mutable upstream : node option;
   mutable downstream : node list;
   mutable member : bool;
+  mutable ep : int;  (* authority epoch the adjacency was installed under *)
+}
+
+(* One m-router authority: the primary, or the standby once it took
+   over. During a partition both can be active at once — the genuine
+   split-brain — so each keeps its own DCDM state, membership roster
+   and duplicate-suppression watermarks; the epoch number decides whose
+   regime survives the heal. *)
+type authority = {
+  an : node;
+  mutable a_active : bool;
+  mutable a_epoch : int;
+  mutable a_failed : bool;  (* protocol-level crash: deaf and excised *)
+  a_dcdm : (Message.group, Mtree.Dcdm.t) Hashtbl.t;
+  a_members : (Message.group, node list ref) Hashtbl.t;
+  a_seen : (Message.group * node, int) Hashtbl.t;
+      (* duplicate suppression: highest request seq per (group, dr) *)
 }
 
 (* Hot-standby state (paper's concluding remark 4): the secondary
@@ -15,6 +32,7 @@ type entry = {
    and probes it with heartbeats; when acks stop it takes over. *)
 type standby = {
   sb_node : node;
+  sb_auth : authority;
   heartbeat_interval : float;
   takeover_after : float;  (* silence that triggers takeover *)
   (* Mirrored membership, in original join order per group. *)
@@ -38,8 +56,8 @@ type request = {
 
 (* One reliable frame in flight: hop-by-hop TREE/BRANCH/PRUNE framing
    ([rel_routed = false]; the neighbour acks the token back over the
-   link) or a routed end-to-end INVALIDATE ([rel_routed = true]; the
-   target acks over unicast). *)
+   link) or a routed end-to-end INVALIDATE/RESYNC ([rel_routed = true];
+   the target acks over unicast). *)
 type rel = {
   rel_src : node;
   rel_dst : node;
@@ -51,8 +69,10 @@ type rel = {
 type t = {
   net : Message.t N.t;
   primary : node;
-  mutable active : node;  (* the m-router currently in charge *)
-  mutable primary_failed : bool;
+  primary_auth : authority;
+  mutable active : node;
+      (* node of the highest-epoch active authority — the m-router the
+         *global* observer considers in charge *)
   standby : standby option;
   mutable apsp : Netgraph.Apsp.t;  (* recomputed on takeover and topology change *)
   bound : Mtree.Bound.t;
@@ -61,7 +81,12 @@ type t = {
       (* control-plane processing station + per-request service time *)
   rto : float;  (* base retransmission timeout (doubles per attempt) *)
   max_attempts : int;
-  dcdm : (Message.group, Mtree.Dcdm.t) Hashtbl.t;  (* active m-router state *)
+  (* Split-brain fencing: the highest epoch each router has adopted and
+     the authority it consequently addresses. [epoch_owner] maps an
+     epoch to the authority that claimed it (filled at takeover). *)
+  node_epoch : int array;
+  view : node array;
+  epoch_owner : (int, node) Hashtbl.t;
   entries : (node * Message.group, entry) Hashtbl.t;
   pending_iface : (node * Message.group, unit) Hashtbl.t;
   (* Reliable control transport. *)
@@ -69,16 +94,18 @@ type t = {
   requests : (node * Message.group, request) Hashtbl.t;
       (* latest outstanding request per (dr, group); a new request
          supersedes the old one *)
-  ctl_seen : (Message.group * node, int) Hashtbl.t;
-      (* m-router duplicate suppression: highest seq processed per
-         (group, dr) *)
   mutable tokens : int;  (* reliable-frame token allocator *)
   rel_pending : (int, rel) Hashtbl.t;  (* unacked frames by token *)
   rel_seen : (int, unit) Hashtbl.t;  (* receiver-side duplicate filter *)
-  (* Authoritative membership roster at the active m-router (join
-     order), the basis for post-failure tree rebuilds. *)
-  members : (Message.group, node list ref) Hashtbl.t;
+  mutable dead_letters : (Message.group * node) list;
+      (* invalidations abandoned while their target was unreachable;
+         retried by the active authority once connectivity returns, so
+         a long partition cannot strand a stale entry past its heal *)
   delivery : Delivery.t option;
+  (* Blackout tracking: groups dark since a fault, cleared by the first
+     delivery that reaches a member again. *)
+  dark : (Message.group, float) Hashtbl.t;
+  mutable blackouts : float list;  (* newest first, sim seconds *)
   (* observability: m-router distribution and compute cost (§III.E and
      the related-work motivation for tracking centralized tree
      computation) *)
@@ -93,6 +120,10 @@ type t = {
   mutable repairs : int;          (* post-failure tree rebuilds *)
   mutable repair_unconverged : int;
   mutable repair_latencies : float list;  (* newest first, sim seconds *)
+  (* split-brain accounting *)
+  mutable fenced : int;     (* stale-epoch frames dropped *)
+  mutable stepdowns : int;  (* authorities deposed by a higher epoch *)
+  mutable resyncs : int;    (* per-group resyncs sent on step-down *)
 }
 
 type stats = {
@@ -104,7 +135,34 @@ type stats = {
   retransmissions : int;
   giveups : int;
   repairs : int;
+  epoch : int;
+  fenced : int;
+  stepdowns : int;
+  resyncs : int;
 }
+
+(* ---- authority bookkeeping ---- *)
+
+let auth_at t x =
+  if x = t.primary then Some t.primary_auth
+  else
+    match t.standby with
+    | Some sb when sb.sb_node = x -> Some sb.sb_auth
+    | Some _ | None -> None
+
+let authorities t =
+  t.primary_auth
+  :: (match t.standby with Some sb -> [ sb.sb_auth ] | None -> [])
+
+let is_active_root t x =
+  match auth_at t x with Some a -> a.a_active | None -> false
+
+(* [t.active] always names an authority node, so the fallback arm is
+   unreachable; it keeps the function total. *)
+let active_auth t =
+  match auth_at t t.active with Some a -> a | None -> t.primary_auth
+
+let active_epoch t = (active_auth t).a_epoch
 
 let stats t =
   {
@@ -116,6 +174,10 @@ let stats t =
     retransmissions = t.retransmissions;
     giveups = t.giveups;
     repairs = t.repairs;
+    epoch = active_epoch t;
+    fenced = t.fenced;
+    stepdowns = t.stepdowns;
+    resyncs = t.resyncs;
   }
 
 (* Every DCDM operation at the m-router passes through here, so the
@@ -139,43 +201,78 @@ let observe t m =
   set_c "scmp/repair/unconverged" t.repair_unconverged;
   let h = Obs.Metrics.histogram m "scmp/repair/latency_s" in
   List.iter (Obs.Metrics.observe h) (List.rev t.repair_latencies);
+  (* The fencing metrics appear only once an epoch bump or a fenced
+     frame actually happened, so fault-free reports are byte-identical
+     to the pre-epoch format. *)
+  if active_epoch t > 1 then set_c "scmp/epoch" (active_epoch t);
+  if t.fenced > 0 then set_c "scmp/fenced" t.fenced;
+  if t.stepdowns > 0 then set_c "scmp/stepdowns" t.stepdowns;
+  if t.resyncs > 0 then set_c "scmp/resyncs" t.resyncs;
+  if t.blackouts <> [] then begin
+    let b = Obs.Metrics.histogram m "scmp/blackout_s" in
+    List.iter (Obs.Metrics.observe b) (List.rev t.blackouts)
+  end;
   Obs.Metrics.set
     (Obs.Metrics.gauge ~wallclock:true m "scmp/tree_compute_wall_s")
     t.tree_compute_s
 
 let mrouter t = t.active
 let active_mrouter t = t.active
-let standby_took_over t = t.active <> t.primary
+
+let standby_took_over t =
+  match t.standby with Some sb -> sb.sb_auth.a_active | None -> false
+
+let epoch = active_epoch
+let blackouts t = List.rev t.blackouts
+
+let active_authorities t =
+  List.filter_map
+    (fun a -> if a.a_active then Some (a.an, a.a_epoch) else None)
+    (authorities t)
+
+(* ---- routing entries ---- *)
 
 let entry_opt t x group = Hashtbl.find_opt t.entries (x, group)
 
-let get_or_create_entry t x group =
+let get_or_create_entry t x group ~ep =
   match entry_opt t x group with
   | Some e -> e
   | None ->
     let member = Hashtbl.mem t.pending_iface (x, group) in
     Hashtbl.remove t.pending_iface (x, group);
-    let e = { upstream = None; downstream = []; member } in
+    let e = { upstream = None; downstream = []; member; ep } in
     Hashtbl.replace t.entries (x, group) e;
     e
 
+(* First frame of a newer regime at a router: the old regime's
+   adjacencies are void (the new authority rebuilt the tree from
+   scratch), but the member flag persists — host membership is IGMP
+   ground truth, not authority state. *)
+let entry_for_epoch t x group epoch =
+  let e = get_or_create_entry t x group ~ep:epoch in
+  if epoch > e.ep then begin
+    e.upstream <- None;
+    e.downstream <- [];
+    e.ep <- epoch
+  end;
+  e
+
+let authority_entry t a group = entry_for_epoch t a.an group a.a_epoch
+
 let drop_entry t x group = Hashtbl.remove t.entries (x, group)
 
-let group_state t group =
-  match Hashtbl.find_opt t.dcdm group with
-  | Some d -> d
-  | None ->
-    let d =
-      timed_compute t (fun () ->
-          Mtree.Dcdm.create t.apsp ~root:t.active ~bound:t.bound ())
-    in
-    Hashtbl.replace t.dcdm group d;
-    (* The root's own routing entry exists from group creation on. *)
-    ignore (get_or_create_entry t t.active group);
-    d
+(* ---- blackout bookkeeping ---- *)
+
+let darken t group ~at =
+  if not (Hashtbl.mem t.dark group) then Hashtbl.replace t.dark group at
 
 let record_delivery t group x seq =
-  ignore group;
+  (match Hashtbl.find_opt t.dark group with
+  | Some fault_at ->
+    Hashtbl.remove t.dark group;
+    t.blackouts <-
+      (Eventsim.Engine.now (N.engine t.net) -. fault_at) :: t.blackouts
+  | None -> ());
   match t.delivery with
   | Some d -> Delivery.record d ~seq ~at_router:x
   | None -> ()
@@ -213,7 +310,11 @@ let rec arm_rel t token r =
       if Hashtbl.mem t.rel_pending token then begin
         if r.rel_attempts >= t.max_attempts then begin
           Hashtbl.remove t.rel_pending token;
-          t.giveups <- t.giveups + 1
+          t.giveups <- t.giveups + 1;
+          match r.rel_msg with
+          | Message.Scmp_invalidate { group; _ } when r.rel_routed ->
+            t.dead_letters <- (group, r.rel_dst) :: t.dead_letters
+          | _ -> ()
         end
         else begin
           r.rel_attempts <- r.rel_attempts + 1;
@@ -241,6 +342,78 @@ let rel_transmit t ~src ~dst inner =
   rel_send t ~routed:false ~src ~dst (fun token ->
       Message.Scmp_reliable { token; inner })
 
+(* ---- epoch fencing (split-brain) ---- *)
+
+let fence (t : t) x epoch =
+  if epoch < t.node_epoch.(x) then begin
+    t.fenced <- t.fenced + 1;
+    true
+  end
+  else false
+
+(* A deposed authority hands its accumulated state to the new regime:
+   one routed-reliable RESYNC per group carrying roster, departures,
+   sequence watermarks and the old tree's relays. *)
+let step_down (t : t) a ~epoch =
+  if a.a_active then begin
+    a.a_active <- false;
+    t.stepdowns <- t.stepdowns + 1;
+    let owner = t.view.(a.an) in
+    let groups =
+      (* sorted before use, so table order never escapes *)
+      Hashtbl.fold
+        (fun g _ acc -> g :: acc)
+        a.a_members []
+      |> List.sort_uniq Int.compare
+    in
+    List.iter
+      (fun group ->
+        let members = roster a.a_members group in
+        let seen =
+          (* sorted before use, so table order never escapes *)
+          Hashtbl.fold
+            (fun (g, dr) s acc -> if g = group then (dr, s) :: acc else acc)
+            a.a_seen []
+          |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+        in
+        let left =
+          List.filter (fun (dr, _) -> not (List.mem dr members)) seen
+          |> List.map fst
+        in
+        let relays =
+          match Hashtbl.find_opt a.a_dcdm group with
+          | Some d ->
+            List.sort Int.compare (Mtree.Tree.nodes (Mtree.Dcdm.tree d))
+          | None -> []
+        in
+        t.resyncs <- t.resyncs + 1;
+        rel_send t ~routed:true ~src:a.an ~dst:owner (fun token ->
+            Message.Scmp_resync
+              { group; token; members; left; seen; relays; epoch }))
+      groups
+  end
+
+(* Adopt a higher epoch at router [x]: re-target its view to the
+   epoch's owner and, if [x] itself hosts a stale active authority,
+   depose it. *)
+let adopt t x ep =
+  if ep > t.node_epoch.(x) then begin
+    t.node_epoch.(x) <- ep;
+    match Hashtbl.find_opt t.epoch_owner ep with
+    | None -> ()
+    | Some owner ->
+      t.view.(x) <- owner;
+      (match auth_at t x with
+      | Some a when a.a_active && a.a_epoch < ep -> step_down t a ~epoch:ep
+      | Some _ | None -> ())
+  end
+
+(* Is the authority this router currently addresses worth talking to? *)
+let view_up t x =
+  let v = t.view.(x) in
+  N.node_alive t.net v
+  && (match auth_at t v with Some a -> not a.a_failed | None -> true)
+
 (* ---- data plane (§III.F) ---- *)
 
 let forward_set e =
@@ -260,21 +433,21 @@ let handle_data t x ~from msg group seq =
 let originate_data t group ~src ~seq =
   let msg = Message.Data { group; src; seq } in
   match entry_opt t src group with
-  | Some e when forward_set e <> [] || src = t.active ->
+  | Some e when forward_set e <> [] || is_active_root t src ->
     List.iter (fun y -> N.transmit t.net ~src ~dst:y msg) (forward_set e)
     (* The origin's own subnet receives the packet locally; the runner
        never counts the source among expected receivers. *)
   | Some _ | None ->
-    N.unicast t.net ~src ~dst:t.active (Message.Encap { group; src; seq })
+    N.unicast t.net ~src ~dst:t.view.(src) (Message.Encap { group; src; seq })
 
-let handle_encap t group src seq =
-  (* Only the (active) m-router decapsulates (§III.F). *)
-  match entry_opt t t.active group with
+let handle_encap t a group src seq =
+  (* Only an active m-router decapsulates (§III.F). *)
+  match entry_opt t a.an group with
   | None -> ()
   | Some e ->
     let msg = Message.Data { group; src; seq } in
-    List.iter (fun y -> N.transmit t.net ~src:t.active ~dst:y msg) e.downstream;
-    if e.member then record_delivery t group t.active seq
+    List.iter (fun y -> N.transmit t.net ~src:a.an ~dst:y msg) e.downstream;
+    if e.member then record_delivery t group a.an seq
 
 (* ---- tree distribution (§III.E) ---- *)
 
@@ -293,85 +466,128 @@ let compare_edge (a1, b1) (a2, b2) =
 
 let edge_set tree = List.sort compare_edge (Mtree.Tree.edges tree)
 
-let distribute_branch t group tree dr =
+let distribute_branch t a group tree dr =
   match tree_path_from_root tree dr with
   | [] -> ()
   | first :: _ as path ->
-    let root_entry = get_or_create_entry t t.active group in
+    let root_entry = authority_entry t a group in
     if not (List.mem first root_entry.downstream) then
       root_entry.downstream <- root_entry.downstream @ [ first ];
     t.branch_pkts <- t.branch_pkts + 1;
-    rel_transmit t ~src:t.active ~dst:first (Message.Scmp_branch { group; path })
+    rel_transmit t ~src:a.an ~dst:first
+      (Message.Scmp_branch { group; epoch = a.a_epoch; path })
 
-let send_invalidate (t : t) group x =
+let send_invalidate (t : t) a group x =
   t.invalidations <- t.invalidations + 1;
-  rel_send t ~routed:true ~src:t.active ~dst:x (fun token ->
-      Message.Scmp_invalidate { group; token })
+  rel_send t ~routed:true ~src:a.an ~dst:x (fun token ->
+      Message.Scmp_invalidate { group; token; epoch = a.a_epoch })
 
-let distribute_tree t group tree removed_nodes =
-  let root_entry = get_or_create_entry t t.active group in
-  let children = Mtree.Tree.children tree t.active in
+let distribute_tree t a group tree removed_nodes =
+  (* Invalidations still in flight for routers the new tree re-admits
+     must die now: they carry the current epoch, so fencing cannot stop
+     them, and a retry landing after this distribution (e.g. queued
+     toward an unreachable router during a partition, delivered after
+     the heal's rebuild) would wipe the entry it just installed. *)
+  let cancelled =
+    Hashtbl.fold
+      (fun token r acc ->
+        match r.rel_msg with
+        | Message.Scmp_invalidate { group = g; _ }
+          when r.rel_routed && g = group && Mtree.Tree.on_tree tree r.rel_dst
+          ->
+          token :: acc
+        | _ -> acc)
+      t.rel_pending []
+    |> List.sort Int.compare
+  in
+  List.iter (Hashtbl.remove t.rel_pending) cancelled;
+  let root_entry = authority_entry t a group in
+  let children = Mtree.Tree.children tree a.an in
   root_entry.downstream <- children;
   List.iter
     (fun c ->
       let packet = Tree_packet.of_tree tree ~at:c in
       t.tree_pkts <- t.tree_pkts + 1;
-      rel_transmit t ~src:t.active ~dst:c (Message.Scmp_tree { group; packet }))
+      rel_transmit t ~src:a.an ~dst:c
+        (Message.Scmp_tree { group; epoch = a.a_epoch; packet }))
     children;
   List.iter
-    (fun x -> if x <> t.active then send_invalidate t group x)
+    (fun x -> if x <> a.an then send_invalidate t a group x)
     removed_nodes
+
+let group_state t a group =
+  match Hashtbl.find_opt a.a_dcdm group with
+  | Some d -> d
+  | None ->
+    let d =
+      timed_compute t (fun () ->
+          Mtree.Dcdm.create t.apsp ~root:a.an ~bound:t.bound ())
+    in
+    Hashtbl.replace a.a_dcdm group d;
+    (* The root's own routing entry exists from group creation on. *)
+    ignore (authority_entry t a group);
+    d
 
 (* ---- hot standby (concluding remarks, point 4) ---- *)
 
-let replicate t group dr joined =
+let replicate t a group dr joined =
   match t.standby with
   | None -> ()
   | Some sb ->
-    N.unicast t.net ~src:t.active ~dst:sb.sb_node
-      (Message.Scmp_replicate { group; dr; joined })
+    if sb.sb_node <> a.an then
+      N.unicast t.net ~src:a.an ~dst:sb.sb_node
+        (Message.Scmp_replicate { group; dr; joined; epoch = a.a_epoch })
 
 let mirror_apply sb group dr joined = roster_apply sb.mirror group dr joined
 
-(* A fresh APSP table over the topology the m-router can actually
-   build trees over: live links only, minus the primary's links when it
-   failed at the protocol level (its node is still up for the netsim,
-   but the domain routes around it by detection time). The table is
-   lazy, so the overlay is *snapshotted* here — a later query must
-   answer as of this instant, exactly like the eager materialization it
-   replaces, even if further faults land before the query (every such
-   fault triggers a new snapshot through on_topology_change anyway). *)
+(* A fresh APSP table over the topology the m-routers can actually
+   build trees over: live links only, minus the links of any authority
+   that failed at the protocol level (its node is still up for the
+   netsim, but the domain routes around it by detection time). The
+   table is lazy, so the overlay is *snapshotted* here — a later query
+   must answer as of this instant, exactly like the eager
+   materialization it replaces, even if further faults land before the
+   query (every such fault triggers a new snapshot through
+   on_topology_change anyway). *)
 let fresh_apsp t =
   let g = N.graph t.net in
-  let primary_down = t.primary_failed in
-  let primary = t.primary in
+  let failed = List.filter (fun a -> a.a_failed) (authorities t) in
   (* Per-edge liveness captured into a dense array: alive in the
-     overlay now, and not incident to a protocol-level-failed primary. *)
+     overlay now, and not incident to a protocol-level-failed
+     authority. *)
   let ok =
     Array.init (Netgraph.Graph.edge_count g) (fun e ->
         N.edge_alive t.net e
         && not
-             (primary_down
-             && (Netgraph.Graph.edge_u g e = primary
-                || Netgraph.Graph.edge_v g e = primary)))
+             (List.exists
+                (fun a ->
+                  Netgraph.Graph.edge_u g e = a.an
+                  || Netgraph.Graph.edge_v g e = a.an)
+                failed))
   in
   Netgraph.Apsp.compute ~edge_ok:(Array.get ok) g
 
 (* Rebuild one group's tree from a membership roster over the current
    [t.apsp], redistribute it, and invalidate the routers the new tree
-   abandoned. Shared by standby takeover and post-failure repair. *)
-let rebuild_group t group members_now =
-  let before =
-    match Hashtbl.find_opt t.dcdm group with
+   abandoned. Shared by standby takeover and post-failure repair;
+   [?prior] names the authority whose old tree supplies the
+   before-nodes when the rebuilding authority has none of its own (a
+   takeover reading the deposed primary's replicated state). *)
+let rebuild_group t a ?prior group members_now =
+  let tree_nodes_of b =
+    match Hashtbl.find_opt b.a_dcdm group with
     | Some d -> Mtree.Tree.nodes (Mtree.Dcdm.tree d)
     | None -> []
   in
+  let before =
+    match prior with Some b -> tree_nodes_of b | None -> tree_nodes_of a
+  in
   let d =
     timed_compute t (fun () ->
-        Mtree.Dcdm.create t.apsp ~root:t.active ~bound:t.bound ())
+        Mtree.Dcdm.create t.apsp ~root:a.an ~bound:t.bound ())
   in
-  Hashtbl.replace t.dcdm group d;
-  ignore (get_or_create_entry t t.active group);
+  Hashtbl.replace a.a_dcdm group d;
+  ignore (authority_entry t a group);
   List.iter
     (fun m ->
       try timed_compute t (fun () -> Mtree.Dcdm.join d m)
@@ -385,34 +601,64 @@ let rebuild_group t group members_now =
       (fun x -> (not (List.mem x after)) && N.node_alive t.net x)
       before
   in
-  distribute_tree t group tree stale
+  distribute_tree t a group tree stale
 
-(* The standby becomes the m-router: it rebuilds every group's tree
-   rooted at itself from the mirrored membership (replayed in original
-   join order), distributes the new trees, and invalidates the routers
-   of the old trees that the new ones no longer use. The dead primary
-   is excised from the topology first — the domain's link-state routing
-   has flooded its disappearance by detection time — so no rebuilt tree
-   relays through it. Members the failure partitioned away (the primary
-   was their only path) are skipped until connectivity returns. *)
+(* The standby becomes the m-router: it claims a fresh (highest) epoch,
+   rebuilds every group's tree rooted at itself from the mirrored
+   membership (replayed in original join order), distributes the new
+   trees — stamping every reachable on-tree router with the new epoch —
+   and invalidates the routers of the old trees the new ones no longer
+   use (the old tree is read from the primary's replicated state).
+   Members the partition put out of reach are skipped until
+   connectivity returns; a best-effort ANNOUNCE tells every other
+   router about the new regime. *)
 let takeover t sb =
-  if not (standby_took_over t) then begin
+  let a = sb.sb_auth in
+  if not a.a_active then begin
+    let ep =
+      1 + List.fold_left (fun m x -> max m x.a_epoch) 0 (authorities t)
+    in
+    a.a_active <- true;
+    a.a_epoch <- ep;
+    Hashtbl.replace t.epoch_owner ep sb.sb_node;
+    t.node_epoch.(sb.sb_node) <- ep;
+    t.view.(sb.sb_node) <- sb.sb_node;
     t.active <- sb.sb_node;
     t.apsp <- fresh_apsp t;
     let groups =
-      Hashtbl.fold (fun group _ acc -> group :: acc) sb.mirror []
+      (* sorted before use, so table order never escapes *)
+      Hashtbl.fold
+        (fun group _ acc -> group :: acc)
+        sb.mirror []
       |> List.sort Int.compare
     in
-    List.iter (fun group -> rebuild_group t group (roster sb.mirror group)) groups
+    List.iter
+      (fun group ->
+        let members = roster sb.mirror group in
+        List.iter (fun dr -> roster_apply a.a_members group dr true) members;
+        (* The group has been dark since the primary last answered. *)
+        darken t group ~at:sb.last_ack;
+        rebuild_group t a ~prior:t.primary_auth group members)
+      groups;
+    (* Best-effort announce to every other router (the on-tree ones
+       have already adopted the epoch from the TREE distribution); a
+       deposed-but-alive primary that misses these learns the epoch
+       from the announce retry pinned at heal time. *)
+    let n = Netgraph.Graph.node_count (N.graph t.net) in
+    for y = 0 to n - 1 do
+      if y <> sb.sb_node then
+        N.unicast t.net ~background:true ~src:sb.sb_node ~dst:y
+          (Message.Scmp_announce { auth = sb.sb_node; epoch = ep })
+    done
   end
 
 let maybe_takeover t sb =
   let now = Eventsim.Engine.now (N.engine t.net) in
-  if (not (standby_took_over t)) && now -. sb.last_ack > sb.takeover_after then
+  if (not sb.sb_auth.a_active) && now -. sb.last_ack > sb.takeover_after then
     takeover t sb
 
 let fail_primary t =
-  t.primary_failed <- true;
+  t.primary_auth.a_failed <- true;
   match t.standby with
   | None -> ()
   | Some sb ->
@@ -425,14 +671,14 @@ let fail_primary t =
 
 (* ---- m-router control plane ---- *)
 
-let handle_join_at_mrouter t group dr =
-  let d = group_state t group in
+let handle_join_at_mrouter t a group dr =
+  let d = group_state t a group in
   let tree = Mtree.Dcdm.tree d in
   let before_edges = edge_set tree in
   let before_nodes = Mtree.Tree.nodes tree in
   timed_compute t (fun () -> Mtree.Dcdm.join d dr);
-  replicate t group dr true;
-  if dr = t.active then (get_or_create_entry t t.active group).member <- true
+  replicate t a group dr true;
+  if dr = a.an then (authority_entry t a group).member <- true
   else begin
     let after_edges = edge_set tree in
     let after_nodes = Mtree.Tree.nodes tree in
@@ -444,19 +690,20 @@ let handle_join_at_mrouter t group dr =
       List.filter (fun x -> not (List.mem x after_nodes)) before_nodes
     in
     match t.distribution with
-    | Always_full_tree -> if grew then distribute_tree t group tree removed_nodes
+    | Always_full_tree ->
+      if grew then distribute_tree t a group tree removed_nodes
     | Incremental ->
       if removed_edges = [] then begin
-        if grew then distribute_branch t group tree dr
+        if grew then distribute_branch t a group tree dr
         (* else: dr was already an on-tree relay; its DR marked the
            interface locally, nothing to distribute (§III.B). *)
       end
-      else distribute_tree t group tree removed_nodes
+      else distribute_tree t a group tree removed_nodes
   end
 
-let handle_leave_at_mrouter t group dr =
-  replicate t group dr false;
-  match Hashtbl.find_opt t.dcdm group with
+let handle_leave_at_mrouter t a group dr =
+  replicate t a group dr false;
+  match Hashtbl.find_opt a.a_dcdm group with
   | None -> ()
   | Some d ->
     let tree = Mtree.Dcdm.tree d in
@@ -478,69 +725,138 @@ let handle_leave_at_mrouter t group dr =
       let removed_nodes =
         List.filter (fun x -> not (List.mem x after_nodes)) before_nodes
       in
-      distribute_tree t group tree removed_nodes
+      distribute_tree t a group tree removed_nodes
     end
 
 (* Re-install the root-to-[dr] branch for a member the m-router already
    has on its tree: the response to a re-graft request and to a
    duplicate JOIN whose original BRANCH may have been lost. *)
-let reattach t group dr =
-  match Hashtbl.find_opt t.dcdm group with
+let reattach t a group dr =
+  match Hashtbl.find_opt a.a_dcdm group with
   | None -> ()
   | Some d ->
     let tree = Mtree.Dcdm.tree d in
-    if dr <> t.active && Mtree.Tree.on_tree tree dr then
-      distribute_branch t group tree dr
+    if dr <> a.an && Mtree.Tree.on_tree tree dr then
+      distribute_branch t a group tree dr
 
-let reprocess_duplicate t kind group dr =
+let reprocess_duplicate t a kind group dr =
   match kind with
   | Message.Leave -> ()
   | Message.Join | Message.Graft ->
     (* Only re-distribute for a current member: a stale duplicate that
        straggles in after the member left must not resurrect state. *)
-    if List.mem dr (roster t.members group) then reattach t group dr
+    if List.mem dr (roster a.a_members group) then reattach t a group dr
 
-let request_ack t kind group dr seq =
-  N.unicast t.net ~src:t.active ~dst:dr
-    (Message.Scmp_req_ack { group; dr; kind; seq })
+let request_ack t a kind group dr seq =
+  N.unicast t.net ~src:a.an ~dst:dr
+    (Message.Scmp_req_ack { group; dr; kind; seq; epoch = a.a_epoch })
 
-let handle_request t kind group dr seq =
+let handle_request t a kind group dr seq =
   let dup =
-    match Hashtbl.find_opt t.ctl_seen (group, dr) with
+    match Hashtbl.find_opt a.a_seen (group, dr) with
     | Some s -> seq <= s
     | None -> false
   in
-  if dup then reprocess_duplicate t kind group dr
+  if dup then reprocess_duplicate t a kind group dr
   else begin
-    Hashtbl.replace t.ctl_seen (group, dr) seq;
+    Hashtbl.replace a.a_seen (group, dr) seq;
     match kind with
     | Message.Join ->
-      roster_apply t.members group dr true;
-      handle_join_at_mrouter t group dr
+      roster_apply a.a_members group dr true;
+      handle_join_at_mrouter t a group dr
     | Message.Leave ->
-      roster_apply t.members group dr false;
-      handle_leave_at_mrouter t group dr
-    | Message.Graft -> reattach t group dr
+      roster_apply a.a_members group dr false;
+      handle_leave_at_mrouter t a group dr
+    | Message.Graft -> reattach t a group dr
   end;
   (* Always (re-)ack: the previous ack may be the packet that died. *)
-  request_ack t kind group dr seq
+  request_ack t a kind group dr seq
+
+(* A deposed authority's state arrives at the new one: merge by request
+   sequence number (a watermark the receiver already passed wins), then
+   re-stamp the whole tree under this regime — the routers that just
+   became reachable again hold the old regime's adjacencies, and only a
+   full TREE distribution reaches all of them — and invalidate the old
+   tree's relays the merged tree does not use. *)
+let handle_resync t a group ~members ~left ~seen ~relays =
+  let d = group_state t a group in
+  let theirs dr =
+    match List.assoc_opt dr seen with Some s -> s | None -> 0
+  in
+  let mine dr =
+    match Hashtbl.find_opt a.a_seen (group, dr) with Some s -> s | None -> 0
+  in
+  List.iter
+    (fun dr ->
+      let s = theirs dr in
+      if s > mine dr then begin
+        Hashtbl.replace a.a_seen (group, dr) s;
+        if not (List.mem dr (roster a.a_members group)) then begin
+          roster_apply a.a_members group dr true;
+          try timed_compute t (fun () -> Mtree.Dcdm.join d dr)
+          with Invalid_argument _ -> ()
+        end
+      end)
+    members;
+  List.iter
+    (fun dr ->
+      let s = theirs dr in
+      if s > mine dr then begin
+        Hashtbl.replace a.a_seen (group, dr) s;
+        if List.mem dr (roster a.a_members group) then begin
+          roster_apply a.a_members group dr false;
+          try timed_compute t (fun () -> Mtree.Dcdm.leave d dr)
+          with Invalid_argument _ -> ()
+        end
+      end)
+    left;
+  let tree = Mtree.Dcdm.tree d in
+  let stale =
+    List.filter
+      (fun r ->
+        r <> a.an
+        && (not (Mtree.Tree.on_tree tree r))
+        && N.node_alive t.net r)
+      relays
+    |> List.sort_uniq Int.compare
+  in
+  distribute_tree t a group tree stale
 
 (* ---- i-router control plane ---- *)
 
-let handle_tree_packet t x ~from group packet =
-  let e = get_or_create_entry t x group in
+let handle_tree_packet t x ~from ~ep group packet =
+  let e = entry_for_epoch t x group ep in
   e.upstream <- Some from;
-  let children = List.map fst (Tree_packet.split packet) in
-  e.downstream <- children;
-  List.iter
-    (fun (c, sub) ->
-      rel_transmit t ~src:x ~dst:c (Message.Scmp_tree { group; packet = sub }))
-    (Tree_packet.split packet)
+  let splits = Tree_packet.split packet in
+  e.downstream <- List.map fst splits;
+  if
+    splits = []
+    && (not e.member)
+    && (not (Hashtbl.mem t.pending_iface (x, group)))
+    && not (is_active_root t x)
+  then begin
+    (* A leaf of a distributed tree is a member by construction (DCDM
+       never ends a branch on a relay), so a leaf install with no
+       locally-marked interface means the host left while the
+       distribution was in flight — its LEAVE is already on its way to
+       the m-router. Prune back now; the stale branch would otherwise
+       outlive the membership forever (the m-router's pure-prune leave
+       path distributes nothing and counts on this cascade). *)
+    drop_entry t x group;
+    rel_transmit t ~src:x ~dst:from
+      (Message.Scmp_prune { group; from = x; epoch = t.node_epoch.(x) })
+  end
+  else
+    List.iter
+      (fun (c, sub) ->
+        rel_transmit t ~src:x ~dst:c
+          (Message.Scmp_tree { group; epoch = ep; packet = sub }))
+      splits
 
-let handle_branch t x ~from group path =
+let handle_branch t x ~from ~ep group path =
   match path with
   | head :: rest when head = x ->
-    let e = get_or_create_entry t x group in
+    let e = entry_for_epoch t x group ep in
     e.upstream <- Some from;
     (match rest with
     | [] ->
@@ -549,9 +865,20 @@ let handle_branch t x ~from group path =
         Hashtbl.remove t.pending_iface (x, group);
         e.member <- true
       end
+      else if (not e.member) && e.downstream = [] && not (is_active_root t x)
+      then begin
+        (* No marked interface and nothing downstream: the host left
+           while this BRANCH was in flight. Same dangling-leaf case as
+           an unmarked TREE leaf — prune back immediately. *)
+        drop_entry t x group;
+        rel_transmit t ~src:x ~dst:from
+          (Message.Scmp_prune { group; from = x; epoch = t.node_epoch.(x) })
+      end
     | next :: _ ->
-      if not (List.mem next e.downstream) then e.downstream <- e.downstream @ [ next ];
-      rel_transmit t ~src:x ~dst:next (Message.Scmp_branch { group; path = rest }))
+      if not (List.mem next e.downstream) then
+        e.downstream <- e.downstream @ [ next ];
+      rel_transmit t ~src:x ~dst:next
+        (Message.Scmp_branch { group; epoch = ep; path = rest }))
   | _ ->
     (* Malformed or misrouted BRANCH: drop. *)
     ()
@@ -561,11 +888,12 @@ let handle_prune t x group ~from =
   | None -> ()
   | Some e ->
     e.downstream <- List.filter (fun y -> y <> from) e.downstream;
-    if e.downstream = [] && (not e.member) && x <> t.active then begin
+    if e.downstream = [] && (not e.member) && not (is_active_root t x) then begin
       match e.upstream with
       | Some up ->
         drop_entry t x group;
-        rel_transmit t ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
+        rel_transmit t ~src:x ~dst:up
+          (Message.Scmp_prune { group; from = x; epoch = t.node_epoch.(x) })
       | None -> drop_entry t x group
     end
 
@@ -580,26 +908,46 @@ let request_message rq =
   | Message.Graft ->
     Message.Scmp_graft { group = rq.rq_group; dr = rq.rq_dr; seq = rq.rq_seq }
 
-(* A request also completes when its effect becomes observable at the
-   DR — the BRANCH/TREE distribution acting as the JOIN ack (§III.E
-   adapted), arrival of a repaired upstream acting as the GRAFT ack —
-   so a lost explicit ack alone never forces a retransmission. *)
+(* A GRAFT also completes when its effect becomes observable at the DR
+   — arrival of a repaired upstream acts as the ack — so a lost
+   explicit ack alone never forces a retransmission. A JOIN must see
+   the explicit ack: the DR's own member flag is not evidence, because
+   the DR marks the interface optimistically the moment the host joins
+   (§III.B) — when the DR already relays for the group, the flag is
+   set before the m-router has heard anything, and treating it as
+   completion would silently drop a lost JOIN, leaving the m-router's
+   tree without the member forever. *)
 let request_completed t rq =
   rq.rq_acked
   ||
   match rq.rq_kind with
-  | Message.Join -> (
-    match entry_opt t rq.rq_dr rq.rq_group with
-    | Some e -> e.member
-    | None -> false)
+  | Message.Join -> false
   | Message.Leave -> false
   | Message.Graft -> (
     match entry_opt t rq.rq_dr rq.rq_group with
     | Some e -> e.upstream <> None
     | None -> true (* invalidated meanwhile: nothing left to repair *))
 
+(* Requests are acked end-to-end across the domain, so their timer
+   must scale with the DR<->m-router round trip, not the one-hop frame
+   rto: with a fixed sub-RTT timer every request would retransmit
+   several times before the first ack could possibly return, and each
+   duplicate JOIN re-triggers a BRANCH distribution. TCP-style: base
+   timeout = measured path RTT plus slack, doubled per attempt. *)
+let request_rto t rq =
+  let d =
+    Eventsim.Routes.distance (N.routes t.net) ~src:rq.rq_dr
+      ~dst:t.view.(rq.rq_dr)
+  in
+  if Float.is_finite d then Float.max t.rto ((2.0 *. d) +. t.rto) else t.rto
+
+(* Every (re-)send targets the DR's *current* view: a request that
+   outlives a takeover follows the DR to the new authority as soon as
+   an epoch-carrying frame re-pointed it. *)
 let rec arm_request t rq =
-  Eventsim.Engine.schedule (N.engine t.net) ~delay:(backoff t rq.rq_attempts)
+  Eventsim.Engine.schedule (N.engine t.net)
+    ~delay:
+      (request_rto t rq *. (2.0 ** float_of_int (rq.rq_attempts - 1)))
     (fun () ->
       if not rq.rq_settled then begin
         if request_completed t rq then rq.rq_settled <- true
@@ -610,7 +958,8 @@ let rec arm_request t rq =
         else begin
           rq.rq_attempts <- rq.rq_attempts + 1;
           t.retransmissions <- t.retransmissions + 1;
-          N.unicast t.net ~src:rq.rq_dr ~dst:t.active (request_message rq);
+          N.unicast t.net ~src:rq.rq_dr ~dst:t.view.(rq.rq_dr)
+            (request_message rq);
           arm_request t rq
         end
       end)
@@ -627,24 +976,24 @@ let submit_request t ~group ~dr kind =
   | Some old -> old.rq_settled <- true
   | None -> ());
   Hashtbl.replace t.requests (dr, group) rq;
-  N.unicast t.net ~src:dr ~dst:t.active (request_message rq);
+  N.unicast t.net ~src:dr ~dst:t.view.(dr) (request_message rq);
   arm_request t rq
 
 (* ---- introspection ---- *)
 
 let mrouter_tree t ~group =
-  Option.map Mtree.Dcdm.tree (Hashtbl.find_opt t.dcdm group)
+  Option.map Mtree.Dcdm.tree (Hashtbl.find_opt (active_auth t).a_dcdm group)
 
 let router_state t x ~group =
   Option.map (fun e -> (e.upstream, e.downstream, e.member)) (entry_opt t x group)
 
 (* Entries the live network can actually observe: a dead node's state,
-   a failed primary's leftovers and routers partitioned away from the
+   a failed m-router's leftovers and routers partitioned away from the
    active m-router are invisible until connectivity returns (and the
    repair that follows cleans them up). *)
 let observable t x =
   N.node_alive t.net x
-  && (not (x = t.primary && t.primary_failed))
+  && (match auth_at t x with Some a -> not a.a_failed | None -> true)
   && (x = t.active
      || Eventsim.Routes.distance (N.routes t.net) ~src:t.active ~dst:x < infinity)
 
@@ -707,6 +1056,11 @@ let abort_dead_rel t =
   in
   List.iter
     (fun token ->
+      (match Hashtbl.find_opt t.rel_pending token with
+      | Some { rel_routed = true; rel_dst;
+               rel_msg = Message.Scmp_invalidate { group; _ }; _ } ->
+        t.dead_letters <- (group, rel_dst) :: t.dead_letters
+      | Some _ | None -> ());
       Hashtbl.remove t.rel_pending token;
       t.giveups <- t.giveups + 1)
     stale
@@ -727,19 +1081,28 @@ let rec poll_repair t group ~fault_time ~polls =
         if polls < 200 then poll_repair t group ~fault_time ~polls:(polls + 1)
         else t.repair_unconverged <- t.repair_unconverged + 1)
 
-let repair_group t group ~at =
-  rebuild_group t group (roster t.members group);
+let repair_group t a group ~at =
+  rebuild_group t a group (roster a.a_members group);
   t.repairs <- t.repairs + 1;
-  poll_repair t group ~fault_time:at ~polls:0
+  (* Availability and convergence are tracked from the global
+     observer's perspective: only the highest-epoch authority's repairs
+     darken the group and poll for coherence. *)
+  if a.an = t.active then begin
+    darken t group ~at;
+    poll_repair t group ~fault_time:at ~polls:0
+  end
 
 (* The faults hook: runs synchronously after every topology change,
    once routes have reconverged. A crashed router loses its soft state;
-   the m-router rebuilds every group whose tree crosses a dead element
-   or is missing a live roster member (a member skipped while
-   partitioned re-attaches when connectivity returns); i-routers sever
-   dead adjacencies and member DRs whose upstream died ask to be
-   re-grafted (§III.D adapted — the report-upstream role of the
-   adjacent i-router). *)
+   every live active authority rebuilds the groups whose tree crosses a
+   dead element or misses a live roster member (a member skipped while
+   partitioned re-attaches when connectivity returns — during a
+   split-brain *both* sides repair their own regime); i-routers sever
+   dead adjacencies and member DRs whose upstream died ask their
+   current view to re-graft them (§III.D adapted). The hook also drives
+   failure detection: a standby that lost its route to the primary pins
+   a takeover check, and a healed path to a deposed-but-active primary
+   pins the announce that makes it step down. *)
 let on_topology_change t =
   abort_dead_rel t;
   t.apsp <- fresh_apsp t;
@@ -760,28 +1123,35 @@ let on_topology_change t =
       Hashtbl.remove t.entries key;
       if was_member then Hashtbl.replace t.pending_iface key ())
     crashed;
-  let active_up =
-    N.node_alive t.net t.active && not (t.active = t.primary && t.primary_failed)
-  in
-  if active_up then begin
-    let stale_groups =
-      Hashtbl.fold
-        (fun group d acc ->
-          let tree = Mtree.Dcdm.tree d in
-          if
-            tree_uses_dead_element t tree
-            || List.exists
-                 (fun m ->
-                   N.node_alive t.net m && not (Mtree.Tree.on_tree tree m))
-                 (roster t.members group)
-          then group :: acc
-          else acc)
-        t.dcdm []
-      |> List.sort Int.compare
-    in
-    let now = Eventsim.Engine.now (N.engine t.net) in
-    List.iter (fun group -> repair_group t group ~at:now) stale_groups
-  end;
+  let now = Eventsim.Engine.now (N.engine t.net) in
+  List.iter
+    (fun a ->
+      if a.a_active && (not a.a_failed) && N.node_alive t.net a.an then begin
+        let stale_groups =
+          (* sorted before use, so table order never escapes *)
+          Hashtbl.fold
+            (fun group d acc ->
+              let tree = Mtree.Dcdm.tree d in
+              if
+                tree_uses_dead_element t tree
+                || List.exists
+                     (fun m ->
+                       N.node_alive t.net m && not (Mtree.Tree.on_tree tree m))
+                     (roster a.a_members group)
+                (* The authority's own root entry is gone: its node
+                   crashed and rebooted, so neighbours severed their
+                   adjacencies while it was dark. The membership
+                   database survives the reboot; rebuild from it and
+                   redistribute so the whole network re-installs. *)
+                || not (Hashtbl.mem t.entries (a.an, group))
+              then group :: acc
+              else acc)
+            a.a_dcdm []
+          |> List.sort Int.compare
+        in
+        List.iter (fun group -> repair_group t a group ~at:now) stale_groups
+      end)
+    (authorities t);
   (* i-router side: drop adjacencies that no longer exist. Collect
      grafts first, in deterministic order. *)
   let grafts = ref [] in
@@ -794,7 +1164,7 @@ let on_topology_change t =
         match e.upstream with
         | Some up when not (N.link_alive t.net x up) ->
           e.upstream <- None;
-          if e.member && x <> t.active && active_up then
+          if e.member && (not (is_active_root t x)) && view_up t x then
             grafts := (x, group) :: !grafts
         | Some _ | None -> ()
       end)
@@ -804,7 +1174,61 @@ let on_topology_change t =
     (List.sort
        (fun (x1, g1) (x2, g2) ->
          match Int.compare x1 x2 with 0 -> Int.compare g1 g2 | c -> c)
-       !grafts)
+       !grafts);
+  (* Dead-letter retry: invalidations abandoned while their target was
+     unreachable go out again once the active authority can route to it
+     — unless the target ended up on the current tree, where the
+     redistribution just re-stamped it. *)
+  (let a = active_auth t in
+   if a.a_active && (not a.a_failed) && N.node_alive t.net a.an then begin
+     let reachable x =
+       N.node_alive t.net x
+       && Eventsim.Routes.distance (N.routes t.net) ~src:a.an ~dst:x < infinity
+     in
+     let retry, keep =
+       List.partition (fun (_, x) -> reachable x) t.dead_letters
+     in
+     t.dead_letters <- keep;
+     List.iter
+       (fun (group, x) ->
+         let on_tree =
+           match Hashtbl.find_opt a.a_dcdm group with
+           | Some d -> Mtree.Tree.on_tree (Mtree.Dcdm.tree d) x
+           | None -> false
+         in
+         if (not on_tree) && Hashtbl.mem t.entries (x, group) then
+           send_invalidate t a group x)
+       (List.sort_uniq
+          (fun (g1, x1) (g2, x2) ->
+            match Int.compare g1 g2 with 0 -> Int.compare x1 x2 | c -> c)
+          retry)
+   end);
+  (* Detection pins: both fire in the foreground so a scripted
+     partition or heal recovers even in a run with no other traffic to
+     keep the engine alive. *)
+  match t.standby with
+  | None -> ()
+  | Some sb ->
+    let reachable =
+      Eventsim.Routes.distance (N.routes t.net) ~src:sb.sb_node ~dst:t.primary
+      < infinity
+    in
+    if not sb.sb_auth.a_active then begin
+      if (not t.primary_auth.a_failed) && not reachable then
+        Eventsim.Engine.schedule (N.engine t.net)
+          ~delay:(sb.takeover_after +. (2.0 *. sb.heartbeat_interval))
+          (fun () -> maybe_takeover t sb)
+    end
+    else if t.primary_auth.a_active && (not t.primary_auth.a_failed) && reachable
+    then
+      (* Split-brain heal: the next announce reaches the stale primary,
+         which adopts the higher epoch, steps down and resyncs. *)
+      Eventsim.Engine.schedule (N.engine t.net) ~delay:sb.heartbeat_interval
+        (fun () ->
+          if t.primary_auth.a_active && sb.sb_auth.a_active then
+            N.unicast t.net ~src:sb.sb_node ~dst:t.primary
+              (Message.Scmp_announce
+                 { auth = sb.sb_node; epoch = sb.sb_auth.a_epoch }))
 
 (* ---- message dispatch ---- *)
 
@@ -815,37 +1239,51 @@ let mrouter_work t job =
   | None -> job ()
   | Some (station, service_time) -> Eventsim.Server.submit station ~service_time job
 
+let same_kind a b =
+  match (a, b) with
+  | Message.Join, Message.Join
+  | Message.Leave, Message.Leave
+  | Message.Graft, Message.Graft ->
+    true
+  | (Message.Join | Message.Leave | Message.Graft), _ -> false
+
+(* A DR request lands at [x]: an active authority processes it; a
+   deposed one hands it on to the authority of the regime it adopted
+   (covering DRs that have not yet learned of the takeover). *)
+let route_request t x msg kind group dr seq =
+  match auth_at t x with
+  | Some a when a.a_active ->
+    mrouter_work t (fun () -> handle_request t a kind group dr seq)
+  | Some _ when t.view.(x) <> x -> N.unicast t.net ~src:x ~dst:t.view.(x) msg
+  | Some _ | None -> ()
+
 let rec handle_message t x ~from msg =
-  (* A failed primary is deaf: everything addressed to it is lost,
+  (* A failed m-router is deaf: everything addressed to it is lost,
      including heartbeats — which is precisely how the standby finds
      out. *)
-  if x = t.primary && t.primary_failed then ()
-  else
+  match auth_at t x with
+  | Some a when a.a_failed -> ()
+  | _ -> (
     match msg with
     | Message.Data { group; seq; _ } -> handle_data t x ~from msg group seq
-    | Message.Encap { group; src; seq } ->
-      if x = t.active then handle_encap t group src seq
+    | Message.Encap { group; src; seq } -> (
+      match auth_at t x with
+      | Some a when a.a_active -> handle_encap t a group src seq
+      | Some _ when t.view.(x) <> x ->
+        (* deposed: hand the payload on to the adopted regime *)
+        N.unicast t.net ~src:x ~dst:t.view.(x) msg
+      | Some _ | None -> ())
     | Message.Scmp_join { group; dr; seq } ->
-      if x = t.active then
-        mrouter_work t (fun () -> handle_request t Message.Join group dr seq)
+      route_request t x msg Message.Join group dr seq
     | Message.Scmp_leave { group; dr; seq } ->
-      if x = t.active then
-        mrouter_work t (fun () -> handle_request t Message.Leave group dr seq)
+      route_request t x msg Message.Leave group dr seq
     | Message.Scmp_graft { group; dr; seq } ->
-      if x = t.active then
-        mrouter_work t (fun () -> handle_request t Message.Graft group dr seq)
-    | Message.Scmp_req_ack { group; dr; kind; seq } ->
-      if x = dr then begin
+      route_request t x msg Message.Graft group dr seq
+    | Message.Scmp_req_ack { group; dr; kind; seq; epoch } ->
+      if x = dr && not (fence t x epoch) then begin
+        adopt t x epoch;
         match Hashtbl.find_opt t.requests (dr, group) with
-        | Some rq
-          when rq.rq_seq = seq
-               && (match (rq.rq_kind, kind) with
-                  | Message.Join, Message.Join
-                  | Message.Leave, Message.Leave
-                  | Message.Graft, Message.Graft ->
-                    true
-                  | (Message.Join | Message.Leave | Message.Graft), _ -> false)
-          ->
+        | Some rq when rq.rq_seq = seq && same_kind rq.rq_kind kind ->
           rq.rq_acked <- true
         | Some _ | None -> ()
       end
@@ -862,32 +1300,84 @@ let rec handle_message t x ~from msg =
       match Hashtbl.find_opt t.rel_pending token with
       | Some r when x = r.rel_src -> Hashtbl.remove t.rel_pending token
       | Some _ | None -> ())
-    | Message.Scmp_tree { group; packet } -> handle_tree_packet t x ~from group packet
-    | Message.Scmp_branch { group; path } -> handle_branch t x ~from group path
-    | Message.Scmp_prune { group; from = p } -> handle_prune t x group ~from:p
-    | Message.Scmp_invalidate { group; token } ->
-      (match entry_opt t x group with
-      | Some e when not e.member -> drop_entry t x group
-      | Some _ | None -> ());
-      (* End-to-end ack to the m-router that issued it. *)
-      N.unicast t.net ~src:x ~dst:t.active (Message.Scmp_ack { token })
-    | Message.Scmp_replicate { group; dr; joined } ->
-      (match t.standby with
-      | Some sb when x = sb.sb_node -> mirror_apply sb group dr joined
-      | Some _ | None -> ())
-    | Message.Scmp_heartbeat { from = probe; seq } ->
-      if x = t.primary then
-        N.unicast t.net ~background:true ~src:x ~dst:probe
-          (Message.Scmp_heartbeat_ack { seq })
-    | Message.Scmp_heartbeat_ack _ ->
-      (match t.standby with
+    | Message.Scmp_tree { group; epoch; packet } ->
+      if not (fence t x epoch) then begin
+        adopt t x epoch;
+        handle_tree_packet t x ~from ~ep:epoch group packet
+      end
+    | Message.Scmp_branch { group; epoch; path } ->
+      if not (fence t x epoch) then begin
+        adopt t x epoch;
+        handle_branch t x ~from ~ep:epoch group path
+      end
+    | Message.Scmp_prune { group; from = p; epoch } ->
+      if not (fence t x epoch) then begin
+        adopt t x epoch;
+        handle_prune t x group ~from:p
+      end
+    | Message.Scmp_invalidate { group; token; epoch } ->
+      if not (fence t x epoch) then begin
+        adopt t x epoch;
+        (match entry_opt t x group with
+        | Some e when not e.member -> drop_entry t x group
+        | Some _ | None -> ());
+        (* End-to-end ack to the authority that issued it. *)
+        N.unicast t.net ~src:x ~dst:from (Message.Scmp_ack { token })
+      end
+    | Message.Scmp_replicate { group; dr; joined; epoch } -> (
+      match t.standby with
       | Some sb when x = sb.sb_node ->
+        (* A standby that took over fences the deposed primary's
+           replication stream instead of mirroring it. *)
+        if not (fence t x epoch) then mirror_apply sb group dr joined
+      | Some _ | None -> ())
+    | Message.Scmp_heartbeat { from = probe; seq; epoch } ->
+      if x = t.primary then begin
+        adopt t x epoch;
+        N.unicast t.net ~background:true ~src:x ~dst:probe
+          (Message.Scmp_heartbeat_ack { seq; epoch = t.node_epoch.(x) })
+      end
+    | Message.Scmp_heartbeat_ack { seq = _; epoch } -> (
+      match t.standby with
+      | Some sb when x = sb.sb_node ->
+        adopt t x epoch;
         sb.last_ack <- Eventsim.Engine.now (N.engine t.net)
       | Some _ | None -> ())
-    | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _ | Message.Cbt_quit _
-    | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
+    | Message.Scmp_announce { auth; epoch } ->
+      if epoch > t.node_epoch.(x) then begin
+        Hashtbl.replace t.epoch_owner epoch auth;
+        adopt t x epoch
+      end
+      else if epoch < t.node_epoch.(x) then ignore (fence t x epoch)
+    | Message.Scmp_resync { group; token; members; left; seen; relays; epoch }
+      ->
+      (* Ack end-to-end even when fenced: the deposed sender's
+         retransmission must stop either way. *)
+      N.unicast t.net ~src:x ~dst:from (Message.Scmp_ack { token });
+      if (not (fence t x epoch)) && not (Hashtbl.mem t.rel_seen token) then begin
+        Hashtbl.replace t.rel_seen token ();
+        match auth_at t x with
+        | Some a when a.a_active && not a.a_failed ->
+          mrouter_work t (fun () ->
+              handle_resync t a group ~members ~left ~seen ~relays)
+        | Some _ | None -> ()
+      end
+    | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _
+    | Message.Cbt_join_ack _ | Message.Cbt_quit _ | Message.Dvmrp_prune _
+    | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
       (* Foreign-protocol traffic: never generated in an SCMP domain. *)
-      ()
+      ())
+
+let make_authority node ~active ~epoch =
+  {
+    an = node;
+    a_active = active;
+    a_epoch = epoch;
+    a_failed = false;
+    a_dcdm = Hashtbl.create 8;
+    a_members = Hashtbl.create 8;
+    a_seen = Hashtbl.create 16;
+  }
 
 let create ?delivery ?(bound = Mtree.Bound.Tightest)
     ?(distribution = Incremental) ?standby ?(heartbeat_interval = 1.0)
@@ -898,11 +1388,13 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
     invalid_arg "Scmp_proto.create: max_attempts must be at least 1";
   let g = N.graph net in
   let engine = N.engine net in
+  let n = Netgraph.Graph.node_count g in
   let standby_state =
     Option.map
       (fun sb_node ->
         {
           sb_node;
+          sb_auth = make_authority sb_node ~active:false ~epoch:0;
           heartbeat_interval;
           takeover_after;
           mirror = Hashtbl.create 8;
@@ -911,12 +1403,14 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
         })
       standby
   in
+  let epoch_owner = Hashtbl.create 4 in
+  Hashtbl.replace epoch_owner 1 mrouter;
   let t =
     {
       net;
       primary = mrouter;
+      primary_auth = make_authority mrouter ~active:true ~epoch:1;
       active = mrouter;
-      primary_failed = false;
       standby = standby_state;
       cpu;
       rto;
@@ -924,17 +1418,20 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
       apsp = Netgraph.Apsp.compute g;
       bound;
       distribution;
-      dcdm = Hashtbl.create 8;
+      node_epoch = Array.make n 1;
+      view = Array.make n mrouter;
+      epoch_owner;
       entries = Hashtbl.create 64;
       pending_iface = Hashtbl.create 16;
       ctl_seq = 0;
       requests = Hashtbl.create 16;
-      ctl_seen = Hashtbl.create 16;
       tokens = 0;
       rel_pending = Hashtbl.create 32;
       rel_seen = Hashtbl.create 64;
-      members = Hashtbl.create 8;
+      dead_letters = [];
       delivery;
+      dark = Hashtbl.create 8;
+      blackouts = [];
       tree_pkts = 0;
       branch_pkts = 0;
       invalidations = 0;
@@ -945,10 +1442,13 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
       repairs = 0;
       repair_unconverged = 0;
       repair_latencies = [];
+      fenced = 0;
+      stepdowns = 0;
+      resyncs = 0;
     }
   in
   if install_handlers then
-    for x = 0 to Netgraph.Graph.node_count g - 1 do
+    for x = 0 to n - 1 do
       N.set_handler net x (fun _net ~from msg -> handle_message t x ~from msg)
     done;
   N.on_topology_change net (fun () -> on_topology_change t);
@@ -956,15 +1456,23 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
   | None -> ()
   | Some sb ->
     (* Keep-alive probes forever (background: they never block a
-       run-to-quiescence). Each tick also re-examines the ack age. *)
+       run-to-quiescence). Each tick also re-examines the ack age;
+       after a takeover the loop turns into the announce beacon that
+       deposes a still-active stale primary. *)
     Eventsim.Engine.every engine ~interval:sb.heartbeat_interval ~background:true
       (fun () ->
-        if not (standby_took_over t) then begin
+        if not sb.sb_auth.a_active then begin
           sb.hb_seq <- sb.hb_seq + 1;
           N.unicast t.net ~background:true ~src:sb.sb_node ~dst:t.primary
-            (Message.Scmp_heartbeat { from = sb.sb_node; seq = sb.hb_seq });
+            (Message.Scmp_heartbeat
+               { from = sb.sb_node; seq = sb.hb_seq;
+                 epoch = t.node_epoch.(sb.sb_node) });
           maybe_takeover t sb
-        end));
+        end
+        else if t.primary_auth.a_active && not t.primary_auth.a_failed then
+          N.unicast t.net ~background:true ~src:sb.sb_node ~dst:t.primary
+            (Message.Scmp_announce
+               { auth = sb.sb_node; epoch = sb.sb_auth.a_epoch })));
   t
 
 let handle = handle_message
@@ -982,11 +1490,12 @@ let host_leave t ~group x =
   | None -> Hashtbl.remove t.pending_iface (x, group)
   | Some e ->
     e.member <- false;
-    if e.downstream = [] && x <> t.active then begin
+    if e.downstream = [] && not (is_active_root t x) then begin
       match e.upstream with
       | Some up ->
         drop_entry t x group;
-        rel_transmit t ~src:x ~dst:up (Message.Scmp_prune { group; from = x })
+        rel_transmit t ~src:x ~dst:up
+          (Message.Scmp_prune { group; from = x; epoch = t.node_epoch.(x) })
       | None -> drop_entry t x group
     end);
   submit_request t ~group ~dr:x Message.Leave
@@ -996,13 +1505,14 @@ let send_data t ~group ~src ~seq = originate_data t group ~src ~seq
 (* ---- invariant snapshots (lib/check bridge) ---- *)
 
 let groups t =
-  Hashtbl.fold (fun g _ acc -> g :: acc) t.dcdm [] |> List.sort Int.compare
+  Hashtbl.fold (fun g _ acc -> g :: acc) (active_auth t).a_dcdm []
+  |> List.sort Int.compare
 
 let snapshot t ~group =
   let entries =
     Hashtbl.fold
       (fun (x, g) e acc ->
-        (* Dead routers, a failed primary's leftovers and partitioned
+        (* Dead routers, a failed m-router's leftovers and partitioned
            routers hold state the live network cannot observe; the
            verifier skips them. *)
         if g = group && observable t x then
@@ -1011,6 +1521,7 @@ let snapshot t ~group =
             upstream = e.upstream;
             downstream = e.downstream;
             member = e.member;
+            epoch = e.ep;
           }
           :: acc
         else acc)
@@ -1019,13 +1530,14 @@ let snapshot t ~group =
            Int.compare a.Check.Invariant.router b.Check.Invariant.router)
   in
   let limit =
-    match Hashtbl.find_opt t.dcdm group with
+    match Hashtbl.find_opt (active_auth t).a_dcdm group with
     | Some d -> Mtree.Dcdm.current_limit d
     | None -> infinity
   in
   {
     Check.Invariant.group;
     mrouter = t.active;
+    auth_epoch = active_epoch t;
     tree = Option.map Check.Invariant.view (mrouter_tree t ~group);
     limit;
     entries;

@@ -46,7 +46,23 @@
     routers); i-routers sever dead adjacencies, and a member DR whose
     upstream died sends a reliable GRAFT asking to be re-attached.
     Each repair's convergence latency (fault instant to the first
-    instant {!network_tree_consistent} holds again) is recorded. *)
+    instant {!network_tree_consistent} holds again) is recorded.
+
+    {b Split-brain fencing.} M-router authority carries an {e epoch}
+    number, bumped when the standby takes over and stamped into every
+    TREE/BRANCH/PRUNE/INVALIDATE frame, request ack, replication
+    message and heartbeat (in reserved common-header bits — no extra
+    wire cost). Routers track the highest epoch they have adopted and
+    fence anything older, so a deposed primary that is merely
+    partitioned away — not dead — cannot install stale tree state
+    after the heal. When the partition heals, the new authority's
+    announce reaches the old primary; it observes the higher epoch,
+    steps down, and hands its accumulated state to the new authority
+    in per-group RESYNC messages (roster, departures, request-sequence
+    watermarks, old-tree relays) merged by sequence number. Group
+    availability across all this is tracked as {e blackout}: the sim
+    time from a fault to the first delivery that reaches a member
+    again. *)
 
 type node = Message.node
 
@@ -155,9 +171,32 @@ type stats = {
   repairs : int;
       (** Post-failure tree rebuilds at the m-router (one per affected
           group per topology change). *)
+  epoch : int;
+      (** The active authority's epoch: 1 until a takeover bumps it. *)
+  fenced : int;
+      (** Stale-epoch frames dropped by fencing routers. *)
+  stepdowns : int;
+      (** Authorities deposed after observing a higher epoch. *)
+  resyncs : int;
+      (** Per-group RESYNC messages sent by stepping-down
+          authorities. *)
 }
 
 val stats : t -> stats
+
+val epoch : t -> int
+(** The active authority's epoch ({!stats}.epoch). *)
+
+val blackouts : t -> float list
+(** Completed per-group blackout samples, oldest first: sim seconds
+    from a fault (or from the last primary contact before a takeover)
+    to the first delivery that reached a member of the group again. *)
+
+val active_authorities : t -> (node * int) list
+(** Every authority currently claiming the m-router role, with its
+    epoch — primary first. Two entries only during a split-brain
+    window (a deposed-but-unaware primary plus the new authority);
+    after the heal's step-down exactly one remains. *)
 
 val observe : t -> Obs.Metrics.t -> unit
 (** Publish {!stats} into a registry under [scmp/...] —
@@ -165,7 +204,11 @@ val observe : t -> Obs.Metrics.t -> unit
     [scmp/repair/latency_s] histogram of sim-time repair convergence
     latencies and [scmp/repair/unconverged] for repairs whose poll
     never saw consistency return; [scmp/tree_compute_wall_s] is
-    registered as a wallclock metric. *)
+    registered as a wallclock metric. The fencing metrics
+    ([scmp/epoch], [scmp/fenced], [scmp/stepdowns], [scmp/resyncs])
+    and the [scmp/blackout_s] histogram are published only when a
+    takeover, fence or blackout actually happened, keeping fault-free
+    reports byte-identical to the pre-epoch format. *)
 
 (** {2 Introspection (tests, examples)} *)
 

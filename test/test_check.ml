@@ -53,17 +53,18 @@ let healthy_tree () =
 
 let healthy_entries () =
   [
-    { I.router = 0; upstream = None; downstream = [ 1; 2 ]; member = false };
-    { I.router = 1; upstream = Some 0; downstream = [ 3 ]; member = false };
-    { I.router = 2; upstream = Some 0; downstream = [ 4 ]; member = false };
-    { I.router = 3; upstream = Some 1; downstream = []; member = true };
-    { I.router = 4; upstream = Some 2; downstream = []; member = true };
+    { I.router = 0; upstream = None; downstream = [ 1; 2 ]; member = false; epoch = 1 };
+    { I.router = 1; upstream = Some 0; downstream = [ 3 ]; member = false; epoch = 1 };
+    { I.router = 2; upstream = Some 0; downstream = [ 4 ]; member = false; epoch = 1 };
+    { I.router = 3; upstream = Some 1; downstream = []; member = true; epoch = 1 };
+    { I.router = 4; upstream = Some 2; downstream = []; member = true; epoch = 1 };
   ]
 
 let healthy_snapshot () =
   {
     I.group = 1;
     mrouter = 0;
+    auth_epoch = 1;
     tree = Some (healthy_tree ());
     limit = 2.0;
     entries = healthy_entries ();
@@ -153,7 +154,7 @@ let test_stale_entry_flagged () =
       (healthy_snapshot ()) with
       I.entries =
         healthy_entries ()
-        @ [ { I.router = 5; upstream = Some 2; downstream = []; member = false } ];
+        @ [ { I.router = 5; upstream = Some 2; downstream = []; member = false; epoch = 1 } ];
     }
   in
   let vs = I.check_coherence s in
@@ -215,6 +216,41 @@ let test_tree_over_dead_link_flagged () =
     (List.length
        (I.check_live_links
           { (healthy_snapshot ()) with I.dead_links = [ (2, 5) ] }))
+
+(* ---------------- I7: stale-epoch entries ---------------- *)
+
+let test_stale_epoch_flagged () =
+  (* The authority moved to epoch 2 but router 4 still holds an entry
+     installed by the deposed regime. *)
+  let s =
+    {
+      (healthy_snapshot ()) with
+      I.auth_epoch = 2;
+      entries =
+        List.map
+          (fun (e : I.entry_view) ->
+            { e with I.epoch = (if e.I.router = 4 then 1 else 2) })
+          (healthy_entries ());
+    }
+  in
+  let vs = I.check_epochs s in
+  checkb "stale-epoch fires" true (has_rule "stale-epoch" vs);
+  checki "only the stale router flagged" 1 (List.length vs);
+  checkb "diagnostic names router and epochs" true
+    (diagnostic_mentions "router 4" vs && diagnostic_mentions "epoch 1" vs);
+  checkb "verify_snapshot includes the rule" true
+    (has_rule "stale-epoch" (I.verify_snapshot s));
+  checki "uniform current-epoch entries pass" 0
+    (List.length
+       (I.check_epochs
+          {
+            (healthy_snapshot ()) with
+            I.auth_epoch = 2;
+            entries =
+              List.map
+                (fun (e : I.entry_view) -> { e with I.epoch = 2 })
+                (healthy_entries ());
+          }))
 
 (* ---------------- I4: packet conservation ---------------- *)
 
@@ -299,6 +335,26 @@ let test_lint_raw_transmit () =
     (List.length (L.scan_ml ~path:"lib/protocols/x.ml" src));
   checki "allowed inside lib/eventsim" 0
     (List.length (L.scan_ml ~path:"lib/eventsim/x.ml" src))
+
+let test_lint_raw_fault () =
+  let has vs =
+    List.exists (fun (x : L.violation) -> x.L.rule = L.rule_raw_fault) vs
+  in
+  let src = "let () = Eventsim.Netsim.fail_link net 0 1\n" in
+  checkb "raw fail_link flagged outside eventsim" true
+    (has (L.scan_ml ~path:"lib/protocols/x.ml" src));
+  checkb "short spelling flagged too" true
+    (has (L.scan_ml ~path:"bin/x.ml" "let () = Netsim.fail_node net 3\n"));
+  checkb "batch primitive flagged" true
+    (has
+       (L.scan_ml ~path:"lib/exec/x.ml"
+          "let () = Netsim.restore_links net cut\n"));
+  checki "allowed inside lib/eventsim (Faults lives there)" 0
+    (List.length (L.scan_ml ~path:"lib/eventsim/faults.ml" src));
+  checki "the Faults wrapper itself never matches" 0
+    (List.length
+       (L.scan_ml ~path:"lib/exec/x.ml"
+          "let f = Eventsim.Faults.install net faults\n"))
 
 let test_lint_domain_safety () =
   let has vs = List.exists (fun (x : L.violation) -> x.L.rule = L.rule_domain_safety) vs in
@@ -634,6 +690,11 @@ let () =
           Alcotest.test_case "tree edge over dead link flagged" `Quick
             test_tree_over_dead_link_flagged;
         ] );
+      ( "invariant-epochs",
+        [
+          Alcotest.test_case "stale-epoch entry flagged" `Quick
+            test_stale_epoch_flagged;
+        ] );
       ( "invariant-delivery",
         [ Alcotest.test_case "packet conservation" `Quick test_delivery_counters ] );
       ( "lint-rules",
@@ -645,6 +706,8 @@ let () =
             test_lint_suppression_and_literals;
           Alcotest.test_case "blanking" `Quick test_lint_blanking;
           Alcotest.test_case "raw transmit scope" `Quick test_lint_raw_transmit;
+          Alcotest.test_case "raw fault-primitive scope" `Quick
+            test_lint_raw_fault;
           Alcotest.test_case "domain safety" `Quick test_lint_domain_safety;
           Alcotest.test_case "dune strict flags" `Quick test_lint_dune_flags;
         ] );

@@ -167,6 +167,57 @@ let test_sweep_jobs_invariance () =
         && a.result.max_delay = b.result.max_delay))
     o1.cell_results o4.cell_results
 
+(* ---- chaos campaigns ---- *)
+
+module Chaos = Exec.Chaos
+
+let chaos_spec () =
+  Chaos.make ~packets:8 ~group_size:6 ~seed:13 ~drivers:[ "scmp" ]
+    ~topos:[ Sweep.Waxman 30 ] ~trials:8 ()
+
+let test_chaos_plan_pure () =
+  let p1 = Chaos.plan (chaos_spec ()) in
+  let p2 = Chaos.plan (chaos_spec ()) in
+  checki "8 trials planned" 8 (List.length p1);
+  checkb "plan is a pure function of the spec" true (p1 = p2);
+  List.iteri
+    (fun i (t : Chaos.trial) ->
+      checki "indices in order" i t.Chaos.index;
+      checkb "every trial has a fault program or loss" true
+        (t.program <> [] || t.loss <> None))
+    p1
+
+let test_chaos_jobs_invariance () =
+  let run jobs =
+    match Chaos.run ~jobs (chaos_spec ()) with
+    | Ok o -> o
+    | Error msg -> Alcotest.fail msg
+  in
+  let o1 = run 1 in
+  let o4 = run 4 in
+  checki "all trials ran" 8 (List.length o4.Chaos.results);
+  checki "campaign is violation-free" 0 (List.length o1.Chaos.violations);
+  checks "campaign report byte-identical across jobs"
+    (Obs.Report.to_string ~wallclock:false o1.Chaos.report)
+    (Obs.Report.to_string ~wallclock:false o4.Chaos.report);
+  checkb "blackout samples identical" true
+    (o1.Chaos.blackouts = o4.Chaos.blackouts)
+
+let test_chaos_errors () =
+  (match
+     Chaos.run ~jobs:1
+       (Chaos.make ~drivers:[ "no-such-proto" ] ~topos:[ Sweep.Arpanet ]
+          ~trials:2 ())
+   with
+  | Ok _ -> Alcotest.fail "unknown driver must fail"
+  | Error msg -> checkb "error names the driver" true (String.length msg > 0));
+  match
+    Chaos.run ~jobs:1
+      (Chaos.make ~drivers:[ "scmp" ] ~topos:[ Sweep.Arpanet ] ~trials:0 ())
+  with
+  | Ok _ -> Alcotest.fail "zero trials must fail"
+  | Error _ -> ()
+
 let test_sweep_grid_and_errors () =
   let cells = Sweep.cells (sweep_spec ()) in
   checki "grid size" 4 (List.length cells);
@@ -212,5 +263,13 @@ let () =
             test_sweep_jobs_invariance;
           Alcotest.test_case "grid order and errors" `Quick
             test_sweep_grid_and_errors;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "plan is pure and ordered" `Quick
+            test_chaos_plan_pure;
+          Alcotest.test_case "jobs=1 equals jobs=4 byte-for-byte" `Quick
+            test_chaos_jobs_invariance;
+          Alcotest.test_case "spec errors" `Quick test_chaos_errors;
         ] );
     ]
