@@ -1,0 +1,162 @@
+(* Shared benchmark plumbing: table printing with optional CSV export,
+   the figs-8/9 protocol-comparison cell runner, and the calibrated
+   best-of-k timing helpers used by the micro-benchmarks. *)
+
+module T = Scmp_util.Texttab
+
+let pr fmt = Printf.printf fmt
+
+(* With --csv DIR, every printed table is also written as a CSV file
+   named after its title. *)
+let csv_dir : string option ref = ref None
+
+let slugify s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+      | _ -> '_')
+    (String.lowercase_ascii s)
+
+let print_table ?title tab =
+  T.print ?title tab;
+  match (!csv_dir, title) with
+  | Some dir, Some title ->
+    let path = Filename.concat dir (slugify title ^ ".csv") in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (T.to_csv tab))
+  | _ -> ()
+
+let section title =
+  pr "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Figs 8 and 9: network-wide protocol comparison. One source at
+   1 pkt/s for 30 s; group size 8..40; ARPANET + two random
+   topologies. *)
+
+let fig89_group_sizes = [ 8; 12; 16; 20; 24; 28; 32; 36; 40 ]
+
+type net_topology = Arpanet_t | Random_deg3 | Random_deg5
+
+let topology_name = function
+  | Arpanet_t -> "ARPANET (48 nodes)"
+  | Random_deg3 -> "random, 50 nodes, avg degree 3"
+  | Random_deg5 -> "random, 50 nodes, avg degree 5"
+
+let make_spec topo seed =
+  match topo with
+  | Arpanet_t -> Topology.Arpanet.generate ~seed
+  | Random_deg3 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:3.0
+  | Random_deg5 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:5.0
+
+(* One averaged experiment cell: protocol x topology x group size.
+   Protocols come from the driver registry, so the comparison includes
+   every registered driver (pim-sm along the paper's four). *)
+let run_cell driver topo ~size ~seeds ~pick =
+  let acc = Scmp_util.Stats.create () in
+  for seed = 1 to seeds do
+    let spec = make_spec topo seed in
+    let g = spec.Topology.Spec.graph in
+    let n = Netgraph.Graph.node_count g in
+    let apsp = Netgraph.Apsp.compute g in
+    let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+    let rng = Scmp_util.Prng.create ((seed * 104729) + size) in
+    let members =
+      Scmp_util.Prng.sample rng (min size (n - 1)) n
+      |> List.filter (fun x -> x <> center)
+    in
+    let source = List.hd members in
+    let sc = Protocols.Runner.make ~spec ~center ~source ~members () in
+    let r = Protocols.Runner.run driver sc in
+    if r.Protocols.Runner.missed > 0 || r.duplicates > 0 || r.spurious > 0 then
+      pr "!! %s %s size=%d seed=%d: missed=%d dup=%d spur=%d\n"
+        (Protocols.Driver.display driver)
+        (topology_name topo) size seed r.missed r.duplicates r.spurious;
+    Scmp_util.Stats.add acc (pick r)
+  done;
+  Scmp_util.Stats.mean acc
+
+let protocol_figure ~title ~seeds ~pick ~decimals () =
+  let drivers = Protocols.Driver.all () in
+  List.iter
+    (fun topo ->
+      let tab =
+        T.create
+          (T.column ~align:T.Left "group size"
+          :: List.map (fun d -> T.column (Protocols.Driver.display d)) drivers)
+      in
+      List.iter
+        (fun size ->
+          let row =
+            List.map (fun d -> run_cell d topo ~size ~seeds ~pick) drivers
+          in
+          T.add_float_row tab ~decimals (string_of_int size) row)
+        fig89_group_sizes;
+      print_table ~title:(Printf.sprintf "%s — %s" title (topology_name topo)) tab)
+    [ Arpanet_t; Random_deg3; Random_deg5 ]
+
+let calibrate_runs ~min_batch_s f =
+  let rec go runs =
+    let (), s =
+      Obs.Clock.time (fun () ->
+          for _ = 1 to runs do
+            ignore (f ())
+          done)
+    in
+    if s >= min_batch_s || runs >= 1_000_000 then runs
+    else
+      let scale =
+        if s <= 0.0 then 16.0 else Float.min 16.0 (min_batch_s /. s *. 1.25)
+      in
+      go (max (runs + 1) (int_of_float (float_of_int runs *. scale)))
+  in
+  go 1
+
+let best_of_ns ?(k = 5) ?(min_batch_s = 2e-3) f =
+  let runs = calibrate_runs ~min_batch_s f in
+  let best = ref infinity in
+  for _ = 1 to k do
+    let (), s =
+      Obs.Clock.time (fun () ->
+          for _ = 1 to runs do
+            ignore (f ())
+          done)
+    in
+    let per = s /. float_of_int runs in
+    if per < !best then best := per
+  done;
+  !best *. 1e9
+
+(* Median-of-ratios A/B timing: k rounds of adjacent (fa, fb) batches,
+   each yielding one fb/fa per-run ratio. The host's speed moves by tens
+   of percent between bench invocations — and not uniformly: a
+   pointer-chasing workload degrades more under memory contention than
+   an array-walking one — so ns figures recorded by separate runs do
+   not divide into a meaningful ratio. Adjacent batches see the same
+   host conditions, and the median discards the rounds a phase change
+   lands in the middle of. *)
+let paired_ratio ?(k = 9) ?(min_batch_s = 2e-3) fa fb =
+  let runs_a = calibrate_runs ~min_batch_s fa in
+  let runs_b = calibrate_runs ~min_batch_s fb in
+  let ratios =
+    Array.init k (fun _ ->
+        let (), sa =
+          Obs.Clock.time (fun () ->
+              for _ = 1 to runs_a do
+                ignore (fa ())
+              done)
+        in
+        let (), sb =
+          Obs.Clock.time (fun () ->
+              for _ = 1 to runs_b do
+                ignore (fb ())
+              done)
+        in
+        sb /. float_of_int runs_b /. (sa /. float_of_int runs_a))
+  in
+  Array.sort compare ratios;
+  ratios.(k / 2)
+

@@ -6,1617 +6,166 @@
    Usage:
      dune exec bench/main.exe                 # everything, reduced seeds
      dune exec bench/main.exe -- fig7 --full  # one figure, paper-scale
-     dune exec bench/main.exe -- micro        # micro-benches
-     dune exec bench/main.exe -- sweep --jobs 4  # parallel sweep bench
+     dune exec bench/main.exe -- micro --json BENCH.json
+     dune exec bench/main.exe -- micro --out runs/r1  # artifact dir
 
-   See DESIGN.md ("Per-experiment index") and EXPERIMENTS.md
-   (paper-vs-measured record). *)
+   Workloads live in the w_*.ml modules and are dispatched through the
+   {!Workload} registry; unknown commands, unknown flags and malformed
+   flag values all exit 2 with usage. See DESIGN.md ("Per-experiment
+   index") and EXPERIMENTS.md (paper-vs-measured record). *)
 
-module T = Scmp_util.Texttab
+let workloads : Workload.t list =
+  W_trees.workloads @ W_protocols.workloads @ W_fabric.workloads
+  @ W_resilience.workloads @ W_micro.workloads @ W_exec.workloads
 
-let pr fmt = Printf.printf fmt
+let usage oc =
+  Printf.fprintf oc
+    "usage: main.exe [WORKLOAD...] [--full] [--ablate] [--csv DIR] [--json \
+     PATH] [--jobs N] [--out DIR]\n\nworkloads (default: all):\n";
+  List.iter
+    (fun (w : Workload.t) ->
+      Printf.fprintf oc "  %-12s %s\n" w.Workload.name w.doc)
+    workloads;
+  Printf.fprintf oc "  %-12s %s\n" "all" "every workload in order";
+  Printf.fprintf oc
+    "\nflags:\n\
+    \  --full       paper-scale seed counts instead of the smoke quota\n\
+    \  --ablate     include the candidate-set ablation in fig7\n\
+    \  --csv DIR    also write every printed table as CSV into DIR\n\
+    \  --json PATH  write the micro/e2e results as a scmp-report/1 file\n\
+    \  --jobs N     worker domains for the parallel benches\n\
+    \  --out DIR    per-run artifact dir: tables as CSV under DIR/csv,\n\
+    \               micro results as DIR/bench.json, flags as DIR/meta.json\n"
 
-(* With --csv DIR, every printed table is also written as a CSV file
-   named after its title. *)
-let csv_dir : string option ref = ref None
+let die fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "error: %s\n\n" m;
+      usage stderr;
+      exit 2)
+    fmt
 
-let slugify s =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
-      | _ -> '_')
-    (String.lowercase_ascii s)
-
-let print_table ?title tab =
-  T.print ?title tab;
-  match (!csv_dir, title) with
-  | Some dir, Some title ->
-    let path = Filename.concat dir (slugify title ^ ".csv") in
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (T.to_csv tab))
-  | _ -> ()
-
-let section title =
-  pr "\n%s\n%s\n" title (String.make (String.length title) '=')
-
-(* ------------------------------------------------------------------ *)
-(* Fig 7: tree delay / tree cost vs group size, three constraint
-   levels, on 100-node Waxman graphs. DCDM vs KMB vs SPT (and the
-   candidate-set ablation with --ablate). *)
-
-let fig7_group_sizes = [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
-
-type fig7_algo = {
-  name : string;
-  build :
-    Netgraph.Apsp.t -> root:int -> members:int list -> bound:Mtree.Bound.t ->
-    Mtree.Tree.t;
+type cli = {
+  mutable cmds : string list;  (* reversed *)
+  mutable full : bool;
+  mutable ablate : bool;
+  mutable csv : string option;
+  mutable json : string option;
+  mutable jobs : int option;
+  mutable out : string option;
 }
 
-let fig7_algos ~ablate =
-  let dcdm ?candidates () =
+(* Strict left-to-right parse: every unknown flag, unknown workload
+   name or malformed flag value dies with usage on exit 2 — a typoed
+   "--jbos 4" must never run the full suite with defaults. *)
+let parse_cli args =
+  let c =
     {
-      name =
-        (match candidates with
-        | Some Mtree.Dcdm.Least_cost_only -> "DCDM/lc"
-        | Some Mtree.Dcdm.Shortest_delay_only -> "DCDM/sl"
-        | _ -> "DCDM");
-      build =
-        (fun apsp ~root ~members ~bound ->
-          Mtree.Dcdm.build ?candidates apsp ~root ~bound ~members);
+      cmds = [];
+      full = false;
+      ablate = false;
+      csv = None;
+      json = None;
+      jobs = None;
+      out = None;
     }
   in
-  let kmb =
-    {
-      name = "KMB";
-      build =
-        (fun apsp ~root ~members ~bound:_ -> Mtree.Kmb.build apsp ~root ~members);
-    }
+  let value flag = function
+    | v :: rest when String.length v = 0 || v.[0] <> '-' -> (v, rest)
+    | _ -> die "%s expects a value" flag
   in
-  let spt =
-    {
-      name = "SPT";
-      build =
-        (fun apsp ~root ~members ~bound:_ -> Mtree.Spt.build apsp ~root ~members);
-    }
+  let rec go = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+      usage stdout;
+      exit 0
+    | "--full" :: rest ->
+      c.full <- true;
+      go rest
+    | "--ablate" :: rest ->
+      c.ablate <- true;
+      go rest
+    | "--csv" :: rest ->
+      let v, rest = value "--csv" rest in
+      c.csv <- Some v;
+      go rest
+    | "--json" :: rest ->
+      let v, rest = value "--json" rest in
+      c.json <- Some v;
+      go rest
+    | "--out" :: rest ->
+      let v, rest = value "--out" rest in
+      c.out <- Some v;
+      go rest
+    | "--jobs" :: rest ->
+      let v, rest = value "--jobs" rest in
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> c.jobs <- Some j
+      | _ -> die "--jobs expects a positive integer, got %S" v);
+      go rest
+    | a :: _ when String.length a >= 1 && a.[0] = '-' ->
+      die "unknown flag %S" a
+    | a :: rest ->
+      if a <> "all" && not (List.exists (fun w -> w.Workload.name = a) workloads)
+      then die "unknown workload %S" a;
+      c.cmds <- a :: c.cmds;
+      go rest
   in
-  if ablate then
-    [
-      dcdm ();
-      dcdm ~candidates:Mtree.Dcdm.Least_cost_only ();
-      dcdm ~candidates:Mtree.Dcdm.Shortest_delay_only ();
-      kmb;
-      spt;
-    ]
-  else [ dcdm (); kmb; spt ]
+  go args;
+  c
 
-let fig7 ~seeds ~ablate () =
-  section "Fig 7 — multicast tree quality (100-node Waxman, alpha=0.25, beta=0.2)";
-  pr "averaged over %d seeds; members joined in random order\n" seeds;
-  let algos = fig7_algos ~ablate in
-  List.iter
-    (fun bound ->
-      let columns =
-        T.column ~align:T.Left "group size"
-        :: List.map (fun a -> T.column a.name) algos
-      in
-      let delay_tab = T.create columns in
-      let cost_tab = T.create columns in
-      List.iter
-        (fun size ->
-          let sums_d = Array.make (List.length algos) 0.0 in
-          let sums_c = Array.make (List.length algos) 0.0 in
-          for seed = 1 to seeds do
-            let spec = Topology.Waxman.generate ~seed ~n:100 () in
-            let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
-            let root = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-            let rng = Scmp_util.Prng.create (seed * 7919) in
-            let members =
-              Scmp_util.Prng.sample rng size 100
-              |> List.filter (fun x -> x <> root)
-            in
-            List.iteri
-              (fun i a ->
-                let tree = a.build apsp ~root ~members ~bound in
-                sums_d.(i) <- sums_d.(i) +. Mtree.Eval.tree_delay tree;
-                sums_c.(i) <- sums_c.(i) +. Mtree.Eval.tree_cost tree)
-              algos
-          done;
-          let avg s = s /. float_of_int seeds in
-          T.add_float_row delay_tab ~decimals:0 (string_of_int size)
-            (Array.to_list (Array.map avg sums_d));
-          T.add_float_row cost_tab ~decimals:0 (string_of_int size)
-            (Array.to_list (Array.map avg sums_c)))
-        fig7_group_sizes;
-      let level = Mtree.Bound.to_string bound in
-      print_table ~title:(Printf.sprintf "Fig 7 tree delay, %s constraint" level)
-        delay_tab;
-      print_table ~title:(Printf.sprintf "Fig 7 tree cost, %s constraint" level)
-        cost_tab)
-    Mtree.Bound.all_levels
-
-(* ------------------------------------------------------------------ *)
-(* Figs 8 and 9: network-wide protocol comparison. One source at
-   1 pkt/s for 30 s; group size 8..40; ARPANET + two random
-   topologies. *)
-
-let fig89_group_sizes = [ 8; 12; 16; 20; 24; 28; 32; 36; 40 ]
-
-type net_topology = Arpanet_t | Random_deg3 | Random_deg5
-
-let topology_name = function
-  | Arpanet_t -> "ARPANET (48 nodes)"
-  | Random_deg3 -> "random, 50 nodes, avg degree 3"
-  | Random_deg5 -> "random, 50 nodes, avg degree 5"
-
-let make_spec topo seed =
-  match topo with
-  | Arpanet_t -> Topology.Arpanet.generate ~seed
-  | Random_deg3 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:3.0
-  | Random_deg5 -> Topology.Flat_random.generate ~seed ~n:50 ~avg_degree:5.0
-
-(* One averaged experiment cell: protocol x topology x group size.
-   Protocols come from the driver registry, so the comparison includes
-   every registered driver (pim-sm along the paper's four). *)
-let run_cell driver topo ~size ~seeds ~pick =
-  let acc = Scmp_util.Stats.create () in
-  for seed = 1 to seeds do
-    let spec = make_spec topo seed in
-    let g = spec.Topology.Spec.graph in
-    let n = Netgraph.Graph.node_count g in
-    let apsp = Netgraph.Apsp.compute g in
-    let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-    let rng = Scmp_util.Prng.create ((seed * 104729) + size) in
-    let members =
-      Scmp_util.Prng.sample rng (min size (n - 1)) n
-      |> List.filter (fun x -> x <> center)
-    in
-    let source = List.hd members in
-    let sc = Protocols.Runner.make ~spec ~center ~source ~members () in
-    let r = Protocols.Runner.run driver sc in
-    if r.Protocols.Runner.missed > 0 || r.duplicates > 0 || r.spurious > 0 then
-      pr "!! %s %s size=%d seed=%d: missed=%d dup=%d spur=%d\n"
-        (Protocols.Driver.display driver)
-        (topology_name topo) size seed r.missed r.duplicates r.spurious;
-    Scmp_util.Stats.add acc (pick r)
-  done;
-  Scmp_util.Stats.mean acc
-
-let protocol_figure ~title ~seeds ~pick ~decimals () =
-  let drivers = Protocols.Driver.all () in
-  List.iter
-    (fun topo ->
-      let tab =
-        T.create
-          (T.column ~align:T.Left "group size"
-          :: List.map (fun d -> T.column (Protocols.Driver.display d)) drivers)
-      in
-      List.iter
-        (fun size ->
-          let row =
-            List.map (fun d -> run_cell d topo ~size ~seeds ~pick) drivers
-          in
-          T.add_float_row tab ~decimals (string_of_int size) row)
-        fig89_group_sizes;
-      print_table ~title:(Printf.sprintf "%s — %s" title (topology_name topo)) tab)
-    [ Arpanet_t; Random_deg3; Random_deg5 ]
-
-let fig8 ~seeds () =
-  section "Fig 8 — data overhead and protocol overhead vs group size";
-  pr "1 source, 1 pkt/s, 30 s; averaged over %d seeds (link-cost units)\n" seeds;
-  protocol_figure ~title:"Fig 8(a-c) data overhead" ~seeds
-    ~pick:(fun r -> r.Protocols.Runner.data_overhead)
-    ~decimals:0 ();
-  protocol_figure ~title:"Fig 8(d-f) protocol overhead" ~seeds
-    ~pick:(fun r -> r.Protocols.Runner.protocol_overhead)
-    ~decimals:0 ();
-  protocol_figure ~title:"Fig 8(e,f) log10(protocol overhead)" ~seeds
-    ~pick:(fun r -> log10 (Float.max 1.0 r.Protocols.Runner.protocol_overhead))
-    ~decimals:2 ()
-
-let fig9 ~seeds () =
-  section "Fig 9 — maximum end-to-end delay vs group size (seconds)";
-  protocol_figure ~title:"Fig 9 maximum end-to-end delay" ~seeds
-    ~pick:(fun r -> r.Protocols.Runner.max_delay)
-    ~decimals:4 ()
-
-(* ------------------------------------------------------------------ *)
-(* m-router placement study (§IV.A rules). *)
-
-let placement ~seeds () =
-  section "m-router placement (§IV.A rules 1-3 vs random)";
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "placement";
-        T.column "mean tree cost";
-        T.column "vs rule 1";
-      ]
-  in
-  let spec = Topology.Waxman.generate ~seed:17 ~n:100 () in
-  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
-  let score candidate =
-    Scmp.Placement.evaluate apsp ~candidate ~bound:Mtree.Bound.Moderate
-      ~group_size:20 ~trials:(10 * seeds) ~seed:3
-  in
-  let rule1 = score (Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay) in
-  List.iter
-    (fun rule ->
-      let s = score (Scmp.Placement.pick apsp rule) in
-      T.add_row tab
-        [
-          Scmp.Placement.rule_name rule;
-          Printf.sprintf "%.0f" s;
-          Printf.sprintf "%+.1f%%" (100.0 *. ((s /. rule1) -. 1.0));
-        ])
-    Scmp.Placement.all_rules;
-  let rng = Scmp_util.Prng.create 7 in
-  let rand_acc = Scmp_util.Stats.create () in
-  for _ = 1 to 10 do
-    Scmp_util.Stats.add rand_acc (score (Scmp_util.Prng.int rng 100))
-  done;
-  let s = Scmp_util.Stats.mean rand_acc in
-  T.add_row tab
-    [
-      "random (mean of 10)";
-      Printf.sprintf "%.0f" s;
-      Printf.sprintf "%+.1f%%" (100.0 *. ((s /. rule1) -. 1.0));
-    ];
-  print_table tab
-
-(* ------------------------------------------------------------------ *)
-(* Fabric validation/ablation: Beneš routing scale and the many-to-many
-   merge claims of §II.B. *)
-
-let fabric () =
-  section "m-router switching fabric (PN-CCN-DN sandwich, §II.B)";
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "ports";
-        T.column "stages";
-        T.column "2x2 elements";
-        T.column "perms checked";
-        T.column "failures";
-      ]
-  in
-  List.iter
-    (fun bits ->
-      let n = 1 lsl bits in
-      let rng = Scmp_util.Prng.create (1000 + n) in
-      let failures = ref 0 in
-      let trials = 50 in
-      let cfg = ref (Fabric.Benes.identity n) in
-      for _ = 1 to trials do
-        let p = Array.init n (fun i -> i) in
-        Scmp_util.Prng.shuffle rng p;
-        cfg := Fabric.Benes.route p;
-        if Fabric.Benes.eval !cfg <> p then incr failures
-      done;
-      T.add_row tab
-        [
-          string_of_int n;
-          string_of_int (Fabric.Benes.depth !cfg);
-          string_of_int (Fabric.Benes.element_count !cfg);
-          string_of_int trials;
-          string_of_int !failures;
-        ])
-    [ 2; 3; 4; 5; 6; 7; 8 ];
-  print_table ~title:"Beneš permutation routing (looping algorithm)" tab;
-  (* Group churn on a 64-port fabric, verifying isolation after every
-     step. *)
-  let f = Fabric.Sandwich.create ~ports:64 in
-  let rng = Scmp_util.Prng.create 31337 in
-  let steps = 500 and violations = ref 0 and opened = ref 0 and merged = ref 0 in
-  for step = 1 to steps do
-    let gid = 1 + Scmp_util.Prng.int rng 8 in
-    (match Scmp_util.Prng.int rng 4 with
-    | 0 ->
-      (match Fabric.Sandwich.open_group f ~gid ~output:(32 + gid) with
-      | Ok () -> incr opened
-      | Error _ -> ())
-    | 1 ->
-      if List.mem gid (Fabric.Sandwich.groups f) then begin
-        match
-          Fabric.Sandwich.add_source f ~gid ~input:(Scmp_util.Prng.int rng 32)
-        with
-        | Ok () -> incr merged
-        | Error _ -> ()
-      end
-    | 2 ->
-      if List.mem gid (Fabric.Sandwich.groups f) then begin
-        match Fabric.Sandwich.sources f gid with
-        | [] -> ()
-        | input :: _ -> Fabric.Sandwich.remove_source f ~gid ~input
-      end
-    | _ -> if step mod 7 = 0 then Fabric.Sandwich.close_group f gid);
-    match Fabric.Sandwich.self_check f with
-    | Ok () -> ()
-    | Error _ -> incr violations
-  done;
-  pr
-    "\ngroup churn: %d steps (%d opens, %d source merges) on 64 ports — %d \
-     isolation/routing violations\n"
-    steps !opened !merged !violations;
-  (* the ref [10] self-routing copy network: exactly-the-interval
-     delivery at every width *)
-  let cn = Fabric.Copynet.create 256 in
-  let ctab =
-    T.create
-      [
-        T.column ~align:T.Left "copies";
-        T.column "elements used";
-        T.column "checked";
-        T.column "failures";
-      ]
-  in
-  List.iter
-    (fun width ->
-      let rng = Scmp_util.Prng.create (3000 + width) in
-      let failures = ref 0 and used = ref 0 in
-      let trials = 40 in
-      for _ = 1 to trials do
-        let lo =
-          if width = 256 then 0 else Scmp_util.Prng.int rng (256 - width + 1)
-        in
-        let hi = lo + width - 1 in
-        let plan = Fabric.Copynet.route cn ~lo ~hi in
-        used := !used + Fabric.Copynet.elements_used plan;
-        let out = Fabric.Copynet.eval cn plan in
-        Array.iteri
-          (fun i got -> if got <> (i >= lo && i <= hi) then incr failures)
-          out
-      done;
-      T.add_row ctab
-        [
-          string_of_int width;
-          string_of_int (!used / trials);
-          string_of_int trials;
-          string_of_int !failures;
-        ])
-    [ 1; 4; 16; 64; 256 ];
-  print_table ~title:"self-routing copy network (256 ports, interval splitting)" ctab
-
-(* ------------------------------------------------------------------ *)
-(* Ablation: BRANCH packets vs always-full-TREE distribution (§III.E's
-   "if the change is small, using a TREE packet containing the whole
-   tree structure is too expensive"). *)
-
-let branch_ablation ~seeds () =
-  section "ablation — BRANCH vs full-TREE distribution (SCMP protocol overhead)";
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "group size";
-        T.column "BRANCH+TREE";
-        T.column "always TREE";
-        T.column "saving";
-      ]
-  in
-  List.iter
-    (fun size ->
-      let overhead distribution =
-        let acc = Scmp_util.Stats.create () in
-        for seed = 1 to seeds do
-          let spec = make_spec Random_deg3 seed in
-          let g = spec.Topology.Spec.graph in
-          let n = Netgraph.Graph.node_count g in
-          let apsp = Netgraph.Apsp.compute g in
-          let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-          let rng = Scmp_util.Prng.create ((seed * 499) + size) in
-          let members =
-            Scmp_util.Prng.sample rng (min size (n - 1)) n
-            |> List.filter (fun x -> x <> center)
-          in
-          let source = List.hd members in
-          let sc =
-            Protocols.Runner.make ~scmp_distribution:distribution ~spec ~center
-              ~source ~members ()
-          in
-          let r =
-            Protocols.Runner.run (Protocols.Driver.find_exn "scmp") sc
-          in
-          Scmp_util.Stats.add acc r.Protocols.Runner.protocol_overhead
-        done;
-        Scmp_util.Stats.mean acc
-      in
-      let incr = overhead Protocols.Scmp_proto.Incremental in
-      let full = overhead Protocols.Scmp_proto.Always_full_tree in
-      T.add_row tab
-        [
-          string_of_int size;
-          Printf.sprintf "%.0f" incr;
-          Printf.sprintf "%.0f" full;
-          Printf.sprintf "%.1f%%" (100.0 *. (1.0 -. (incr /. full)));
-        ])
-    [ 8; 16; 24; 32; 40 ];
-  print_table ~title:"random 50-node topology (avg degree 3)" tab
-
-(* ------------------------------------------------------------------ *)
-(* Fault recovery (ours): SCMP through control-plane loss and random
-   mid-data link failures — what the reliable transport and the tree
-   repair cost, and what delivery ratio they buy. *)
-
-let faults_bench () =
-  section "fault recovery — loss, link failures, tree repair";
-  let spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
-  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
-  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-  let rng = Scmp_util.Prng.create 41 in
-  let members =
-    Scmp_util.Prng.sample rng 12 50 |> List.filter (fun x -> x <> center)
-  in
-  let base =
-    Protocols.Runner.make ~spec ~center ~source:(List.hd members) ~members ()
-  in
-  let data_end =
-    base.Protocols.Runner.data_start
-    +. (base.data_interval *. float_of_int base.data_count)
-  in
-  let run_case ?loss ?loss_class ~fail_count () =
-    let faults =
-      if fail_count = 0 then []
-      else
-        Eventsim.Faults.random_link_failures ~seed:11 ~count:fail_count
-          ~t0:base.Protocols.Runner.data_start ~t1:data_end
-          spec.Topology.Spec.graph
-    in
-    let sc = { base with Protocols.Runner.loss; loss_class; faults } in
-    let report = Obs.Report.create ~name:"bench-faults" () in
-    let r =
-      Protocols.Runner.run ~report (Protocols.Driver.find_exn "scmp") sc
-    in
-    let m = Obs.Report.metrics report in
-    let c name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
-    (r, c "scmp/retransmissions", c "scmp/giveups", c "scmp/repair/count")
-  in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "scenario";
-        T.column "delivery ratio";
-        T.column "dropped";
-        T.column "retransmits";
-        T.column "give-ups";
-        T.column "repairs";
-        T.column "proto overhead";
-      ]
-  in
-  List.iter
-    (fun (name, loss, loss_class, fail_count) ->
-      let r, retx, giveups, repairs = run_case ?loss ?loss_class ~fail_count () in
-      T.add_row tab
-        [
-          name;
-          Printf.sprintf "%.4f" r.Protocols.Runner.delivery_ratio;
-          string_of_int r.dropped;
-          string_of_int retx;
-          string_of_int giveups;
-          string_of_int repairs;
-          Printf.sprintf "%.0f" r.protocol_overhead;
-        ])
-    [
-      ("no faults", None, None, 0);
-      ("5% control loss", Some (0.05, 42), Some `Control, 0);
-      ("2 random link failures", None, None, 2);
-      ("loss + 2 failures", Some (0.05, 42), Some `Control, 2);
-    ];
-  print_table
-    ~title:
-      "50-node random (deg 3), 12 members, 30 pkts; failures drawn \
-       uniformly over the data phase (seed 11)"
-    tab
-
-(* ------------------------------------------------------------------ *)
-(* Hot-standby m-router failover (concluding remarks, point 4):
-   steady-state cost of the standby and behaviour through a failure. *)
-
-let failover () =
-  section "m-router hot standby (concluding remarks)";
-  let spec = Topology.Waxman.generate ~seed:77 ~n:40 () in
-  let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
-  let primary = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-  let standby0 = Scmp.Placement.pick apsp Scmp.Placement.Max_degree in
-  let standby = if standby0 = primary then (primary + 1) mod 40 else standby0 in
-  let members =
-    List.filter (fun x -> x <> primary && x <> standby) [ 4; 12; 19; 27; 33 ]
-  in
-  (* A genuinely off-tree source: its packets are encapsulated to the
-     m-router (§III.F), so the m-router's death actually interrupts
-     delivery. DCDM is invariant under uniform delay scaling, so the
-     unscaled tree predicts the scaled one. *)
-  let source =
-    let tree =
-      Mtree.Dcdm.build apsp ~root:primary ~bound:Mtree.Bound.Tightest ~members
-    in
-    List.find
-      (fun x -> (not (Mtree.Tree.on_tree tree x)) && x <> standby)
-      (List.init 40 Fun.id)
-  in
-  let run_case ~with_standby ~fail =
-    let g =
-      Netgraph.Graph.map_links spec.Topology.Spec.graph ~f:(fun l ->
-          (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
-    in
-    let e = Eventsim.Engine.create () in
-    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
-    let delivery = Protocols.Delivery.create e in
-    let p =
-      if with_standby then
-        Protocols.Scmp_proto.create ~delivery ~standby ~heartbeat_interval:0.5
-          ~takeover_after:1.5 net ~mrouter:primary ()
-      else Protocols.Scmp_proto.create ~delivery net ~mrouter:primary ()
-    in
-    List.iteri
-      (fun i m ->
-        Eventsim.Engine.schedule_at e ~time:(0.1 +. (0.2 *. float_of_int i))
-          (fun () -> Protocols.Scmp_proto.host_join p ~group:1 m))
-      members;
-    if fail then
-      Eventsim.Engine.schedule_at e ~time:10.0 (fun () ->
-          Protocols.Scmp_proto.fail_primary p);
-    let src = source in
-    let expected = members in
-    for seq = 0 to 29 do
-      let at = 5.0 +. float_of_int seq in
-      Eventsim.Engine.schedule_at e ~time:at (fun () ->
-          Protocols.Delivery.expect delivery ~seq ~members:expected ~sent_at:at;
-          Protocols.Scmp_proto.send_data p ~group:1 ~src ~seq)
-    done;
-    Eventsim.Engine.run ~until:40.0 e;
-    ( Eventsim.Netsim.control_overhead net,
-      Protocols.Delivery.deliveries delivery,
-      Protocols.Delivery.missed delivery,
-      Protocols.Scmp_proto.standby_took_over p )
-  in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "case";
-        T.column "ctl overhead";
-        T.column "delivered";
-        T.column "missed";
-        T.column ~align:T.Left "recovered";
-      ]
-  in
-  let row name (o, d, m, rec_) =
-    T.add_row tab
-      [
-        name;
-        Printf.sprintf "%.0f" o;
-        string_of_int d;
-        string_of_int m;
-        (if rec_ then "yes" else "-");
-      ]
-  in
-  row "no standby, no failure" (run_case ~with_standby:false ~fail:false);
-  row "standby, no failure" (run_case ~with_standby:true ~fail:false);
-  row "no standby, failure@10s" (run_case ~with_standby:false ~fail:true);
-  row "standby, failure@10s" (run_case ~with_standby:true ~fail:true);
-  T.print
-    ~title:
-      "40-node Waxman, 5 members, off-tree source, 30 pkts at 1/s from t=5; failure at t=10 (heartbeat 0.5s, takeover window 1.5s)"
-    tab
-
-(* ------------------------------------------------------------------ *)
-(* Multiple m-routers per domain (§II.A extension): regional homes cut
-   both the control path length and the shared-tree cost. *)
-
-let multi () =
-  section "multiple m-routers per domain (§II.A extension)";
-  let spec = Topology.Waxman.generate ~seed:11 ~n:60 () in
-  let g0 = spec.Topology.Spec.graph in
-  let apsp = Netgraph.Apsp.compute g0 in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "m-routers";
-        T.column "mean tree cost";
-        T.column "join ctl overhead";
-      ]
-  in
-  let west, east =
-    (* split by x coordinate to get two regional anchors *)
-    let coords = spec.Topology.Spec.coords in
-    let by_x = List.init 60 Fun.id |> List.sort (fun a b ->
-        compare (fst coords.(a)) (fst coords.(b))) in
-    (List.nth by_x 15, List.nth by_x 44)
-  in
-  let central = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-  (* Two membership patterns: groups spread domain-wide, and regional
-     groups whose members cluster in one half of the map. Regional
-     homes pay off exactly when groups are regional — and the bench
-     shows the domain-wide case too, where a central m-router wins. *)
-  let coords = spec.Topology.Spec.coords in
-  let by_x =
-    List.init 60 Fun.id
-    |> List.sort (fun a b -> compare (fst coords.(a)) (fst coords.(b)))
-  in
-  let halves = (Array.of_list by_x, 30) in
-  let sample_members rng ~regional grp mrouters =
-    let pool =
-      if not regional then List.init 60 Fun.id
-      else begin
-        let arr, half = halves in
-        let side = if grp mod 2 = 0 then Array.sub arr 0 half else Array.sub arr half 30 in
-        Array.to_list side
-      end
-    in
-    let pool = List.filter (fun x -> not (List.mem x mrouters)) pool in
-    let arr = Array.of_list pool in
-    Scmp_util.Prng.shuffle rng arr;
-    Array.to_list (Array.sub arr 0 (min 10 (Array.length arr)))
-  in
-  let nearest_assign mrouters grp_members =
-    (* home = m-router with least total delay to the group's members *)
-    fun grp ->
-      let members = List.assoc grp grp_members in
-      List.fold_left
-        (fun best m ->
-          let score m =
-            List.fold_left (fun acc x -> acc +. Netgraph.Apsp.delay apsp m x) 0.0 members
-          in
-          if score m < score best then m else best)
-        (List.hd mrouters) mrouters
-  in
-  let run_config name ~regional mrouters =
-    let g =
-      Netgraph.Graph.map_links g0 ~f:(fun l ->
-          (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
-    in
-    let e = Eventsim.Engine.create () in
-    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
-    let rng = Scmp_util.Prng.create 99 in
-    let groups = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
-    let grp_members =
-      List.map (fun grp -> (grp, sample_members rng ~regional grp mrouters)) groups
-    in
-    let m =
-      Protocols.Multi.create
-        ~assign:(nearest_assign mrouters grp_members)
-        net ~mrouters ()
-    in
-    List.iter
-      (fun (grp, members) ->
-        List.iter (fun r -> Protocols.Multi.host_join m ~group:grp r) members)
-      grp_members;
-    Eventsim.Engine.run e;
-    let total_cost =
-      List.fold_left
-        (fun acc grp ->
-          match Protocols.Multi.tree m ~group:grp with
-          | Some t -> acc +. Mtree.Eval.tree_cost t
-          | None -> acc)
-        0.0 groups
-    in
-    T.add_row tab
-      [
-        name;
-        Printf.sprintf "%.0f" (total_cost /. float_of_int (List.length groups));
-        Printf.sprintf "%.0f" (Eventsim.Netsim.control_overhead net);
-      ]
-  in
-  run_config "1 central, domain-wide groups" ~regional:false [ central ];
-  run_config "2 regional, domain-wide groups" ~regional:false [ west; east ];
-  run_config "1 central, regional groups" ~regional:true [ central ];
-  run_config "2 regional, regional groups" ~regional:true [ west; east ];
-  T.print
-    ~title:"60-node Waxman, 8 groups of 10 members; home = nearest m-router"
-    tab
-
-(* ------------------------------------------------------------------ *)
-(* m-router control-plane capacity (§II.B: "capable of handling
-   multiple multicast tasks simultaneously" on multiple processors).
-   JOIN requests arrive in a Poisson stream and queue for a processor;
-   each costs a fixed 10 ms of tree recomputation + distribution. *)
-
-let capacity () =
-  section "m-router processing capacity (§II.B multiprocessor claim)";
-  let spec = Topology.Waxman.generate ~seed:19 ~n:50 () in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "processors";
-        T.column "arrivals/s";
-        T.column "joins served";
-        T.column "mean wait (ms)";
-        T.column "max queue";
-      ]
-  in
-  let service = 0.010 in
-  List.iter
-    (fun k ->
-      List.iter
-        (fun rate ->
-          let g =
-            Netgraph.Graph.map_links spec.Topology.Spec.graph ~f:(fun l ->
-                (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
-          in
-          let e = Eventsim.Engine.create () in
-          let net =
-            Eventsim.Netsim.create e g ~classify:Protocols.Message.classify
-          in
-          let station = Eventsim.Server.create e ~servers:k in
-          let p =
-            Protocols.Scmp_proto.create ~cpu:(station, service) net ~mrouter:0 ()
-          in
-          let rng = Scmp_util.Prng.create (k * 1000 + rate) in
-          (* Poisson joins over 10 s: random router, one of 8 groups. *)
-          let rec arrivals at n =
-            if at <= 10.0 then begin
-              Eventsim.Engine.schedule_at e ~time:at (fun () ->
-                  Protocols.Scmp_proto.host_join p
-                    ~group:(1 + (n mod 8))
-                    (1 + Scmp_util.Prng.int rng 49));
-              let gap =
-                -.(1.0 /. float_of_int rate)
-                *. log (1.0 -. Scmp_util.Prng.float rng 1.0)
-              in
-              arrivals (at +. gap) (n + 1)
-            end
-          in
-          arrivals 0.05 0;
-          Eventsim.Engine.run e;
-          let served = Eventsim.Server.completed station in
-          let mean_wait =
-            if served = 0 then 0.0
-            else Eventsim.Server.total_queueing_delay station /. float_of_int served
-          in
-          T.add_row tab
-            [
-              string_of_int k;
-              string_of_int rate;
-              string_of_int served;
-              Printf.sprintf "%.2f" (1000.0 *. mean_wait);
-              string_of_int (Eventsim.Server.max_queue_length station);
-            ])
-        [ 50; 90; 150 ])
-    [ 1; 2; 4 ];
-  T.print
-    ~title:"50-node Waxman, 8 groups, 10 ms service per JOIN, 10 s Poisson stream"
-    tab
-
-(* ------------------------------------------------------------------ *)
-(* Traffic concentration at the center (§I: ST-based cores suffer
-   "traffic jam around the core … packet loss and longer communication
-   delay", while m-routers are "specially designed powerful routers").
-   Many simultaneous sources drive one group; the center forwards every
-   transit packet through its forwarding engine — a single processor
-   for an ordinary core vs the m-router's parallel fabric. *)
-
-let congestion () =
-  section "traffic concentration at the center (§I motivation)";
-  let spec = Topology.Waxman.generate ~seed:23 ~n:40 () in
-  let g0 = spec.Topology.Spec.graph in
-  let apsp = Netgraph.Apsp.compute g0 in
-  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-  let members =
-    let rng = Scmp_util.Prng.create 5 in
-    Scmp_util.Prng.sample rng 12 40 |> List.filter (fun x -> x <> center)
-  in
-  (* per-packet forwarding time at the center: 10 ms, i.e. one engine
-     sustains 100 pkts/s *)
-  let service = 0.010 in
-  let run_case processors =
-    let g =
-      Netgraph.Graph.map_links g0 ~f:(fun l ->
-          (l.Netgraph.Graph.delay *. 3e-6, l.Netgraph.Graph.cost))
-    in
-    let e = Eventsim.Engine.create () in
-    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
-    let delivery = Protocols.Delivery.create e in
-    let station = Eventsim.Server.create e ~servers:processors in
-    Eventsim.Netsim.set_node_processing net center station ~service_time:service;
-    let p = Protocols.Scmp_proto.create ~delivery net ~mrouter:center () in
-    List.iteri
-      (fun i m ->
-        Eventsim.Engine.schedule_at e ~time:(0.1 +. (0.2 *. float_of_int i))
-          (fun () -> Protocols.Scmp_proto.host_join p ~group:1 m))
-      members;
-    (* every member is also a speaker: 10 packets each, ~165 pkts/s
-       aggregate through the shared tree's root — 1.65x one engine's
-       capacity *)
-    let seq = ref 0 in
-    for round = 0 to 9 do
-      List.iteri
-        (fun i src ->
-          let s = !seq in
-          incr seq;
-          let at =
-            10.0 +. (0.006 *. float_of_int ((round * List.length members) + i))
-          in
-          Eventsim.Engine.schedule_at e ~time:at (fun () ->
-              Protocols.Delivery.expect delivery ~seq:s
-                ~members:(List.filter (fun m -> m <> src) members)
-                ~sent_at:at;
-              Protocols.Scmp_proto.send_data p ~group:1 ~src ~seq:s))
-        members
-    done;
-    Eventsim.Engine.run e;
-    (delivery, station)
-  in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "center";
-        T.column "max delay (ms)";
-        T.column "mean delay (ms)";
-        T.column "max queue";
-        T.column "forwarded";
-      ]
-  in
-  List.iter
-    (fun (name, k) ->
-      let delivery, station = run_case k in
-      T.add_row tab
-        [
-          name;
-          Printf.sprintf "%.1f" (1000.0 *. Protocols.Delivery.max_delay delivery);
-          Printf.sprintf "%.1f" (1000.0 *. Protocols.Delivery.mean_delay delivery);
-          string_of_int (Eventsim.Server.max_queue_length station);
-          string_of_int (Eventsim.Server.completed station);
-        ])
-    [
-      ("ordinary core (1 engine)", 1);
-      ("m-router fabric (4 engines)", 4);
-      ("m-router fabric (16 engines)", 16);
-    ];
-  print_table
-    ~title:
-"40-node Waxman, 12 members all sending (120 pkts, ~165/s aggregate), 10 ms \
-       forwarding per packet at the center"
-    tab
-
-(* ------------------------------------------------------------------ *)
-(* Extension baseline: PIM-SM with SPT switchover vs the paper's
-   shared-tree protocols. First packets ride the unidirectional RP tree
-   (register detour); the switchover buys SPT delay afterwards. *)
-
-let pimsm () =
-  section "extension — PIM-SM with SPT switchover";
-  let spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
-  let g0 = spec.Topology.Spec.graph in
-  let apsp = Netgraph.Apsp.compute g0 in
-  let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
-  let rng = Scmp_util.Prng.create 41 in
-  let members =
-    Scmp_util.Prng.sample rng 12 50 |> List.filter (fun x -> x <> center)
-  in
-  (* an off-tree source maximizes the register/encap contrast *)
-  let source =
-    List.find (fun x -> (not (List.mem x members)) && x <> center)
-      (List.init 50 Fun.id)
-  in
-  let scale = 3e-6 in
-  let run_case name instantiate =
-    let g =
-      Netgraph.Graph.map_links g0 ~f:(fun l ->
-          (l.Netgraph.Graph.delay *. scale, l.Netgraph.Graph.cost))
-    in
-    let e = Eventsim.Engine.create () in
-    let net = Eventsim.Netsim.create e g ~classify:Protocols.Message.classify in
-    let delivery = Protocols.Delivery.create e in
-    let send = instantiate e net delivery in
-    for seq = 0 to 19 do
-      let at = 10.0 +. float_of_int seq in
-      Eventsim.Engine.schedule_at e ~time:at (fun () ->
-          Protocols.Delivery.expect delivery ~seq ~members ~sent_at:at;
-          send ~seq)
-    done;
-    Eventsim.Engine.run e;
-    let delays = Protocols.Delivery.delays delivery in
-    let dmax = List.fold_left Float.max 0.0 delays in
-    let dmin = List.fold_left Float.min infinity delays in
-    (name, dmax, dmin,
-     Eventsim.Netsim.data_overhead net /. 20.0,
-     Protocols.Delivery.missed delivery + Protocols.Delivery.duplicates delivery)
-  in
-  let join_all e join =
-    List.iteri
-      (fun i m ->
-        Eventsim.Engine.schedule_at e ~time:(0.1 +. (0.2 *. float_of_int i))
-          (fun () -> join m))
-      members
-  in
-  let cases =
-    [
-      run_case "PIM-SM (switchover)" (fun e net delivery ->
-          let p = Protocols.Pim_sm.create ~delivery net ~rp:center () in
-          join_all e (fun m -> Protocols.Pim_sm.host_join p ~group:1 m);
-          fun ~seq -> Protocols.Pim_sm.send_data p ~group:1 ~src:source ~seq);
-      run_case "PIM-SM (no switchover)" (fun e net delivery ->
-          let p =
-            Protocols.Pim_sm.create ~delivery ~spt_switchover:false net ~rp:center ()
-          in
-          join_all e (fun m -> Protocols.Pim_sm.host_join p ~group:1 m);
-          fun ~seq -> Protocols.Pim_sm.send_data p ~group:1 ~src:source ~seq);
-      run_case "CBT" (fun e net delivery ->
-          let p = Protocols.Cbt.create ~delivery net ~core:center () in
-          join_all e (fun m -> Protocols.Cbt.host_join p ~group:1 m);
-          fun ~seq -> Protocols.Cbt.send_data p ~group:1 ~src:source ~seq);
-      run_case "SCMP" (fun e net delivery ->
-          let p = Protocols.Scmp_proto.create ~delivery net ~mrouter:center () in
-          join_all e (fun m -> Protocols.Scmp_proto.host_join p ~group:1 m);
-          fun ~seq -> Protocols.Scmp_proto.send_data p ~group:1 ~src:source ~seq);
-    ]
-  in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "protocol";
-        T.column "first-pkt max delay (ms)";
-        T.column "steady min delay (ms)";
-        T.column "data overhead/pkt";
-        T.column "anomalies";
-      ]
-  in
-  List.iter
-    (fun (name, dmax, dmin, per_pkt, bad) ->
-      T.add_row tab
-        [
-          name;
-          Printf.sprintf "%.2f" (1000.0 *. dmax);
-          Printf.sprintf "%.2f" (1000.0 *. dmin);
-          Printf.sprintf "%.0f" per_pkt;
-          string_of_int bad;
-        ])
-    cases;
-  print_table
-    ~title:"50-node random (deg 3), 12 members, off-tree source, 20 pkts at 1/s"
-    tab
-
-(* ------------------------------------------------------------------ *)
-(* Micro-benchmarks of the core algorithms (best-of-k batches), plus
-   one end-to-end runner throughput measurement. With --json PATH the
-   results are also written as a scmp-report/1 document (BENCH.json —
-   the perf baseline future PRs diff against). All numbers here are
-   wall-clock by nature, so the report flags every metric [wallclock]. *)
-
-(* ------------------------------------------------------------------ *)
-(* Demand-driven routing cache: cold/warm query cost, and reconvergence
-   under a fault schedule — incremental invalidation vs the eager
-   recompute-every-source scheme it replaced. *)
-
-let routing_bench () =
-  section "routing cache — demand-driven SPTs, incremental reconvergence";
-  let spec = Topology.Waxman.generate ~seed:7 ~n:100 () in
-  let g = spec.Topology.Spec.graph in
-  let n = Netgraph.Graph.node_count g in
-  let mk_net () =
-    let engine = Eventsim.Engine.create () in
-    (engine, Eventsim.Netsim.create engine g ~classify:(fun (_ : unit) -> `Data))
-  in
-  (* cold vs warm: the first query per source pays one Dijkstra, the
-     second is a table read *)
-  let _, net = mk_net () in
-  let sweep () =
-    let acc = ref 0.0 in
-    for s = 0 to n - 1 do
-      acc :=
-        !acc
-        +. Eventsim.Routes.distance
-             (Eventsim.Netsim.routes net)
-             ~src:s
-             ~dst:((s + (n / 2)) mod n)
-    done;
-    !acc
-  in
-  let cold_sum, cold_s = Obs.Clock.time sweep in
-  let warm_sum, warm_s = Obs.Clock.time sweep in
-  assert (cold_sum = warm_sum);
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "phase";
-        T.column "queries";
-        T.column "SPTs built";
-        T.column "ns/query";
-      ]
-  in
-  let per_query s = s /. float_of_int n *. 1e9 in
-  T.add_row tab
-    [ "cold (one sweep, all sources)"; string_of_int n; string_of_int n;
-      Printf.sprintf "%.0f" (per_query cold_s) ];
-  T.add_row tab
-    [ "warm (same sweep again)"; string_of_int n; "0";
-      Printf.sprintf "%.0f" (per_query warm_s) ];
-  print_table ~title:"100-node Waxman (seed 7), one distance query per source"
-    tab;
-  (* reconvergence under churn: 10 link failures (each restored 3 s
-     later) drawn over [1, 30); after every topology change a 32-pair
-     query workload fires. The eager scheme is the seed implementation:
-     rebuild a live-graph copy and recompute all n sources per change. *)
-  let faults_for () =
-    Eventsim.Faults.random_link_failures ~seed:13 ~count:10 ~t0:1.0 ~t1:30.0
-      ~restore_after:3.0 g
-  in
-  let run_scheme ~eager =
-    let engine, net = mk_net () in
-    let qrng = Scmp_util.Prng.create 99 in
-    let eager_built = ref 0 in
-    let eager_tbl = ref None in
-    let rebuild_eager () =
-      let r = Eventsim.Routes.compute (Eventsim.Netsim.live_graph net) in
-      for s = 0 to n - 1 do
-        ignore (Eventsim.Routes.spt r ~src:s)
-      done;
-      eager_built := !eager_built + n;
-      eager_tbl := Some r
-    in
-    if eager then begin
-      rebuild_eager ();
-      Eventsim.Netsim.on_topology_change net rebuild_eager
-    end;
-    let query () =
-      for _ = 1 to 32 do
-        let src = Scmp_util.Prng.int qrng n
-        and dst = Scmp_util.Prng.int qrng n in
-        match !eager_tbl with
-        | Some r -> ignore (Eventsim.Routes.distance r ~src ~dst)
-        | None ->
-          ignore
-            (Eventsim.Routes.distance (Eventsim.Netsim.routes net) ~src ~dst)
-      done
-    in
-    Eventsim.Netsim.on_topology_change net query;
-    ignore (Eventsim.Faults.install net (faults_for ()));
-    query ();
-    let (), wall = Obs.Clock.time (fun () -> Eventsim.Engine.run engine) in
-    let epochs = Eventsim.Netsim.routes_epoch net in
-    let built, invalidated =
-      if eager then (!eager_built, n * epochs)
-      else
-        ( Eventsim.Routes.computed (Eventsim.Netsim.routes net),
-          Eventsim.Routes.invalidated (Eventsim.Netsim.routes net) )
-    in
-    let events = Eventsim.Engine.events_executed engine in
-    (epochs, built, invalidated, events, wall)
-  in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "scheme";
-        T.column "reconvergences";
-        T.column "SPTs built";
-        T.column "invalidated";
-        T.column "ns/event";
-      ]
-  in
-  let add name (epochs, built, invalidated, events, wall) =
-    T.add_row tab
-      [
-        name;
-        string_of_int epochs;
-        string_of_int built;
-        string_of_int invalidated;
-        Printf.sprintf "%.0f" (wall /. float_of_int (max events 1) *. 1e9);
-      ]
-  in
-  add "eager (recompute all sources)" (run_scheme ~eager:true);
-  add "lazy (incremental invalidation)" (run_scheme ~eager:false);
-  print_table
-    ~title:
-      "10 link failures + restores (seed 13) over 30 s, 32 queries per \
-       reconvergence; eager cost is n SPTs per epoch plus the initial table"
-    tab
-
-(* Best-of-k batched timing. Single-shot means are noisy (GC pauses,
-   scheduler preemption land in the sample); instead each workload is
-   calibrated to a batch long enough to swamp timer resolution, k
-   batches are timed, and the minimum per-run time is reported — the
-   standard estimator for "how fast does this code run undisturbed". *)
-let calibrate_runs ~min_batch_s f =
-  let rec go runs =
-    let (), s =
-      Obs.Clock.time (fun () ->
-          for _ = 1 to runs do
-            ignore (f ())
-          done)
-    in
-    if s >= min_batch_s || runs >= 1_000_000 then runs
-    else
-      let scale =
-        if s <= 0.0 then 16.0 else Float.min 16.0 (min_batch_s /. s *. 1.25)
-      in
-      go (max (runs + 1) (int_of_float (float_of_int runs *. scale)))
-  in
-  go 1
-
-let best_of_ns ?(k = 5) ?(min_batch_s = 2e-3) f =
-  let runs = calibrate_runs ~min_batch_s f in
-  let best = ref infinity in
-  for _ = 1 to k do
-    let (), s =
-      Obs.Clock.time (fun () ->
-          for _ = 1 to runs do
-            ignore (f ())
-          done)
-    in
-    let per = s /. float_of_int runs in
-    if per < !best then best := per
-  done;
-  !best *. 1e9
-
-(* Median-of-ratios A/B timing: k rounds of adjacent (fa, fb) batches,
-   each yielding one fb/fa per-run ratio. The host's speed moves by tens
-   of percent between bench invocations — and not uniformly: a
-   pointer-chasing workload degrades more under memory contention than
-   an array-walking one — so ns figures recorded by separate runs do
-   not divide into a meaningful ratio. Adjacent batches see the same
-   host conditions, and the median discards the rounds a phase change
-   lands in the middle of. *)
-let paired_ratio ?(k = 9) ?(min_batch_s = 2e-3) fa fb =
-  let runs_a = calibrate_runs ~min_batch_s fa in
-  let runs_b = calibrate_runs ~min_batch_s fb in
-  let ratios =
-    Array.init k (fun _ ->
-        let (), sa =
-          Obs.Clock.time (fun () ->
-              for _ = 1 to runs_a do
-                ignore (fa ())
-              done)
-        in
-        let (), sb =
-          Obs.Clock.time (fun () ->
-              for _ = 1 to runs_b do
-                ignore (fb ())
-              done)
-        in
-        sb /. float_of_int runs_b /. (sa /. float_of_int runs_a))
-  in
-  Array.sort compare ratios;
-  ratios.(k / 2)
-
-let micro ?json ~full ~jobs () =
-  section "micro-benchmarks (best-of-k batches)";
-  let spec = Topology.Waxman.generate ~seed:5 ~n:100 () in
-  let g = spec.Topology.Spec.graph in
-  let apsp = Netgraph.Apsp.compute g in
-  let rng = Scmp_util.Prng.create 9 in
-  let members =
-    Scmp_util.Prng.sample rng 30 100 |> List.filter (fun x -> x <> 0)
-  in
-  let tree = Mtree.Dcdm.build apsp ~root:0 ~bound:Mtree.Bound.Moderate ~members in
-  let packet =
-    Protocols.Tree_packet.of_tree tree ~at:(List.hd (Mtree.Tree.children tree 0))
-  in
-  let words = Protocols.Tree_packet.encode packet in
-  let perm =
-    let p = Array.init 64 (fun i -> i) in
-    Scmp_util.Prng.shuffle rng p;
-    p
-  in
-  let ws = Netgraph.Dijkstra.create_workspace () in
-  let g1k =
-    (Topology.Waxman.generate ~seed:5 ~n:1000 ()).Topology.Spec.graph
-  in
-  let ws1k = Netgraph.Dijkstra.create_workspace () in
-  let links1k =
-    let acc = ref [] in
-    Netgraph.Graph.iter_links g1k (fun l ->
-        acc :=
-          (l.Netgraph.Graph.u, l.Netgraph.Graph.v, l.Netgraph.Graph.delay,
-           l.Netgraph.Graph.cost)
-          :: !acc);
-    List.rev !acc
-  in
-  let n1k = Netgraph.Graph.node_count g1k in
-  (* Pre-CSR reference: the seed implementation's Dijkstra, preserved
-     verbatim in shape — adjacency lists of (neighbor, delay, cost)
-     tuples, a binary {!Scmp_util.Heap} frontier, fresh arrays per run.
-     Timed as dijkstra-100-ref so check.sh can gate the CSR+radix path
-     against the algorithm it replaced on the same machine, immune to
-     host speed drift between bench runs. *)
-  let ref_adj =
-    let n = Netgraph.Graph.node_count g in
-    let adj = Array.make n [] in
-    Netgraph.Graph.iter_links g (fun l ->
-        let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
-        let delay = l.Netgraph.Graph.delay and cost = l.Netgraph.Graph.cost in
-        adj.(u) <- adj.(u) @ [ (v, delay, cost) ];
-        adj.(v) <- adj.(v) @ [ (u, delay, cost) ]);
-    adj
-  in
-  let ref_iter_neighbors adj x f =
-    List.iter (fun (y, d, c) -> f y ~delay:d ~cost:c) adj.(x)
-  in
-  let dijkstra_ref ?node_ok ?edge_ok adj ~metric ~source =
-    (* Like the seed, filters default to always-true closures invoked
-       per node and per edge — plain runs paid that indirection too. *)
-    let node_ok = match node_ok with None -> fun _ -> true | Some f -> f in
-    let edge_ok = match edge_ok with None -> fun _ _ -> true | Some f -> f in
-    let n = Array.length adj in
-    let dist = Array.make n infinity in
-    let pred = Array.make n (-1) in
-    let other = Array.make n infinity in
-    let settled = Array.make n false in
-    let heap = Scmp_util.Heap.create ~capacity:n () in
-    dist.(source) <- 0.0;
-    other.(source) <- 0.0;
-    Scmp_util.Heap.add heap ~key:0.0 source;
-    let rec drain () =
-      match Scmp_util.Heap.pop heap with
-      | None -> ()
-      | Some (d, x) ->
-        if not settled.(x) then begin
-          settled.(x) <- true;
-          if node_ok x then
-            ref_iter_neighbors adj x (fun y ~delay ~cost ->
-                if node_ok y && edge_ok x y then begin
-                  let w, wo =
-                    match metric with
-                    | Netgraph.Dijkstra.Delay -> (delay, cost)
-                    | Netgraph.Dijkstra.Cost -> (cost, delay)
-                  in
-                  let nd = d +. w in
-                  if nd < dist.(y) then begin
-                    dist.(y) <- nd;
-                    pred.(y) <- x;
-                    other.(y) <- other.(x) +. wo;
-                    Scmp_util.Heap.add heap ~key:nd y
-                  end
-                end)
-        end;
-        drain ()
-    in
-    drain ();
-    dist
-  in
-  let workloads =
-    [
-      ( "dijkstra-100",
-        fun () ->
-          let r =
-            Netgraph.Dijkstra.run ~ws g ~metric:Netgraph.Dijkstra.Delay
-              ~source:0
-          in
-          Netgraph.Dijkstra.recycle ws r );
-      ( "dijkstra-100-ref",
-        fun () ->
-          ignore
-            (dijkstra_ref ref_adj ~metric:Netgraph.Dijkstra.Delay ~source:0) );
-      ( "dijkstra-1000",
-        fun () ->
-          let r =
-            Netgraph.Dijkstra.run ~ws:ws1k g1k ~metric:Netgraph.Dijkstra.Delay
-              ~source:0
-          in
-          Netgraph.Dijkstra.recycle ws1k r );
-      ( "freeze-1000",
-        fun () ->
-          let b = Netgraph.Graph.Builder.create n1k in
-          List.iter
-            (fun (u, v, delay, cost) ->
-              Netgraph.Graph.Builder.add_link b u v ~delay ~cost)
-            links1k;
-          ignore (Netgraph.Graph.Builder.freeze b) );
-      ( "dcdm-build-30",
-        fun () ->
-          ignore
-            (Mtree.Dcdm.build apsp ~root:0 ~bound:Mtree.Bound.Moderate ~members)
-      );
-      ("kmb-build-30", fun () -> ignore (Mtree.Kmb.build apsp ~root:0 ~members));
-      ("spt-build-30", fun () -> ignore (Mtree.Spt.build apsp ~root:0 ~members));
-      ("benes-route-64", fun () -> ignore (Fabric.Benes.route perm));
-      ( "tree-packet-roundtrip",
-        fun () -> ignore (Protocols.Tree_packet.decode words) );
-    ]
-  in
-  (* reduced scale by default (the check.sh smoke step); --full takes
-     more and longer batches *)
-  let k, min_batch_s = if full then (9, 10e-3) else (5, 2e-3) in
-  let rows =
-    List.map (fun (name, f) -> ("scmp/" ^ name, best_of_ns ~k ~min_batch_s f))
-      workloads
-  in
-  let rows = List.sort compare rows in
-  List.iter (fun (name, est) -> pr "%-34s %14.1f ns/run\n" name est) rows;
-  (* The perf-gate number for check.sh: how much faster the CSR+radix
-     Dijkstra is than the preserved pre-CSR reference, measured as
-     interleaved batches so the ratio survives host speed drift. *)
-  let dij_speedup =
-    paired_ratio
-      ~k:(if full then 11 else 9)
-      ~min_batch_s
-      (fun () ->
-        let r =
-          Netgraph.Dijkstra.run ~ws g ~metric:Netgraph.Dijkstra.Delay
-            ~source:0
-        in
-        Netgraph.Dijkstra.recycle ws r)
-      (fun () ->
-        ignore (dijkstra_ref ref_adj ~metric:Netgraph.Dijkstra.Delay ~source:0))
-  in
-  pr "%-34s %14.2f x (ref / csr, paired batches)\n" "scmp/dijkstra-100-speedup"
-    dij_speedup;
-  (* End-to-end throughput: one full SCMP runner scenario, timed. *)
-  let e2e_driver = Protocols.Driver.find_exn "scmp" in
-  let e2e_spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
-  let e2e_apsp = Netgraph.Apsp.compute e2e_spec.Topology.Spec.graph in
-  let center = Scmp.Placement.pick e2e_apsp Scmp.Placement.Min_avg_delay in
-  let e2e_members =
-    Scmp_util.Prng.sample (Scmp_util.Prng.create 23) 16 50
-    |> List.filter (fun x -> x <> center)
-  in
-  let sc =
-    Protocols.Runner.make ~spec:e2e_spec ~center
-      ~source:(List.hd e2e_members) ~members:e2e_members ()
-  in
-  let e2e_report = Obs.Report.create ~name:"bench-e2e" () in
-  let r, e2e_wall =
-    Obs.Clock.time (fun () ->
-        Protocols.Runner.run ~report:e2e_report e2e_driver sc)
-  in
-  let events =
-    match
-      Obs.Json.(
-        match Obs.Metrics.to_json (Obs.Report.metrics e2e_report) with
-        | Obj kvs -> List.assoc_opt "engine/events_executed" kvs
-        | _ -> None)
-    with
-    | Some (Obs.Json.Int n) -> n
-    | _ -> 0
-  in
-  pr "\nend-to-end (scmp, 50-node random deg 3, 16 members, 30 pkts):\n";
-  pr "%-34s %14.3f ms\n" "wall time" (1000.0 *. e2e_wall);
-  pr "%-34s %14.0f events/s\n" "engine throughput"
-    (float_of_int events /. e2e_wall);
-  pr "%-34s %14d delivered\n" "deliveries" r.Protocols.Runner.deliveries;
-  match json with
-  | None -> ()
-  | Some path ->
-    let rep = Obs.Report.create ~name:"bench-micro" () in
-    Obs.Report.set_meta rep "kind" (Obs.Json.String "micro");
-    Obs.Report.set_meta rep "full" (Obs.Json.Bool full);
-    Obs.Report.set_meta rep "jobs" (Obs.Json.Int jobs);
-    let m = Obs.Report.metrics rep in
-    let wall_gauge name v =
-      Obs.Metrics.set (Obs.Metrics.gauge ~wallclock:true m name) v
-    in
-    List.iter
-      (fun (name, est) ->
-        (* bechamel names tests "scmp/<name>" *)
-        let key =
-          match String.index_opt name '/' with
-          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-          | None -> name
-        in
-        wall_gauge (Printf.sprintf "micro/%s/ns_per_run" key) est)
-      rows;
-    wall_gauge "micro/dijkstra-100-speedup/x" dij_speedup;
-    wall_gauge "e2e/scmp/wall_s" e2e_wall;
-    wall_gauge "e2e/scmp/events_per_s" (float_of_int events /. e2e_wall);
-    wall_gauge "e2e/scmp/deliveries_per_s"
-      (float_of_int r.Protocols.Runner.deliveries /. e2e_wall);
-    Obs.Metrics.set_counter
-      (Obs.Metrics.counter m "e2e/scmp/deliveries")
-      r.Protocols.Runner.deliveries;
-    Obs.Metrics.set_counter (Obs.Metrics.counter m "e2e/scmp/events") events;
-    (match Obs.Report.write ~pretty:true rep ~path with
-    | Ok () -> pr "\nbench report written to %s\n" path
-    | Error msg -> pr "\n!! could not write %s: %s\n" path msg)
-
-(* ------------------------------------------------------------------ *)
-(* Parallel sweep engine: the same grid on 1 worker and on --jobs
-   workers, checking that the merged reports are byte-identical and
-   reporting the observed speedup. *)
-
-let sweep_bench ~full ~jobs () =
-  section "parallel sweep engine (Exec.Sweep)";
-  let spec =
-    if full then
-      Exec.Sweep.make
-        ~drivers:[ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm" ]
-        ~topos:[ Exec.Sweep.Random3 50; Exec.Sweep.Arpanet ]
-        ~group_sizes:[ 8; 16; 24 ] ~seeds:[ 1; 2 ] ()
-    else
-      Exec.Sweep.make ~packets:10 ~drivers:[ "scmp"; "cbt" ]
-        ~topos:[ Exec.Sweep.Random3 30 ]
-        ~group_sizes:[ 8; 16 ] ~seeds:[ 1 ] ()
-  in
-  let run_with jobs =
-    match Exec.Sweep.run ~jobs spec with
-    | Ok o -> o
-    | Error msg -> failwith ("sweep bench: " ^ msg)
-  in
-  let seq = run_with 1 in
-  let par = run_with jobs in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "jobs";
-        T.column "cells";
-        T.column "wall (s)";
-        T.column "cells/s";
-        T.column "speedup";
-      ]
-  in
-  let row (o : Exec.Sweep.outcome) =
-    T.add_row tab
-      [
-        string_of_int o.jobs_used;
-        string_of_int (List.length o.cell_results);
-        Printf.sprintf "%.3f" o.wall_s;
-        Printf.sprintf "%.1f" (float_of_int (List.length o.cell_results) /. o.wall_s);
-        Printf.sprintf "%.2fx" (o.seq_estimate_s /. o.wall_s);
-      ]
-  in
-  row seq;
-  row par;
-  print_table
-    ~title:
-      (Printf.sprintf "%d cells (%s)"
-         (List.length (Exec.Sweep.cells spec))
-         (String.concat ", " spec.Exec.Sweep.drivers))
-    tab;
-  let identical =
-    Obs.Report.to_string ~wallclock:false seq.Exec.Sweep.report
-    = Obs.Report.to_string ~wallclock:false par.Exec.Sweep.report
-  in
-  pr "merged reports byte-identical across jobs: %s\n"
-    (if identical then "yes" else "NO — DETERMINISM BUG");
-  if not identical then exit 1
-
-(* ------------------------------------------------------------------ *)
-
-let chaos_bench ~full ~jobs () =
-  section "chaos campaigns (Exec.Chaos) — seeded fault programs, invariants on";
-  let spec =
-    if full then
-      Exec.Chaos.make ~packets:12 ~group_size:8 ~seed:1
-        ~drivers:[ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm" ]
-        ~topos:[ Exec.Sweep.Waxman 40; Exec.Sweep.Random3 30 ]
-        ~trials:40 ()
-    else
-      Exec.Chaos.make ~packets:10 ~group_size:6 ~seed:1 ~drivers:[ "scmp" ]
-        ~topos:[ Exec.Sweep.Waxman 30 ] ~trials:15 ()
-  in
-  let run_with jobs =
-    match Exec.Chaos.run ~jobs spec with
-    | Ok o -> o
-    | Error msg -> failwith ("chaos bench: " ^ msg)
-  in
-  let seq = run_with 1 in
-  let par = run_with jobs in
-  let tab =
-    T.create
-      [
-        T.column ~align:T.Left "jobs";
-        T.column "trials";
-        T.column "violations";
-        T.column "blackout p50 (s)";
-        T.column "blackout p95 (s)";
-        T.column "wall (s)";
-      ]
-  in
-  let row (o : Exec.Chaos.outcome) =
-    let pct p =
-      if o.blackouts = [] then "-"
-      else Printf.sprintf "%.3f" (Scmp_util.Stats.percentile_l p o.blackouts)
-    in
-    T.add_row tab
-      [
-        string_of_int o.jobs_used;
-        string_of_int (List.length o.results);
-        string_of_int (List.length o.violations);
-        pct 50.0;
-        pct 95.0;
-        Printf.sprintf "%.3f" o.wall_s;
-      ]
-  in
-  row seq;
-  row par;
-  print_table
-    ~title:
-      (Printf.sprintf "%d trials (%s)"
-         (List.length (Exec.Chaos.plan spec))
-         (String.concat ", " spec.Exec.Chaos.drivers))
-    tab;
-  let identical =
-    Obs.Report.to_string ~wallclock:false seq.Exec.Chaos.report
-    = Obs.Report.to_string ~wallclock:false par.Exec.Chaos.report
-  in
-  pr "campaign reports byte-identical across jobs: %s\n"
-    (if identical then "yes" else "NO — DETERMINISM BUG");
-  if not identical then exit 1;
-  if seq.Exec.Chaos.violations <> [] then begin
-    List.iter
-      (fun (v : Exec.Chaos.violation) ->
-        pr "VIOLATION %s: %s\n  minimal: %s\n"
-          (Exec.Chaos.trial_name v.Exec.Chaos.v_trial)
-          v.Exec.Chaos.message
-          (Exec.Chaos.program_to_string v.Exec.Chaos.minimal))
-      seq.Exec.Chaos.violations;
-    exit 1
-  end
-
-let usage () =
-  print_endline
-    "usage: main.exe \
-     [fig7|fig8|fig9|placement|fabric|branch|faults|failover|multi|capacity|congestion|pimsm|routing|micro|sweep|chaos|all] \
-     [--full] [--ablate] [--csv DIR] [--json PATH] [--jobs N]";
-  exit 1
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let full = List.mem "--full" args in
-  let ablate = List.mem "--ablate" args in
-  (* --csv DIR: also emit every table as CSV into DIR *)
-  let rec find_opt_arg flag = function
-    | f :: v :: _ when f = flag -> Some v
-    | _ :: rest -> find_opt_arg flag rest
-    | [] -> None
-  in
-  (match find_opt_arg "--csv" args with
+  let c = parse_cli (List.tl (Array.to_list Sys.argv)) in
+  (* --out DIR: a self-contained artifact directory per run. Contents
+     carry no wall-clock stamps, so re-running the same command in the
+     same tree reproduces the directory bit-for-bit. *)
+  (match c.out with
+  | None -> ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    csv_dir := Some dir
+    mkdir_p dir;
+    mkdir_p (Filename.concat dir "csv");
+    if c.csv = None then c.csv <- Some (Filename.concat dir "csv");
+    if c.json = None then c.json <- Some (Filename.concat dir "bench.json"));
+  (match c.csv with
+  | Some dir ->
+    mkdir_p dir;
+    Bench_util.csv_dir := Some dir
   | None -> ());
-  (* --json PATH: write the micro/e2e results as a scmp-report/1 file *)
-  let json = find_opt_arg "--json" args in
-  (* --jobs N: worker count for the parallel sweep bench (and recorded
-     in the BENCH.json meta) *)
-  let jobs =
-    match find_opt_arg "--jobs" args with
-    | None -> Exec.Pool.default_jobs ()
-    | Some v -> (
-      match int_of_string_opt v with
-      | Some j when j >= 1 -> j
-      | _ ->
-        pr "--jobs expects a positive integer, got %S\n" v;
-        usage ())
+  let ctx =
+    {
+      Workload.full = c.full;
+      ablate = c.ablate;
+      jobs =
+        (match c.jobs with Some j -> j | None -> Exec.Pool.default_jobs ());
+      json = c.json;
+    }
   in
-  let rec strip_flags = function
-    | "--csv" :: _ :: rest -> strip_flags rest
-    | "--json" :: _ :: rest -> strip_flags rest
-    | "--jobs" :: _ :: rest -> strip_flags rest
-    | a :: rest when String.length a >= 2 && String.sub a 0 2 = "--" ->
-      strip_flags rest
-    | a :: rest -> a :: strip_flags rest
-    | [] -> []
+  let cmds = match List.rev c.cmds with [] -> [ "all" ] | cs -> cs in
+  let run name =
+    if name = "all" then
+      List.iter (fun (w : Workload.t) -> w.Workload.run ctx) workloads
+    else
+      (List.find (fun w -> w.Workload.name = name) workloads).Workload.run ctx
   in
-  let cmds = strip_flags args in
-  let tree_seeds = if full then 10 else 3 in
-  let net_seeds = if full then 10 else 2 in
-  let run = function
-    | "fig7" -> fig7 ~seeds:tree_seeds ~ablate ()
-    | "fig8" -> fig8 ~seeds:net_seeds ()
-    | "fig9" -> fig9 ~seeds:net_seeds ()
-    | "placement" -> placement ~seeds:(if full then 3 else 1) ()
-    | "fabric" -> fabric ()
-    | "branch" -> branch_ablation ~seeds:net_seeds ()
-    | "faults" -> faults_bench ()
-    | "failover" -> failover ()
-    | "multi" -> multi ()
-    | "capacity" -> capacity ()
-    | "congestion" -> congestion ()
-    | "pimsm" -> pimsm ()
-    | "routing" -> routing_bench ()
-    | "micro" -> micro ?json ~full ~jobs ()
-    | "sweep" -> sweep_bench ~full ~jobs ()
-    | "chaos" -> chaos_bench ~full ~jobs ()
-    | "all" ->
-      fig7 ~seeds:tree_seeds ~ablate ();
-      fig8 ~seeds:net_seeds ();
-      fig9 ~seeds:net_seeds ();
-      placement ~seeds:(if full then 3 else 1) ();
-      fabric ();
-      branch_ablation ~seeds:net_seeds ();
-      faults_bench ();
-      failover ();
-      multi ();
-      capacity ();
-      congestion ();
-      pimsm ();
-      routing_bench ();
-      micro ?json ~full ~jobs ();
-      sweep_bench ~full ~jobs ();
-      chaos_bench ~full ~jobs ()
-    | other ->
-      pr "unknown command %S\n" other;
-      usage ()
-  in
-  match cmds with [] -> run "all" | cs -> List.iter run cs
+  List.iter run cmds;
+  match c.out with
+  | None -> ()
+  | Some dir ->
+    let meta =
+      Obs.Json.Obj
+        [
+          ("schema", Obs.Json.String "scmp-bench-meta/1");
+          ( "workloads",
+            Obs.Json.List (List.map (fun n -> Obs.Json.String n) cmds) );
+          ("full", Obs.Json.Bool c.full);
+          ("ablate", Obs.Json.Bool c.ablate);
+          ("jobs", Obs.Json.Int ctx.Workload.jobs);
+        ]
+    in
+    let path = Filename.concat dir "meta.json" in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string ~pretty:true meta);
+        Out_channel.output_char oc '\n')

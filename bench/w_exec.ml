@@ -1,0 +1,152 @@
+(* Execution-engine workloads: the parallel sweep and chaos benches. *)
+
+open Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep engine: the same grid on 1 worker and on --jobs
+   workers, checking that the merged reports are byte-identical and
+   reporting the observed speedup. *)
+
+let sweep_bench ~full ~jobs () =
+  section "parallel sweep engine (Exec.Sweep)";
+  let spec =
+    if full then
+      Exec.Sweep.make
+        ~drivers:[ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm" ]
+        ~topos:[ Exec.Sweep.Random3 50; Exec.Sweep.Arpanet ]
+        ~group_sizes:[ 8; 16; 24 ] ~seeds:[ 1; 2 ] ()
+    else
+      Exec.Sweep.make ~packets:10 ~drivers:[ "scmp"; "cbt" ]
+        ~topos:[ Exec.Sweep.Random3 30 ]
+        ~group_sizes:[ 8; 16 ] ~seeds:[ 1 ] ()
+  in
+  let run_with jobs =
+    match Exec.Sweep.run ~jobs spec with
+    | Ok o -> o
+    | Error msg -> failwith ("sweep bench: " ^ msg)
+  in
+  let seq = run_with 1 in
+  let par = run_with jobs in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "jobs";
+        T.column "cells";
+        T.column "wall (s)";
+        T.column "cells/s";
+        T.column "speedup";
+      ]
+  in
+  let row (o : Exec.Sweep.outcome) =
+    T.add_row tab
+      [
+        string_of_int o.jobs_used;
+        string_of_int (List.length o.cell_results);
+        Printf.sprintf "%.3f" o.wall_s;
+        Printf.sprintf "%.1f" (float_of_int (List.length o.cell_results) /. o.wall_s);
+        Printf.sprintf "%.2fx" (o.seq_estimate_s /. o.wall_s);
+      ]
+  in
+  row seq;
+  row par;
+  print_table
+    ~title:
+      (Printf.sprintf "%d cells (%s)"
+         (List.length (Exec.Sweep.cells spec))
+         (String.concat ", " spec.Exec.Sweep.drivers))
+    tab;
+  let identical =
+    Obs.Report.to_string ~wallclock:false seq.Exec.Sweep.report
+    = Obs.Report.to_string ~wallclock:false par.Exec.Sweep.report
+  in
+  pr "merged reports byte-identical across jobs: %s\n"
+    (if identical then "yes" else "NO — DETERMINISM BUG");
+  if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let chaos_bench ~full ~jobs () =
+  section "chaos campaigns (Exec.Chaos) — seeded fault programs, invariants on";
+  let spec =
+    if full then
+      Exec.Chaos.make ~packets:12 ~group_size:8 ~seed:1
+        ~drivers:[ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm" ]
+        ~topos:[ Exec.Sweep.Waxman 40; Exec.Sweep.Random3 30 ]
+        ~trials:40 ()
+    else
+      Exec.Chaos.make ~packets:10 ~group_size:6 ~seed:1 ~drivers:[ "scmp" ]
+        ~topos:[ Exec.Sweep.Waxman 30 ] ~trials:15 ()
+  in
+  let run_with jobs =
+    match Exec.Chaos.run ~jobs spec with
+    | Ok o -> o
+    | Error msg -> failwith ("chaos bench: " ^ msg)
+  in
+  let seq = run_with 1 in
+  let par = run_with jobs in
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "jobs";
+        T.column "trials";
+        T.column "violations";
+        T.column "blackout p50 (s)";
+        T.column "blackout p95 (s)";
+        T.column "wall (s)";
+      ]
+  in
+  let row (o : Exec.Chaos.outcome) =
+    let pct p =
+      if o.blackouts = [] then "-"
+      else Printf.sprintf "%.3f" (Scmp_util.Stats.percentile_l p o.blackouts)
+    in
+    T.add_row tab
+      [
+        string_of_int o.jobs_used;
+        string_of_int (List.length o.results);
+        string_of_int (List.length o.violations);
+        pct 50.0;
+        pct 95.0;
+        Printf.sprintf "%.3f" o.wall_s;
+      ]
+  in
+  row seq;
+  row par;
+  print_table
+    ~title:
+      (Printf.sprintf "%d trials (%s)"
+         (List.length (Exec.Chaos.plan spec))
+         (String.concat ", " spec.Exec.Chaos.drivers))
+    tab;
+  let identical =
+    Obs.Report.to_string ~wallclock:false seq.Exec.Chaos.report
+    = Obs.Report.to_string ~wallclock:false par.Exec.Chaos.report
+  in
+  pr "campaign reports byte-identical across jobs: %s\n"
+    (if identical then "yes" else "NO — DETERMINISM BUG");
+  if not identical then exit 1;
+  if seq.Exec.Chaos.violations <> [] then begin
+    List.iter
+      (fun (v : Exec.Chaos.violation) ->
+        pr "VIOLATION %s: %s\n  minimal: %s\n"
+          (Exec.Chaos.trial_name v.Exec.Chaos.v_trial)
+          v.Exec.Chaos.message
+          (Exec.Chaos.program_to_string v.Exec.Chaos.minimal))
+      seq.Exec.Chaos.violations;
+    exit 1
+  end
+
+
+let workloads =
+  [
+    {
+      Workload.name = "sweep";
+      doc = "parallel sweep engine speedup/determinism";
+      run = (fun c -> sweep_bench ~full:c.Workload.full ~jobs:c.jobs ());
+    };
+    {
+      Workload.name = "chaos";
+      doc = "chaos campaign bench";
+      run = (fun c -> chaos_bench ~full:c.Workload.full ~jobs:c.jobs ());
+    };
+  ]

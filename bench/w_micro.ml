@@ -1,0 +1,242 @@
+(* Best-of-k micro-benchmarks of the core algorithms. *)
+
+open Bench_util
+
+let micro ?json ~full ~jobs () =
+  section "micro-benchmarks (best-of-k batches)";
+  let spec = Topology.Waxman.generate ~seed:5 ~n:100 () in
+  let g = spec.Topology.Spec.graph in
+  let apsp = Netgraph.Apsp.compute g in
+  let rng = Scmp_util.Prng.create 9 in
+  let members =
+    Scmp_util.Prng.sample rng 30 100 |> List.filter (fun x -> x <> 0)
+  in
+  let tree = Mtree.Dcdm.build apsp ~root:0 ~bound:Mtree.Bound.Moderate ~members in
+  let packet =
+    Protocols.Tree_packet.of_tree tree ~at:(List.hd (Mtree.Tree.children tree 0))
+  in
+  let words = Protocols.Tree_packet.encode packet in
+  let perm =
+    let p = Array.init 64 (fun i -> i) in
+    Scmp_util.Prng.shuffle rng p;
+    p
+  in
+  let ws = Netgraph.Dijkstra.create_workspace () in
+  let g1k =
+    (Topology.Waxman.generate ~seed:5 ~n:1000 ()).Topology.Spec.graph
+  in
+  let ws1k = Netgraph.Dijkstra.create_workspace () in
+  let links1k =
+    let acc = ref [] in
+    Netgraph.Graph.iter_links g1k (fun l ->
+        acc :=
+          (l.Netgraph.Graph.u, l.Netgraph.Graph.v, l.Netgraph.Graph.delay,
+           l.Netgraph.Graph.cost)
+          :: !acc);
+    List.rev !acc
+  in
+  let n1k = Netgraph.Graph.node_count g1k in
+  (* Pre-CSR reference: the seed implementation's Dijkstra, preserved
+     verbatim in shape — adjacency lists of (neighbor, delay, cost)
+     tuples, a binary {!Scmp_util.Heap} frontier, fresh arrays per run.
+     Timed as dijkstra-100-ref so check.sh can gate the CSR+radix path
+     against the algorithm it replaced on the same machine, immune to
+     host speed drift between bench runs. *)
+  let ref_adj =
+    let n = Netgraph.Graph.node_count g in
+    let adj = Array.make n [] in
+    Netgraph.Graph.iter_links g (fun l ->
+        let u = l.Netgraph.Graph.u and v = l.Netgraph.Graph.v in
+        let delay = l.Netgraph.Graph.delay and cost = l.Netgraph.Graph.cost in
+        adj.(u) <- adj.(u) @ [ (v, delay, cost) ];
+        adj.(v) <- adj.(v) @ [ (u, delay, cost) ]);
+    adj
+  in
+  let ref_iter_neighbors adj x f =
+    List.iter (fun (y, d, c) -> f y ~delay:d ~cost:c) adj.(x)
+  in
+  let dijkstra_ref ?node_ok ?edge_ok adj ~metric ~source =
+    (* Like the seed, filters default to always-true closures invoked
+       per node and per edge — plain runs paid that indirection too. *)
+    let node_ok = match node_ok with None -> fun _ -> true | Some f -> f in
+    let edge_ok = match edge_ok with None -> fun _ _ -> true | Some f -> f in
+    let n = Array.length adj in
+    let dist = Array.make n infinity in
+    let pred = Array.make n (-1) in
+    let other = Array.make n infinity in
+    let settled = Array.make n false in
+    let heap = Scmp_util.Heap.create ~capacity:n () in
+    dist.(source) <- 0.0;
+    other.(source) <- 0.0;
+    Scmp_util.Heap.add heap ~key:0.0 source;
+    let rec drain () =
+      match Scmp_util.Heap.pop heap with
+      | None -> ()
+      | Some (d, x) ->
+        if not settled.(x) then begin
+          settled.(x) <- true;
+          if node_ok x then
+            ref_iter_neighbors adj x (fun y ~delay ~cost ->
+                if node_ok y && edge_ok x y then begin
+                  let w, wo =
+                    match metric with
+                    | Netgraph.Dijkstra.Delay -> (delay, cost)
+                    | Netgraph.Dijkstra.Cost -> (cost, delay)
+                  in
+                  let nd = d +. w in
+                  if nd < dist.(y) then begin
+                    dist.(y) <- nd;
+                    pred.(y) <- x;
+                    other.(y) <- other.(x) +. wo;
+                    Scmp_util.Heap.add heap ~key:nd y
+                  end
+                end)
+        end;
+        drain ()
+    in
+    drain ();
+    dist
+  in
+  let workloads =
+    [
+      ( "dijkstra-100",
+        fun () ->
+          let r =
+            Netgraph.Dijkstra.run ~ws g ~metric:Netgraph.Dijkstra.Delay
+              ~source:0
+          in
+          Netgraph.Dijkstra.recycle ws r );
+      ( "dijkstra-100-ref",
+        fun () ->
+          ignore
+            (dijkstra_ref ref_adj ~metric:Netgraph.Dijkstra.Delay ~source:0) );
+      ( "dijkstra-1000",
+        fun () ->
+          let r =
+            Netgraph.Dijkstra.run ~ws:ws1k g1k ~metric:Netgraph.Dijkstra.Delay
+              ~source:0
+          in
+          Netgraph.Dijkstra.recycle ws1k r );
+      ( "freeze-1000",
+        fun () ->
+          let b = Netgraph.Graph.Builder.create n1k in
+          List.iter
+            (fun (u, v, delay, cost) ->
+              Netgraph.Graph.Builder.add_link b u v ~delay ~cost)
+            links1k;
+          ignore (Netgraph.Graph.Builder.freeze b) );
+      ( "dcdm-build-30",
+        fun () ->
+          ignore
+            (Mtree.Dcdm.build apsp ~root:0 ~bound:Mtree.Bound.Moderate ~members)
+      );
+      ("kmb-build-30", fun () -> ignore (Mtree.Kmb.build apsp ~root:0 ~members));
+      ("spt-build-30", fun () -> ignore (Mtree.Spt.build apsp ~root:0 ~members));
+      ("benes-route-64", fun () -> ignore (Fabric.Benes.route perm));
+      ( "tree-packet-roundtrip",
+        fun () -> ignore (Protocols.Tree_packet.decode words) );
+    ]
+  in
+  (* reduced scale by default (the check.sh smoke step); --full takes
+     more and longer batches *)
+  let k, min_batch_s = if full then (9, 10e-3) else (5, 2e-3) in
+  let rows =
+    List.map (fun (name, f) -> ("scmp/" ^ name, best_of_ns ~k ~min_batch_s f))
+      workloads
+  in
+  let rows = List.sort compare rows in
+  List.iter (fun (name, est) -> pr "%-34s %14.1f ns/run\n" name est) rows;
+  (* The perf-gate number for check.sh: how much faster the CSR+radix
+     Dijkstra is than the preserved pre-CSR reference, measured as
+     interleaved batches so the ratio survives host speed drift. *)
+  let dij_speedup =
+    paired_ratio
+      ~k:(if full then 11 else 9)
+      ~min_batch_s
+      (fun () ->
+        let r =
+          Netgraph.Dijkstra.run ~ws g ~metric:Netgraph.Dijkstra.Delay
+            ~source:0
+        in
+        Netgraph.Dijkstra.recycle ws r)
+      (fun () ->
+        ignore (dijkstra_ref ref_adj ~metric:Netgraph.Dijkstra.Delay ~source:0))
+  in
+  pr "%-34s %14.2f x (ref / csr, paired batches)\n" "scmp/dijkstra-100-speedup"
+    dij_speedup;
+  (* End-to-end throughput: one full SCMP runner scenario, timed. *)
+  let e2e_driver = Protocols.Driver.find_exn "scmp" in
+  let e2e_spec = Topology.Flat_random.generate ~seed:4 ~n:50 ~avg_degree:3.0 in
+  let e2e_apsp = Netgraph.Apsp.compute e2e_spec.Topology.Spec.graph in
+  let center = Scmp.Placement.pick e2e_apsp Scmp.Placement.Min_avg_delay in
+  let e2e_members =
+    Scmp_util.Prng.sample (Scmp_util.Prng.create 23) 16 50
+    |> List.filter (fun x -> x <> center)
+  in
+  let sc =
+    Protocols.Runner.make ~spec:e2e_spec ~center
+      ~source:(List.hd e2e_members) ~members:e2e_members ()
+  in
+  let e2e_report = Obs.Report.create ~name:"bench-e2e" () in
+  let r, e2e_wall =
+    Obs.Clock.time (fun () ->
+        Protocols.Runner.run ~report:e2e_report e2e_driver sc)
+  in
+  let events =
+    match
+      Obs.Json.(
+        match Obs.Metrics.to_json (Obs.Report.metrics e2e_report) with
+        | Obj kvs -> List.assoc_opt "engine/events_executed" kvs
+        | _ -> None)
+    with
+    | Some (Obs.Json.Int n) -> n
+    | _ -> 0
+  in
+  pr "\nend-to-end (scmp, 50-node random deg 3, 16 members, 30 pkts):\n";
+  pr "%-34s %14.3f ms\n" "wall time" (1000.0 *. e2e_wall);
+  pr "%-34s %14.0f events/s\n" "engine throughput"
+    (float_of_int events /. e2e_wall);
+  pr "%-34s %14d delivered\n" "deliveries" r.Protocols.Runner.deliveries;
+  match json with
+  | None -> ()
+  | Some path ->
+    let rep = Obs.Report.create ~name:"bench-micro" () in
+    Obs.Report.set_meta rep "kind" (Obs.Json.String "micro");
+    Obs.Report.set_meta rep "full" (Obs.Json.Bool full);
+    Obs.Report.set_meta rep "jobs" (Obs.Json.Int jobs);
+    let m = Obs.Report.metrics rep in
+    let wall_gauge name v =
+      Obs.Metrics.set (Obs.Metrics.gauge ~wallclock:true m name) v
+    in
+    List.iter
+      (fun (name, est) ->
+        (* bechamel names tests "scmp/<name>" *)
+        let key =
+          match String.index_opt name '/' with
+          | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+          | None -> name
+        in
+        wall_gauge (Printf.sprintf "micro/%s/ns_per_run" key) est)
+      rows;
+    wall_gauge "micro/dijkstra-100-speedup/x" dij_speedup;
+    wall_gauge "e2e/scmp/wall_s" e2e_wall;
+    wall_gauge "e2e/scmp/events_per_s" (float_of_int events /. e2e_wall);
+    wall_gauge "e2e/scmp/deliveries_per_s"
+      (float_of_int r.Protocols.Runner.deliveries /. e2e_wall);
+    Obs.Metrics.set_counter
+      (Obs.Metrics.counter m "e2e/scmp/deliveries")
+      r.Protocols.Runner.deliveries;
+    Obs.Metrics.set_counter (Obs.Metrics.counter m "e2e/scmp/events") events;
+    (match Obs.Report.write ~pretty:true rep ~path with
+    | Ok () -> pr "\nbench report written to %s\n" path
+    | Error msg -> pr "\n!! could not write %s: %s\n" path msg)
+
+
+let workloads =
+  [
+    {
+      Workload.name = "micro";
+      doc = "best-of-k micro-benchmarks (--json writes scmp-report/1)";
+      run = (fun c -> micro ?json:c.Workload.json ~full:c.full ~jobs:c.jobs ());
+    };
+  ]

@@ -1,0 +1,170 @@
+(* Tree-construction workloads: fig 7 and the branch-candidate ablation. *)
+
+open Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: tree delay / tree cost vs group size, three constraint
+   levels, on 100-node Waxman graphs. DCDM vs KMB vs SPT (and the
+   candidate-set ablation with --ablate). *)
+
+let fig7_group_sizes = [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+
+type fig7_algo = {
+  name : string;
+  build :
+    Netgraph.Apsp.t -> root:int -> members:int list -> bound:Mtree.Bound.t ->
+    Mtree.Tree.t;
+}
+
+let fig7_algos ~ablate =
+  let dcdm ?candidates () =
+    {
+      name =
+        (match candidates with
+        | Some Mtree.Dcdm.Least_cost_only -> "DCDM/lc"
+        | Some Mtree.Dcdm.Shortest_delay_only -> "DCDM/sl"
+        | _ -> "DCDM");
+      build =
+        (fun apsp ~root ~members ~bound ->
+          Mtree.Dcdm.build ?candidates apsp ~root ~bound ~members);
+    }
+  in
+  let kmb =
+    {
+      name = "KMB";
+      build =
+        (fun apsp ~root ~members ~bound:_ -> Mtree.Kmb.build apsp ~root ~members);
+    }
+  in
+  let spt =
+    {
+      name = "SPT";
+      build =
+        (fun apsp ~root ~members ~bound:_ -> Mtree.Spt.build apsp ~root ~members);
+    }
+  in
+  if ablate then
+    [
+      dcdm ();
+      dcdm ~candidates:Mtree.Dcdm.Least_cost_only ();
+      dcdm ~candidates:Mtree.Dcdm.Shortest_delay_only ();
+      kmb;
+      spt;
+    ]
+  else [ dcdm (); kmb; spt ]
+
+let fig7 ~seeds ~ablate () =
+  section "Fig 7 — multicast tree quality (100-node Waxman, alpha=0.25, beta=0.2)";
+  pr "averaged over %d seeds; members joined in random order\n" seeds;
+  let algos = fig7_algos ~ablate in
+  List.iter
+    (fun bound ->
+      let columns =
+        T.column ~align:T.Left "group size"
+        :: List.map (fun a -> T.column a.name) algos
+      in
+      let delay_tab = T.create columns in
+      let cost_tab = T.create columns in
+      List.iter
+        (fun size ->
+          let sums_d = Array.make (List.length algos) 0.0 in
+          let sums_c = Array.make (List.length algos) 0.0 in
+          for seed = 1 to seeds do
+            let spec = Topology.Waxman.generate ~seed ~n:100 () in
+            let apsp = Netgraph.Apsp.compute spec.Topology.Spec.graph in
+            let root = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+            let rng = Scmp_util.Prng.create (seed * 7919) in
+            let members =
+              Scmp_util.Prng.sample rng size 100
+              |> List.filter (fun x -> x <> root)
+            in
+            List.iteri
+              (fun i a ->
+                let tree = a.build apsp ~root ~members ~bound in
+                sums_d.(i) <- sums_d.(i) +. Mtree.Eval.tree_delay tree;
+                sums_c.(i) <- sums_c.(i) +. Mtree.Eval.tree_cost tree)
+              algos
+          done;
+          let avg s = s /. float_of_int seeds in
+          T.add_float_row delay_tab ~decimals:0 (string_of_int size)
+            (Array.to_list (Array.map avg sums_d));
+          T.add_float_row cost_tab ~decimals:0 (string_of_int size)
+            (Array.to_list (Array.map avg sums_c)))
+        fig7_group_sizes;
+      let level = Mtree.Bound.to_string bound in
+      print_table ~title:(Printf.sprintf "Fig 7 tree delay, %s constraint" level)
+        delay_tab;
+      print_table ~title:(Printf.sprintf "Fig 7 tree cost, %s constraint" level)
+        cost_tab)
+    Mtree.Bound.all_levels
+
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: BRANCH packets vs always-full-TREE distribution (§III.E's
+   "if the change is small, using a TREE packet containing the whole
+   tree structure is too expensive"). *)
+
+let branch_ablation ~seeds () =
+  section "ablation — BRANCH vs full-TREE distribution (SCMP protocol overhead)";
+  let tab =
+    T.create
+      [
+        T.column ~align:T.Left "group size";
+        T.column "BRANCH+TREE";
+        T.column "always TREE";
+        T.column "saving";
+      ]
+  in
+  List.iter
+    (fun size ->
+      let overhead distribution =
+        let acc = Scmp_util.Stats.create () in
+        for seed = 1 to seeds do
+          let spec = make_spec Random_deg3 seed in
+          let g = spec.Topology.Spec.graph in
+          let n = Netgraph.Graph.node_count g in
+          let apsp = Netgraph.Apsp.compute g in
+          let center = Scmp.Placement.pick apsp Scmp.Placement.Min_avg_delay in
+          let rng = Scmp_util.Prng.create ((seed * 499) + size) in
+          let members =
+            Scmp_util.Prng.sample rng (min size (n - 1)) n
+            |> List.filter (fun x -> x <> center)
+          in
+          let source = List.hd members in
+          let sc =
+            Protocols.Runner.make ~scmp_distribution:distribution ~spec ~center
+              ~source ~members ()
+          in
+          let r =
+            Protocols.Runner.run (Protocols.Driver.find_exn "scmp") sc
+          in
+          Scmp_util.Stats.add acc r.Protocols.Runner.protocol_overhead
+        done;
+        Scmp_util.Stats.mean acc
+      in
+      let incr = overhead Protocols.Scmp_proto.Incremental in
+      let full = overhead Protocols.Scmp_proto.Always_full_tree in
+      T.add_row tab
+        [
+          string_of_int size;
+          Printf.sprintf "%.0f" incr;
+          Printf.sprintf "%.0f" full;
+          Printf.sprintf "%.1f%%" (100.0 *. (1.0 -. (incr /. full)));
+        ])
+    [ 8; 16; 24; 32; 40 ];
+  print_table ~title:"random 50-node topology (avg degree 3)" tab
+
+
+let workloads =
+  [
+    {
+      Workload.name = "fig7";
+      doc = "tree delay/cost vs group size (DCDM vs KMB vs SPT)";
+      run = (fun c -> fig7 ~seeds:(if c.Workload.full then 10 else 3) ~ablate:c.ablate ());
+    };
+    {
+      Workload.name = "branch";
+      doc = "branch-candidate ablation";
+      run = (fun c -> branch_ablation ~seeds:(if c.Workload.full then 10 else 2) ());
+    };
+  ]

@@ -1,0 +1,17 @@
+(* The workload registry: every benchmark is a named entry taking the
+   shared run context, so the CLI dispatch, the usage text and the
+   "all" composite are derived from one list (assembled explicitly in
+   Main from the per-module workload lists). *)
+
+type ctx = {
+  full : bool;  (** Paper-scale seed counts instead of the smoke quota. *)
+  ablate : bool;  (** Include the candidate-set ablation in fig7. *)
+  jobs : int;  (** Worker domains for the parallel benches. *)
+  json : string option;  (** Write micro/e2e results as scmp-report/1. *)
+}
+
+type t = {
+  name : string;
+  doc : string;
+  run : ctx -> unit;
+}

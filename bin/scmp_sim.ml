@@ -73,6 +73,15 @@ let or_die = function
     Printf.eprintf "error: %s\n" m;
     exit 1
 
+(* Semantic CLI validation: Cmdliner rejects unknown flags and
+   unparseable values, but a well-typed nonsense value (zero packets,
+   a negative group size) must also die loudly before any work runs. *)
+let usage_die cmd m =
+  Printf.eprintf "scmp_sim %s: %s\nTry 'scmp_sim %s --help'.\n" cmd m cmd;
+  exit 2
+
+let require cmd cond m = if not cond then usage_die cmd m
+
 (* ---------- topo ---------- *)
 
 let topo_cmd =
@@ -608,14 +617,38 @@ let sweep_cmd =
       value & flag
       & info [ "check" ] ~doc:"Run the protocol invariant verifier in every cell.")
   in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Run the sweep described by a scmp-scenario/1 manifest file. \
+             The manifest replaces the grid flags (--topo, --drivers, \
+             --group-sizes, --seeds, --packets, --master-seed); --jobs, \
+             --report and --check still apply.")
+  in
   let run topos drivers group_sizes seeds packets master_seed jobs report check
-      =
-    let drivers =
-      if drivers = [ "all" ] then Protocols.Driver.names () else drivers
-    in
-    let spec =
-      Exec.Sweep.make ~packets ~master_seed ~drivers ~topos ~group_sizes ~seeds
-        ()
+      manifest =
+    let spec, check =
+      match manifest with
+      | Some path ->
+        let m = or_die (Scenario.Manifest.load ~path) in
+        (or_die (Scenario.Manifest.to_sweep m), check || m.Scenario.Manifest.check)
+      | None ->
+        require "sweep" (packets >= 1) "--packets must be >= 1";
+        require "sweep" (group_sizes <> []) "--group-sizes must be non-empty";
+        require "sweep"
+          (List.for_all (fun k -> k >= 1) group_sizes)
+          "--group-sizes must all be >= 1";
+        require "sweep" (seeds <> []) "--seeds must be non-empty";
+        require "sweep" (drivers <> []) "--drivers must be non-empty";
+        let drivers =
+          if drivers = [ "all" ] then Protocols.Driver.names () else drivers
+        in
+        ( Exec.Sweep.make ~packets ~master_seed ~drivers ~topos ~group_sizes
+            ~seeds (),
+          check )
     in
     let o = or_die (Exec.Sweep.run ~check ?jobs spec) in
     Printf.printf "%-32s %14s %16s %10s %10s %9s\n" "cell" "data overhead"
@@ -649,7 +682,7 @@ let sweep_cmd =
          "Run a scenario grid in parallel with a deterministic merged report.")
     Term.(
       const run $ topos $ drivers $ group_sizes $ seeds $ packets $ master_seed
-      $ jobs $ report $ check)
+      $ jobs $ report $ check $ manifest)
 
 (* ---------- trace-stats ---------- *)
 
@@ -818,6 +851,10 @@ let chaos_cmd =
              deterministic serialization without wall-clock metrics).")
   in
   let run topos drivers trials packets group_size seed jobs report =
+    require "chaos" (trials >= 1) "--trials must be >= 1";
+    require "chaos" (packets >= 1) "--packets must be >= 1";
+    require "chaos" (group_size >= 1) "--group-size must be >= 1";
+    require "chaos" (drivers <> []) "--drivers must be non-empty";
     let drivers =
       if drivers = [ "all" ] then Protocols.Driver.names () else drivers
     in
@@ -883,6 +920,149 @@ let chaos_cmd =
       const run $ topos $ drivers $ trials $ packets $ group_size $ seed
       $ jobs $ report)
 
+(* ---------- ab ---------- *)
+
+let read_json_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> (
+    match Obs.Json.of_string s with
+    | Ok j -> j
+    | Error e -> or_die (Error (Printf.sprintf "%s: %s" path e)))
+  | exception Sys_error e -> or_die (Error e)
+
+let ab_cmd =
+  let old_file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline scmp-report/1 file.")
+  in
+  let new_file =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Fresh scmp-report/1 file to judge.")
+  in
+  let profile =
+    Arg.(
+      value & opt string "default"
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:"Rule profile: default (10% band on everything) or bench.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:"Write the scmp-ab/1 comparison document.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Print only the summary line.")
+  in
+  let run old_file new_file profile report quiet =
+    let rules = or_die (Scenario.Ab.profile_of_string profile) in
+    let old_json = read_json_file old_file in
+    let new_json = read_json_file new_file in
+    let o = or_die (Scenario.Ab.compare_reports ~rules ~old_json ~new_json ()) in
+    if not quiet then begin
+      Printf.printf "%-44s %14s %14s %8s %s\n" "metric" "old" "new" "rel"
+        "status";
+      List.iter
+        (fun (d : Scenario.Ab.delta) ->
+          if d.status <> Scenario.Ab.Within then
+            let fv = function Some v -> Printf.sprintf "%.6g" v | None -> "-" in
+            Printf.printf "%-44s %14s %14s %8s %s\n" d.metric (fv d.old_value)
+              (fv d.new_value)
+              (match d.rel with
+              | Some r -> Printf.sprintf "%+.1f%%" (100.0 *. r)
+              | None -> "-")
+              (Scenario.Ab.status_label d.status))
+        o.deltas
+    end;
+    Printf.printf
+      "%s: %d compared, %d within, %d regressed, %d improved, %d info, %d \
+       missing, %d added\n"
+      (if Scenario.Ab.passed o then "PASS" else "FAIL")
+      o.compared o.within o.regressed o.improved o.informational o.missing
+      o.added;
+    (match report with
+    | None -> ()
+    | Some path ->
+      let doc =
+        Scenario.Ab.to_json ~old_name:(Filename.basename old_file)
+          ~new_name:(Filename.basename new_file) o
+      in
+      (match
+         Out_channel.with_open_text path (fun oc ->
+             Out_channel.output_string oc
+               (Obs.Json.to_string ~pretty:true doc);
+             Out_channel.output_char oc '\n')
+       with
+      | () -> ()
+      | exception Sys_error e -> or_die (Error e)));
+    if not (Scenario.Ab.passed o) then exit 4
+  in
+  Cmd.v
+    (Cmd.info "ab"
+       ~doc:
+         "Diff two scmp-report/1 files with noise-aware per-metric tolerance \
+          bands; exits 4 on regression or missing metric.")
+    Term.(const run $ old_file $ new_file $ profile $ report $ quiet)
+
+(* ---------- metric ---------- *)
+
+let metric_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A scmp-report/1 file.")
+  in
+  let key =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"KEY" ~doc:"Metric key, e.g. scmp/repair/count.")
+  in
+  let ge =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "ge" ] ~docv:"X" ~doc:"Assert value >= X.")
+  in
+  let le =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "le" ] ~docv:"X" ~doc:"Assert value <= X.")
+  in
+  let eq =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "eq" ] ~docv:"X" ~doc:"Assert value = X.")
+  in
+  let run file key ge le eq =
+    let v = or_die (Scenario.Ab.metric_value (read_json_file file) key) in
+    Printf.printf "%.17g\n" v;
+    let fail op x =
+      Printf.eprintf "assertion failed: %s = %.17g is not %s %.17g\n" key v op
+        x;
+      exit 4
+    in
+    (match ge with Some x when not (v >= x) -> fail ">=" x | _ -> ());
+    (match le with Some x when not (v <= x) -> fail "<=" x | _ -> ());
+    match eq with Some x when v <> x -> fail "=" x | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "metric"
+       ~doc:
+         "Extract one metric from a scmp-report/1 file; errors loudly on a \
+          missing key and exits 4 on a failed assertion.")
+    Term.(const run $ file $ key $ ge $ le $ eq)
+
 let () =
   let doc = "Service-centric multicast (SCMP) simulator" in
   let info = Cmd.info "scmp_sim" ~version:"1.0.0" ~doc in
@@ -894,6 +1074,8 @@ let () =
             tree_cmd;
             run_cmd;
             sweep_cmd;
+            ab_cmd;
+            metric_cmd;
             chaos_cmd;
             placement_cmd;
             trace_stats_cmd;

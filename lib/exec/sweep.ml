@@ -59,6 +59,18 @@ let generate_topo topo seed =
   | Random5 n -> Topology.Flat_random.generate ~seed ~n ~avg_degree:5.0
   | Arpanet -> Topology.Arpanet.generate ~seed
 
+type random_failures = {
+  rf_seed : int;
+  rf_count : int;
+  rf_restore_after : float option;
+}
+
+type churn_spec = {
+  cs_interarrival : float;
+  cs_holding : float;
+  cs_seed : int option;
+}
+
 type spec = {
   drivers : string list;
   topos : topo list;
@@ -66,11 +78,28 @@ type spec = {
   seeds : int list;
   packets : int;
   master_seed : int;
+  loss : (float * int) option;
+  loss_class : Eventsim.Netsim.pkt_class option;
+  faults : Eventsim.Faults.spec list;
+  random_link_failures : random_failures option;
+  churn : churn_spec option;
 }
 
-let make ?(packets = 30) ?(master_seed = 1) ~drivers ~topos ~group_sizes ~seeds
-    () =
-  { drivers; topos; group_sizes; seeds; packets; master_seed }
+let make ?(packets = 30) ?(master_seed = 1) ?loss ?loss_class ?(faults = [])
+    ?random_link_failures ?churn ~drivers ~topos ~group_sizes ~seeds () =
+  {
+    drivers;
+    topos;
+    group_sizes;
+    seeds;
+    packets;
+    master_seed;
+    loss;
+    loss_class;
+    faults;
+    random_link_failures;
+    churn;
+  }
 
 type cell = {
   index : int;
@@ -122,10 +151,36 @@ type outcome = {
   jobs_used : int;
 }
 
+(* Per-cell rows in the merged report: every cell publishes its headline
+   results under its own unique [cell/<name>/...] keys, so a merged
+   sweep report can be diffed cell-by-cell (the A/B gate's input). *)
+let publish_cell_metrics report name (result : Protocols.Runner.result) =
+  let m = Obs.Report.metrics report in
+  let pfx = "cell/" ^ name in
+  Obs.Metrics.set_counter
+    (Obs.Metrics.counter m (pfx ^ "/deliveries"))
+    result.Protocols.Runner.deliveries;
+  Obs.Metrics.set_counter
+    (Obs.Metrics.counter m (pfx ^ "/dropped"))
+    result.Protocols.Runner.dropped;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge m (pfx ^ "/data_overhead"))
+    result.Protocols.Runner.data_overhead;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge m (pfx ^ "/protocol_overhead"))
+    result.Protocols.Runner.protocol_overhead;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge m (pfx ^ "/max_delay"))
+    result.Protocols.Runner.max_delay;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge m (pfx ^ "/delivery_ratio"))
+    result.Protocols.Runner.delivery_ratio
+
 (* One isolated task: regenerate the topology from the cell's seed,
    sample members from the cell's private stream, run, publish into a
    fresh report. *)
-let run_cell ?(check = false) driver cell rng ~packets =
+let run_cell ?(check = false) sweep driver cell rng =
+  let packets = sweep.packets in
   let spec = generate_topo cell.topo cell.seed in
   let g = spec.Topology.Spec.graph in
   let n = Netgraph.Graph.node_count g in
@@ -138,13 +193,53 @@ let run_cell ?(check = false) driver cell rng ~packets =
   if members = [] then
     invalid_arg (Printf.sprintf "Sweep: cell %s sampled no members" (cell_name cell));
   let source = List.hd members in
-  let sc =
+  let base =
     Protocols.Runner.make ~data_count:packets ~spec ~center ~source ~members ()
+  in
+  (* The data window of the resolved scenario anchors the randomized
+     perturbations, so their instants track the membership schedule. *)
+  let data_end =
+    base.Protocols.Runner.data_start
+    +. (base.Protocols.Runner.data_interval *. float_of_int packets)
+  in
+  let random_faults =
+    match sweep.random_link_failures with
+    | None -> []
+    | Some rf ->
+      (* Seeded off the topology seed, not the cell index: every driver
+         sharing a (topo, seed) cell faces the identical fault draw —
+         the head-to-head comparison the manifests exist for. *)
+      Eventsim.Faults.random_link_failures ~seed:(rf.rf_seed + cell.seed)
+        ~count:rf.rf_count ~t0:base.Protocols.Runner.data_start ~t1:data_end
+        ?restore_after:rf.rf_restore_after g
+  in
+  let churn =
+    match sweep.churn with
+    | None -> None
+    | Some cs ->
+      Some
+        {
+          Protocols.Runner.mean_interarrival = cs.cs_interarrival;
+          mean_holding = cs.cs_holding;
+          horizon = data_end;
+          churn_seed =
+            (match cs.cs_seed with Some s -> s | None -> cell.seed + 31);
+        }
+  in
+  let sc =
+    {
+      base with
+      Protocols.Runner.loss = sweep.loss;
+      loss_class = sweep.loss_class;
+      faults = sweep.faults @ random_faults;
+      churn;
+    }
   in
   let report = Obs.Report.create ~name:(cell_name cell) () in
   let result, wall_s =
     Obs.Clock.time (fun () -> Protocols.Runner.run ~check ~report driver sc)
   in
+  publish_cell_metrics report (cell_name cell) result;
   { cell; result; report; wall_s }
 
 let merged_report spec (results : cell_result list) ~jobs_used ~wall_s
@@ -162,6 +257,23 @@ let merged_report spec (results : cell_result list) ~jobs_used ~wall_s
     (Obs.Json.List (List.map (fun s -> Obs.Json.Int s) spec.seeds));
   Obs.Report.set_meta report "packets" (Obs.Json.Int spec.packets);
   Obs.Report.set_meta report "master_seed" (Obs.Json.Int spec.master_seed);
+  (* Perturbation facts appear only when configured, so unperturbed
+     sweep reports keep their historical byte-exact shape. *)
+  (match spec.loss with
+  | Some (rate, seed) ->
+    Obs.Report.set_meta report "loss_rate" (Obs.Json.Float rate);
+    Obs.Report.set_meta report "loss_seed" (Obs.Json.Int seed)
+  | None -> ());
+  if spec.faults <> [] then
+    Obs.Report.set_meta report "scripted_faults"
+      (Obs.Json.Int (List.length spec.faults));
+  (match spec.random_link_failures with
+  | Some rf ->
+    Obs.Report.set_meta report "random_link_failures" (Obs.Json.Int rf.rf_count)
+  | None -> ());
+  (match spec.churn with
+  | Some _ -> Obs.Report.set_meta report "churn" (Obs.Json.Bool true)
+  | None -> ());
   (* Merge in cell-index order — results arrive already ordered from
      Pool.map, so the fold is scheduling-independent. *)
   List.iter (fun (r : cell_result) -> Obs.Report.merge report r.report) results;
@@ -231,8 +343,7 @@ let run ?(check = false) ?jobs spec =
         let run_all () =
           Pool.with_pool ~jobs:jobs_used (fun pool ->
               Pool.map pool tasks ~f:(fun i (cell, driver) ->
-                  run_cell ~check driver cell streams.(i)
-                    ~packets:spec.packets))
+                  run_cell ~check spec driver cell streams.(i)))
         in
         (try
            let results, wall_s = Obs.Clock.time run_all in

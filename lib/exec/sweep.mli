@@ -19,7 +19,13 @@
     Wall-clock facts of one particular execution — jobs, wall seconds,
     cells/s, speedup estimate, per-cell wall-time histogram — are
     published as wallclock-flagged [sweep/] metrics, present in the
-    full report but excluded from the deterministic serialization. *)
+    full report but excluded from the deterministic serialization.
+
+    Every cell additionally publishes its headline results under its
+    own unique [cell/<name>/...] keys (deliveries, overheads, max
+    delay, delivery ratio, drops), so the merged report carries
+    per-cell rows that downstream diff tooling (the [scmp_sim ab] gate)
+    can compare metric-by-metric. *)
 
 type topo =
   | Waxman of int  (** [waxman:N] — Waxman graph, N nodes. *)
@@ -37,6 +43,20 @@ val generate_topo : topo -> int -> Topology.Spec.t
     campaign engine ({!Chaos}), which replays trials from (topo, seed)
     pairs. *)
 
+type random_failures = {
+  rf_seed : int;
+      (** Combined with each cell's topology seed, so every driver
+          sharing a (topo, seed) cell faces the identical fault draw. *)
+  rf_count : int;
+  rf_restore_after : float option;
+}
+
+type churn_spec = {
+  cs_interarrival : float;  (** Mean seconds between churn arrivals. *)
+  cs_holding : float;  (** Mean membership holding time, seconds. *)
+  cs_seed : int option;  (** Default: per-cell, [cell.seed + 31]. *)
+}
+
 type spec = {
   drivers : string list;  (** Registry names, e.g. ["scmp"]. *)
   topos : topo list;
@@ -44,18 +64,33 @@ type spec = {
   seeds : int list;  (** Topology seeds — one cell per seed. *)
   packets : int;  (** Data packets per cell. *)
   master_seed : int;  (** Root of the per-cell member-sampling streams. *)
+  loss : (float * int) option;  (** Seeded Bernoulli loss, every cell. *)
+  loss_class : Eventsim.Netsim.pkt_class option;
+  faults : Eventsim.Faults.spec list;
+      (** Scripted fault program, installed identically in every cell. *)
+  random_link_failures : random_failures option;
+      (** Per-cell randomized failures drawn over each cell's data
+          window. *)
+  churn : churn_spec option;
+      (** Background membership churn over each cell's data window. *)
 }
 
 val make :
   ?packets:int ->
   ?master_seed:int ->
+  ?loss:float * int ->
+  ?loss_class:Eventsim.Netsim.pkt_class ->
+  ?faults:Eventsim.Faults.spec list ->
+  ?random_link_failures:random_failures ->
+  ?churn:churn_spec ->
   drivers:string list ->
   topos:topo list ->
   group_sizes:int list ->
   seeds:int list ->
   unit ->
   spec
-(** Defaults: 30 packets (the paper's 30 s at 1/s), master seed 1. *)
+(** Defaults: 30 packets (the paper's 30 s at 1/s), master seed 1, no
+    perturbations. *)
 
 type cell = {
   index : int;  (** Position in row-major grid order. *)

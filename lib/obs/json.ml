@@ -23,13 +23,58 @@ let escape s =
     s;
   Buffer.contents b
 
+(* Expand a %g-style exponent form ("1.23e-07", "5e+19") to a plain
+   decimal literal denoting the same real number. Shell gates and naive
+   readers extract metric values with regexes like [0-9.]*, which
+   silently mangle exponent forms — the emitter therefore never writes
+   one. The expansion keeps a '.' so the reader still parses the value
+   back as a Float. *)
+let expand_exponent s =
+  match
+    (String.index_opt s 'e', String.index_opt s 'E')
+  with
+  | None, None -> s
+  | ie, iE ->
+    let i = match (ie, iE) with
+      | Some i, _ -> i
+      | None, Some i -> i
+      | None, None -> assert false
+    in
+    let mant = String.sub s 0 i in
+    let exp = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    let sign, mant =
+      if String.length mant > 0 && mant.[0] = '-' then
+        ("-", String.sub mant 1 (String.length mant - 1))
+      else ("", mant)
+    in
+    let int_part, frac_part =
+      match String.index_opt mant '.' with
+      | Some d ->
+        (String.sub mant 0 d, String.sub mant (d + 1) (String.length mant - d - 1))
+      | None -> (mant, "")
+    in
+    let digits = int_part ^ frac_part in
+    (* decimal point sits after [point] digits of [digits] *)
+    let point = String.length int_part + exp in
+    let body =
+      if point <= 0 then
+        "0." ^ String.make (-point) '0' ^ digits
+      else if point >= String.length digits then
+        digits ^ String.make (point - String.length digits) '0' ^ ".0"
+      else
+        String.sub digits 0 point ^ "."
+        ^ String.sub digits point (String.length digits - point)
+    in
+    sign ^ body
+
 (* One canonical rendering per float value, so equal reports are
-   byte-identical: shortest %.12g form; non-finite values have no JSON
-   representation and become null. *)
+   byte-identical: shortest %.12g form with any exponent expanded to a
+   plain decimal (never scientific notation — see {!expand_exponent});
+   non-finite values have no JSON representation and become null. *)
 let float_repr f =
   if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else expand_exponent (Printf.sprintf "%.12g" f)
 
 let rec emit b = function
   | Null -> Buffer.add_string b "null"

@@ -5,7 +5,11 @@
     is canonical — one rendering per value, object fields in the order
     given — so equal documents are byte-identical, which the
     determinism tests rely on. Non-finite floats print as [null]
-    (JSON has no representation for them). *)
+    (JSON has no representation for them), and finite floats always
+    render as plain decimal with a ['.'] — never scientific notation,
+    however large or small — so shell-side consumers reading numbers
+    with naive regexes cannot silently truncate a mantissa, and
+    {!of_string} classifies every emitted float back as [Float]. *)
 
 type t =
   | Null

@@ -134,7 +134,8 @@ let handle_message t x ~from msg =
   | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _
   | Message.Scmp_announce _ | Message.Scmp_resync _
   | Message.Pim_join _ | Message.Pim_prune _
-  | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
+  | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ | Message.Mospf_lsa _
+  | Message.Hpim_sync _ | Message.Hpim_ack _ ->
     ()
 
 let create ?delivery net ~core () =

@@ -44,7 +44,7 @@ let plain ~join ~leave ~send =
     teardown = (fun () -> ());
   }
 
-(* ---- the five built-in drivers ---- *)
+(* ---- the six built-in drivers ---- *)
 
 module Scmp_driver = struct
   let name = "scmp"
@@ -110,6 +110,21 @@ module Pim_sm_driver = struct
       ~send:(Pim_sm.send_data p)
 end
 
+module Hpim_dm_driver = struct
+  let name = "hpim-dm"
+  let display = "HPIM-DM"
+
+  let setup cfg =
+    let p = Hpim_dm.create ~delivery:cfg.delivery cfg.net () in
+    {
+      (plain ~join:(Hpim_dm.host_join p) ~leave:(Hpim_dm.host_leave p)
+         ~send:(Hpim_dm.send_data p))
+      with
+      verify = (fun () -> Hpim_dm.verify p);
+      observe = (fun m -> Hpim_dm.observe p m);
+    }
+end
+
 (* ---- registry ---- *)
 
 (* The registry is only touched by the submitting domain — Exec.Sweep
@@ -136,6 +151,7 @@ let () =
       (module Dvmrp_driver : S);
       (module Mospf_driver : S);
       (module Pim_sm_driver : S);
+      (module Hpim_dm_driver : S);
     ]
 
 let names () = List.rev !order

@@ -60,8 +60,8 @@ val setup : t -> config -> instance
 
 (** {2 Registry}
 
-    Pre-populated with the five built-ins, in this order: [scmp],
-    [cbt], [dvmrp], [mospf], [pim-sm]. *)
+    Pre-populated with the six built-ins, in this order: [scmp],
+    [cbt], [dvmrp], [mospf], [pim-sm], [hpim-dm]. *)
 
 val register : t -> unit
 (** @raise Invalid_argument on an empty or duplicate name. *)

@@ -37,6 +37,9 @@ type t =
   | Dvmrp_prune of { group : group; src : node; from : node }
   | Dvmrp_graft of { group : group; src : node; from : node }
   | Mospf_lsa of { group : group; router : node; joined : bool; seq : int }
+  | Hpim_sync of
+      { group : group; src : node; from : node; seq : int; interested : bool }
+  | Hpim_ack of { group : group; src : node; from : node; seq : int }
 
 let req_kind_label = function Join -> "join" | Leave -> "leave" | Graft -> "graft"
 
@@ -47,7 +50,7 @@ let classify = function
   | Scmp_ack _ | Scmp_replicate _ | Scmp_heartbeat _ | Scmp_heartbeat_ack _
   | Scmp_announce _ | Scmp_resync _
   | Pim_join _ | Pim_prune _ | Cbt_join _ | Cbt_join_ack _ | Cbt_quit _
-  | Dvmrp_prune _ | Dvmrp_graft _ | Mospf_lsa _ ->
+  | Dvmrp_prune _ | Dvmrp_graft _ | Mospf_lsa _ | Hpim_sync _ | Hpim_ack _ ->
     `Control
 
 let rec group_of = function
@@ -70,7 +73,9 @@ let rec group_of = function
   | Cbt_quit { group; _ }
   | Dvmrp_prune { group; _ }
   | Dvmrp_graft { group; _ }
-  | Mospf_lsa { group; _ } ->
+  | Mospf_lsa { group; _ }
+  | Hpim_sync { group; _ }
+  | Hpim_ack { group; _ } ->
     group
   | Scmp_reliable { inner; _ } -> group_of inner
   | Scmp_ack _ | Scmp_heartbeat _ | Scmp_heartbeat_ack _ | Scmp_announce _ ->
@@ -145,6 +150,11 @@ let rec describe = function
     Printf.sprintf "MOSPF-LSA g%d r%d %s #%d" group router
       (if joined then "join" else "leave")
       seq
+  | Hpim_sync { group; src; from; seq; interested } ->
+    Printf.sprintf "HPIM-SYNC g%d s%d from%d #%d %s" group src from seq
+      (if interested then "interest" else "no-interest")
+  | Hpim_ack { group; src; from; seq } ->
+    Printf.sprintf "HPIM-ACK g%d s%d from%d #%d" group src from seq
 
 (* Wire sizes in 32-bit words: a 2-word common header (type, group)
    plus the message's variable part. Data payloads are modelled as the
@@ -177,5 +187,7 @@ let rec wire_words = function
   | Cbt_quit _ -> 3
   | Dvmrp_prune _ | Dvmrp_graft _ -> 4
   | Mospf_lsa _ -> 5
+  | Hpim_sync _ -> 6
+  | Hpim_ack _ -> 5
 
 let wire_bytes msg = 4 * wire_words msg

@@ -106,6 +106,18 @@ type t =
   (* ---- MOSPF ---- *)
   | Mospf_lsa of { group : group; router : node; joined : bool; seq : int }
       (** Group-membership LSA, flooded domain-wide. *)
+  (* ---- HPIM-DM (hard-state dense mode, Oliveira et al.) ---- *)
+  | Hpim_sync of
+      { group : group; src : node; from : node; seq : int; interested : bool }
+      (** Reliable interest synchronisation from a downstream router to
+          its RPF upstream for source [src]: [interested = false]
+          replaces DVMRP's soft-state PRUNE (it never expires, so there
+          is no periodic re-flood), [true] replaces GRAFT. [seq] orders
+          one neighbour's updates; the receiver applies only fresher
+          sequence numbers and always acknowledges. *)
+  | Hpim_ack of { group : group; src : node; from : node; seq : int }
+      (** Upstream's acknowledgement of the {!Hpim_sync} carrying
+          [seq]; the sender retransmits with backoff until acked. *)
 
 val req_kind_label : req_kind -> string
 (** ["join"], ["leave"] or ["graft"]. *)

@@ -84,7 +84,8 @@ let handle_message t x ~from msg =
   | Message.Scmp_invalidate _ | Message.Scmp_replicate _
   | Message.Scmp_heartbeat _ | Message.Scmp_heartbeat_ack _
   | Message.Scmp_announce _ | Message.Scmp_resync _ | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _ | Message.Cbt_join_ack _
-  | Message.Cbt_quit _ | Message.Dvmrp_prune _ | Message.Dvmrp_graft _ ->
+  | Message.Cbt_quit _ | Message.Dvmrp_prune _ | Message.Dvmrp_graft _
+  | Message.Hpim_sync _ | Message.Hpim_ack _ ->
     ()
 
 let create ?delivery net () =

@@ -249,7 +249,7 @@ let handle_message t x ~from msg =
   | Message.Scmp_heartbeat_ack _ | Message.Scmp_announce _
   | Message.Scmp_resync _ | Message.Cbt_join _ | Message.Cbt_join_ack _
   | Message.Cbt_quit _ | Message.Dvmrp_prune _ | Message.Dvmrp_graft _
-  | Message.Mospf_lsa _ ->
+  | Message.Mospf_lsa _ | Message.Hpim_sync _ | Message.Hpim_ack _ ->
     ()
 
 let create ?delivery ?(spt_switchover = true) net ~rp () =

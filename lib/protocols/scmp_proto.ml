@@ -1364,7 +1364,8 @@ let rec handle_message t x ~from msg =
       end
     | Message.Pim_join _ | Message.Pim_prune _ | Message.Cbt_join _
     | Message.Cbt_join_ack _ | Message.Cbt_quit _ | Message.Dvmrp_prune _
-    | Message.Dvmrp_graft _ | Message.Mospf_lsa _ ->
+    | Message.Dvmrp_graft _ | Message.Mospf_lsa _ | Message.Hpim_sync _
+    | Message.Hpim_ack _ ->
       (* Foreign-protocol traffic: never generated in an SCMP domain. *)
       ())
 

@@ -73,6 +73,38 @@ let test_json_parser () =
   checkb "mem miss" true (Json.mem "z" (Json.Obj []) = None);
   checkb "mem on non-obj" true (Json.mem "k" (Json.Int 3) = None)
 
+let test_json_no_scientific_notation () =
+  (* check.sh-style consumers read numbers with naive regexes, and the
+     parser classifies by the presence of '.', so the emitter must
+     never fall back to exponent notation — however tiny or huge the
+     float — and every emitted float must parse back as a Float. *)
+  let cases =
+    [
+      (1e-7, "0.0000001");
+      (-1e-9, "-0.000000001");
+      (1.5e-5, "0.000015");
+      (6.02e23, "602000000000000000000000.0");
+      (1e15, "1000000000000000.0");
+      (1e300, String.concat "" [ "1"; String.make 300 '0'; ".0" ]);
+      (-2.5e-3, "-0.0025");
+      (1.23456789e2, "123.456789");
+    ]
+  in
+  List.iter
+    (fun (f, expected) ->
+      let s = Json.to_string (Json.Float f) in
+      checks (Printf.sprintf "%h renders plainly" f) expected s;
+      checkb
+        (Printf.sprintf "%h has no exponent" f)
+        false
+        (String.exists (fun c -> c = 'e' || c = 'E') s);
+      match Json.of_string s with
+      | Ok (Json.Float f') ->
+        checkb (Printf.sprintf "%h round-trips" f) true (Float.equal f f')
+      | Ok _ -> Alcotest.failf "%s did not parse back as a Float" s
+      | Error e -> Alcotest.failf "%s failed to parse: %s" s e)
+    cases
+
 (* ---------------- Metrics ---------------- *)
 
 let test_metrics_registry () =
@@ -126,7 +158,7 @@ let test_driver_registry_roundtrip () =
   Alcotest.check
     Alcotest.(list string)
     "builtin names"
-    [ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm" ]
+    [ "scmp"; "cbt"; "dvmrp"; "mospf"; "pim-sm"; "hpim-dm" ]
     (Driver.names ());
   List.iter
     (fun name ->
@@ -146,7 +178,7 @@ let test_driver_unknown_name () =
     checkb "error lists known drivers" true (contains ~needle:"pim-sm" msg));
   Alcotest.check_raises "find_exn raises"
     (Invalid_argument
-       "unknown protocol \"nope\" (known: scmp, cbt, dvmrp, mospf, pim-sm)")
+       "unknown protocol \"nope\" (known: scmp, cbt, dvmrp, mospf, pim-sm, hpim-dm)")
     (fun () -> ignore (Driver.find_exn "nope"))
 
 (* ---------------- Report determinism ---------------- *)
@@ -240,6 +272,8 @@ let () =
         [
           Alcotest.test_case "canonical rendering" `Quick test_json_rendering;
           Alcotest.test_case "parser round-trip" `Quick test_json_parser;
+          Alcotest.test_case "no scientific notation" `Quick
+            test_json_no_scientific_notation;
         ] );
       ( "metrics",
         [

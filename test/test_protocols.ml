@@ -12,6 +12,7 @@ module Scmp_proto = Protocols.Scmp_proto
 module Cbt = Protocols.Cbt
 module Dvmrp = Protocols.Dvmrp
 module Mospf = Protocols.Mospf
+module Hpim_dm = Protocols.Hpim_dm
 module Runner = Protocols.Runner
 module Prng = Scmp_util.Prng
 
@@ -725,6 +726,120 @@ let test_mospf_delivery_on_spt () =
   in
   checkf "min-delay delivery" expected (Delivery.max_delay delivery)
 
+(* ---------------- HPIM-DM ---------------- *)
+
+let test_hpim_hard_state_no_reflood () =
+  (* The protocol's defining claim, as a differential against DVMRP:
+     after the first flood round the no-interest state is permanent, so
+     a packet sent long after DVMRP's prune timeout still rides the
+     lean tree, while DVMRP re-floods the whole domain. *)
+  let crossings_of_third create_p send =
+    let g = fig5 () in
+    let e, net, delivery = make_net g in
+    let p = create_p delivery net in
+    let join, send_data = send p in
+    join ();
+    expect_and_send e delivery ~seq:0 ~members:[ 5 ] ~send:(fun () ->
+        send_data ~seq:0);
+    expect_and_send e delivery ~seq:1 ~members:[ 5 ] ~send:(fun () ->
+        send_data ~seq:1);
+    let before = Netsim.data_transmissions net in
+    (* idle past DVMRP's 10 s prune timeout *)
+    Engine.schedule e ~delay:30.0 (fun () -> ());
+    Engine.run e;
+    expect_and_send e delivery ~seq:2 ~members:[ 5 ] ~send:(fun () ->
+        send_data ~seq:2);
+    checki "all three delivered" 3 (Delivery.deliveries delivery);
+    checki "clean" 0
+      (Delivery.duplicates delivery + Delivery.spurious delivery
+     + Delivery.missed delivery);
+    Netsim.data_transmissions net - before
+  in
+  let hpim =
+    crossings_of_third
+      (fun delivery net -> Hpim_dm.create ~delivery net ())
+      (fun p ->
+        ( (fun () -> Hpim_dm.host_join p ~group:1 5),
+          fun ~seq -> Hpim_dm.send_data p ~group:1 ~src:4 ~seq ))
+  in
+  let dvmrp =
+    crossings_of_third
+      (fun delivery net -> Dvmrp.create ~delivery ~prune_timeout:10.0 net ())
+      (fun p ->
+        ( (fun () -> Dvmrp.host_join p ~group:1 5),
+          fun ~seq -> Dvmrp.send_data p ~group:1 ~src:4 ~seq ))
+  in
+  checkb "DVMRP re-floods after its timeout, HPIM-DM does not" true
+    (hpim < dvmrp)
+
+let test_hpim_graft_on_join () =
+  let g = fig5 () in
+  let e, net, delivery = make_net g in
+  let p = Hpim_dm.create ~delivery net () in
+  Hpim_dm.host_join p ~group:1 5;
+  checkb "membership" true (Hpim_dm.is_member p ~group:1 5);
+  expect_and_send e delivery ~seq:0 ~members:[ 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:0);
+  checkb "no-interest state installed" true (Hpim_dm.no_interest_links p > 0);
+  (* node 3 declared no interest during the flood; joining must graft
+     its branch back explicitly — there is no timeout to save it *)
+  Hpim_dm.host_join p ~group:1 3;
+  Engine.run e;
+  expect_and_send e delivery ~seq:1 ~members:[ 3; 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:1);
+  checki "both members served after graft" 3 (Delivery.deliveries delivery);
+  checki "no missed" 0 (Delivery.missed delivery);
+  (match Hpim_dm.verify p with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "verify: %s" err)
+
+let test_hpim_leave_then_rejoin () =
+  let g = fig5 () in
+  let e, net, delivery = make_net g in
+  let p = Hpim_dm.create ~delivery net () in
+  Hpim_dm.host_join p ~group:1 5;
+  Hpim_dm.host_join p ~group:1 3;
+  expect_and_send e delivery ~seq:0 ~members:[ 3; 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:0);
+  Hpim_dm.host_leave p ~group:1 3;
+  Engine.run e;
+  expect_and_send e delivery ~seq:1 ~members:[ 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:1);
+  checki "departed member not served" 0 (Delivery.spurious delivery);
+  (* hard state means only an explicit re-sync can reopen the branch *)
+  Hpim_dm.host_join p ~group:1 3;
+  Engine.run e;
+  expect_and_send e delivery ~seq:2 ~members:[ 3; 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:2);
+  checki "re-join resumes delivery" 0 (Delivery.missed delivery);
+  (match Hpim_dm.verify p with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "verify: %s" err)
+
+let test_hpim_reliable_sync_under_control_loss () =
+  (* Interest syncs ride a lossy control plane: the seq-numbered
+     retransmission chain must still converge every branch, and the
+     retransmissions must be visible in the observed metrics. *)
+  let g = fig5 () in
+  let e, net, delivery = make_net g in
+  Netsim.set_loss ~only:`Control net ~rate:0.3 ~seed:11;
+  let p = Hpim_dm.create ~delivery net () in
+  Hpim_dm.host_join p ~group:1 5;
+  Hpim_dm.host_join p ~group:1 3;
+  expect_and_send e delivery ~seq:0 ~members:[ 3; 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:0);
+  expect_and_send e delivery ~seq:1 ~members:[ 3; 5 ] ~send:(fun () ->
+      Hpim_dm.send_data p ~group:1 ~src:4 ~seq:1);
+  checki "members keep being served" 0 (Delivery.missed delivery);
+  let m = Obs.Metrics.create () in
+  Hpim_dm.observe p m;
+  let c name = Obs.Metrics.counter_value (Obs.Metrics.counter m name) in
+  checkb "syncs flowed" true (c "hpim/syncs" > 0);
+  checkb "lost syncs were retransmitted" true (c "hpim/retransmissions" > 0);
+  (match Hpim_dm.verify p with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "verify: %s" err)
+
 let test_scmp_under_packet_loss () =
   (* Failure injection: with lossy links, deliveries are missed but the
      protocol neither crashes nor mis-delivers; lossless runs stay
@@ -1038,6 +1153,16 @@ let () =
             test_pim_multiple_members_exactly_once;
           Alcotest.test_case "leave" `Quick test_pim_leave;
           qc prop_pim_exactly_once;
+        ] );
+      ( "hpim-dm",
+        [
+          Alcotest.test_case "hard state, no re-flood (vs DVMRP)" `Quick
+            test_hpim_hard_state_no_reflood;
+          Alcotest.test_case "graft on join" `Quick test_hpim_graft_on_join;
+          Alcotest.test_case "leave then re-join" `Quick
+            test_hpim_leave_then_rejoin;
+          Alcotest.test_case "reliable sync under control loss" `Quick
+            test_hpim_reliable_sync_under_control_loss;
         ] );
       ( "mospf",
         [
