@@ -201,6 +201,7 @@ let rule_catchall = "catchall-exn"
 let rule_physical_eq = "physical-eq"
 let rule_exec_capture = "exec-capture"
 let rule_graph_freeze = "graph-freeze"
+let rule_raw_engine_queue = "raw-engine-queue"
 let rule_parse_failure = "parse-failure"
 let rule_unused_suppression = "unused-suppression"
 
@@ -335,6 +336,34 @@ let ast_domain_safety (ctx : Rule.ctx) structure =
               allocate it per task (or mark the module exec-only)"
              name))
       (Ast_scan.toplevel_mutable_bindings structure)
+
+(* The event kernel owns its queue: every schedule inside the
+   simulation layer goes through Engine, which is what keeps the
+   clock, the foreground count, the executed counter and the
+   high-water mark truthful. A Heap or Calendar_queue frontier
+   anywhere else in lib/eventsim is a second scheduler the engine
+   cannot see — exactly the shape the event-kernel overhaul removed.
+   Both spellings, as with raw_transmit_targets. *)
+let engine_queue_prefixes =
+  [
+    "Heap."; "Scmp_util.Heap.";
+    "Calendar_queue."; "Scmp_util.Calendar_queue.";
+  ]
+
+let ast_raw_engine_queue (ctx : Rule.ctx) structure =
+  Ast_scan.iter_exprs structure (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; loc } ->
+        let p = Ast_scan.ident_path txt in
+        Option.iter
+          (fun _ ->
+            emit_at ctx loc
+              (Printf.sprintf
+                 "%s inside lib/eventsim is a second event queue the engine \
+                  cannot account for; schedule through Eventsim.Engine"
+                 p))
+          (List.find_opt (fun pre -> has_prefix p pre) engine_queue_prefixes)
+      | _ -> ())
 
 (* D1 — Hashtbl iteration order feeding observable output. *)
 
@@ -783,6 +812,13 @@ let registry : Rule.t list =
          frozen Graph.t"
       ~scope:(fun p -> not (in_topology p || in_netgraph p))
       ~ast:ast_graph_freeze ~lines:line_graph_freeze ();
+    Rule.make ~id:rule_raw_engine_queue ~severity:Error
+      ~doc:
+        "the engine owns the event queue: no direct Heap or \
+         Calendar_queue frontier inside lib/eventsim outside engine.ml"
+      ~scope:(fun p ->
+        in_eventsim p && not (has_prefix (Filename.basename p) "engine."))
+      ~ast:ast_raw_engine_queue ();
   ]
 
 let all_rules =

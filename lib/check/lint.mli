@@ -66,6 +66,7 @@ val rule_catchall : string
 val rule_physical_eq : string
 val rule_exec_capture : string
 val rule_graph_freeze : string
+val rule_raw_engine_queue : string
 val rule_parse_failure : string
 val rule_unused_suppression : string
 

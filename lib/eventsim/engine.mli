@@ -1,9 +1,18 @@
 (** Discrete-event simulation engine.
 
-    A time-ordered queue of thunks. Events scheduled for the same
+    A time-ordered queue of events over a monotone calendar queue
+    ({!Scmp_util.Calendar_queue}). Events scheduled for the same
     instant execute in scheduling order (FIFO), which makes whole-run
     behaviour deterministic — a property the reproduction relies on for
-    seed-stable experiment output. *)
+    seed-stable experiment output.
+
+    Events come in three shapes: a general thunk ({!schedule} /
+    {!schedule_at}), a periodic task ({!every}) whose single record is
+    re-enqueued after each firing, and a closure-free fast path
+    ({!schedule_fast}) that carries five immediate ints to a
+    {!dispatch} handler registered once per event family — the shape
+    the packet-delivery hot path uses to avoid allocating a thunk per
+    simulated packet. *)
 
 type t
 
@@ -27,9 +36,35 @@ val every :
 (** Recurring event starting one [interval] from now, stopping after
     [until] (absolute, inclusive) if given. The window gates every
     firing including the first: if [now t +. interval > until] the
-    task never fires. [background] events (e.g. periodic IGMP queries)
-    do not keep {!run} alive — see {!run}.
+    task never fires. The whole recurrence is one event record,
+    re-enqueued after each firing — N firings keep O(1) live records.
+    [background] events (e.g. periodic IGMP queries) do not keep
+    {!run} alive — see {!run}.
     @raise Invalid_argument on non-positive interval. *)
+
+(** {2 Closure-free fast path} *)
+
+type dispatch
+(** A handler for a family of fast events — registered once (closing
+    over whatever environment the family needs), then shared by every
+    event of the family. *)
+
+val dispatch : (int -> int -> int -> int -> int -> unit) -> dispatch
+(** Make a dispatch from a 5-int handler. The meaning of the ints is
+    the family's private contract. *)
+
+val schedule_fast :
+  t ->
+  ?background:bool ->
+  time:float ->
+  dispatch ->
+  int -> int -> int -> int -> int ->
+  unit
+(** [schedule_fast t ~time d a b c x y] enqueues an event that runs
+    as [d a b c x y] — same ordering and background semantics as
+    {!schedule_at}, but the event is a flat record of immediates: no
+    closure is allocated per event.
+    @raise Invalid_argument if [time < now t]. *)
 
 val pending : t -> int
 (** Events currently queued. *)
@@ -55,7 +90,9 @@ val run : ?until:float -> t -> unit
     event remains (quiescence — periodic background work alone does not
     keep the run alive). With [until]: execute every event, background
     included, scheduled up to [until]; later events remain queued and
-    the clock settles at [until]. *)
+    the clock settles at [until]. Each iteration is a single
+    locate-and-pop on the calendar queue — no peek-then-pop double
+    search. *)
 
 val step : t -> bool
 (** Execute exactly the next event; [false] if none. *)

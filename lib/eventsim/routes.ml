@@ -33,41 +33,65 @@ module D = Netgraph.Dijkstra
 type t = {
   g : G.t;
   edge_ok : (G.edge -> bool) option;
+  (* [true] when [edge_ok] currently accepts every edge (no live
+     fault). An all-accepting filter is equivalent to no filter —
+     Dijkstra documents the filtered run as identical to the
+     unfiltered one — so a clean overlay takes the fused
+     [drain_csr] fast path instead of paying a closure call per
+     relaxation. *)
+  all_ok : (unit -> bool) option;
   ws : D.workspace;
   results : D.result option array;
   (* edge id -> sources whose cached SPT used the edge when built.
      Entries may be stale (source since dropped or rebuilt without the
      edge); [note_edge_down] re-checks before dropping. *)
   edge_users : int list array;
+  (* '\001' once a source has registered tree edges at least once: a
+     first build (the no-fault steady state) cannot already appear in
+     any [edge_users] list, so registration skips the membership scan
+     entirely; only a rebuild after invalidation pays it. *)
+  registered : Bytes.t;
   mutable computed : int;
   mutable invalidated : int;
 }
 
-let compute ?edge_ok g =
+let compute ?edge_ok ?all_ok g =
   {
     g;
     edge_ok;
+    all_ok;
     ws = D.create_workspace ();
     results = Array.make (G.node_count g) None;
     edge_users = Array.make (G.edge_count g) [];
+    registered = Bytes.make (G.node_count g) '\000';
     computed = 0;
     invalidated = 0;
   }
 
+(* Int-specialized membership: [List.mem] would go through the
+   polymorphic comparator for every element — measurably hot, since
+   this runs over every tree edge of every SPT build. *)
+let rec mem_int (x : int) = function
+  | [] -> false
+  | y :: rest -> y = x || mem_int x rest
+
 let register_tree_edges t s r =
+  let fresh = Bytes.get t.registered s = '\000' in
+  Bytes.set t.registered s '\001';
   for y = 0 to G.node_count t.g - 1 do
-    match D.parent_edge r y with
-    | None -> ()
-    | Some e ->
-      if not (List.mem s t.edge_users.(e)) then
-        t.edge_users.(e) <- s :: t.edge_users.(e)
+    let e = D.parent_edge_ix r y in
+    if e >= 0 && (fresh || not (mem_int s t.edge_users.(e))) then
+      t.edge_users.(e) <- s :: t.edge_users.(e)
   done
 
 let force t s =
   match t.results.(s) with
   | Some r -> r
   | None ->
-    let r = D.run ~ws:t.ws ?edge_ok:t.edge_ok t.g ~metric:D.Delay ~source:s in
+    let edge_ok =
+      match t.all_ok with Some f when f () -> None | _ -> t.edge_ok
+    in
+    let r = D.run ~ws:t.ws ?edge_ok t.g ~metric:D.Delay ~source:s in
     t.results.(s) <- Some r;
     t.computed <- t.computed + 1;
     register_tree_edges t s r;

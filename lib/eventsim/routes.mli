@@ -19,13 +19,21 @@
 
 type t
 
-val compute : ?edge_ok:(Netgraph.Graph.edge -> bool) -> Netgraph.Graph.t -> t
+val compute :
+  ?edge_ok:(Netgraph.Graph.edge -> bool) ->
+  ?all_ok:(unit -> bool) ->
+  Netgraph.Graph.t ->
+  t
 (** An empty cache over [g]; no Dijkstra runs until the first query.
     [edge_ok] (an edge-id liveness predicate, e.g. a fault overlay
     bitset lookup) filters the graph at SPT-build time; it must be
     constant between an invalidation notice and the queries that
     follow it. Ties resolve deterministically (Dijkstra's fixed
-    relaxation order). *)
+    relaxation order). [all_ok], when given, must report whether
+    [edge_ok] currently accepts every edge; a [true] answer lets an
+    SPT build skip the per-edge filter entirely (an all-accepting
+    filtered run is documented byte-identical to an unfiltered one),
+    which is the no-fault fast path. *)
 
 val next_hop : t -> src:Netgraph.Graph.node -> dst:Netgraph.Graph.node -> Netgraph.Graph.node option
 (** The neighbour to forward to; [None] if [dst] is unreachable.

@@ -117,7 +117,7 @@ let join t s =
         | _ -> best := Some (ac, ml, spt)
       end
     in
-    List.iter
+    Tree.iter_nodes t.tree
       (fun v ->
         (* Node-level prefilter: the cheapest possible candidate delay
            through [v]. The sl path minimizes delay, so in [Both] mode
@@ -140,8 +140,7 @@ let join t s =
             let sl = Netgraph.Apsp.sl_tree apsp v in
             consider v ~pd:(Netgraph.Dijkstra.dist sl s) sl
           | Least_cost_only -> ()
-        end)
-      (Tree.nodes t.tree);
+        end);
     let chosen =
       match !best with
       | Some (_, _, spt) -> (

@@ -48,6 +48,13 @@ let nodes t =
   done;
   !acc
 
+(* Allocation-free [nodes]: the DCDM join scans every on-tree router
+   once per candidate evaluation, so the list build is pure overhead. *)
+let iter_nodes t f =
+  for x = 0 to Array.length t.on - 1 do
+    if t.on.(x) then f x
+  done
+
 let parent t x =
   require_on t x "parent";
   if x = t.root then None else Some t.parent.(x)
@@ -162,9 +169,10 @@ let delays t =
     d.(x) <- acc;
     List.iter
       (fun c ->
-        match Netgraph.Graph.link_delay_opt t.graph x c with
-        | Some w -> visit c (acc +. w)
-        | None -> assert false (* tree edges are graph links by construction *))
+        (* tree edges are graph links by construction; [edge_delay] is
+           the same stored float [link_delay_opt] would return *)
+        let e = Netgraph.Graph.edge_id_ix t.graph x c in
+        visit c (acc +. Netgraph.Graph.edge_delay t.graph e))
       t.children.(x)
   in
   visit t.root 0.0;

@@ -35,6 +35,10 @@ val size : t -> int
 val nodes : t -> node list
 (** On-tree nodes, ascending. *)
 
+val iter_nodes : t -> (node -> unit) -> unit
+(** [nodes] without the list: calls [f] on each on-tree node in
+    ascending id order (the same order [nodes] returns). *)
+
 val parent : t -> node -> node option
 (** Upstream router; [None] for the root. @raise Invalid_argument if
     off-tree. *)

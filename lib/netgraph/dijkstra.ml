@@ -169,6 +169,12 @@ let parent r x =
 let parent_edge r x =
   if x = r.src || r.dist.(x) = infinity then None else Some r.pred_edge.(x)
 
+let parent_ix r x =
+  if x = r.src || r.dist.(x) = infinity then -1 else r.pred.(x)
+
+let parent_edge_ix r x =
+  if x = r.src || r.dist.(x) = infinity then -1 else r.pred_edge.(x)
+
 let path r x =
   if not (reachable r x) then None
   else begin

@@ -81,6 +81,14 @@ val parent_edge : result -> Graph.node -> Graph.edge option
     unreachable nodes. O(1) — this is how Routes registers SPT edges
     in its usage map without pair lookups. *)
 
+val parent_ix : result -> Graph.node -> int
+(** {!parent} as a raw index — [-1] for the source and unreachable
+    nodes. Allocation-free, for pred-chain walks on hot paths. *)
+
+val parent_edge_ix : result -> Graph.node -> int
+(** {!parent_edge} as a raw index — [-1] for the source and unreachable
+    nodes. Allocation-free. *)
+
 val path : result -> Graph.node -> Path.t option
 (** Path from source to the node inclusive; [None] if unreachable;
     [Some [source]] for the source itself. *)

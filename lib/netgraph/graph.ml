@@ -23,6 +23,11 @@ type t = {
   ev : int array;
   edelay : float array;  (* m *)
   ecost : float array;  (* m *)
+  (* Dense adjacency matrix of edge ids (-1 = not adjacent), built at
+     freeze time for small graphs so the per-transmit edge lookup is
+     one load instead of a CSR scan. Empty for large n, where the
+     O(n^2) footprint would not pay for itself. *)
+  eid_mat : int array;
 }
 
 module Builder = struct
@@ -139,6 +144,17 @@ module Builder = struct
         fill a x e delay cost;
         fill x a e delay cost)
       (List.rev b.links_rev);
+    let eid_mat =
+      if n > 256 then [||]
+      else begin
+        let mat = Array.make (n * n) (-1) in
+        for e = 0 to m - 1 do
+          mat.((eu.(e) * n) + ev.(e)) <- e;
+          mat.((ev.(e) * n) + eu.(e)) <- e
+        done;
+        mat
+      end
+    in
     {
       n;
       m;
@@ -151,6 +167,7 @@ module Builder = struct
       ev;
       edelay;
       ecost;
+      eid_mat;
     }
 end
 
@@ -197,23 +214,27 @@ let edge_link t e =
   check_edge t e "edge_link";
   { u = t.eu.(e); v = t.ev.(e); delay = t.edelay.(e); cost = t.ecost.(e) }
 
+let edge_id_ix t a b =
+  check_node t a "edge_id_ix";
+  check_node t b "edge_id_ix";
+  if Array.length t.eid_mat > 0 then Array.unsafe_get t.eid_mat ((a * t.n) + b)
+  else begin
+    let stop = t.off.(a + 1) in
+    let rec scan s =
+      if s = stop then -1
+      else if t.nbr.(s) = b then t.slot_eid.(s)
+      else scan (s + 1)
+    in
+    scan t.off.(a)
+  end
+
 let edge_id_opt t a b =
-  check_node t a "edge_id_opt";
-  check_node t b "edge_id_opt";
-  let stop = t.off.(a + 1) in
-  let rec scan s =
-    if s = stop then None
-    else if t.nbr.(s) = b then Some t.slot_eid.(s)
-    else scan (s + 1)
-  in
-  scan t.off.(a)
+  match edge_id_ix t a b with -1 -> None | e -> Some e
 
 let has_link t a b =
   check_node t a "has_link";
   check_node t b "has_link";
-  let stop = t.off.(a + 1) in
-  let rec scan s = s < stop && (t.nbr.(s) = b || scan (s + 1)) in
-  scan t.off.(a)
+  edge_id_ix t a b >= 0
 
 let link_between t a b =
   match edge_id_opt t a b with None -> None | Some e -> Some (edge_link t e)

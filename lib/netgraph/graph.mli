@@ -104,7 +104,12 @@ val edge_cost : t -> edge -> float
 val edge_link : t -> edge -> link
 
 val edge_id_opt : t -> node -> node -> edge option
-(** Edge id of the link joining two nodes, if adjacent. O(degree). *)
+(** Edge id of the link joining two nodes, if adjacent. O(1) on small
+    graphs (a dense matrix built at freeze time), O(degree) otherwise. *)
+
+val edge_id_ix : t -> node -> node -> int
+(** {!edge_id_opt} as a raw index — [-1] when not adjacent.
+    Allocation-free, for per-transmit lookups on hot paths. *)
 
 val iter_incident : t -> node -> (edge -> node -> unit) -> unit
 (** [iter_incident g x f] calls [f eid neighbor] for each incident link,

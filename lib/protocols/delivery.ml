@@ -1,15 +1,24 @@
+(* Allocation-lean recorder: packets live in a dense array indexed by
+   sequence number, and each packet's member set is a byte map over
+   router ids (0 = non-member, 1 = member awaiting delivery,
+   2 = delivered). [record] runs on the data fast path — once per
+   delivery event — so it is a couple of array reads instead of three
+   hashtable probes on a heap-allocated key. *)
+
 type packet = {
   sent_at : float;
-  members : (Message.node, unit) Hashtbl.t;
-  received : (Message.node, unit) Hashtbl.t;
+  (* index = router id (up to the largest member); anything beyond the
+     map is a non-member. *)
+  state : Bytes.t;
 }
 
 type t = {
   engine : Eventsim.Engine.t;
-  packets : (int, packet) Hashtbl.t;
+  mutable packets : packet option array; (* index = seq *)
   mutable deliveries : int;
   mutable duplicates : int;
   mutable spurious : int;
+  mutable expected : int; (* lifetime (seq, member) pairs declared *)
   stats : Scmp_util.Stats.t;
   mutable all_delays : float list;
 }
@@ -17,41 +26,74 @@ type t = {
 let create engine =
   {
     engine;
-    packets = Hashtbl.create 64;
+    packets = Array.make 64 None;
     deliveries = 0;
     duplicates = 0;
     spurious = 0;
+    expected = 0;
     stats = Scmp_util.Stats.create ();
     all_delays = [];
   }
 
+let ensure t seq =
+  let n = Array.length t.packets in
+  if seq >= n then begin
+    let n' = max (seq + 1) (2 * n) in
+    let fresh = Array.make n' None in
+    Array.blit t.packets 0 fresh 0 n;
+    t.packets <- fresh
+  end
+
 let expect t ~seq ~members ~sent_at =
-  let m = Hashtbl.create (List.length members) in
-  List.iter (fun x -> Hashtbl.replace m x ()) members;
-  Hashtbl.replace t.packets seq { sent_at; members = m; received = Hashtbl.create 8 }
+  if seq < 0 then invalid_arg "Delivery.expect: negative seq";
+  ensure t seq;
+  (match t.packets.(seq) with
+  | Some p ->
+    (* Re-declaring a seq replaces it, as Hashtbl.replace did: retire
+       the old packet's still-pending pairs from the expected total. *)
+    Bytes.iter (fun c -> if c = '\001' then t.expected <- t.expected - 1) p.state
+  | None -> ());
+  let top = List.fold_left (fun acc x -> max acc x) (-1) members in
+  let state = Bytes.make (top + 1) '\000' in
+  List.iter
+    (fun x ->
+      if x < 0 then invalid_arg "Delivery.expect: negative member";
+      if Bytes.get state x = '\000' then begin
+        Bytes.set state x '\001';
+        t.expected <- t.expected + 1
+      end)
+    members;
+  t.packets.(seq) <- Some { sent_at; state }
 
 let record t ~seq ~at_router =
-  match Hashtbl.find_opt t.packets seq with
+  let p =
+    if seq >= 0 && seq < Array.length t.packets then t.packets.(seq)
+    else None
+  in
+  match p with
   | None -> t.spurious <- t.spurious + 1
   | Some p ->
-    if not (Hashtbl.mem p.members at_router) then t.spurious <- t.spurious + 1
-    else if Hashtbl.mem p.received at_router then t.duplicates <- t.duplicates + 1
+    if at_router < 0 || at_router >= Bytes.length p.state then
+      t.spurious <- t.spurious + 1
     else begin
-      Hashtbl.replace p.received at_router ();
-      t.deliveries <- t.deliveries + 1;
-      let delay = Eventsim.Engine.now t.engine -. p.sent_at in
-      Scmp_util.Stats.add t.stats delay;
-      t.all_delays <- delay :: t.all_delays
+      match Bytes.unsafe_get p.state at_router with
+      | '\000' -> t.spurious <- t.spurious + 1
+      | '\002' -> t.duplicates <- t.duplicates + 1
+      | _ ->
+        Bytes.unsafe_set p.state at_router '\002';
+        t.deliveries <- t.deliveries + 1;
+        let delay = Eventsim.Engine.now t.engine -. p.sent_at in
+        Scmp_util.Stats.add t.stats delay;
+        t.all_delays <- delay :: t.all_delays
     end
 
 let deliveries t = t.deliveries
 let duplicates t = t.duplicates
 let spurious t = t.spurious
 
-let missed t =
-  Hashtbl.fold
-    (fun _ p acc -> acc + (Hashtbl.length p.members - Hashtbl.length p.received))
-    t.packets 0
+(* Every delivery converts exactly one declared pair, so the pending
+   count is a subtraction, not a fold over all packets. *)
+let missed t = t.expected - t.deliveries
 
 let max_delay t = if Scmp_util.Stats.count t.stats = 0 then 0.0 else Scmp_util.Stats.max t.stats
 let mean_delay t = Scmp_util.Stats.mean t.stats

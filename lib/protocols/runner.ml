@@ -26,6 +26,10 @@ type scenario = {
   loss_class : Eventsim.Netsim.pkt_class option;
   faults : Eventsim.Faults.spec list;
   churn : churn option;
+  (* Delay-scaled graph, memoized: a pure function of [spec] and
+     [delay_scale], both immutable, so every run of the scenario uses
+     the same frozen graph instead of re-freezing a copy per run. *)
+  mutable scaled : Netgraph.Graph.t option;
 }
 
 let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
@@ -61,6 +65,7 @@ let make ?(join_start = 0.1) ?(join_spacing = 0.5) ?data_start
     loss_class;
     faults;
     churn;
+    scaled = None;
   }
 
 type result = {
@@ -141,8 +146,15 @@ let run ?(check = false) ?report driver s =
   (* Scale topology delays into simulated seconds; costs stay in the
      paper's link-cost units. *)
   let g =
-    Netgraph.Graph.map_links s.spec.Topology.Spec.graph ~f:(fun l ->
-        (l.Netgraph.Graph.delay *. s.delay_scale, l.Netgraph.Graph.cost))
+    match s.scaled with
+    | Some g -> g
+    | None ->
+      let g =
+        Netgraph.Graph.map_links s.spec.Topology.Spec.graph ~f:(fun l ->
+            (l.Netgraph.Graph.delay *. s.delay_scale, l.Netgraph.Graph.cost))
+      in
+      s.scaled <- Some g;
+      g
   in
   let engine = Eventsim.Engine.create () in
   let net =

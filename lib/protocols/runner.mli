@@ -68,6 +68,9 @@ type scenario = {
       (** Seeded background churn; a churn run counts as perturbed
           (expected sets are accumulated in-run from the live
           membership, packet conservation is not enforced). *)
+  mutable scaled : Netgraph.Graph.t option;
+      (** Internal memo of the delay-scaled graph; managed by {!run},
+          leave as [None]. *)
 }
 
 val make :

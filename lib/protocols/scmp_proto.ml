@@ -2,6 +2,35 @@ module N = Eventsim.Netsim
 
 type node = Message.node
 
+(* The hot per-router tables key on one immediate int instead of a
+   boxed pair: hashing is a single int mix and equality a word compare,
+   with no tuple allocation per probe. [pk x g] packs a node id (well
+   below 2^30) above a group id (a 32-bit multicast address — see
+   Service.allocate_group); the node always rides in the high field so
+   the group's full 32 bits fit below it. *)
+let pk x g = (x lsl 32) lor g
+let pk_hi k = k lsr 32
+let pk_lo k = k land 0xFFFF_FFFF
+
+(* Int-specialized membership: [List.mem] pays a polymorphic-compare
+   call per element, and the forwarding sets it scans sit on the
+   per-packet data path. *)
+let rec mem_int (x : int) = function
+  | [] -> false
+  | y :: rest -> y = x || mem_int x rest
+
+(* Int-keyed hashtable for the packed-key tables: the polymorphic
+   [Hashtbl] pays a C call for hashing and another per probe for
+   structural equality; here both are straight-line OCaml. The mixer
+   folds the node field (bits 32+) into the low bits [key_index]
+   actually uses. *)
+module IT = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash k = (k lxor (k lsr 29)) * 0x9E3779B1 land max_int
+end)
+
 type distribution = Incremental | Always_full_tree
 
 type entry = {
@@ -23,7 +52,7 @@ type authority = {
   mutable a_failed : bool;  (* protocol-level crash: deaf and excised *)
   a_dcdm : (Message.group, Mtree.Dcdm.t) Hashtbl.t;
   a_members : (Message.group, node list ref) Hashtbl.t;
-  a_seen : (Message.group * node, int) Hashtbl.t;
+  a_seen : int IT.t;  (* key = [pk dr group] *)
       (* duplicate suppression: highest request seq per (group, dr) *)
 }
 
@@ -87,11 +116,11 @@ type t = {
   node_epoch : int array;
   view : node array;
   epoch_owner : (int, node) Hashtbl.t;
-  entries : (node * Message.group, entry) Hashtbl.t;
-  pending_iface : (node * Message.group, unit) Hashtbl.t;
+  entries : entry IT.t;  (* key = [pk router group] *)
+  pending_iface : unit IT.t;  (* key = [pk router group] *)
   (* Reliable control transport. *)
   mutable ctl_seq : int;  (* request sequence numbers, network-wide *)
-  requests : (node * Message.group, request) Hashtbl.t;
+  requests : request IT.t;  (* key = [pk dr group] *)
       (* latest outstanding request per (dr, group); a new request
          supersedes the old one *)
   mutable tokens : int;  (* reliable-frame token allocator *)
@@ -232,16 +261,16 @@ let active_authorities t =
 
 (* ---- routing entries ---- *)
 
-let entry_opt t x group = Hashtbl.find_opt t.entries (x, group)
+let entry_opt t x group = IT.find_opt t.entries (pk x group)
 
 let get_or_create_entry t x group ~ep =
   match entry_opt t x group with
   | Some e -> e
   | None ->
-    let member = Hashtbl.mem t.pending_iface (x, group) in
-    Hashtbl.remove t.pending_iface (x, group);
+    let member = IT.mem t.pending_iface (pk x group) in
+    IT.remove t.pending_iface (pk x group);
     let e = { upstream = None; downstream = []; member; ep } in
-    Hashtbl.replace t.entries (x, group) e;
+    IT.replace t.entries (pk x group) e;
     e
 
 (* First frame of a newer regime at a router: the old regime's
@@ -259,7 +288,7 @@ let entry_for_epoch t x group epoch =
 
 let authority_entry t a group = entry_for_epoch t a.an group a.a_epoch
 
-let drop_entry t x group = Hashtbl.remove t.entries (x, group)
+let drop_entry t x group = IT.remove t.entries (pk x group)
 
 (* ---- blackout bookkeeping ---- *)
 
@@ -371,8 +400,9 @@ let step_down (t : t) a ~epoch =
         let members = roster a.a_members group in
         let seen =
           (* sorted before use, so table order never escapes *)
-          Hashtbl.fold
-            (fun (g, dr) s acc -> if g = group then (dr, s) :: acc else acc)
+          IT.fold
+            (fun k s acc ->
+              if pk_lo k = group then (pk_hi k, s) :: acc else acc)
             a.a_seen []
           |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
         in
@@ -416,16 +446,21 @@ let view_up t x =
 
 (* ---- data plane (§III.F) ---- *)
 
-let forward_set e =
-  (match e.upstream with Some u -> [ u ] | None -> []) @ e.downstream
-
 let handle_data t x ~from msg group seq =
   match entry_opt t x group with
   | None -> ()
   | Some e ->
-    let f = forward_set e in
-    if List.mem from f then begin
-      List.iter (fun y -> if y <> from then N.transmit t.net ~src:x ~dst:y msg) f;
+    (* [forward_set], inline and allocation-free: membership and the
+       forwarding sweep read upstream/downstream directly, in the same
+       order the materialized list would ([upstream] first). *)
+    let from_upstream = match e.upstream with Some u -> u = from | None -> false in
+    if from_upstream || mem_int from e.downstream then begin
+      (match e.upstream with
+      | Some u when u <> from -> N.transmit t.net ~src:x ~dst:u msg
+      | Some _ | None -> ());
+      List.iter
+        (fun y -> if y <> from then N.transmit t.net ~src:x ~dst:y msg)
+        e.downstream;
       if e.member then record_delivery t group x seq
     end
 (* else: not from the F set — drop (§III.F). *)
@@ -433,8 +468,11 @@ let handle_data t x ~from msg group seq =
 let originate_data t group ~src ~seq =
   let msg = Message.Data { group; src; seq } in
   match entry_opt t src group with
-  | Some e when forward_set e <> [] || is_active_root t src ->
-    List.iter (fun y -> N.transmit t.net ~src ~dst:y msg) (forward_set e)
+  | Some e when e.upstream <> None || e.downstream <> [] || is_active_root t src ->
+    (match e.upstream with
+    | Some u -> N.transmit t.net ~src ~dst:u msg
+    | None -> ());
+    List.iter (fun y -> N.transmit t.net ~src ~dst:y msg) e.downstream
     (* The origin's own subnet receives the packet locally; the runner
        never counts the source among expected receivers. *)
   | Some _ | None ->
@@ -461,17 +499,27 @@ let tree_path_from_root tree dr =
   in
   climb dr []
 
-let compare_edge (a1, b1) (a2, b2) =
-  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+(* Tree edges as packed (parent, child) ints, sorted: the join/leave
+   paths diff a before and after snapshot per request, and int lists
+   make both the membership probes and the equality test single-word
+   compares instead of polymorphic tuple walks. Node ids stay well
+   below 2^31, so the pack is exact. *)
+let edge_set tree =
+  List.sort Int.compare
+    (List.map (fun (p, x) -> (p lsl 31) lor x) (Mtree.Tree.edges tree))
 
-let edge_set tree = List.sort compare_edge (Mtree.Tree.edges tree)
+let rec eq_int_list (a : int list) b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: a, y :: b -> x = y && eq_int_list a b
+  | _ -> false
 
 let distribute_branch t a group tree dr =
   match tree_path_from_root tree dr with
   | [] -> ()
   | first :: _ as path ->
     let root_entry = authority_entry t a group in
-    if not (List.mem first root_entry.downstream) then
+    if not (mem_int first root_entry.downstream) then
       root_entry.downstream <- root_entry.downstream @ [ first ];
     t.branch_pkts <- t.branch_pkts + 1;
     rel_transmit t ~src:a.an ~dst:first
@@ -682,18 +730,18 @@ let handle_join_at_mrouter t a group dr =
   else begin
     let after_edges = edge_set tree in
     let after_nodes = Mtree.Tree.nodes tree in
-    let removed_edges =
-      List.filter (fun e -> not (List.mem e after_edges)) before_edges
+    let lost_edges =
+      List.exists (fun e -> not (mem_int e after_edges)) before_edges
     in
-    let grew = after_edges <> before_edges in
+    let grew = not (eq_int_list after_edges before_edges) in
     let removed_nodes =
-      List.filter (fun x -> not (List.mem x after_nodes)) before_nodes
+      List.filter (fun x -> not (mem_int x after_nodes)) before_nodes
     in
     match t.distribution with
     | Always_full_tree ->
       if grew then distribute_tree t a group tree removed_nodes
     | Incremental ->
-      if removed_edges = [] then begin
+      if not lost_edges then begin
         if grew then distribute_branch t a group tree dr
         (* else: dr was already an on-tree relay; its DR marked the
            interface locally, nothing to distribute (§III.B). *)
@@ -718,12 +766,12 @@ let handle_leave_at_mrouter t a group dr =
        loop-eliminating join. *)
     let after_edges = edge_set tree in
     let grew =
-      List.exists (fun e -> not (List.mem e before_edges)) after_edges
+      List.exists (fun e -> not (mem_int e before_edges)) after_edges
     in
     if grew then begin
       let after_nodes = Mtree.Tree.nodes tree in
       let removed_nodes =
-        List.filter (fun x -> not (List.mem x after_nodes)) before_nodes
+        List.filter (fun x -> not (mem_int x after_nodes)) before_nodes
       in
       distribute_tree t a group tree removed_nodes
     end
@@ -753,13 +801,13 @@ let request_ack t a kind group dr seq =
 
 let handle_request t a kind group dr seq =
   let dup =
-    match Hashtbl.find_opt a.a_seen (group, dr) with
+    match IT.find_opt a.a_seen (pk dr group) with
     | Some s -> seq <= s
     | None -> false
   in
   if dup then reprocess_duplicate t a kind group dr
   else begin
-    Hashtbl.replace a.a_seen (group, dr) seq;
+    IT.replace a.a_seen (pk dr group) seq;
     match kind with
     | Message.Join ->
       roster_apply a.a_members group dr true;
@@ -784,13 +832,13 @@ let handle_resync t a group ~members ~left ~seen ~relays =
     match List.assoc_opt dr seen with Some s -> s | None -> 0
   in
   let mine dr =
-    match Hashtbl.find_opt a.a_seen (group, dr) with Some s -> s | None -> 0
+    match IT.find_opt a.a_seen (pk dr group) with Some s -> s | None -> 0
   in
   List.iter
     (fun dr ->
       let s = theirs dr in
       if s > mine dr then begin
-        Hashtbl.replace a.a_seen (group, dr) s;
+        IT.replace a.a_seen (pk dr group) s;
         if not (List.mem dr (roster a.a_members group)) then begin
           roster_apply a.a_members group dr true;
           try timed_compute t (fun () -> Mtree.Dcdm.join d dr)
@@ -802,7 +850,7 @@ let handle_resync t a group ~members ~left ~seen ~relays =
     (fun dr ->
       let s = theirs dr in
       if s > mine dr then begin
-        Hashtbl.replace a.a_seen (group, dr) s;
+        IT.replace a.a_seen (pk dr group) s;
         if List.mem dr (roster a.a_members group) then begin
           roster_apply a.a_members group dr false;
           try timed_compute t (fun () -> Mtree.Dcdm.leave d dr)
@@ -832,7 +880,7 @@ let handle_tree_packet t x ~from ~ep group packet =
   if
     splits = []
     && (not e.member)
-    && (not (Hashtbl.mem t.pending_iface (x, group)))
+    && (not (IT.mem t.pending_iface (pk x group)))
     && not (is_active_root t x)
   then begin
     (* A leaf of a distributed tree is a member by construction (DCDM
@@ -861,8 +909,8 @@ let handle_branch t x ~from ~ep group path =
     (match rest with
     | [] ->
       (* The new member's DR: attach the marked interface (§III.B). *)
-      if Hashtbl.mem t.pending_iface (x, group) then begin
-        Hashtbl.remove t.pending_iface (x, group);
+      if IT.mem t.pending_iface (pk x group) then begin
+        IT.remove t.pending_iface (pk x group);
         e.member <- true
       end
       else if (not e.member) && e.downstream = [] && not (is_active_root t x)
@@ -875,7 +923,7 @@ let handle_branch t x ~from ~ep group path =
           (Message.Scmp_prune { group; from = x; epoch = t.node_epoch.(x) })
       end
     | next :: _ ->
-      if not (List.mem next e.downstream) then
+      if not (mem_int next e.downstream) then
         e.downstream <- e.downstream @ [ next ];
       rel_transmit t ~src:x ~dst:next
         (Message.Scmp_branch { group; epoch = ep; path = rest }))
@@ -972,10 +1020,10 @@ let submit_request t ~group ~dr kind =
   in
   (* A newer request from the same DR for the same group supersedes the
      outstanding one (e.g. LEAVE overtaking a still-retrying JOIN). *)
-  (match Hashtbl.find_opt t.requests (dr, group) with
+  (match IT.find_opt t.requests (pk dr group) with
   | Some old -> old.rq_settled <- true
   | None -> ());
-  Hashtbl.replace t.requests (dr, group) rq;
+  IT.replace t.requests (pk dr group) rq;
   N.unicast t.net ~src:dr ~dst:t.view.(dr) (request_message rq);
   arm_request t rq
 
@@ -1002,8 +1050,10 @@ let network_tree_consistent t ~group =
   | None ->
     let stray =
       (* emptiness test only — iteration order never escapes *)
-      Hashtbl.fold (* lint: allow hashtbl-iter-order *)
-        (fun (x, g) _ acc -> if g = group && observable t x then x :: acc else acc)
+      IT.fold
+        (fun k _ acc ->
+          if pk_lo k = group && observable t (pk_hi k) then pk_hi k :: acc
+          else acc)
         t.entries []
     in
     if stray = [] then Ok ()
@@ -1025,10 +1075,12 @@ let network_tree_consistent t ~group =
           if e.member <> Mtree.Tree.is_member tree x then
             note "router %d member flag mismatch" x)
       on_tree;
-    Hashtbl.iter
-      (fun (x, g) _ ->
-        if g = group && (not (Mtree.Tree.on_tree tree x)) && observable t x then
-          note "off-tree router %d still holds an entry" x)
+    IT.iter
+      (fun k _ ->
+        let x = pk_hi k in
+        if pk_lo k = group && (not (Mtree.Tree.on_tree tree x))
+           && observable t x
+        then note "off-tree router %d still holds an entry" x)
       t.entries;
     (match !problems with
     | [] -> Ok ()
@@ -1113,15 +1165,16 @@ let on_topology_change t =
   let crashed =
     (* keyed removal/re-mark only: each element touches its own key,
        so processing order is immaterial *)
-    Hashtbl.fold (* lint: allow hashtbl-iter-order *)
-      (fun ((x, _) as key) e acc ->
-        if N.node_alive t.net x then acc else (key, e.member) :: acc)
+    IT.fold
+      (fun key e acc ->
+        if N.node_alive t.net (pk_hi key) then acc
+        else (key, e.member) :: acc)
       t.entries []
   in
   List.iter
     (fun (key, was_member) ->
-      Hashtbl.remove t.entries key;
-      if was_member then Hashtbl.replace t.pending_iface key ())
+      IT.remove t.entries key;
+      if was_member then IT.replace t.pending_iface key ())
     crashed;
   let now = Eventsim.Engine.now (N.engine t.net) in
   List.iter
@@ -1143,7 +1196,7 @@ let on_topology_change t =
                    adjacencies while it was dark. The membership
                    database survives the reboot; rebuild from it and
                    redistribute so the whole network re-installs. *)
-                || not (Hashtbl.mem t.entries (a.an, group))
+                || not (IT.mem t.entries (pk a.an group))
               then group :: acc
               else acc)
             a.a_dcdm []
@@ -1157,8 +1210,9 @@ let on_topology_change t =
   let grafts = ref [] in
   (* the collected grafts are sorted (router, group) before dispatch
      below, so collection order never escapes *)
-  Hashtbl.iter (* lint: allow hashtbl-iter-order *)
-    (fun (x, group) e ->
+  IT.iter
+    (fun k e ->
+      let x = pk_hi k and group = pk_lo k in
       if N.node_alive t.net x then begin
         e.downstream <- List.filter (fun c -> N.link_alive t.net x c) e.downstream;
         match e.upstream with
@@ -1196,7 +1250,7 @@ let on_topology_change t =
            | Some d -> Mtree.Tree.on_tree (Mtree.Dcdm.tree d) x
            | None -> false
          in
-         if (not on_tree) && Hashtbl.mem t.entries (x, group) then
+         if (not on_tree) && IT.mem t.entries (pk x group) then
            send_invalidate t a group x)
        (List.sort_uniq
           (fun (g1, x1) (g2, x2) ->
@@ -1282,7 +1336,7 @@ let rec handle_message t x ~from msg =
     | Message.Scmp_req_ack { group; dr; kind; seq; epoch } ->
       if x = dr && not (fence t x epoch) then begin
         adopt t x epoch;
-        match Hashtbl.find_opt t.requests (dr, group) with
+        match IT.find_opt t.requests (pk dr group) with
         | Some rq when rq.rq_seq = seq && same_kind rq.rq_kind kind ->
           rq.rq_acked <- true
         | Some _ | None -> ()
@@ -1377,7 +1431,7 @@ let make_authority node ~active ~epoch =
     a_failed = false;
     a_dcdm = Hashtbl.create 8;
     a_members = Hashtbl.create 8;
-    a_seen = Hashtbl.create 16;
+    a_seen = IT.create 16;
   }
 
 let create ?delivery ?(bound = Mtree.Bound.Tightest)
@@ -1422,10 +1476,10 @@ let create ?delivery ?(bound = Mtree.Bound.Tightest)
       node_epoch = Array.make n 1;
       view = Array.make n mrouter;
       epoch_owner;
-      entries = Hashtbl.create 64;
-      pending_iface = Hashtbl.create 16;
+      entries = IT.create 64;
+      pending_iface = IT.create 16;
       ctl_seq = 0;
-      requests = Hashtbl.create 16;
+      requests = IT.create 16;
       tokens = 0;
       rel_pending = Hashtbl.create 32;
       rel_seen = Hashtbl.create 64;
@@ -1483,12 +1537,12 @@ let handle = handle_message
 let host_join t ~group x =
   (match entry_opt t x group with
   | Some e -> e.member <- true
-  | None -> Hashtbl.replace t.pending_iface (x, group) ());
+  | None -> IT.replace t.pending_iface (pk x group) ());
   submit_request t ~group ~dr:x Message.Join
 
 let host_leave t ~group x =
   (match entry_opt t x group with
-  | None -> Hashtbl.remove t.pending_iface (x, group)
+  | None -> IT.remove t.pending_iface (pk x group)
   | Some e ->
     e.member <- false;
     if e.downstream = [] && not (is_active_root t x) then begin
@@ -1511,12 +1565,13 @@ let groups t =
 
 let snapshot t ~group =
   let entries =
-    Hashtbl.fold
-      (fun (x, g) e acc ->
+    IT.fold
+      (fun k e acc ->
         (* Dead routers, a failed m-router's leftovers and partitioned
            routers hold state the live network cannot observe; the
            verifier skips them. *)
-        if g = group && observable t x then
+        let x = pk_hi k in
+        if pk_lo k = group && observable t x then
           {
             Check.Invariant.router = x;
             upstream = e.upstream;

@@ -1,0 +1,290 @@
+(* Monotone calendar queue over non-negative float keys with arbitrary
+   payloads — the event-engine scheduler structure.
+
+   The same binning idea {!Radix_heap} uses for the Dijkstra frontier,
+   generalized to carry boxed payloads: keys are stored as native-int
+   images of their IEEE-754 bit pattern (order-isomorphic for
+   non-negative floats), and entries are binned by the position of the
+   highest bit in which their image differs from the floor — the image
+   of the last extracted minimum. Bucket 0 holds entries equal to the
+   floor and pops O(1) off a read cursor; when it drains, the lowest
+   non-empty bucket is either min-scanned in place (small buckets, the
+   overwhelmingly common case for event queues whose frontier rarely
+   exceeds a few dozen distinct instants) or redistributed against an
+   advanced floor (the classic lazy floor advance, amortizing each
+   entry to O(63) moves over its lifetime).
+
+   Equal keys pop in global insertion (FIFO) order — the sequence-rule
+   contract {!Heap} established and {!Radix_heap} carries: equal keys
+   always compute the same bucket at any floor, appends preserve
+   arrival order, redistribution scans front-to-back, and the small-
+   bucket min-scan takes the *first* minimal entry. The event engine's
+   whole-run determinism rests on this rule.
+
+   Monotonicity contract: every key added must be >= the key of the
+   most recently extracted minimum (the simulation clock only moves
+   forward, so the engine satisfies this by construction). Violations
+   are detected best-effort: an add below the lazily-trailing floor
+   raises; an add between the floor and the true extracted minimum is
+   ordered correctly anyway.
+
+   The payload arrays inevitably keep a reference to a popped value
+   until its slot is overwritten by a later add (there is no dummy
+   ['a] to blank with). The queue therefore releases every bucket's
+   backing storage whenever it drains to empty — the quiescent state
+   of an event engine between runs — exactly as {!Heap.pop} releases
+   its array on the last entry. *)
+
+type 'a bucket = {
+  mutable keys : int array;  (* shifted IEEE-754 images *)
+  mutable vals : 'a array;
+  mutable len : int;
+}
+
+let nbuckets = 64
+
+type 'a t = {
+  mutable ifloor : int;  (* image of the last extracted minimum *)
+  buckets : 'a bucket array;
+  mutable occ : int;  (* bit i set <=> bucket i+1 non-empty *)
+  mutable lowbi : int;
+      (* lowest non-empty bucket above 0 whenever [occ <> 0] *)
+  mutable size : int;
+  mutable head : int;  (* read cursor into bucket 0 *)
+  (* Located-minimum memo: [locate] caches where the current minimum
+     lives so the peek-then-pop pattern of a drain loop costs one
+     search, not two. Valid iff [mbi >= 0]; any pop and any add below
+     the cached image invalidate it. *)
+  mutable mbi : int;
+  mutable mslot : int;
+  mutable mik : int;
+}
+
+let image f =
+  Int64.to_int (Int64.sub (Int64.bits_of_float f) 0x4000_0000_0000_0000L)
+
+let key_of_image i =
+  Int64.float_of_bits (Int64.add (Int64.of_int i) 0x4000_0000_0000_0000L)
+
+let image_zero = image 0.0
+
+let msb_tbl =
+  String.init 256 (fun v ->
+      let rec go n v = if v <= 1 then n else go (n + 1) (v lsr 1) in
+      Char.chr (go 0 v))
+
+let msb8 v = Char.code (String.unsafe_get msb_tbl v)
+
+let msb63 v =
+  if v lsr 32 <> 0 then
+    if v lsr 48 <> 0 then
+      if v lsr 56 <> 0 then 56 + msb8 (v lsr 56) else 48 + msb8 (v lsr 48)
+    else if v lsr 40 <> 0 then 40 + msb8 (v lsr 40)
+    else 32 + msb8 (v lsr 32)
+  else if v lsr 16 <> 0 then
+    if v lsr 24 <> 0 then 24 + msb8 (v lsr 24) else 16 + msb8 (v lsr 16)
+  else if v lsr 8 <> 0 then 8 + msb8 (v lsr 8)
+  else msb8 v
+
+let create () =
+  {
+    ifloor = image_zero;
+    buckets =
+      Array.init nbuckets (fun _ -> { keys = [||]; vals = [||]; len = 0 });
+    occ = 0;
+    lowbi = 0;
+    size = 0;
+    head = 0;
+    mbi = -1;
+    mslot = 0;
+    mik = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Grow using [fill] (the value about to be inserted) as the payload
+   filler, so no dummy ['a] is ever fabricated — {!Heap.ensure_room}'s
+   trick. *)
+let grow b fill =
+  let cap = Array.length b.keys in
+  let ncap = if cap = 0 then 8 else 2 * cap in
+  let keys = Array.make ncap 0 and vals = Array.make ncap fill in
+  Array.blit b.keys 0 keys 0 b.len;
+  Array.blit b.vals 0 vals 0 b.len;
+  b.keys <- keys;
+  b.vals <- vals
+
+let add_image t ik v =
+  if ik < t.ifloor then
+    invalid_arg "Calendar_queue.add: key below the extracted minimum (or NaN)";
+  let d = ik lxor t.ifloor in
+  let bi = if d = 0 then 0 else 1 + msb63 d in
+  let b = Array.unsafe_get t.buckets bi in
+  if b.len = Array.length b.keys then grow b v;
+  Array.unsafe_set b.keys b.len ik;
+  Array.unsafe_set b.vals b.len v;
+  b.len <- b.len + 1;
+  if bi > 0 then begin
+    if t.occ = 0 || bi < t.lowbi then t.lowbi <- bi;
+    t.occ <- t.occ lor (1 lsl (bi - 1))
+  end;
+  t.size <- t.size + 1;
+  (* An equal key appended later pops later (FIFO), so only a strictly
+     smaller key can displace the located minimum. *)
+  if t.mbi >= 0 && ik < t.mik then t.mbi <- -1
+
+let add t ~key v =
+  if not (key >= 0.0) then
+    invalid_arg "Calendar_queue.add: key below the extracted minimum (or NaN)";
+  add_image t (image key) v
+
+(* Buckets at or below this size are popped by direct min-scan instead
+   of redistribution — event frontiers are mostly tiny, so nearly all
+   entry moves vanish (see {!Radix_heap}, which tunes the same knob for
+   Dijkstra). *)
+let scan_threshold = 16
+
+(* Classic lazy floor advance: the bucket's minimum becomes the new
+   floor, every entry re-bins strictly lower (equal-to-minimum entries
+   land in bucket 0 in their original relative order), and entries in
+   other buckets stay correctly binned because the new floor agrees
+   with the old one above this bucket's bit. *)
+let redistribute t b low =
+  let keys = b.keys and vals = b.vals in
+  let len = b.len in
+  let mi = ref 0 in
+  for k = 1 to len - 1 do
+    if Array.unsafe_get keys k < Array.unsafe_get keys !mi then mi := k
+  done;
+  let ifloor = Array.unsafe_get keys !mi in
+  t.ifloor <- ifloor;
+  b.len <- 0;
+  let buckets = t.buckets in
+  let occ = ref (t.occ lxor low) in
+  for k = 0 to len - 1 do
+    let ik = Array.unsafe_get keys k in
+    let d = ik lxor ifloor in
+    let bi = if d = 0 then 0 else 1 + msb63 d in
+    let v = Array.unsafe_get vals k in
+    let dst = Array.unsafe_get buckets bi in
+    if dst.len = Array.length dst.keys then grow dst v;
+    Array.unsafe_set dst.keys dst.len ik;
+    Array.unsafe_set dst.vals dst.len v;
+    dst.len <- dst.len + 1;
+    if bi > 0 then occ := !occ lor (1 lsl (bi - 1))
+  done;
+  t.occ <- !occ;
+  if !occ <> 0 then t.lowbi <- 1 + msb63 (!occ land - !occ)
+
+(* Locate the current minimum and memoize its position. Returns its
+   image; [max_int] on an empty queue (above the image of every float
+   key, +infinity included). May redistribute a large bucket — a
+   semantics-preserving internal reorganization. *)
+let min_image t =
+  if t.size = 0 then max_int
+  else if t.mbi >= 0 then t.mik
+  else begin
+    let b0 = Array.unsafe_get t.buckets 0 in
+    if t.head < b0.len then begin
+      t.mbi <- 0;
+      t.mslot <- t.head;
+      t.mik <- t.ifloor;
+      t.ifloor
+    end
+    else begin
+      let bi = t.lowbi in
+      let b = Array.unsafe_get t.buckets bi in
+      if b.len > scan_threshold then begin
+        redistribute t b (1 lsl (bi - 1));
+        (* the minimum run now heads bucket 0 *)
+        t.head <- 0;
+        t.mbi <- 0;
+        t.mslot <- 0;
+        t.mik <- t.ifloor;
+        t.ifloor
+      end
+      else begin
+        let keys = b.keys in
+        let len = b.len in
+        (* first minimal entry front-to-back = earliest inserted among
+           equal keys, the FIFO pop *)
+        let mi = ref 0 in
+        for k = 1 to len - 1 do
+          if Array.unsafe_get keys k < Array.unsafe_get keys !mi then mi := k
+        done;
+        t.mbi <- bi;
+        t.mslot <- !mi;
+        t.mik <- Array.unsafe_get keys !mi;
+        t.mik
+      end
+    end
+  end
+
+(* On the transition to empty, release every bucket's payload storage:
+   a popped value must not stay reachable through a stale slot once the
+   queue has quiesced (the engine between runs). Bucket arrays are
+   rebuilt lazily by the next add. *)
+let release_storage t =
+  for i = 0 to nbuckets - 1 do
+    let b = Array.unsafe_get t.buckets i in
+    if Array.length b.keys > 0 then begin
+      b.keys <- [||];
+      b.vals <- [||];
+      b.len <- 0
+    end
+  done
+
+let pop_min t =
+  if t.size = 0 then invalid_arg "Calendar_queue.pop_min: queue is empty";
+  if t.mbi < 0 then ignore (min_image t);
+  let bi = t.mbi in
+  t.mbi <- -1;
+  t.size <- t.size - 1;
+  if bi = 0 then begin
+    let b0 = Array.unsafe_get t.buckets 0 in
+    let v = Array.unsafe_get b0.vals t.head in
+    t.head <- t.head + 1;
+    if t.head = b0.len then begin
+      b0.len <- 0;
+      t.head <- 0
+    end;
+    if t.size = 0 then release_storage t;
+    v
+  end
+  else begin
+    let b = Array.unsafe_get t.buckets bi in
+    let keys = b.keys and vals = b.vals in
+    let len = b.len in
+    let v = Array.unsafe_get vals t.mslot in
+    (* close the gap with a shift so the surviving FIFO order stands;
+       at most [scan_threshold - 1] moves *)
+    for k = t.mslot to len - 2 do
+      Array.unsafe_set keys k (Array.unsafe_get keys (k + 1));
+      Array.unsafe_set vals k (Array.unsafe_get vals (k + 1))
+    done;
+    b.len <- len - 1;
+    if b.len = 0 then begin
+      t.occ <- t.occ lxor (1 lsl (bi - 1));
+      if t.occ <> 0 then t.lowbi <- 1 + msb63 (t.occ land -t.occ)
+    end;
+    if t.size = 0 then release_storage t;
+    v
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let ik = min_image t in
+    let v = pop_min t in
+    Some (key_of_image ik, v)
+  end
+
+let clear t =
+  release_storage t;
+  t.occ <- 0;
+  t.size <- 0;
+  t.head <- 0;
+  t.lowbi <- 0;
+  t.mbi <- -1;
+  t.ifloor <- image_zero

@@ -1,0 +1,64 @@
+(** Monotone calendar queue: non-negative float keys, arbitrary boxed
+    payloads. The event-engine scheduler structure.
+
+    {!Radix_heap}'s bucketed lazy-floor-advance design generalized from
+    int payloads to ['a]: O(1) amortized add, near-O(1) pop, keys binned
+    by sim-time against a floor that trails the extracted minimum. Keys
+    must be {e monotone} — every key added must be >= the most recently
+    popped minimum (an event engine satisfies this by construction: the
+    clock only moves forward).
+
+    Equal keys pop in global insertion (FIFO) order, the same
+    sequence-rule contract {!Heap} established and {!Radix_heap}
+    carries — whole-run simulation determinism rests on it. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty queue with floor 0.0 — every key must be >= 0. *)
+
+val add : 'a t -> key:float -> 'a -> unit
+(** @raise Invalid_argument if [key] is NaN, negative, or below the
+    monotonicity floor — a lower bound that trails the extracted
+    minimum (0.0 initially, advanced lazily as buckets are
+    redistributed), so an out-of-order add from a buggy caller is
+    detected best-effort rather than always. Keys at or above the floor
+    are ordered correctly even when below an earlier popped key. *)
+
+val image : float -> int
+(** Order-preserving native-int image of a non-negative float key (the
+    IEEE-754 bit pattern shifted into int range); what keys are binned
+    by. Small enough for the cross-module inliner. *)
+
+val key_of_image : int -> float
+(** Inverse of {!image} on its range. *)
+
+val add_image : 'a t -> int -> 'a -> unit
+(** [add_image t (image key) v] = [add t ~key v] for non-negative,
+    non-NaN keys — the form that keeps the key out of a boxed float
+    argument. NaN images sort above every finite image rather than
+    being rejected, so callers must not feed NaNs.
+    @raise Invalid_argument if the image is below the floor's. *)
+
+val min_image : 'a t -> int
+(** Image of the current minimum key; [max_int] when empty (strictly
+    above the image of every float key, +infinity included). Locates
+    the minimum and memoizes its position, so the following {!pop_min}
+    is O(1) — the peek-then-pop of a drain loop costs one search. May
+    internally redistribute a large bucket (semantics-preserving). *)
+
+val pop_min : 'a t -> 'a
+(** Pop the minimum-key entry — among equal keys, the earliest
+    inserted. Uses the position memoized by {!min_image} when the queue
+    was not touched in between; locates it itself otherwise.
+    @raise Invalid_argument if the queue is empty. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [min_image]/[pop_min] packaged with the key recovered — the
+    allocating convenience form for tests and oracles. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Empty the queue, release payload storage, reset the floor to 0. *)

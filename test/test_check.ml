@@ -521,6 +521,33 @@ let test_lint_graph_freeze () =
   checkb "severity is Error" true
     (L.severity_of_rule L.rule_graph_freeze = L.Error)
 
+let test_lint_raw_engine_queue () =
+  (* the event-kernel ownership rule: queue structures inside
+     lib/eventsim live in engine.ml only *)
+  checkb "Heap frontier in netsim fires" true
+    (fires L.rule_raw_engine_queue "lib/eventsim/netsim.ml"
+       "let q = Scmp_util.Heap.create ()\n");
+  checkb "short spelling fires too" true
+    (fires L.rule_raw_engine_queue "lib/eventsim/faults.ml"
+       "let () = Heap.add q ~key:1.0 thunk\n");
+  checkb "calendar queue outside engine.ml fires" true
+    (fires L.rule_raw_engine_queue "lib/eventsim/x.ml"
+       "let q = Scmp_util.Calendar_queue.create ()\n");
+  checkb "engine.ml itself: clean (the queue's owner)" false
+    (fires L.rule_raw_engine_queue "lib/eventsim/engine.ml"
+       "let q = Scmp_util.Calendar_queue.create ()\n");
+  checkb "outside lib/eventsim: clean (tests and benches may oracle)" false
+    (fires L.rule_raw_engine_queue "lib/mtree/x.ml"
+       "let q = Scmp_util.Heap.create ()\n");
+  checkb "near-miss: Engine scheduling is the sanctioned path" false
+    (fires L.rule_raw_engine_queue "lib/eventsim/netsim.ml"
+       "let () = Engine.schedule e ~delay:1.0 thunk\n");
+  checkb "near-miss: unrelated Heap-suffixed module" false
+    (fires L.rule_raw_engine_queue "lib/eventsim/x.ml"
+       "let h = Radix_heap.create 4\n");
+  checkb "severity is Error" true
+    (L.severity_of_rule L.rule_raw_engine_queue = L.Error)
+
 let test_lint_quoted_strings () =
   (* regression: the old scanner did not blank {|...|} payloads, so a
      quoted string containing Stdlib.compare tripped poly-compare *)
@@ -722,6 +749,8 @@ let () =
           Alcotest.test_case "D6 exec-capture" `Quick test_lint_exec_capture;
           Alcotest.test_case "graph-freeze layering" `Quick
             test_lint_graph_freeze;
+          Alcotest.test_case "raw-engine-queue ownership" `Quick
+            test_lint_raw_engine_queue;
           Alcotest.test_case "quoted-string regression" `Quick
             test_lint_quoted_strings;
         ] );

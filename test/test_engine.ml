@@ -1,0 +1,234 @@
+(* The event-kernel suite: the calendar-queue scheduler differentially
+   checked against the binary heap it replaced, the engine's error
+   paths and until-window edges, transmit-hook registration order, and
+   the O(1)-record periodic task. *)
+
+module Engine = Eventsim.Engine
+module Netsim = Eventsim.Netsim
+module Cq = Scmp_util.Calendar_queue
+module Heap = Scmp_util.Heap
+module G = Netgraph.Graph
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+(* ---------------- calendar queue vs heap oracle ---------------- *)
+
+(* Random monotone schedule/pop traces, replayed against both
+   structures. Key deltas are quantized to multiples of 0.5 (exactly
+   representable), so equal-key collisions are frequent and the FIFO
+   sequence rule is exercised, not just min-ordering; delta 0 re-adds
+   at exactly the last popped key, the monotonicity floor itself.
+   Payloads are insertion sequence numbers: every pop must return the
+   same (key, seq) pair from both structures, and both must drain to
+   the same tail. *)
+let prop_calendar_matches_heap =
+  QCheck.Test.make ~name:"calendar queue matches heap oracle" ~count:300
+    QCheck.(list (pair (int_bound 9) (int_bound 6)))
+    (fun ops ->
+      let q = Cq.create () and h = Heap.create () in
+      let seq = ref 0 and floor = ref 0.0 and ok = ref true in
+      let pop_both () =
+        let a = Cq.pop q and b = Heap.pop h in
+        (match a with Some (k, _) -> floor := k | None -> ());
+        if a <> b then ok := false
+      in
+      List.iter
+        (fun (op, delta) ->
+          if op < 7 then begin
+            (* the engine's invariant: keys never go below the last
+               extracted minimum *)
+            let key = !floor +. (0.5 *. float_of_int delta) in
+            incr seq;
+            Cq.add q ~key !seq;
+            Heap.add h ~key !seq
+          end
+          else pop_both ())
+        ops;
+      while (not (Cq.is_empty q)) || not (Heap.is_empty h) do
+        pop_both ()
+      done;
+      !ok && Cq.length q = Heap.length h)
+
+let prop_image_order_isomorphic =
+  QCheck.Test.make ~name:"image is order-preserving and invertible" ~count:300
+    QCheck.(pair (float_bound_exclusive 1e9) (float_bound_exclusive 1e9))
+    (fun (a, b) ->
+      Cq.key_of_image (Cq.image a) = a
+      && Cq.key_of_image (Cq.image b) = b
+      && compare (Cq.image a) (Cq.image b) = compare a b)
+
+let expect_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (msg ^ ": expected Invalid_argument")
+
+let test_calendar_rejects_bad_keys () =
+  let q = Cq.create () in
+  expect_invalid "negative key" (fun () -> Cq.add q ~key:(-1.0) 0);
+  expect_invalid "nan key" (fun () -> Cq.add q ~key:Float.nan 0);
+  checki "rejected adds left nothing" 0 (Cq.length q)
+
+let test_calendar_below_floor_detected () =
+  (* The monotonicity floor trails lazily, advancing when a bucket is
+     redistributed. Force one deterministically: more than the scan
+     threshold of entries in one far bucket makes the next locate
+     redistribute and pull the floor up to the popped minimum, after
+     which an add below it must raise. *)
+  let q = Cq.create () in
+  for i = 1 to 32 do
+    Cq.add q ~key:100.0 i
+  done;
+  (match Cq.pop q with
+  | Some (100.0, 1) -> ()
+  | _ -> Alcotest.fail "expected FIFO minimum (100.0, 1)");
+  expect_invalid "add below advanced floor" (fun () -> Cq.add q ~key:50.0 0)
+
+let test_calendar_empty_queue () =
+  let q = Cq.create () in
+  checkb "is_empty" true (Cq.is_empty q);
+  checki "min_image of empty is max_int" max_int (Cq.min_image q);
+  expect_invalid "pop_min on empty" (fun () -> Cq.pop_min q);
+  checkb "pop on empty" true (Cq.pop q = None)
+
+let test_calendar_clear_resets_floor () =
+  let q = Cq.create () in
+  for i = 1 to 32 do
+    Cq.add q ~key:100.0 i
+  done;
+  ignore (Cq.pop q);
+  Cq.clear q;
+  checki "cleared" 0 (Cq.length q);
+  (* the floor is back at 0: a key below the old floor is accepted *)
+  Cq.add q ~key:0.0 7;
+  checkb "usable after clear" true (Cq.pop q = Some (0.0, 7))
+
+(* ---------------- engine error paths ---------------- *)
+
+let test_engine_rejects_past_and_bad_args () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:2.0 (fun () -> ());
+  Engine.run e;
+  checkf "clock" 2.0 (Engine.now e);
+  Alcotest.check_raises "schedule_at in the past"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule_at e ~time:1.0 (fun () -> ()));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-0.5) (fun () -> ()));
+  Alcotest.check_raises "non-positive interval"
+    (Invalid_argument "Engine.every: non-positive interval") (fun () ->
+      Engine.every e ~interval:0.0 (fun () -> ()));
+  let d = Engine.dispatch (fun _ _ _ _ _ -> ()) in
+  Alcotest.check_raises "schedule_fast in the past"
+    (Invalid_argument "Engine.schedule_fast: time in the past") (fun () ->
+      Engine.schedule_fast e ~time:1.0 d 0 0 0 0 0);
+  checki "nothing slipped into the queue" 0 (Engine.pending e)
+
+(* ---------------- until-window edges ---------------- *)
+
+let test_engine_until_boundary_inclusive () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := `At :: !log);
+  Engine.schedule e ~delay:2.0000001 (fun () -> log := `After :: !log);
+  Engine.run ~until:2.0 e;
+  checkb "event exactly at the horizon ran" true (!log = [ `At ]);
+  checki "event just past it pends" 1 (Engine.pending e);
+  checkf "clock parked at until" 2.0 (Engine.now e)
+
+let test_engine_until_in_the_past_is_noop () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:3.0 (fun () -> ());
+  Engine.run e;
+  Engine.schedule_at e ~time:5.0 (fun () -> ());
+  Engine.run ~until:1.0 e;
+  checkf "clock never rewinds" 3.0 (Engine.now e);
+  checki "future event untouched" 1 (Engine.pending e)
+
+(* ---------------- periodic task: O(1) live records ---------------- *)
+
+let test_every_constant_live_records () =
+  (* One [every] task fires N times off a single event record that
+     re-enqueues itself; with nothing else scheduled, the queue never
+     holds more than that one record, so the high-water mark pins the
+     O(1) claim structurally — the old recursive-closure engine also
+     kept one pending event, but allocated a fresh closure per tick. *)
+  let e = Engine.create () in
+  let n = 10_000 in
+  let ticks = ref 0 in
+  Engine.every e ~interval:1.0 ~until:(float_of_int n) (fun () -> incr ticks);
+  Engine.run e;
+  checki "every tick fired" n !ticks;
+  checki "all counted as executed" n (Engine.events_executed e);
+  checki "one live event record throughout" 1 (Engine.heap_high_water e)
+
+let test_every_reenqueues_after_body () =
+  (* The tick record goes back on the queue after its body ran, so an
+     event the body scheduled for the very next firing instant was
+     inserted first and pops first — the FIFO order the old recursive
+     closure produced. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let n = ref 0 in
+  Engine.every e ~interval:1.0 ~until:2.0 (fun () ->
+      incr n;
+      let i = !n in
+      log := `Tick i :: !log;
+      if i = 1 then Engine.schedule e ~delay:1.0 (fun () -> log := `Probe :: !log));
+  Engine.run e;
+  checkb "probe pops before the tied second tick" true
+    (List.rev !log = [ `Tick 1; `Probe; `Tick 2 ])
+
+(* ---------------- transmit hooks fire in registration order ------- *)
+
+let test_on_transmit_hook_order () =
+  let bld = G.Builder.create 2 in
+  G.Builder.add_link bld 0 1 ~delay:1.0 ~cost:1.0;
+  let g = G.Builder.freeze bld in
+  let e = Engine.create () in
+  let net = Netsim.create e g ~classify:(fun _ -> `Data) in
+  let log = ref [] in
+  Netsim.on_transmit net (fun ~src:_ ~dst:_ _ -> log := 1 :: !log);
+  Netsim.on_transmit net (fun ~src:_ ~dst:_ _ -> log := 2 :: !log);
+  Netsim.on_transmit net (fun ~src:_ ~dst:_ _ -> log := 3 :: !log);
+  Netsim.set_handler net 1 (fun _ ~from:_ _ -> ());
+  Netsim.transmit net ~src:0 ~dst:1 ();
+  Engine.run e;
+  Alcotest.check
+    Alcotest.(list int)
+    "hooks fire in registration order" [ 1; 2; 3 ] (List.rev !log)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "calendar-queue",
+        [
+          qc prop_calendar_matches_heap;
+          qc prop_image_order_isomorphic;
+          Alcotest.test_case "rejects bad keys" `Quick test_calendar_rejects_bad_keys;
+          Alcotest.test_case "below-floor add detected" `Quick
+            test_calendar_below_floor_detected;
+          Alcotest.test_case "empty queue" `Quick test_calendar_empty_queue;
+          Alcotest.test_case "clear resets floor" `Quick
+            test_calendar_clear_resets_floor;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "rejects past times and bad args" `Quick
+            test_engine_rejects_past_and_bad_args;
+          Alcotest.test_case "until boundary inclusive" `Quick
+            test_engine_until_boundary_inclusive;
+          Alcotest.test_case "until in the past is a no-op" `Quick
+            test_engine_until_in_the_past_is_noop;
+          Alcotest.test_case "every keeps O(1) live records" `Quick
+            test_every_constant_live_records;
+          Alcotest.test_case "tick re-enqueue preserves FIFO" `Quick
+            test_every_reenqueues_after_body;
+          Alcotest.test_case "on_transmit hook order" `Quick
+            test_on_transmit_hook_order;
+        ] );
+    ]
